@@ -1,0 +1,306 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark mirrors one experiment (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for recorded results):
+//
+//	BenchmarkFigure1FalsePositives   — Figure 1 (false-positive rates)
+//	BenchmarkFigure2LegacyTranslation — Section 5 (legacy translation blow-up)
+//	BenchmarkFigure4PriceOfCorrectness — Figure 4 (t⁺ vs t per query)
+//	BenchmarkTable1Scaling           — Table 1 (relative perf across sizes)
+//	BenchmarkRecall                  — Section 7 precision/recall
+//	BenchmarkAblation*               — the design-choice ablations
+package certsql_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/eval"
+	"certsql/internal/experiment"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// benchDB caches generated instances across benchmarks.
+var benchDB = struct {
+	mu sync.Mutex
+	m  map[string]*table.Database
+}{m: map[string]*table.Database{}}
+
+func instance(b *testing.B, scale, nullRate float64, seed int64) *table.Database {
+	b.Helper()
+	key := fmt.Sprintf("%g/%g/%d", scale, nullRate, seed)
+	benchDB.mu.Lock()
+	defer benchDB.mu.Unlock()
+	if db, ok := benchDB.m[key]; ok {
+		return db
+	}
+	db := tpch.Generate(tpch.Config{ScaleFactor: scale, Seed: seed, NullRate: nullRate})
+	benchDB.m[key] = db
+	return db
+}
+
+func mustPrepare(b *testing.B, qid tpch.QueryID, db *table.Database, seed int64) (orig, plus *compile.Compiled, params compile.Params) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	params = qid.Params(rng, tpch.Config{ScaleFactor: 0.002}.Sizes())
+	q, err := sql.Parse(qid.SQL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig, err = compile.Compile(q, db.Schema, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := experiment.DefaultTranslator(db)
+	plus = &compile.Compiled{Expr: tr.Plus(orig.Expr), Columns: orig.Columns}
+	return orig, plus, params
+}
+
+func runExpr(b *testing.B, db *table.Database, c *compile.Compiled) *table.Table {
+	b.Helper()
+	ev := eval.New(db, eval.Options{Semantics: value.SQL3VL})
+	t, err := ev.Eval(c.Expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// BenchmarkFigure1FalsePositives regenerates Figure 1's measurement for
+// one representative null rate per query: SQL-evaluate the query, then
+// run the false-positive detector over every answer. The reported
+// fp_percent metric is the figure's y-axis.
+func BenchmarkFigure1FalsePositives(b *testing.B) {
+	for _, qid := range tpch.AllQueries {
+		for _, rate := range []float64{0.02, 0.08} {
+			b.Run(fmt.Sprintf("%s/null=%g%%", qid, rate*100), func(b *testing.B) {
+				db := instance(b, 0.001, rate, 101)
+				orig, _, params := mustPrepare(b, qid, db, 7)
+				detect := tpch.DetectorFor(qid)
+				var fpPct float64
+				for i := 0; i < b.N; i++ {
+					res := runExpr(b, db, orig)
+					fp := 0
+					for _, r := range res.Rows() {
+						if detect(db, params, r) {
+							fp++
+						}
+					}
+					if res.Len() > 0 {
+						fpPct = 100 * float64(fp) / float64(res.Len())
+					}
+				}
+				b.ReportMetric(fpPct, "fp_percent")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2LegacyTranslation regenerates the Section 5 blow-up:
+// the legacy Qt translation versus Q⁺ on the difference workload. The
+// legacy side is benchmarked at sizes it can still complete; the Q⁺
+// side at the same and much larger sizes.
+func BenchmarkFigure2LegacyTranslation(b *testing.B) {
+	build := func(n int) *table.Database {
+		rng := rand.New(rand.NewSource(int64(n)))
+		sch := diffSchema()
+		db := table.NewDatabase(sch)
+		for i := 0; i < n; i++ {
+			for _, rel := range []string{"r", "s"} {
+				row := table.Row{value.Int(int64(rng.Intn(2 * n))), value.Int(int64(rng.Intn(2 * n)))}
+				if rng.Float64() < 0.05 {
+					row[rng.Intn(2)] = db.FreshNull()
+				}
+				if err := db.Insert(rel, row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return db
+	}
+	q := algebra.Diff{L: algebra.Base{Name: "r", Cols: 2}, R: algebra.Base{Name: "s", Cols: 2}}
+
+	for _, n := range []int{16, 64, 128} {
+		db := build(n)
+		tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+		legacy := tr.LegacyTrue(certain.Primitive(q))
+		b.Run(fmt.Sprintf("legacy/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(db, eval.Options{Semantics: value.Naive})
+				if _, err := ev.Eval(legacy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, n := range []int{16, 128, 1024, 8192} {
+		db := build(n)
+		tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+		plus := tr.Plus(q)
+		b.Run(fmt.Sprintf("plus/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(db, eval.Options{Semantics: value.Naive})
+				if _, err := ev.Eval(plus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// diffSchema builds the R(a,b), S(a,b) schema for the Section 5
+// workload.
+func diffSchema() *schema.Schema {
+	s := schema.New()
+	for _, name := range []string{"r", "s"} {
+		s.MustAdd(&schema.Relation{Name: name, Attrs: []schema.Attribute{
+			{Name: "a", Type: value.KindInt, Nullable: true},
+			{Name: "b", Type: value.KindInt, Nullable: true},
+		}})
+	}
+	return s
+}
+
+// BenchmarkFigure4PriceOfCorrectness regenerates Figure 4: each query
+// evaluated in original and certain form on the "1 GB-equivalent"
+// instance at null rate 2%. The price of correctness is the ratio of
+// the certain and original sub-benchmark timings.
+func BenchmarkFigure4PriceOfCorrectness(b *testing.B) {
+	db := instance(b, 0.002, 0.02, 202)
+	for _, qid := range tpch.AllQueries {
+		orig, plus, _ := mustPrepare(b, qid, db, 11)
+		b.Run(qid.String()+"/original", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runExpr(b, db, orig)
+			}
+		})
+		b.Run(qid.String()+"/certain", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runExpr(b, db, plus)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Scaling regenerates Table 1: relative performance as
+// the instance grows (multipliers of the base scale).
+func BenchmarkTable1Scaling(b *testing.B) {
+	for _, mult := range []float64{1, 3, 10} {
+		scale := 0.002 * mult
+		db := instance(b, scale, 0.02, 303)
+		for _, qid := range tpch.AllQueries {
+			orig, plus, _ := mustPrepare(b, qid, db, 13)
+			b.Run(fmt.Sprintf("%gx/%s/original", mult, qid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runExpr(b, db, orig)
+				}
+			})
+			b.Run(fmt.Sprintf("%gx/%s/certain", mult, qid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runExpr(b, db, plus)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRecall regenerates the Section 7 recall measurement: the
+// recall_percent metric must be 100 and leaked false positives zero.
+func BenchmarkRecall(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.Recall(experiment.RecallConfig{
+			Instances: 1, ParamDraws: 2, NullRate: 0.04, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 100.0
+		for _, r := range results {
+			if r.LeakedFalsePositives != 0 {
+				b.Fatalf("%s leaked %d false positives", r.Query, r.LeakedFalsePositives)
+			}
+			if r.Recall() < worst {
+				worst = r.Recall()
+			}
+		}
+		recall = worst
+	}
+	b.ReportMetric(recall, "recall_percent")
+}
+
+// BenchmarkAblationOrSplit measures the Section 7 optimizer effect on
+// Q2: the translation with and without OR-splitting.
+func BenchmarkAblationOrSplit(b *testing.B) {
+	db := instance(b, 0.004, 0.03, 404)
+	orig, _, _ := mustPrepare(b, tpch.Q2, db, 17)
+	for _, split := range []bool{true, false} {
+		tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: split, KeySimplify: true}
+		plus := &compile.Compiled{Expr: tr.Plus(orig.Expr)}
+		name := "split"
+		if !split {
+			name = "unsplit"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runExpr(b, db, plus)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationViewCache measures the shared-subplan (WITH-view)
+// cache on the split Q4 translation, whose branches share filtered
+// relations — the paper's part_view/supp_view effect.
+func BenchmarkAblationViewCache(b *testing.B) {
+	db := instance(b, 0.002, 0.03, 505)
+	orig, plus, _ := mustPrepare(b, tpch.Q4, db, 19)
+	_ = orig
+	for _, cache := range []bool{true, false} {
+		name := "cache"
+		if !cache {
+			name = "nocache"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, NoSubplanCache: !cache})
+				if _, err := ev.Eval(plus.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShortCircuit measures the uncorrelated-subquery
+// short circuit that gives Q2⁺ its large win.
+func BenchmarkAblationShortCircuit(b *testing.B) {
+	db := instance(b, 0.004, 0.03, 606)
+	_, plus, _ := mustPrepare(b, tpch.Q2, db, 23)
+	for _, sc := range []bool{true, false} {
+		name := "shortcircuit"
+		if !sc {
+			name = "noshortcircuit"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, NoShortCircuit: !sc})
+				if _, err := ev.Eval(plus.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

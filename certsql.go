@@ -1,0 +1,434 @@
+// Package certsql is an in-memory SQL engine with a *certain-answer*
+// evaluation mode for incomplete databases (databases with NULLs).
+//
+// It reproduces Guagliardo & Libkin, "Making SQL Queries Correct on
+// Incomplete Databases: A Feasibility Study" (PODS 2016): standard SQL
+// evaluation over nulls returns false positives — answers that are not
+// certain — for queries with negation, and a syntactic translation
+// Q ↦ Q⁺ repairs this at a small cost. The package offers both modes:
+//
+//	db.Query("SELECT o_orderkey FROM orders WHERE NOT EXISTS (...)", nil)
+//	db.Query("SELECT CERTAIN o_orderkey FROM orders WHERE NOT EXISTS (...)", nil)
+//
+// The second form — the paper's proposed SELECT CERTAIN — evaluates the
+// translated query Q⁺, whose answers are guaranteed to be certain: true
+// under every interpretation of the missing values.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured reproduction results.
+package certsql
+
+import (
+	"fmt"
+
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/eval"
+	"certsql/internal/rewrite"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// Params binds $name query parameters. Values may be Go scalars (int,
+// int64, float64, string, bool), Value, or slices for IN-lists.
+type Params = compile.Params
+
+// Value is one database entry: a typed constant or a marked null.
+type Value = value.Value
+
+// Convenience constructors for values.
+var (
+	// Int makes an integer value.
+	Int = value.Int
+	// Float makes a floating-point value.
+	Float = value.Float
+	// Str makes a string value.
+	Str = value.Str
+	// Bool makes a boolean value.
+	Bool = value.Bool
+)
+
+// Date parses a "YYYY-MM-DD" date value; it panics on malformed input
+// (use value-level APIs for checked parsing).
+func Date(s string) Value { return value.MustDate(s) }
+
+// NULL is a sentinel accepted by Insert: each occurrence becomes a
+// fresh marked null (a Codd null, the model of SQL's NULL).
+var NULL = nullSentinel{}
+
+type nullSentinel struct{}
+
+// Options tune evaluation; the zero value is the paper's recommended
+// configuration (SQL 3VL semantics with all translation optimizations).
+type Options struct {
+	// Naive evaluates with naive marked-null semantics (⊥ᵢ = ⊥ᵢ is
+	// true) instead of SQL's three-valued logic, and makes SELECT
+	// CERTAIN use the original Section 6 condition translations rather
+	// than the SQL-adjusted Section 7 ones.
+	Naive bool
+
+	// NoOrSplit disables the OR-splitting rewrite of NOT EXISTS
+	// conditions (Section 7); NoSimplifyNulls keeps all introduced
+	// IS NULL tests even on non-nullable columns; NoKeySimplify keeps
+	// unification anti-semijoins instead of set differences under keys.
+	// These exist for the ablation experiments.
+	NoOrSplit       bool
+	NoSimplifyNulls bool
+	NoKeySimplify   bool
+
+	// NoHashJoin, NoViewCache and NoShortCircuit disable the respective
+	// executor strategies (ablations mirroring the paper's optimizer
+	// discussion).
+	NoHashJoin     bool
+	NoViewCache    bool
+	NoShortCircuit bool
+
+	// MaxRows bounds intermediate results (0 = default 4M rows).
+	MaxRows int
+
+	// Trace records an EXPLAIN ANALYZE-style plan trace, retrievable
+	// from Result.Trace.
+	Trace bool
+}
+
+func (o Options) semantics() value.Semantics {
+	if o.Naive {
+		return value.Naive
+	}
+	return value.SQL3VL
+}
+
+func (o Options) evalOptions() eval.Options {
+	return eval.Options{
+		Semantics:      o.semantics(),
+		MaxRows:        o.MaxRows,
+		NoHashJoin:     o.NoHashJoin,
+		NoSubplanCache: o.NoViewCache,
+		NoShortCircuit: o.NoShortCircuit,
+		Trace:          o.Trace,
+	}
+}
+
+func (o Options) translator(db *DB) *certain.Translator {
+	mode := certain.ModeSQL
+	if o.Naive {
+		mode = certain.ModeNaive
+	}
+	return &certain.Translator{
+		Sch:           db.d.Schema,
+		Mode:          mode,
+		SimplifyNulls: !o.NoSimplifyNulls,
+		SplitOrs:      !o.NoOrSplit,
+		KeySimplify:   !o.NoKeySimplify,
+	}
+}
+
+// DB is an in-memory incomplete database.
+type DB struct {
+	d *table.Database
+}
+
+// wrap adopts an internal database (used by the TPC-H constructors).
+func wrap(d *table.Database) *DB { return &DB{d: d} }
+
+// Insert appends one row to a table. Use NULL for missing values; each
+// NULL becomes a fresh marked null.
+func (db *DB) Insert(tableName string, vals ...any) error {
+	row := make(table.Row, len(vals))
+	for i, v := range vals {
+		switch v := v.(type) {
+		case nullSentinel:
+			row[i] = db.d.FreshNull()
+		case Value:
+			row[i] = v
+		case int:
+			row[i] = value.Int(int64(v))
+		case int64:
+			row[i] = value.Int(v)
+		case float64:
+			row[i] = value.Float(v)
+		case string:
+			row[i] = value.Str(v)
+		case bool:
+			row[i] = value.Bool(v)
+		default:
+			return fmt.Errorf("certsql: unsupported value %T in insert", v)
+		}
+	}
+	return db.d.Insert(tableName, row)
+}
+
+// FreshNull mints a marked null usable in Insert; repeating the same
+// returned value expresses that two positions hold the *same* unknown
+// value (a marked, non-Codd null).
+func (db *DB) FreshNull() Value { return db.d.FreshNull() }
+
+// TableLen returns the number of rows in a table.
+func (db *DB) TableLen(tableName string) (int, error) {
+	t, err := db.d.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}
+
+// NullCount returns the number of null entries in the database.
+func (db *DB) NullCount() int { return db.d.NullCount() }
+
+// Internal returns the underlying database, for the experiment drivers
+// in this module.
+func (db *DB) Internal() *table.Database { return db.d }
+
+// Query parses and evaluates a SQL query. A `SELECT CERTAIN` query is
+// translated to Q⁺ first and therefore returns only certain answers;
+// a plain SELECT uses standard SQL (3VL) evaluation.
+func (db *DB) Query(text string, params Params) (*Result, error) {
+	return db.QueryWithOptions(text, params, Options{})
+}
+
+// QueryCertain evaluates the query's certain-answer translation Q⁺
+// regardless of whether CERTAIN was written in the query text.
+func (db *DB) QueryCertain(text string, params Params) (*Result, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	forceCertain(q)
+	return db.runParsed(q, params, Options{})
+}
+
+// QueryWithOptions is Query with explicit evaluation options.
+func (db *DB) QueryWithOptions(text string, params Params, opts Options) (*Result, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return db.runParsed(q, params, opts)
+}
+
+// ErrTooLarge reports that evaluation exceeded the row budget (the
+// analogue of running out of memory; the legacy Figure-2 translation
+// reliably triggers it).
+var ErrTooLarge = eval.ErrTooLarge
+
+// evalMode is how a parsed query should be evaluated.
+type evalMode uint8
+
+const (
+	modeStandard evalMode = iota
+	modeCertain
+	modePossible
+)
+
+func forceCertain(q *sql.Query) {
+	if sel, ok := q.Body.(*sql.SelectStmt); ok {
+		sel.Certain = true
+		sel.Possible = false
+	}
+}
+
+func forcePossible(q *sql.Query) {
+	if sel, ok := q.Body.(*sql.SelectStmt); ok {
+		sel.Possible = true
+		sel.Certain = false
+	}
+}
+
+// takeMode reads and strips the CERTAIN/POSSIBLE flags (the compiler
+// does not know them).
+func takeMode(q *sql.Query) evalMode {
+	sel, ok := q.Body.(*sql.SelectStmt)
+	if !ok {
+		return modeStandard
+	}
+	switch {
+	case sel.Certain:
+		sel.Certain = false
+		return modeCertain
+	case sel.Possible:
+		sel.Possible = false
+		return modePossible
+	default:
+		return modeStandard
+	}
+}
+
+func (db *DB) runParsed(q *sql.Query, params Params, opts Options) (*Result, error) {
+	mode := takeMode(q)
+	compiled, err := compile.Compile(q, db.d.Schema, params)
+	if err != nil {
+		return nil, err
+	}
+	expr := compiled.Expr
+	if mode != modeStandard {
+		if err := certain.CheckTranslatable(expr); err != nil {
+			return nil, err
+		}
+	}
+	switch mode {
+	case modeCertain:
+		expr = opts.translator(db).Plus(expr)
+	case modePossible:
+		expr = opts.translator(db).Star(expr)
+	}
+	ev := eval.New(db.d, opts.evalOptions())
+	t, err := ev.Eval(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:  compiled.Columns,
+		rows:     t,
+		Certain:  mode == modeCertain,
+		Possible: mode == modePossible,
+		Stats:    ev.Stats(),
+		trace:    ev.Trace(),
+	}, nil
+}
+
+// QueryPossible evaluates the query's potential-answer translation Q⋆:
+// a compact over-approximation — every answer the query can produce
+// under *some* interpretation of the nulls is an instantiation of a
+// returned tuple (Definition 3 / Lemma 2 of the paper). Together with
+// QueryCertain this brackets the truth:
+//
+//	certain answers ⊆ answers under any interpretation ⊆ v(possible)
+func (db *DB) QueryPossible(text string, params Params) (*Result, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	forcePossible(q)
+	return db.runParsed(q, params, Options{})
+}
+
+// Rewrite returns the SQL text of the certain-answer translation Q⁺ of
+// the query — direct SQL-to-SQL rewriting. The result is what one would
+// run on a conventional DBMS to obtain certain answers (the paper's
+// appendix queries Q⁺1–Q⁺4 are reproduced this way).
+func (db *DB) Rewrite(text string, params Params) (string, error) {
+	return db.RewriteWithOptions(text, params, Options{})
+}
+
+// RewriteWithOptions is Rewrite with explicit options.
+func (db *DB) RewriteWithOptions(text string, params Params, opts Options) (string, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	takeMode(q)
+	compiled, err := compile.Compile(q, db.d.Schema, params)
+	if err != nil {
+		return "", err
+	}
+	if err := certain.CheckTranslatable(compiled.Expr); err != nil {
+		return "", err
+	}
+	plus := opts.translator(db).Plus(compiled.Expr)
+	return rewrite.ToSQL(plus, db.d.Schema)
+}
+
+// RewritePossible returns the SQL text of the potential-answer
+// translation Q⋆ — the dual of Rewrite, usable on a conventional DBMS
+// to over-approximate the query under unknown values.
+func (db *DB) RewritePossible(text string, params Params) (string, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	takeMode(q)
+	compiled, err := compile.Compile(q, db.d.Schema, params)
+	if err != nil {
+		return "", err
+	}
+	if err := certain.CheckTranslatable(compiled.Expr); err != nil {
+		return "", err
+	}
+	star := (Options{}).translator(db).Star(compiled.Expr)
+	return rewrite.ToSQL(star, db.d.Schema)
+}
+
+// CertainGroundTruth computes the exact certain answers cert(Q, D) by
+// brute-force valuation enumeration. Computing certain answers is
+// coNP-hard, so this is only feasible on small instances; it returns an
+// error wrapping certain.ErrBruteForceTooLarge beyond its budget.
+func (db *DB) CertainGroundTruth(text string, params Params) (*Result, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	takeMode(q)
+	compiled, err := compile.Compile(q, db.d.Schema, params)
+	if err != nil {
+		return nil, err
+	}
+	t, err := certain.CertainAnswers(compiled.Expr, db.d, certain.BruteForceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: compiled.Columns, rows: t, Certain: true}, nil
+}
+
+// Explain returns an EXPLAIN ANALYZE-style trace of the query's plan.
+func (db *DB) Explain(text string, params Params, opts Options) (string, error) {
+	opts.Trace = true
+	res, err := db.QueryWithOptions(text, params, opts)
+	if err != nil {
+		return "", err
+	}
+	return res.trace + res.Stats.Summary(), nil
+}
+
+// Stats summarizes one execution.
+type Stats = eval.Stats
+
+// Result is a query result.
+type Result struct {
+	// Columns names the output columns.
+	Columns []string
+	// Certain reports whether the result came from certain-answer
+	// evaluation (and is therefore guaranteed free of false positives).
+	Certain bool
+	// Possible reports whether the result came from potential-answer
+	// evaluation (an over-approximation; see QueryPossible).
+	Possible bool
+	// Stats holds execution counters.
+	Stats Stats
+
+	rows  *table.Table
+	trace string
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return r.rows.Len() }
+
+// Row returns the i-th row.
+func (r *Result) Row(i int) []Value { return r.rows.Row(i) }
+
+// Rows returns all rows; callers must not mutate them.
+func (r *Result) Rows() [][]Value { return r.rows.Rows() }
+
+// SortedStrings renders rows deterministically, for display and tests.
+func (r *Result) SortedStrings() []string { return r.rows.SortedStrings() }
+
+// Table exposes the underlying table, for the experiment drivers.
+func (r *Result) Table() *table.Table { return r.rows }
+
+// Contains reports whether the result contains the given row.
+func (r *Result) Contains(vals ...Value) bool { return r.rows.Contains(vals) }
+
+// Sub reports r minus other as row strings, for diff-style displays.
+func (r *Result) Sub(other *Result) []string {
+	ok := other.rows.KeySet()
+	out := table.New(r.rows.Arity())
+	for _, row := range r.rows.Rows() {
+		if _, in := ok[value.RowKey(row)]; !in {
+			out.Append(row)
+		}
+	}
+	return out.SortedStrings()
+}
+
+// ErrBruteForceTooLarge re-exports the brute-force budget error.
+var ErrBruteForceTooLarge = certain.ErrBruteForceTooLarge

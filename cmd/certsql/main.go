@@ -1,0 +1,160 @@
+// Command certsql is an interactive SQL shell over an in-memory TPC-H
+// instance with nulls, offering both standard SQL evaluation and the
+// certain-answer mode of the paper.
+//
+// Usage:
+//
+//	certsql -sf 0.001 -nullrate 0.03
+//
+// Then type SQL terminated by a semicolon. Write `SELECT CERTAIN …` to
+// get only certain answers (the paper's proposed syntax) or
+// `SELECT POSSIBLE …` for the potential-answer over-approximation.
+// Shell commands:
+//
+//	\rewrite <sql>;   show the SQL text of the certain translation Q+
+//	\explain <sql>;   show the executed plan with strategies and costs
+//	\schema;          list the tables
+//	\queries;         print the paper's Q1–Q4
+//	\full;            print their aggregate-bearing full forms
+//	\q                quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"certsql"
+	"certsql/internal/tpch"
+)
+
+func main() {
+	var (
+		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor")
+		nullRate = flag.Float64("nullrate", 0.03, "null rate for nullable attributes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		query    = flag.String("query", "", "run one query and exit (instead of the interactive shell)")
+		maxRows  = flag.Int("maxrows", 50, "maximum result rows to print")
+		dataDir  = flag.String("data", "", "load the instance from a directory of CSV files (as written by tpchgen) instead of generating")
+	)
+	flag.Parse()
+
+	var db *certsql.DB
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "loading TPC-H instance from %s...\n", *dataDir)
+		var err error
+		db, err = certsql.OpenTPCHDir(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "certsql:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "generating TPC-H instance (sf=%g, null rate=%g, seed=%d)...\n", *sf, *nullRate, *seed)
+		db = certsql.OpenTPCH(certsql.TPCHConfig{ScaleFactor: *sf, Seed: *seed, NullRate: *nullRate})
+	}
+	fmt.Fprintf(os.Stderr, "ready: %d nulls; type \\q to quit, SELECT CERTAIN ... for certain answers\n", db.NullCount())
+
+	if *query != "" {
+		if err := execute(db, *query, *maxRows); err != nil {
+			fmt.Fprintln(os.Stderr, "certsql:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("certsql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("      -> ")
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		if err := execute(db, stmt, *maxRows); err != nil {
+			fmt.Println("error:", err)
+		}
+		fmt.Print("certsql> ")
+	}
+}
+
+func execute(db *certsql.DB, stmt string, maxRows int) error {
+	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	switch {
+	case stmt == `\schema`:
+		for _, name := range []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"} {
+			n, err := db.TableLen(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-10s %8d rows\n", name, n)
+		}
+		return nil
+
+	case strings.HasPrefix(stmt, `\rewrite `):
+		out, err := db.Rewrite(strings.TrimPrefix(stmt, `\rewrite `), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+
+	case strings.HasPrefix(stmt, `\explain `):
+		out, err := db.Explain(strings.TrimPrefix(stmt, `\explain `), nil, certsql.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+
+	case stmt == `\queries`:
+		for _, q := range tpch.AllQueries {
+			fmt.Printf("-- %s\n%s\n\n", q, strings.TrimSpace(q.SQL()))
+		}
+		return nil
+
+	case stmt == `\full`:
+		for _, q := range tpch.AllQueries {
+			fmt.Printf("-- %s (aggregate-bearing full form; standard mode only)\n%s\n\n", q, strings.TrimSpace(q.FullSQL()))
+		}
+		return nil
+
+	case stmt == "":
+		return nil
+	}
+
+	res, err := db.Query(stmt, nil)
+	if err != nil {
+		return err
+	}
+	mode := "sql"
+	switch {
+	case res.Certain:
+		mode = "certain"
+	case res.Possible:
+		mode = "possible"
+	}
+	fmt.Printf("-- %d rows (%s evaluation)\n", res.Len(), mode)
+	if len(res.Columns) > 0 {
+		fmt.Println("   " + strings.Join(res.Columns, " | "))
+	}
+	for i, row := range res.SortedStrings() {
+		if i >= maxRows {
+			fmt.Printf("   ... (%d more)\n", res.Len()-maxRows)
+			break
+		}
+		fmt.Println("   " + row)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Guagliardo & Libkin, PODS 2016). Each experiment prints a
+// text rendition of the corresponding figure or table; see EXPERIMENTS.md
+// for the recorded paper-versus-measured comparison.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig1 -instances 20 -draws 5
+//	experiments -run fig4 -scale 0.004
+//	experiments -run table1|recall|fig2|orsplit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"certsql/internal/experiment"
+	"certsql/internal/tpch"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment to run: fig1, fig2, fig4, table1, recall, orsplit, ablation, all")
+		scale     = flag.Float64("scale", 0, "TPC-H scale factor override (0 = per-experiment default)")
+		instances = flag.Int("instances", 0, "instances per configuration (0 = default)")
+		draws     = flag.Int("draws", 0, "parameter draws per instance (0 = default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quick     = flag.Bool("quick", false, "use reduced settings for a fast smoke run")
+		csvDir    = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+	)
+	flag.Parse()
+
+	if err := dispatch(*run, *scale, *instances, *draws, *seed, *quick, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run string, scale float64, instances, draws int, seed int64, quick bool, csvDir string) error {
+	all := run == "all"
+	ran := false
+
+	// writeCSV writes one series file when -csv is set.
+	writeCSV := func(name string, write func(w io.Writer) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			fmt.Fprintln(os.Stderr, "wrote", path)
+		}
+		return werr
+	}
+
+	if all || run == "fig1" {
+		ran = true
+		cfg := experiment.Figure1Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed}
+		if quick {
+			cfg.NullRates = []float64{0.01, 0.03, 0.05, 0.08, 0.10}
+			if cfg.Instances == 0 {
+				cfg.Instances = 2
+			}
+			if cfg.ParamDraws == 0 {
+				cfg.ParamDraws = 3
+			}
+		}
+		rows, err := experiment.Figure1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFigure1(rows))
+		if err := writeCSV("figure1.csv", func(w io.Writer) error { return experiment.WriteFigure1CSV(w, rows) }); err != nil {
+			return err
+		}
+	}
+
+	if all || run == "fig2" {
+		ran = true
+		cfg := experiment.LegacyConfig{Seed: seed}
+		if quick {
+			cfg.Sizes = []int{8, 32, 128, 512}
+		}
+		points, err := experiment.LegacyBlowup(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderLegacy(points))
+		if err := writeCSV("section5_legacy.csv", func(w io.Writer) error { return experiment.WriteLegacyCSV(w, points) }); err != nil {
+			return err
+		}
+		adom, lerr := experiment.LegacyOnQ3(0.001, seed)
+		fmt.Printf("Legacy translation of the real Q3 (|adom| = %d): %v\n\n", adom, lerr)
+	}
+
+	if all || run == "fig4" {
+		ran = true
+		cfg := experiment.Figure4Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed}
+		if quick {
+			cfg.Instances, cfg.ParamDraws, cfg.Repeats = 1, 2, 2
+		}
+		rows, err := experiment.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFigure4(rows))
+		if err := writeCSV("figure4.csv", func(w io.Writer) error { return experiment.WriteFigure4CSV(w, rows) }); err != nil {
+			return err
+		}
+	}
+
+	if all || run == "table1" {
+		ran = true
+		cfg := experiment.Table1Config{BaseScale: scale, Seed: seed}
+		if quick {
+			cfg.ScaleMultipliers = []float64{1, 3}
+			cfg.NullRates = []float64{0.02, 0.04}
+		}
+		rows, err := experiment.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderTable1(rows))
+		if err := writeCSV("table1.csv", func(w io.Writer) error { return experiment.WriteTable1CSV(w, rows) }); err != nil {
+			return err
+		}
+	}
+
+	if all || run == "recall" {
+		ran = true
+		cfg := experiment.RecallConfig{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed}
+		results, err := experiment.Recall(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderRecall(results))
+		if err := writeCSV("recall.csv", func(w io.Writer) error { return experiment.WriteRecallCSV(w, results) }); err != nil {
+			return err
+		}
+	}
+
+	if all || run == "ablation" {
+		ran = true
+		rows, err := experiment.Ablation(experiment.AblationConfig{Seed: seed, Scale: scale})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderAblation(rows))
+		if err := writeCSV("ablation.csv", func(w io.Writer) error { return experiment.WriteAblationCSV(w, rows) }); err != nil {
+			return err
+		}
+	}
+
+	if all || run == "orsplit" {
+		ran = true
+		for _, qid := range []tpch.QueryID{tpch.Q2, tpch.Q4} {
+			r, err := experiment.OrSplit(qid, 0.004, 0.03, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.RenderOrSplit(r))
+		}
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig1, fig2, fig4, table1, recall, orsplit, all)", run)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllTables(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0.0003, 0.05, 1, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"} {
+		path := filepath.Join(dir, name+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Nulls appear as \N in plain mode.
+	data, _ := os.ReadFile(filepath.Join(dir, "lineitem.csv"))
+	if !strings.Contains(string(data), `\N`) {
+		t.Error("no \\N tokens in lineitem.csv at 5% null rate")
+	}
+}
+
+func TestRunMarksMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0.0003, 0.05, 2, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "lineitem.csv"))
+	if !strings.Contains(string(data), "⊥") {
+		t.Error("no ⊥ marks in marked mode")
+	}
+	if strings.Contains(string(data), `\N`) {
+		t.Error("\\N tokens present in marked mode")
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	if err := run(0.0003, 0, 1, string([]byte{0}), false); err == nil {
+		t.Error("invalid output directory accepted")
+	}
+}

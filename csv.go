@@ -1,0 +1,74 @@
+package certsql
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"certsql/internal/table"
+)
+
+// DumpCSV writes one CSV file per table into dir (created if needed).
+// Nulls are written as ⊥id marks, so repeated marked nulls and the
+// fresh-mark counter survive a round trip through LoadCSV.
+func (db *DB) DumpCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.d.Schema.Names() {
+		t := db.d.MustTable(name)
+		path := filepath.Join(dir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := t.WriteCSVWithMarks(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("certsql: writing %s: %w", path, werr)
+		}
+	}
+	return nil
+}
+
+// LoadCSV loads <table>.csv files from dir into the database's tables.
+// Files may use either the \N null token (each occurrence becomes a
+// fresh mark) or explicit ⊥id marks (identity preserved). Missing files
+// are skipped, so a directory can cover a subset of the schema.
+func (db *DB) LoadCSV(dir string) error {
+	loaded := 0
+	for _, name := range db.d.Schema.Names() {
+		path := filepath.Join(dir, name+".csv")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		rerr := table.ReadCSVInto(db.d, name, f)
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return fmt.Errorf("certsql: loading %s: %w", path, rerr)
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		return fmt.Errorf("certsql: no <table>.csv files found in %s", dir)
+	}
+	return nil
+}
+
+// OpenTPCHDir opens a TPC-H database loaded from a directory of CSV
+// files, as written by the tpchgen command or DumpCSV.
+func OpenTPCHDir(dir string) (*DB, error) {
+	db := OpenTPCHEmpty()
+	if err := db.LoadCSV(dir); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

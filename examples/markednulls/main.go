@@ -1,0 +1,88 @@
+// Marked nulls: the data-exchange scenario of Section 8 of the paper.
+//
+// SQL's nulls are Codd nulls — each occurrence is independent, and a
+// null is not even equal to itself (SELECT R1.A FROM R R1, R R2 WHERE
+// R1.A = R2.A returns nothing for R = {NULL}). Marked nulls ⊥ᵢ, which
+// arise in data integration and exchange, can repeat: two occurrences
+// of ⊥₁ denote the *same* unknown value. The library supports both;
+// this example shows where they differ and how naive evaluation over
+// marked nulls recovers certain answers that SQL loses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"certsql"
+)
+
+func main() {
+	// A schema-mapping target: person(name, city) and office(city),
+	// populated by an exchange system that invented the value ⊥₁ for
+	// Ada's unknown city and *reused* it for the office she was
+	// assigned to — the two unknowns are the same value by provenance.
+	db := certsql.MustOpen(
+		certsql.Table{Name: "person", Columns: []certsql.Column{
+			{Name: "name", Type: certsql.TString},
+			{Name: "city", Type: certsql.TString},
+		}},
+		certsql.Table{Name: "office", Columns: []certsql.Column{
+			{Name: "city", Type: certsql.TString},
+		}},
+	)
+	sharedCity := db.FreshNull() // ⊥₁ — one unknown value, used twice
+	must(db.Insert("person", "Ada", sharedCity))
+	must(db.Insert("person", "Bob", "Paris"))
+	must(db.Insert("office", sharedCity))
+	must(db.Insert("office", "Oslo"))
+
+	const q = `SELECT p.name FROM person p WHERE EXISTS (
+	               SELECT * FROM office o WHERE o.city = p.city)`
+
+	// SQL 3VL cannot see that ⊥₁ = ⊥₁: it loses Ada.
+	sqlRes, err := db.Query(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("people with an office in their city (SQL 3VL):       ", sqlRes.SortedStrings())
+
+	// Naive evaluation over marked nulls compares marks: Ada is kept,
+	// and soundly so — whatever city ⊥₁ is, it appears in office.
+	naiveRes, err := db.QueryWithOptions(q, nil, certsql.Options{Naive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("people with an office in their city (marked nulls):  ", naiveRes.SortedStrings())
+
+	// The brute-force ground truth confirms Ada is a certain answer.
+	truth, err := db.CertainGroundTruth(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact certain answers:                               ", truth.SortedStrings())
+
+	// The Section 7 self-join pitfall: with SQL's nulls, R ⋈ R over
+	// R = {NULL} is empty although every valuation makes it non-empty.
+	db2 := certsql.MustOpen(
+		certsql.Table{Name: "r", Columns: []certsql.Column{{Name: "a", Type: certsql.TInt}}},
+	)
+	must(db2.Insert("r", certsql.NULL))
+	const selfJoin = `SELECT r1.a FROM r r1, r r2 WHERE r1.a = r2.a`
+
+	sqlSelf, err := db2.Query(selfJoin, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveSelf, err := db2.QueryWithOptions(selfJoin, nil, certsql.Options{Naive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nself-join of R = {⊥} (SQL 3VL):      ", sqlSelf.SortedStrings(), " <- SQL loses the certain answer")
+	fmt.Println("self-join of R = {⊥} (marked nulls): ", naiveSelf.SortedStrings())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

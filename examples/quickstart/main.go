@@ -1,0 +1,61 @@
+// Quickstart: the paper's introductory example.
+//
+// R = {1} and S = {NULL}. The query
+//
+//	SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.a)
+//
+// computes R − S. SQL returns {1}, but 1 is not a certain answer: if
+// the NULL stands for 1, the difference is empty. SELECT CERTAIN
+// returns only answers that hold under every interpretation of the
+// missing value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"certsql"
+)
+
+func main() {
+	db := certsql.MustOpen(
+		certsql.Table{Name: "r", Columns: []certsql.Column{{Name: "a", Type: certsql.TInt}}},
+		certsql.Table{Name: "s", Columns: []certsql.Column{{Name: "a", Type: certsql.TInt}}},
+	)
+	if err := db.Insert("r", 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert("s", certsql.NULL); err != nil {
+		log.Fatal(err)
+	}
+
+	const q = `SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.a)`
+
+	sqlRes, err := db.Query(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SQL evaluation:     ", sqlRes.SortedStrings(), "  <- contains a false positive")
+
+	certRes, err := db.Query("SELECT CERTAIN"+q[len("SELECT"):], nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SELECT CERTAIN:     ", certRes.SortedStrings(), " <- correct: no certain answers")
+
+	// Cross-check against the brute-force ground truth (feasible here:
+	// one null, tiny domain).
+	truth, err := db.CertainGroundTruth(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact cert(Q,D):    ", truth.SortedStrings())
+
+	// The rewriting that made it correct, as SQL.
+	rewritten, err := db.Rewrite(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrewritten query Q+:")
+	fmt.Println(rewritten)
+}

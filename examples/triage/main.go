@@ -1,0 +1,104 @@
+// Triage: bracketing the truth with SELECT CERTAIN and SELECT POSSIBLE.
+//
+// An ops team must find servers missing a critical patch. The patch log
+// is incomplete: some entries have an unknown server id (the agent
+// crashed mid-report). Plain SQL gives one answer set with both kinds
+// of errors baked in. The certain/possible pair brackets reality:
+//
+//   - SELECT CERTAIN  — servers missing the patch under EVERY
+//     interpretation of the unknowns: page someone now;
+//   - SELECT POSSIBLE — servers missing it under SOME interpretation:
+//     everything outside this set is provably patched, everything in
+//     the gap between the two sets needs investigation.
+//
+// The certain side is the paper's Q⁺; the possible side is its Q⋆
+// companion (Definition 3), which the paper uses internally and this
+// library also exposes as query syntax.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"certsql"
+)
+
+func main() {
+	db := certsql.MustOpen(
+		certsql.Table{
+			Name: "server",
+			Columns: []certsql.Column{
+				{Name: "host", Type: certsql.TString},
+				{Name: "env", Type: certsql.TString},
+			},
+			Key: []string{"host"},
+		},
+		certsql.Table{
+			Name: "patchlog",
+			Columns: []certsql.Column{
+				{Name: "host", Type: certsql.TString},
+				{Name: "patch", Type: certsql.TString},
+			},
+		},
+	)
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, h := range []string{"web-1", "web-2", "db-1", "db-2", "cache-1"} {
+		env := "prod"
+		if h == "web-2" {
+			env = "staging"
+		}
+		must(db.Insert("server", h, env))
+	}
+	// Patch log: web-1 and db-1 definitely patched; two crashed reports
+	// with unknown hosts; cache-1 got a different patch.
+	must(db.Insert("patchlog", "web-1", "CVE-2026-001"))
+	must(db.Insert("patchlog", "db-1", "CVE-2026-001"))
+	must(db.Insert("patchlog", certsql.NULL, "CVE-2026-001"))
+	must(db.Insert("patchlog", certsql.NULL, "CVE-2026-001"))
+	must(db.Insert("patchlog", "cache-1", "CVE-2025-999"))
+
+	const q = `SELECT host FROM server WHERE NOT EXISTS (
+	               SELECT * FROM patchlog
+	               WHERE patchlog.host = server.host AND patch = 'CVE-2026-001')`
+
+	sqlRes, err := db.Query(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	certain, err := db.QueryCertain(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	possible, err := db.QueryPossible(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("servers missing CVE-2026-001:")
+	fmt.Println("  plain SQL says:      ", sqlRes.SortedStrings())
+	fmt.Println("  certainly missing:   ", certain.SortedStrings(), " <- page the on-call")
+	fmt.Println("  possibly missing:    ", possible.SortedStrings(), " <- investigate the rest")
+	fmt.Println("  provably patched:    ", complement(db, possible))
+
+	// The gap exists because two patch reports lost their host: those
+	// could cover any two of the unpatched-looking servers — but not
+	// all three of db-2, web-2 and cache-1 at once. Only counting-style
+	// reasoning could see that; tuple-level certainty cannot, which is
+	// exactly why SELECT CERTAIN stays conservative (sound, possibly
+	// incomplete), as Theorem 1 prescribes.
+	fmt.Println("\nwhy the gap: two anonymous patch reports may cover any of the")
+	fmt.Println("unaccounted servers, so none of them is *certainly* unpatched.")
+}
+
+// complement lists the hosts not in res.
+func complement(db *certsql.DB, res *certsql.Result) []string {
+	all, err := db.Query(`SELECT host FROM server`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return all.Sub(res)
+}

@@ -1,0 +1,3 @@
+module certsql
+
+go 1.22

@@ -1,0 +1,94 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file adds the operators needed by full decision-support queries
+// — grouping/aggregation, sorting and limits. They are engine features
+// for the *standard* evaluation mode only: certain answers for
+// aggregate queries have no established theory (Section 8 of the paper
+// lists them as future work), so the certain translation rejects them
+// with a clear error instead of guessing.
+
+// AggSpec is one aggregate computed by a GroupBy: Func over column Col
+// of the input (Col = -1 for COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+}
+
+// String renders the spec in SQL syntax.
+func (a AggSpec) String() string {
+	if a.Col < 0 {
+		return a.Func.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(#%d)", a.Func, a.Col)
+}
+
+// GroupBy groups Child on the Keys columns and computes the Aggs per
+// group; its output is the key columns followed by the aggregate
+// values. With no keys it computes global aggregates (one output row,
+// even over empty input, per SQL).
+type GroupBy struct {
+	Child Expr
+	Keys  []int
+	Aggs  []AggSpec
+}
+
+// SortKey orders by one column, optionally descending; nulls sort last
+// on ascending keys (SQL's default NULLS LAST) and first on descending.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort orders Child's rows by the given keys (stable).
+type Sort struct {
+	Child Expr
+	Keys  []SortKey
+}
+
+// Limit keeps the first N rows of Child.
+type Limit struct {
+	Child Expr
+	N     int
+}
+
+// Arity implementations.
+
+func (g GroupBy) Arity() int { return len(g.Keys) + len(g.Aggs) }
+func (s Sort) Arity() int    { return s.Child.Arity() }
+func (l Limit) Arity() int   { return l.Child.Arity() }
+
+// Key implementations.
+
+func (g GroupBy) Key() string {
+	keys := make([]string, len(g.Keys))
+	for i, k := range g.Keys {
+		keys[i] = strconv.Itoa(k)
+	}
+	aggs := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		aggs[i] = a.String()
+	}
+	return "γ[" + strings.Join(keys, ",") + ";" + strings.Join(aggs, ",") + "](" + g.Child.Key() + ")"
+}
+
+func (s Sort) Key() string {
+	keys := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		keys[i] = fmt.Sprintf("%d %s", k.Col, dir)
+	}
+	return "sort[" + strings.Join(keys, ",") + "](" + s.Child.Key() + ")"
+}
+
+func (l Limit) Key() string {
+	return fmt.Sprintf("limit[%d](%s)", l.N, l.Child.Key())
+}

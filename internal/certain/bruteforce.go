@@ -1,0 +1,503 @@
+package certain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"certsql/internal/algebra"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// ErrBruteForceTooLarge reports that the valuation or candidate space
+// exceeds the configured budget. Computing certain answers is coNP-hard
+// for queries with negation (Section 4 of the paper), so the brute-force
+// ground truth is only usable on small instances.
+var ErrBruteForceTooLarge = errors.New("certain: brute-force certain answers: search space too large")
+
+// BruteForceOptions bound the brute-force computation.
+type BruteForceOptions struct {
+	// MaxValuations bounds the number of valuations enumerated
+	// (default 300,000).
+	MaxValuations int
+	// MaxCandidates bounds the size of the candidate tuple space
+	// adom(D)^k (default 300,000).
+	MaxCandidates int
+}
+
+func (o BruteForceOptions) maxValuations() int {
+	if o.MaxValuations > 0 {
+		return o.MaxValuations
+	}
+	return 300_000
+}
+
+func (o BruteForceOptions) maxCandidates() int {
+	if o.MaxCandidates > 0 {
+		return o.MaxCandidates
+	}
+	return 300_000
+}
+
+// CertainAnswers computes cert(Q, D) — certain answers with nulls — by
+// explicit valuation enumeration: a tuple ā over adom(D)^k is certain
+// iff v(ā) ∈ Q(v(D)) for every valuation v of the nulls of D.
+//
+// Enumerating all valuations into the infinite Const is impossible; by
+// genericity of first-order queries it suffices to consider, for each
+// null, the constants of its type occurring in D or in the query,
+// augmented with fresh witnesses that realize every equality pattern
+// (one fresh constant per null), every order position (values below,
+// between and above the observed constants), and both outcomes of every
+// LIKE pattern in the query (one matching and one non-matching fresh
+// string). Two valuations that agree on all atom outcomes give the same
+// membership verdicts, so this finite pool is exhaustive for the
+// condition language of the paper (=, ≠, <, ≤, >, ≥, LIKE, const/null).
+func CertainAnswers(e algebra.Expr, db *table.Database, opts BruteForceOptions) (*table.Table, error) {
+	k := e.Arity()
+
+	// Per-null value pools.
+	nullIDs := db.Nulls()
+	pools, err := valuationPools(e, db, nullIDs)
+	if err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, p := range pools {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("certain: empty valuation pool")
+		}
+		if total > opts.maxValuations()/len(p) {
+			return nil, fmt.Errorf("%w: %d nulls with pools of size ~%d", ErrBruteForceTooLarge, len(nullIDs), len(p))
+		}
+		total *= len(p)
+	}
+
+	// Candidate tuples are over adom(D)^k, but rather than enumerating
+	// the full power we evaluate the query under the *first* valuation
+	// and take the preimages of its answers: every certain candidate ā
+	// must satisfy v₀(ā) ∈ Q(v₀(D)), so ā is, position by position, an
+	// adom element that v₀ maps to the answer's value.
+	run := func(valuation map[int64]value.Value) (*table.Table, error) {
+		complete := db.Apply(valuation)
+		ev := eval.New(complete, eval.Options{Semantics: value.SQL3VL})
+		return ev.Eval(e)
+	}
+
+	choice := make([]int, len(nullIDs))
+	makeValuation := func() map[int64]value.Value {
+		valuation := make(map[int64]value.Value, len(nullIDs))
+		for i, id := range nullIDs {
+			valuation[id] = pools[i][choice[i]]
+		}
+		return valuation
+	}
+
+	v0 := makeValuation()
+	res0, err := run(v0)
+	if err != nil {
+		return nil, err
+	}
+
+	// preimage maps a constant's row key to the adom elements that v₀
+	// sends to it.
+	preimage := map[string][]value.Value{}
+	addPre := func(elem value.Value, img value.Value) {
+		key := value.RowKey(table.Row{img})
+		preimage[key] = append(preimage[key], elem)
+	}
+	for _, c := range db.Constants() {
+		addPre(c, c)
+	}
+	for _, id := range nullIDs {
+		addPre(value.Null(id), v0[id])
+	}
+
+	var cands []table.Row
+	seen := map[string]struct{}{}
+	for _, ans := range res0.Distinct().Rows() {
+		perPos := make([][]value.Value, k)
+		feasible := true
+		for i, v := range ans {
+			pre := preimage[value.RowKey(table.Row{v})]
+			if len(pre) == 0 {
+				// The answer contains a value outside adom(D)'s image —
+				// cannot happen for this query class, but be safe.
+				feasible = false
+				break
+			}
+			perPos[i] = pre
+		}
+		if !feasible {
+			continue
+		}
+		n := 1
+		for _, p := range perPos {
+			if n > opts.maxCandidates()/len(p) {
+				return nil, fmt.Errorf("%w: candidate preimage space too large", ErrBruteForceTooLarge)
+			}
+			n *= len(p)
+		}
+		row := make(table.Row, k)
+		var gen func(int)
+		gen = func(pos int) {
+			if pos == k {
+				key := value.RowKey(row)
+				if _, dup := seen[key]; dup {
+					return
+				}
+				seen[key] = struct{}{}
+				r := make(table.Row, k)
+				copy(r, row)
+				cands = append(cands, r)
+				return
+			}
+			for _, v := range perPos[pos] {
+				row[pos] = v
+				gen(pos + 1)
+			}
+		}
+		gen(0)
+		if len(cands) > opts.maxCandidates() {
+			return nil, fmt.Errorf("%w: more than %d candidate tuples", ErrBruteForceTooLarge, opts.maxCandidates())
+		}
+	}
+
+	// Iterate the remaining valuations, filtering candidates, with an
+	// early exit once no candidate survives.
+	for len(cands) > 0 {
+		// Advance the odometer.
+		i := 0
+		for i < len(choice) {
+			choice[i]++
+			if choice[i] < len(pools[i]) {
+				break
+			}
+			choice[i] = 0
+			i++
+		}
+		if i == len(choice) {
+			break
+		}
+		valuation := makeValuation()
+		res, err := run(valuation)
+		if err != nil {
+			return nil, err
+		}
+		keys := res.KeySet()
+		kept := cands[:0]
+		for _, c := range cands {
+			img := make(table.Row, k)
+			for i, v := range c {
+				if v.IsNull() {
+					img[i] = valuation[v.NullID()]
+				} else {
+					img[i] = v
+				}
+			}
+			if _, ok := keys[value.RowKey(img)]; ok {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	return table.FromRows(k, cands), nil
+}
+
+// valuationPools builds, for each null of db (in db.Nulls() order), the
+// finite pool of constants its valuations range over.
+func valuationPools(e algebra.Expr, db *table.Database, nullIDs []int64) ([][]value.Value, error) {
+	kinds, err := nullKinds(db)
+	if err != nil {
+		return nil, err
+	}
+
+	// Observed constants per kind: database ∪ query literals.
+	byKind := map[value.Kind][]value.Value{}
+	add := func(v value.Value) {
+		if v.IsNull() {
+			return
+		}
+		byKind[v.Kind()] = append(byKind[v.Kind()], v)
+	}
+	for _, v := range db.Constants() {
+		add(v)
+	}
+	var patterns []string
+	for _, c := range algebra.Conds(e) {
+		collectCondConsts(c, add, &patterns)
+	}
+
+	freshByKind := map[value.Kind][]value.Value{}
+	for kind, vals := range byKind {
+		freshByKind[kind] = freshWitnesses(kind, vals, len(nullIDs), patterns)
+	}
+	// A null might live in a column whose kind has no observed constants.
+	for _, kind := range kinds {
+		if _, ok := freshByKind[kind]; !ok && kind != value.KindNull {
+			freshByKind[kind] = freshWitnesses(kind, nil, len(nullIDs), patterns)
+		}
+	}
+
+	pools := make([][]value.Value, len(nullIDs))
+	for i, id := range nullIDs {
+		kind := kinds[id]
+		pool := append([]value.Value{}, byKind[kind]...)
+		pool = append(pool, freshByKind[kind]...)
+		pool = dedupeValues(pool)
+		sort.Slice(pool, func(a, b int) bool { return pool[a].String() < pool[b].String() })
+		pools[i] = pool
+	}
+	return pools, nil
+}
+
+// nullKinds maps each null mark to the declared kind of the column it
+// occurs in. A mark occurring in columns of different kinds is an error
+// (it could not be valued consistently with both columns' types).
+func nullKinds(db *table.Database) (map[int64]value.Kind, error) {
+	kinds := map[int64]value.Kind{}
+	for _, name := range db.Schema.Names() {
+		rel, _ := db.Schema.Relation(name)
+		t := db.MustTable(name)
+		for _, r := range t.Rows() {
+			for i, v := range r {
+				if !v.IsNull() {
+					continue
+				}
+				want := rel.Attrs[i].Type
+				if prev, ok := kinds[v.NullID()]; ok && prev != want {
+					return nil, fmt.Errorf("certain: null ⊥%d occurs in columns of kinds %s and %s", v.NullID(), prev, want)
+				}
+				kinds[v.NullID()] = want
+			}
+		}
+	}
+	return kinds, nil
+}
+
+func collectCondConsts(c algebra.Cond, add func(value.Value), patterns *[]string) {
+	switch c := c.(type) {
+	case algebra.Cmp:
+		addOperandConst(c.L, add)
+		addOperandConst(c.R, add)
+	case algebra.Like:
+		addOperandConst(c.Operand, add)
+		if lit, ok := c.Pattern.(algebra.Lit); ok && lit.Val.Kind() == value.KindString {
+			*patterns = append(*patterns, lit.Val.AsString())
+		}
+	case algebra.NullTest:
+		addOperandConst(c.Operand, add)
+	case algebra.And:
+		for _, sub := range c.Conds {
+			collectCondConsts(sub, add, patterns)
+		}
+	case algebra.Or:
+		for _, sub := range c.Conds {
+			collectCondConsts(sub, add, patterns)
+		}
+	case algebra.Not:
+		collectCondConsts(c.C, add, patterns)
+	}
+}
+
+func addOperandConst(o algebra.Operand, add func(value.Value)) {
+	if lit, ok := o.(algebra.Lit); ok {
+		add(lit.Val)
+	}
+}
+
+// freshWitnesses produces constants outside the observed set that
+// realize all atom-outcome patterns: nFresh pairwise-distinct values
+// (equality patterns), order positions around and between the observed
+// values, and LIKE pattern witnesses for strings.
+func freshWitnesses(kind value.Kind, observed []value.Value, nFresh int, patterns []string) []value.Value {
+	if nFresh < 1 {
+		nFresh = 1
+	}
+	var out []value.Value
+	switch kind {
+	case value.KindInt, value.KindDate:
+		mk := value.Int
+		if kind == value.KindDate {
+			mk = value.Date
+		}
+		var ints []int64
+		for _, v := range observed {
+			if v.Kind() == value.KindInt {
+				ints = append(ints, v.AsInt())
+			} else if v.Kind() == value.KindDate {
+				ints = append(ints, v.AsDate())
+			}
+		}
+		sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+		if len(ints) == 0 {
+			for i := 0; i < nFresh+1; i++ {
+				out = append(out, mk(int64(1000+i)))
+			}
+			return out
+		}
+		out = append(out, mk(ints[0]-1))
+		for i := 0; i+1 < len(ints); i++ {
+			if ints[i+1]-ints[i] >= 2 {
+				out = append(out, mk(ints[i]+(ints[i+1]-ints[i])/2))
+			}
+		}
+		for i := 0; i < nFresh; i++ {
+			out = append(out, mk(ints[len(ints)-1]+1+int64(i)))
+		}
+	case value.KindFloat:
+		var fs []float64
+		for _, v := range observed {
+			fs = append(fs, v.AsFloat())
+		}
+		sort.Float64s(fs)
+		if len(fs) == 0 {
+			fs = []float64{0}
+		}
+		out = append(out, value.Float(fs[0]-1))
+		for i := 0; i+1 < len(fs); i++ {
+			if fs[i+1] > fs[i] {
+				out = append(out, value.Float((fs[i]+fs[i+1])/2))
+			}
+		}
+		for i := 0; i < nFresh; i++ {
+			out = append(out, value.Float(fs[len(fs)-1]+1+float64(i)))
+		}
+	case value.KindString:
+		for i := 0; i < nFresh; i++ {
+			out = append(out, value.Str(fmt.Sprintf("\x7ffresh-%d", i)))
+		}
+		for pi, p := range patterns {
+			out = append(out, value.Str(realizePattern(p)))
+			out = append(out, value.Str(fmt.Sprintf("\x7fnomatch-%d", pi)))
+		}
+	case value.KindBool:
+		out = append(out, value.Bool(true), value.Bool(false))
+	}
+	return out
+}
+
+// realizePattern builds a string matching a LIKE pattern: % becomes
+// empty, _ becomes "a".
+func realizePattern(p string) string {
+	var b strings.Builder
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case '%':
+		case '_':
+			b.WriteByte('a')
+		default:
+			b.WriteByte(p[i])
+		}
+	}
+	return b.String()
+}
+
+func dedupeValues(vals []value.Value) []value.Value {
+	seen := map[value.Value]struct{}{}
+	out := vals[:0]
+	for _, v := range vals {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// RepresentsPotentialAnswers checks Definition 3 of the paper
+// exhaustively over the finite valuation pool: does the tuple set A
+// satisfy Q(v(D)) ⊆ v(A) for every valuation v? It returns a
+// counterexample valuation and missing tuple when the answer is no.
+// (Proposition 1 of the paper shows this problem is coNP-complete in
+// general, so like CertainAnswers this is a small-instance tool.)
+func RepresentsPotentialAnswers(e algebra.Expr, db *table.Database, a *table.Table, opts BruteForceOptions) (ok bool, missing table.Row, witness map[int64]value.Value, err error) {
+	nullIDs := db.Nulls()
+	pools, err := valuationPools(e, db, nullIDs)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	total := 1
+	for _, p := range pools {
+		if len(p) == 0 {
+			return false, nil, nil, fmt.Errorf("certain: empty valuation pool")
+		}
+		if total > opts.maxValuations()/len(p) {
+			return false, nil, nil, fmt.Errorf("%w: %d nulls with pools of size ~%d", ErrBruteForceTooLarge, len(nullIDs), len(p))
+		}
+		total *= len(p)
+	}
+
+	choice := make([]int, len(nullIDs))
+	for {
+		valuation := make(map[int64]value.Value, len(nullIDs))
+		for i, id := range nullIDs {
+			valuation[id] = pools[i][choice[i]]
+		}
+		complete := db.Apply(valuation)
+		res, err := eval.New(complete, eval.Options{Semantics: value.SQL3VL}).Eval(e)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		// v(A) keys.
+		img := make(map[string]struct{}, a.Len())
+		for _, r := range a.Rows() {
+			nr := make(table.Row, len(r))
+			for i, v := range r {
+				if v.IsNull() {
+					if c, bound := valuation[v.NullID()]; bound {
+						nr[i] = c
+						continue
+					}
+				}
+				nr[i] = v
+			}
+			img[value.RowKey(nr)] = struct{}{}
+		}
+		for _, r := range res.Rows() {
+			if _, covered := img[value.RowKey(r)]; !covered {
+				return false, r, valuation, nil
+			}
+		}
+		// Advance the odometer.
+		i := 0
+		for i < len(choice) {
+			choice[i]++
+			if choice[i] < len(pools[i]) {
+				break
+			}
+			choice[i] = 0
+			i++
+		}
+		if i == len(choice) {
+			return true, nil, nil, nil
+		}
+	}
+}
+
+// FalsePositives returns the tuples of answers that are not certain
+// answers: answers − cert(Q, D). answers should be the result of
+// standard SQL evaluation of e on db.
+func FalsePositives(e algebra.Expr, db *table.Database, answers *table.Table, opts BruteForceOptions) (*table.Table, error) {
+	cert, err := CertainAnswers(e, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	ck := cert.KeySet()
+	out := table.New(answers.Arity())
+	for _, r := range answers.Rows() {
+		if _, ok := ck[value.RowKey(r)]; !ok {
+			out.Append(r)
+		}
+	}
+	return out, nil
+}
+
+// SchemaOf is a convenience accessor used by callers that build a
+// Translator from a database.
+func SchemaOf(db *table.Database) *schema.Schema { return db.Schema }

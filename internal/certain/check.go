@@ -1,0 +1,41 @@
+package certain
+
+import (
+	"fmt"
+
+	"certsql/internal/algebra"
+)
+
+// CheckTranslatable reports whether the certain-answer translation is
+// defined for the query. Grouping/aggregation, ORDER BY and LIMIT are
+// engine features of the standard mode only: certain answers under
+// aggregation (and under bag semantics generally) are open problems the
+// paper's Section 8 defers to future work, so rather than returning
+// subtly wrong "certain" results the translation refuses them.
+//
+// Scalar aggregate subqueries inside comparisons are fine — the paper
+// treats them as black-box constants (Section 7) and so does the
+// translation.
+func CheckTranslatable(e algebra.Expr) error {
+	var err error
+	algebra.Walk(e, func(sub algebra.Expr) {
+		if err != nil {
+			return
+		}
+		switch sub.(type) {
+		case algebra.GroupBy:
+			err = fmt.Errorf("certain: aggregation has no certain-answer semantics yet (see paper §8); use standard evaluation")
+		case algebra.Sort:
+			err = fmt.Errorf("certain: ORDER BY is not meaningful for certain answers (they are a set); order the result client-side")
+		case algebra.Limit:
+			err = fmt.Errorf("certain: LIMIT under certain-answer evaluation would be ambiguous; apply it client-side")
+		case algebra.Division:
+			if d := sub.(algebra.Division); err == nil {
+				if _, ok := d.R.(algebra.Base); !ok {
+					err = fmt.Errorf("certain: division is only translatable when the divisor is a database relation (Fact 1)")
+				}
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,54 @@
+package certain_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+)
+
+func TestCheckTranslatable(t *testing.T) {
+	r := algebra.Base{Name: "r", Cols: 2}
+	ok := []algebra.Expr{
+		r,
+		algebra.Select{Child: r, Cond: algebra.TrueCond{}},
+		algebra.Diff{L: r, R: r},
+		algebra.SemiJoin{L: r, R: r, Cond: algebra.TrueCond{}, Anti: true},
+		algebra.Division{L: r, R: algebra.Base{Name: "s", Cols: 1}},
+		// Scalar aggregate subqueries in conditions are fine (black-box
+		// constants, paper §7).
+		algebra.Select{Child: r, Cond: algebra.Cmp{
+			Op: algebra.GT,
+			L:  algebra.Col{Idx: 0},
+			R:  algebra.Scalar{Sub: r, Agg: algebra.AggAvg, Col: 0},
+		}},
+	}
+	for _, e := range ok {
+		if err := certain.CheckTranslatable(e); err != nil {
+			t.Errorf("CheckTranslatable(%s) = %v, want nil", e.Key(), err)
+		}
+	}
+
+	bad := []struct {
+		e    algebra.Expr
+		want string
+	}{
+		{algebra.GroupBy{Child: r, Keys: []int{0}, Aggs: []algebra.AggSpec{{Func: algebra.AggCount, Col: -1}}}, "aggregation"},
+		{algebra.Sort{Child: r, Keys: []algebra.SortKey{{Col: 0}}}, "ORDER BY"},
+		{algebra.Limit{Child: r, N: 5}, "LIMIT"},
+		{algebra.Division{L: r, R: algebra.Distinct{Child: algebra.Base{Name: "s", Cols: 1}}}, "division"},
+		// Nested under other operators too.
+		{algebra.Diff{L: r, R: algebra.Limit{Child: r, N: 1}}, "LIMIT"},
+	}
+	for _, c := range bad {
+		err := certain.CheckTranslatable(c.e)
+		if err == nil {
+			t.Errorf("CheckTranslatable(%s) accepted", c.e.Key())
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("CheckTranslatable(%s) error %q, want substring %q", c.e.Key(), err, c.want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package certain
+
+import (
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/value"
+)
+
+// These white-box tests pin the θ* and θ** condition translation tables
+// of Sections 6 and 7 of the paper.
+
+var (
+	colA = algebra.Col{Idx: 0}
+	colB = algebra.Col{Idx: 1}
+	lit1 = algebra.Lit{Val: value.Int(1)}
+)
+
+func star(mode CondMode, c algebra.Cond) string {
+	tr := &Translator{Mode: mode}
+	return tr.starCond(algebra.NNF(c)).String()
+}
+
+func dstar(mode CondMode, c algebra.Cond) string {
+	tr := &Translator{Mode: mode}
+	return tr.dstarCond(algebra.NNF(c)).String()
+}
+
+func TestStarTableNaive(t *testing.T) {
+	cases := []struct {
+		in   algebra.Cond
+		want string
+	}{
+		// (A = B)* = A = B — naive evaluation sees mark equality.
+		{algebra.Cmp{Op: algebra.EQ, L: colA, R: colB}, "#0 = #1"},
+		{algebra.Cmp{Op: algebra.EQ, L: colA, R: lit1}, "#0 = 1"},
+		// (A ≠ B)* = A ≠ B ∧ const(A) ∧ const(B).
+		{algebra.Cmp{Op: algebra.NE, L: colA, R: colB}, "#0 <> #1 AND const(#0) AND const(#1)"},
+		// (A ≠ c)* = A ≠ c ∧ const(A): literals need no const test.
+		{algebra.Cmp{Op: algebra.NE, L: colA, R: lit1}, "#0 <> 1 AND const(#0)"},
+		// Order atoms are guarded like disequalities.
+		{algebra.Cmp{Op: algebra.GT, L: colA, R: colB}, "#0 > #1 AND const(#0) AND const(#1)"},
+		// LIKE is guarded too.
+		{algebra.Like{Operand: colA, Pattern: algebra.Lit{Val: value.Str("%x%")}}, "#0 LIKE '%x%' AND const(#0)"},
+		// null(A) can never hold on a complete database.
+		{algebra.NullTest{Operand: colA}, "false"},
+		// const(A) always holds on a complete database.
+		{algebra.NullTest{Operand: colA, Negated: true}, "true"},
+		// Connectives map through.
+		{algebra.NewOr(
+			algebra.Cmp{Op: algebra.EQ, L: colA, R: colB},
+			algebra.Cmp{Op: algebra.EQ, L: colA, R: lit1},
+		), "#0 = #1 OR #0 = 1"},
+		// Negation is propagated to atoms first: ¬(A = B) ≡ A ≠ B.
+		{algebra.Not{C: algebra.Cmp{Op: algebra.EQ, L: colA, R: colB}}, "#0 <> #1 AND const(#0) AND const(#1)"},
+	}
+	for _, c := range cases {
+		if got := star(ModeNaive, c.in); got != c.want {
+			t.Errorf("(%s)* = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStarTableSQLAdjusted(t *testing.T) {
+	// Section 7: under SQL's nulls even equality must be guarded —
+	// (A = B)* = A = B ∧ const(A) ∧ const(B).
+	if got := star(ModeSQL, algebra.Cmp{Op: algebra.EQ, L: colA, R: colB}); got != "#0 = #1 AND const(#0) AND const(#1)" {
+		t.Errorf("SQL-adjusted (A = B)* = %s", got)
+	}
+	if got := star(ModeSQL, algebra.Cmp{Op: algebra.EQ, L: colA, R: lit1}); got != "#0 = 1 AND const(#0)" {
+		t.Errorf("SQL-adjusted (A = c)* = %s", got)
+	}
+	// Disequality is the same in both modes.
+	if got := star(ModeSQL, algebra.Cmp{Op: algebra.NE, L: colA, R: colB}); got != "#0 <> #1 AND const(#0) AND const(#1)" {
+		t.Errorf("SQL-adjusted (A ≠ B)* = %s", got)
+	}
+}
+
+func TestDoubleStarTableNaive(t *testing.T) {
+	cases := []struct {
+		in   algebra.Cond
+		want string
+	}{
+		// (A = B)** = A = B ∨ null(A) ∨ null(B).
+		{algebra.Cmp{Op: algebra.EQ, L: colA, R: colB}, "#0 = #1 OR null(#0) OR null(#1)"},
+		{algebra.Cmp{Op: algebra.EQ, L: colA, R: lit1}, "#0 = 1 OR null(#0)"},
+		// (A ≠ B)** = A ≠ B under naive evaluation.
+		{algebra.Cmp{Op: algebra.NE, L: colA, R: colB}, "#0 <> #1"},
+		// null(A)** = null(A); const(A)** = true.
+		{algebra.NullTest{Operand: colA}, "null(#0)"},
+		{algebra.NullTest{Operand: colA, Negated: true}, "true"},
+		// LIKE weakens with null disjuncts.
+		{algebra.Like{Operand: colA, Pattern: algebra.Lit{Val: value.Str("%x%")}}, "#0 LIKE '%x%' OR null(#0)"},
+	}
+	for _, c := range cases {
+		if got := dstar(ModeNaive, c.in); got != c.want {
+			t.Errorf("(%s)** = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDoubleStarTableSQLAdjusted(t *testing.T) {
+	// Section 7: (A ≠ B)** = A ≠ B ∨ null(A) ∨ null(B).
+	if got := dstar(ModeSQL, algebra.Cmp{Op: algebra.NE, L: colA, R: colB}); got != "#0 <> #1 OR null(#0) OR null(#1)" {
+		t.Errorf("SQL-adjusted (A ≠ B)** = %s", got)
+	}
+	if got := dstar(ModeSQL, algebra.Cmp{Op: algebra.NE, L: colA, R: lit1}); got != "#0 <> 1 OR null(#0)" {
+		t.Errorf("SQL-adjusted (A ≠ c)** = %s", got)
+	}
+	// Equality is weakened identically in both modes.
+	if got := dstar(ModeSQL, algebra.Cmp{Op: algebra.EQ, L: colA, R: colB}); got != "#0 = #1 OR null(#0) OR null(#1)" {
+		t.Errorf("SQL-adjusted (A = B)** = %s", got)
+	}
+}
+
+// TestStarDualities checks θ** = ¬(¬θ)* structurally for the atoms: the
+// definition the paper gives for the double-star translation.
+func TestStarDualities(t *testing.T) {
+	atoms := []algebra.Cond{
+		algebra.Cmp{Op: algebra.EQ, L: colA, R: colB},
+		algebra.Cmp{Op: algebra.NE, L: colA, R: colB},
+		algebra.Cmp{Op: algebra.LT, L: colA, R: lit1},
+		algebra.NullTest{Operand: colA, Negated: true},
+	}
+	for _, mode := range []CondMode{ModeNaive, ModeSQL} {
+		tr := &Translator{Mode: mode}
+		for _, a := range atoms {
+			// ¬((¬a)*) rendered in NNF.
+			negStar := algebra.NNF(algebra.Not{C: tr.starCond(algebra.NNF(algebra.Not{C: a}))})
+			direct := tr.dstarCond(algebra.NNF(a))
+			if negStar.String() != direct.String() {
+				t.Errorf("mode %d: (%s)** = %s but ¬(¬θ)* = %s", mode, a, direct, negStar)
+			}
+		}
+	}
+	// For null(A) the strict dual would be ¬(const(A))* = false; the
+	// implementation deliberately keeps the weaker null(A), which
+	// Corollary 1 allows (θ** may be weakened freely) and which keeps
+	// user-written IS NULL predicates meaningful in Q⋆.
+	tr := &Translator{Mode: ModeSQL}
+	if got := tr.dstarCond(algebra.NullTest{Operand: colA}).String(); got != "null(#0)" {
+		t.Errorf("(null(A))** = %s, want the deliberate weakening null(#0)", got)
+	}
+}
+
+// TestLiteralNullOperand: a literal NULL in a condition (legal SQL) is
+// treated as a nullable operand.
+func TestLiteralNullOperand(t *testing.T) {
+	nullLit := algebra.Lit{Val: value.Null(0)}
+	got := dstar(ModeSQL, algebra.Cmp{Op: algebra.EQ, L: colA, R: nullLit})
+	if got != "#0 = ⊥0 OR null(#0) OR null(⊥0)" {
+		t.Errorf("(A = NULL)** = %s", got)
+	}
+}

@@ -1,0 +1,229 @@
+package certain_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// Division tests: the paper's Fact 1 extends naive evaluation's exact
+// certain-answer computation to positive relational algebra with the
+// division operator, "as long as its second argument is a relation in
+// the database". These tests verify the operator, the exactness claim,
+// and the certain translation's division rule.
+
+func divSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "takes", Attrs: []schema.Attribute{
+		{Name: "student", Type: value.KindInt, Nullable: true},
+		{Name: "course", Type: value.KindInt, Nullable: true},
+	}})
+	s.MustAdd(&schema.Relation{Name: "course", Attrs: []schema.Attribute{
+		{Name: "id", Type: value.KindInt, Nullable: true},
+	}})
+	return s
+}
+
+func TestDivisionBasics(t *testing.T) {
+	db := table.NewDatabase(divSchema())
+	ins := func(rel string, vals ...value.Value) {
+		if err := db.Insert(rel, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Courses 1 and 2; student 10 takes both, student 20 only course 1.
+	ins("course", value.Int(1))
+	ins("course", value.Int(2))
+	ins("takes", value.Int(10), value.Int(1))
+	ins("takes", value.Int(10), value.Int(2))
+	ins("takes", value.Int(20), value.Int(1))
+
+	q := algebra.Division{
+		L: algebra.Base{Name: "takes", Cols: 2},
+		R: algebra.Base{Name: "course", Cols: 1},
+	}
+	got, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Row(0)[0] != value.Int(10) {
+		t.Fatalf("students taking all courses: %v, want {10}", got.SortedStrings())
+	}
+
+	// Empty divisor: every prefix qualifies.
+	db2 := table.NewDatabase(divSchema())
+	if err := db2.Insert("takes", table.Row{value.Int(10), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := eval.New(db2, eval.Options{Semantics: value.Naive}).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 1 {
+		t.Fatalf("division by empty relation: %v", got2.SortedStrings())
+	}
+}
+
+// TestDivisionFact1 checks the Fact 1 claim: naive evaluation of a
+// division query over an incomplete database computes exactly the
+// certain answers with nulls, when the divisor is a base relation.
+func TestDivisionFact1(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	q := algebra.Division{
+		L: algebra.Base{Name: "takes", Cols: 2},
+		R: algebra.Base{Name: "course", Cols: 1},
+	}
+	for i := 0; i < 200; i++ {
+		db := table.NewDatabase(divSchema())
+		nulls := 0
+		mk := func() value.Value {
+			if nulls < 3 && rng.Float64() < 0.25 {
+				nulls++
+				return db.FreshNull()
+			}
+			return value.Int(int64(rng.Intn(3)))
+		}
+		for j := 0; j < rng.Intn(5); j++ {
+			if err := db.Insert("takes", table.Row{mk(), mk()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			if err := db.Insert("course", table.Row{mk()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		naive, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := naive.Distinct().SortedStrings()
+		b := cert.SortedStrings()
+		if len(a) != len(b) {
+			t.Fatalf("iter %d: naive division %v ≠ cert %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("iter %d: naive division %v ≠ cert %v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestDivisionTranslation: the Q⁺/Q⋆ rules for division keep the
+// guarantees (division embedded under further negation).
+func TestDivisionTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	div := algebra.Division{
+		L: algebra.Base{Name: "takes", Cols: 2},
+		R: algebra.Base{Name: "course", Cols: 1},
+	}
+	// Students certainly NOT taking all courses: π_student(takes) − div.
+	q := algebra.Diff{
+		L: algebra.Distinct{Child: algebra.Project{Child: algebra.Base{Name: "takes", Cols: 2}, Cols: []int{0}}},
+		R: div,
+	}
+	for i := 0; i < 100; i++ {
+		db := table.NewDatabase(divSchema())
+		nulls := 0
+		mk := func() value.Value {
+			if nulls < 3 && rng.Float64() < 0.25 {
+				nulls++
+				return db.FreshNull()
+			}
+			return value.Int(int64(rng.Intn(3)))
+		}
+		for j := 0; j < rng.Intn(5); j++ {
+			if err := db.Insert("takes", table.Row{mk(), mk()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			if err := db.Insert("course", table.Row{mk()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := cert.KeySet()
+		tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+		plus, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(tr.Plus(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range plus.Rows() {
+			if _, ok := ck[value.RowKey(row)]; !ok {
+				t.Fatalf("iter %d: Q+ with division returned non-certain %v", i, row)
+			}
+		}
+	}
+}
+
+// TestDivisionPlusRequiresBaseDivisor: the Fact 1 proviso is enforced.
+func TestDivisionPlusRequiresBaseDivisor(t *testing.T) {
+	tr := &certain.Translator{Sch: divSchema(), Mode: certain.ModeNaive}
+	bad := algebra.Division{
+		L: algebra.Base{Name: "takes", Cols: 2},
+		R: algebra.Distinct{Child: algebra.Base{Name: "course", Cols: 1}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Plus accepted a non-base divisor")
+		}
+	}()
+	tr.Plus(bad)
+}
+
+// TestDivisionPrimitive: the primitive-algebra rewriting of division
+// agrees with the direct operator.
+func TestDivisionPrimitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	q := algebra.Division{
+		L: algebra.Base{Name: "takes", Cols: 2},
+		R: algebra.Base{Name: "course", Cols: 1},
+	}
+	prim := certain.Primitive(q)
+	for i := 0; i < 100; i++ {
+		db := table.NewDatabase(divSchema())
+		for j := 0; j < rng.Intn(6); j++ {
+			if err := db.Insert("takes", table.Row{value.Int(int64(rng.Intn(3))), value.Int(int64(rng.Intn(3)))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			if err := db.Insert("course", table.Row{value.Int(int64(rng.Intn(3)))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(prim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, bs := a.Distinct().SortedStrings(), b.Distinct().SortedStrings()
+		if len(as) != len(bs) {
+			t.Fatalf("iter %d: division %v ≠ primitive %v", i, as, bs)
+		}
+		for j := range as {
+			if as[j] != bs[j] {
+				t.Fatalf("iter %d: division %v ≠ primitive %v", i, as, bs)
+			}
+		}
+	}
+}

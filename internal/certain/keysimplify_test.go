@@ -1,0 +1,143 @@
+package certain_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// keyedSchema: orders(o_id key, o_v) and items(i_order, i_supp), plus an
+// unkeyed relation h(a, b).
+func keyedSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "orders", Attrs: []schema.Attribute{
+		{Name: "o_id", Type: value.KindInt},
+		{Name: "o_v", Type: value.KindInt, Nullable: true},
+	}, Key: []int{0}})
+	s.MustAdd(&schema.Relation{Name: "items", Attrs: []schema.Attribute{
+		{Name: "i_order", Type: value.KindInt, Nullable: true},
+		{Name: "i_supp", Type: value.KindInt, Nullable: true},
+	}})
+	s.MustAdd(&schema.Relation{Name: "h", Attrs: []schema.Attribute{
+		{Name: "a", Type: value.KindInt, Nullable: true},
+		{Name: "b", Type: value.KindInt, Nullable: true},
+	}})
+	return s
+}
+
+// q3Except is the paper's Section 7 form of Q3:
+// π_o(orders − π_orders(σθ(items × orders))), whose translation
+// introduces orders ▷⇑ S with S ⊆ orders — eligible for the key-based
+// simplification to a plain difference.
+func q3Except() algebra.Expr {
+	ordersB := algebra.Base{Name: "orders", Cols: 2}
+	itemsB := algebra.Base{Name: "items", Cols: 2}
+	theta := algebra.NewAnd(
+		algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: 0}, R: algebra.Col{Idx: 2}}, // i_order = o_id
+		algebra.Cmp{Op: algebra.NE, L: algebra.Col{Idx: 1}, R: algebra.Lit{Val: value.Int(5)}},
+	)
+	inner := algebra.Project{
+		Child: algebra.Select{Child: algebra.Product{L: itemsB, R: ordersB}, Cond: theta},
+		Cols:  []int{2, 3}, // the orders block
+	}
+	return algebra.Project{
+		Child: algebra.Diff{L: ordersB, R: inner},
+		Cols:  []int{0},
+	}
+}
+
+func TestKeySimplifyRewritesToDiff(t *testing.T) {
+	sch := keyedSchema()
+	tr := &certain.Translator{Sch: sch, Mode: certain.ModeSQL, KeySimplify: true}
+	plus := tr.Plus(q3Except())
+	key := plus.Key()
+	if strings.Contains(key, "▷⇑") {
+		t.Errorf("unification anti-semijoin not simplified:\n%s", algebra.Format(plus))
+	}
+	if !strings.Contains(key, "−") {
+		t.Errorf("no set difference in the simplified plan:\n%s", algebra.Format(plus))
+	}
+	// Without the option the anti-semijoin stays.
+	tr2 := &certain.Translator{Sch: sch, Mode: certain.ModeSQL}
+	if !strings.Contains(tr2.Plus(q3Except()).Key(), "▷⇑") {
+		t.Error("translation without KeySimplify lost the unification anti-semijoin")
+	}
+}
+
+func TestKeySimplifyRequiresKey(t *testing.T) {
+	sch := keyedSchema()
+	hB := algebra.Base{Name: "h", Cols: 2}
+	// h − σ(h): subset holds but h has no key — must NOT simplify
+	// (two unifiable but distinct tuples could coexist).
+	q := algebra.Diff{L: hB, R: algebra.Select{Child: hB, Cond: algebra.TrueCond{}}}
+	tr := &certain.Translator{Sch: sch, Mode: certain.ModeSQL, KeySimplify: true}
+	if !strings.Contains(tr.Plus(q).Key(), "▷⇑") {
+		t.Error("key simplification fired on a keyless relation")
+	}
+}
+
+func TestKeySimplifyRequiresSubset(t *testing.T) {
+	sch := keyedSchema()
+	ordersB := algebra.Base{Name: "orders", Cols: 2}
+	itemsB := algebra.Base{Name: "items", Cols: 2}
+	// orders − items: same arity but no subset guarantee.
+	q := algebra.Diff{L: ordersB, R: itemsB}
+	tr := &certain.Translator{Sch: sch, Mode: certain.ModeSQL, KeySimplify: true}
+	if !strings.Contains(tr.Plus(q).Key(), "▷⇑") {
+		t.Error("key simplification fired without a subset guarantee")
+	}
+}
+
+// TestKeySimplifyPreservesSemantics compares the simplified and
+// unsimplified translations on data with nulls, including the case the
+// key argument protects against: S-rows with nulls in non-key columns.
+func TestKeySimplifyPreservesSemantics(t *testing.T) {
+	sch := keyedSchema()
+	db := table.NewDatabase(sch)
+	ins := func(rel string, a, b value.Value) {
+		if err := db.Insert(rel, table.Row{a, b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n1 := db.FreshNull()
+	ins("orders", value.Int(1), value.Int(10))
+	ins("orders", value.Int(2), n1)
+	ins("orders", value.Int(3), value.Int(30))
+	ins("items", value.Int(1), db.FreshNull()) // unknown supplier on order 1
+	ins("items", value.Int(2), value.Int(5))
+	ins("items", value.Int(3), value.Int(7)) // different supplier on order 3
+
+	q := q3Except()
+	with := &certain.Translator{Sch: sch, Mode: certain.ModeSQL, KeySimplify: true}
+	without := &certain.Translator{Sch: sch, Mode: certain.ModeSQL}
+	r1, err := eval.New(db, eval.Options{Semantics: value.SQL3VL}).Eval(with.Plus(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eval.New(db, eval.Options{Semantics: value.SQL3VL}).Eval(without.Plus(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := strings.Join(r1.SortedStrings(), ";")
+	s2 := strings.Join(r2.SortedStrings(), ";")
+	if s1 != s2 {
+		t.Errorf("key simplification changed results: %s vs %s", s1, s2)
+	}
+	// And both under-approximate the ground truth.
+	cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := cert.KeySet()
+	for _, row := range r1.Rows() {
+		if _, ok := ck[value.RowKey(row)]; !ok {
+			t.Errorf("simplified Q+ returned non-certain %v", row)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package certain
+
+import (
+	"fmt"
+
+	"certsql/internal/algebra"
+)
+
+// LegacyTrue and LegacyFalse implement the translation Q ↦ (Qt, Qf) of
+// [Libkin, TODS 2016], reproduced in Figure 2 of the paper. Qt
+// under-approximates certain answers; Qf under-approximates certain
+// answers to the complement. The translation is theoretically AC0 but
+// relies on Cartesian powers of the active domain (adomᵏ), which makes
+// it infeasible in practice — Section 5 of the paper reports queries
+// running out of memory on instances under 10³ tuples, and this
+// reproduction's BenchmarkFigure2LegacyTranslation shows the same blow-
+// up against the row-budget guard of the evaluator.
+//
+// The input must be in the primitive algebra (no semijoins); use
+// Primitive to rewrite compiled queries first.
+func (t *Translator) LegacyTrue(e algebra.Expr) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Base:
+		return e
+	case algebra.Union:
+		return algebra.Union{L: t.LegacyTrue(e.L), R: t.LegacyTrue(e.R)}
+	case algebra.Intersect:
+		return algebra.Intersect{L: t.LegacyTrue(e.L), R: t.LegacyTrue(e.R)}
+	case algebra.Diff:
+		// (Q1 − Q2)t = Q1t ∩ Q2f.
+		return algebra.Intersect{L: t.LegacyTrue(e.L), R: t.LegacyFalse(e.R)}
+	case algebra.Select:
+		return algebra.Select{Child: t.LegacyTrue(e.Child), Cond: t.starCond(algebra.NNF(e.Cond))}
+	case algebra.Product:
+		return algebra.Product{L: t.LegacyTrue(e.L), R: t.LegacyTrue(e.R)}
+	case algebra.Project:
+		return algebra.Project{Child: t.LegacyTrue(e.Child), Cols: e.Cols}
+	case algebra.Distinct:
+		return algebra.Distinct{Child: t.LegacyTrue(e.Child)}
+	default:
+		panic(fmt.Sprintf("certain: LegacyTrue: %T is not in the primitive algebra (use Primitive first)", e))
+	}
+}
+
+// LegacyFalse is the Qf side of the Figure 2 translation; see LegacyTrue.
+func (t *Translator) LegacyFalse(e algebra.Expr) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Base:
+		// Rf = { s̄ ∈ adom^ar(R) | no r̄ ∈ R unifies with s̄ }.
+		return algebra.UnifySemi{L: algebra.AdomPower{K: e.Cols}, R: e, Anti: true}
+	case algebra.Union:
+		return algebra.Intersect{L: t.LegacyFalse(e.L), R: t.LegacyFalse(e.R)}
+	case algebra.Intersect:
+		return algebra.Union{L: t.LegacyFalse(e.L), R: t.LegacyFalse(e.R)}
+	case algebra.Diff:
+		// (Q1 − Q2)f = Q1f ∪ Q2t.
+		return algebra.Union{L: t.LegacyFalse(e.L), R: t.LegacyTrue(e.R)}
+	case algebra.Select:
+		// (σθ(Q))f = Qf ∪ σ(¬θ)*(adom^ar(Q)).
+		neg := t.starCond(algebra.NNF(algebra.Not{C: e.Cond}))
+		return algebra.Union{
+			L: t.LegacyFalse(e.Child),
+			R: algebra.Select{Child: algebra.AdomPower{K: e.Child.Arity()}, Cond: neg},
+		}
+	case algebra.Product:
+		// (Q1 × Q2)f = Q1f × adom^ar(Q2) ∪ adom^ar(Q1) × Q2f.
+		return algebra.Union{
+			L: algebra.Product{L: t.LegacyFalse(e.L), R: algebra.AdomPower{K: e.R.Arity()}},
+			R: algebra.Product{L: algebra.AdomPower{K: e.L.Arity()}, R: t.LegacyFalse(e.R)},
+		}
+	case algebra.Project:
+		// (πα(Q))f = πα(Qf) − πα(adom^ar(Q) − Qf).
+		qf := t.LegacyFalse(e.Child)
+		return algebra.Diff{
+			L: algebra.Project{Child: qf, Cols: e.Cols},
+			R: algebra.Project{
+				Child: algebra.Diff{L: algebra.AdomPower{K: e.Child.Arity()}, R: qf},
+				Cols:  e.Cols,
+			},
+		}
+	case algebra.Distinct:
+		return t.LegacyFalse(e.Child)
+	default:
+		panic(fmt.Sprintf("certain: LegacyFalse: %T is not in the primitive algebra (use Primitive first)", e))
+	}
+}
+
+// Primitive rewrites semijoin-shaped operators into the primitive
+// algebra of Figure 2:
+//
+//	L ⋉θ R = π_L(σθ(L × R)) (duplicate-eliminated)
+//	L ▷θ R = L − π_L(σθ(L × R))
+//	L ⋉⇑ R, L ▷⇑ R analogously with the unification condition — these
+//	do not occur in compiled source queries and are rejected.
+func Primitive(e algebra.Expr) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Base, algebra.AdomPower:
+		return e
+	case algebra.Select:
+		return algebra.Select{Child: Primitive(e.Child), Cond: e.Cond}
+	case algebra.Project:
+		return algebra.Project{Child: Primitive(e.Child), Cols: e.Cols}
+	case algebra.Product:
+		return algebra.Product{L: Primitive(e.L), R: Primitive(e.R)}
+	case algebra.Union:
+		return algebra.Union{L: Primitive(e.L), R: Primitive(e.R)}
+	case algebra.Intersect:
+		return algebra.Intersect{L: Primitive(e.L), R: Primitive(e.R)}
+	case algebra.Diff:
+		return algebra.Diff{L: Primitive(e.L), R: Primitive(e.R)}
+	case algebra.Distinct:
+		return algebra.Distinct{Child: Primitive(e.Child)}
+	case algebra.SemiJoin:
+		l := Primitive(e.L)
+		r := Primitive(e.R)
+		cols := make([]int, l.Arity())
+		for i := range cols {
+			cols[i] = i
+		}
+		matched := algebra.Distinct{Child: algebra.Project{
+			Child: algebra.Select{Child: algebra.Product{L: l, R: r}, Cond: e.Cond},
+			Cols:  cols,
+		}}
+		if e.Anti {
+			return algebra.Diff{L: l, R: matched}
+		}
+		return algebra.Intersect{L: l, R: matched}
+	case algebra.Division:
+		// L ÷ R = π_pre(L) − π_pre((π_pre(L) × R) − L).
+		l := Primitive(e.L)
+		r := Primitive(e.R)
+		pre := make([]int, e.Arity())
+		for i := range pre {
+			pre[i] = i
+		}
+		prefixes := algebra.Distinct{Child: algebra.Project{Child: l, Cols: pre}}
+		missing := algebra.Diff{L: algebra.Product{L: prefixes, R: r}, R: l}
+		return algebra.Diff{L: prefixes, R: algebra.Distinct{Child: algebra.Project{Child: missing, Cols: pre}}}
+	case algebra.UnifySemi:
+		panic("certain: Primitive: unification semijoins do not occur in source queries")
+	default:
+		panic(fmt.Sprintf("certain: Primitive: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,233 @@
+package certain_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+func legacySchema() *schema.Schema {
+	s := schema.New()
+	for _, name := range []string{"r", "s"} {
+		s.MustAdd(&schema.Relation{Name: name, Attrs: []schema.Attribute{
+			{Name: "a", Type: value.KindInt, Nullable: true},
+		}})
+	}
+	return s
+}
+
+func legacyDB(t *testing.T, rVals, sVals []value.Value) *table.Database {
+	t.Helper()
+	db := table.NewDatabase(legacySchema())
+	for _, v := range rVals {
+		if err := db.Insert("r", table.Row{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range sVals {
+		if err := db.Insert("s", table.Row{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestLegacyOnIntroExample checks the Figure 2 translation on the
+// introduction's R − S example: Qt must return the empty set (the
+// correct certain answer), unlike SQL.
+func TestLegacyOnIntroExample(t *testing.T) {
+	db := legacyDB(t, []value.Value{value.Int(1)}, []value.Value{db0Null()})
+	q := algebra.Diff{L: algebra.Base{Name: "r", Cols: 1}, R: algebra.Base{Name: "s", Cols: 1}}
+	tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+	qt := tr.LegacyTrue(q)
+	got, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Qt on the intro example: %v, want empty", got.SortedStrings())
+	}
+}
+
+func db0Null() value.Value { return value.Null(1) }
+
+// TestLegacySoundAgainstBruteForce: the legacy Qt translation also has
+// correctness guarantees; verify against ground truth on random tiny
+// instances, and verify it agrees with the improved Q⁺ on them… the
+// paper only claims both are subsets of cert, so that is what we check.
+func TestLegacySoundAgainstBruteForce(t *testing.T) {
+	vals := []value.Value{value.Int(0), value.Int(1), value.Null(1), value.Null(2)}
+	// Enumerate all tiny instances with |R|, |S| ≤ 2 over the pool.
+	var pick func(n int, f func([]value.Value))
+	pick = func(n int, f func([]value.Value)) {
+		if n == 0 {
+			f(nil)
+			return
+		}
+		pick(n-1, func(rest []value.Value) {
+			f(rest)
+			for _, v := range vals {
+				f(append(append([]value.Value{}, rest...), v))
+			}
+		})
+	}
+	q := algebra.Diff{L: algebra.Base{Name: "r", Cols: 1}, R: algebra.Base{Name: "s", Cols: 1}}
+	count := 0
+	pick(1, func(rVals []value.Value) {
+		pick(1, func(sVals []value.Value) {
+			count++
+			db := legacyDB(t, rVals, sVals)
+			tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+			cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck := cert.KeySet()
+			for _, variant := range []struct {
+				name string
+				e    algebra.Expr
+			}{
+				{"legacy-Qt", tr.LegacyTrue(q)},
+				{"improved-Q+", tr.Plus(q)},
+			} {
+				got, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(variant.e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, row := range got.Rows() {
+					if _, ok := ck[value.RowKey(row)]; !ok {
+						t.Errorf("%s returned non-certain %v on R=%v, S=%v",
+							variant.name, row, rVals, sVals)
+					}
+				}
+			}
+		})
+	})
+	if count < 25 {
+		t.Fatalf("enumerated only %d instances", count)
+	}
+}
+
+// TestLegacyFalseIsCertainlyFalse: Qf must return only tuples that are
+// certainly NOT answers — i.e. disjoint from the possible answers under
+// every valuation.
+func TestLegacyFalseIsCertainlyFalse(t *testing.T) {
+	db := legacyDB(t,
+		[]value.Value{value.Int(1), value.Null(1)},
+		[]value.Value{value.Int(2)},
+	)
+	q := algebra.Diff{L: algebra.Base{Name: "r", Cols: 1}, R: algebra.Base{Name: "s", Cols: 1}}
+	tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+	qf := tr.LegacyFalse(q)
+	got, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample valuations: a tuple in Qf must never appear in Q(v(D)).
+	for _, c := range []int64{0, 1, 2, 3} {
+		valuation := map[int64]value.Value{1: value.Int(c)}
+		complete := db.Apply(valuation)
+		truth, err := eval.New(complete, eval.Options{Semantics: value.SQL3VL}).Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk := truth.KeySet()
+		for _, row := range got.Rows() {
+			img := make(table.Row, len(row))
+			for i, v := range row {
+				if v.IsNull() {
+					img[i] = valuation[v.NullID()]
+				} else {
+					img[i] = v
+				}
+			}
+			if _, ok := tk[value.RowKey(img)]; ok {
+				t.Errorf("Qf tuple %v is an answer under valuation ⊥1→%d", row, c)
+			}
+		}
+	}
+}
+
+// TestPrimitiveRewrite checks the semijoin elimination used before the
+// legacy translation.
+func TestPrimitiveRewrite(t *testing.T) {
+	r := algebra.Base{Name: "r", Cols: 1}
+	s := algebra.Base{Name: "s", Cols: 1}
+	cond := algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: 0}, R: algebra.Col{Idx: 1}}
+
+	semi := certain.Primitive(algebra.SemiJoin{L: r, R: s, Cond: cond})
+	if strings.Contains(semi.Key(), "⋉") {
+		t.Errorf("Primitive left a semijoin: %s", semi.Key())
+	}
+	anti := certain.Primitive(algebra.SemiJoin{L: r, R: s, Cond: cond, Anti: true})
+	if !strings.Contains(anti.Key(), "−") {
+		t.Errorf("Primitive antijoin has no difference: %s", anti.Key())
+	}
+
+	// Semantics preserved (on a db with nulls, under both semantics).
+	db := legacyDB(t,
+		[]value.Value{value.Int(1), value.Null(1), value.Int(2)},
+		[]value.Value{value.Int(1), value.Null(2)},
+	)
+	for _, sem := range []value.Semantics{value.SQL3VL, value.Naive} {
+		for _, pair := range []struct {
+			orig, prim algebra.Expr
+		}{
+			{algebra.SemiJoin{L: r, R: s, Cond: cond}, semi},
+			{algebra.SemiJoin{L: r, R: s, Cond: cond, Anti: true}, anti},
+		} {
+			a, err := eval.New(db, eval.Options{Semantics: sem}).Eval(pair.orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := eval.New(db, eval.Options{Semantics: sem}).Eval(pair.prim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Primitive form is set-based; compare as sets.
+			as := strings.Join(a.Distinct().SortedStrings(), ";")
+			bs := strings.Join(b.Distinct().SortedStrings(), ";")
+			if as != bs {
+				t.Errorf("Primitive changed semantics (%v): %s vs %s", sem, as, bs)
+			}
+		}
+	}
+}
+
+// TestLegacyBlowupShape: the legacy translation's cost explodes with
+// the active domain, the core of Section 5. Tiny version of the
+// experiment as a unit test.
+func TestLegacyBlowupShape(t *testing.T) {
+	mkDB := func(n int) *table.Database {
+		db := table.NewDatabase(legacySchema())
+		for i := 0; i < n; i++ {
+			if err := db.Insert("r", table.Row{value.Int(int64(i))}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Insert("s", table.Row{value.Int(int64(i + n/2))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	q := algebra.Diff{L: algebra.Base{Name: "r", Cols: 1}, R: algebra.Base{Name: "s", Cols: 1}}
+	cost := func(n int) int64 {
+		db := mkDB(n)
+		tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+		ev := eval.New(db, eval.Options{Semantics: value.Naive})
+		if _, err := ev.Eval(tr.LegacyTrue(q)); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Stats().CostUnits
+	}
+	c8, c64 := cost(8), cost(64)
+	if c64 < 8*c8 {
+		t.Errorf("legacy cost grew only from %d to %d over an 8x size increase; expected superlinear growth", c8, c64)
+	}
+}

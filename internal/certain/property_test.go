@@ -1,0 +1,469 @@
+package certain_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// This file property-tests the paper's theorems on random databases and
+// random relational-algebra queries:
+//
+//   - Theorem 1 (correctness guarantees): Q⁺(D) ⊆ cert(Q, D), for both
+//     the naive-mode translation evaluated naively and the SQL-adjusted
+//     translation evaluated under 3VL;
+//   - Lemma 2 (potential answers): Q(v(D)) ⊆ v(Q⋆(D)) for sampled
+//     valuations v;
+//   - the optimization passes (OR-split, nullability simplification,
+//     key simplification) preserve the translated query's results
+//     exactly;
+//   - the executor's strategies (hash vs nested loop, short-circuit,
+//     subplan cache) agree with each other.
+//
+// cert(Q, D) is computed by brute-force valuation enumeration, which is
+// exact for this condition language (see the CertainAnswers doc).
+
+// propSchema: two nullable binary relations and one keyed relation.
+func propSchema() *schema.Schema {
+	s := schema.New()
+	for _, name := range []string{"r", "s"} {
+		s.MustAdd(&schema.Relation{Name: name, Attrs: []schema.Attribute{
+			{Name: "a", Type: value.KindInt, Nullable: true},
+			{Name: "b", Type: value.KindInt, Nullable: true},
+		}})
+	}
+	s.MustAdd(&schema.Relation{Name: "k", Attrs: []schema.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "v", Type: value.KindInt, Nullable: true},
+	}, Key: []int{0}})
+	return s
+}
+
+// genDB builds a random incomplete instance with at most maxNulls
+// marked nulls; marks occasionally repeat to exercise non-Codd nulls.
+func genDB(rng *rand.Rand, maxNulls int) *table.Database {
+	db := table.NewDatabase(propSchema())
+	nulls := 0
+	var lastNull value.Value
+	mkVal := func() value.Value {
+		if nulls < maxNulls && rng.Float64() < 0.25 {
+			nulls++
+			if !lastNull.IsNull() || rng.Float64() < 0.7 {
+				lastNull = db.FreshNull()
+			}
+			return lastNull // may repeat the previous mark
+		}
+		return value.Int(int64(rng.Intn(4)))
+	}
+	for _, rel := range []string{"r", "s"} {
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if err := db.Insert(rel, table.Row{mkVal(), mkVal()}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	nk := rng.Intn(3)
+	for i := 0; i < nk; i++ {
+		if err := db.Insert("k", table.Row{value.Int(int64(i)), mkVal()}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// genCond builds a random condition over n columns.
+func genCond(rng *rand.Rand, n int, depth int) algebra.Cond {
+	if depth > 0 && rng.Float64() < 0.4 {
+		l := genCond(rng, n, depth-1)
+		r := genCond(rng, n, depth-1)
+		switch rng.Intn(3) {
+		case 0:
+			return algebra.NewAnd(l, r)
+		case 1:
+			return algebra.NewOr(l, r)
+		default:
+			return algebra.Not{C: l}
+		}
+	}
+	col := algebra.Col{Idx: rng.Intn(n)}
+	switch rng.Intn(4) {
+	case 0:
+		return algebra.Cmp{Op: randOp(rng), L: col, R: algebra.Col{Idx: rng.Intn(n)}}
+	case 1:
+		return algebra.Cmp{Op: randOp(rng), L: col, R: algebra.Lit{Val: value.Int(int64(rng.Intn(4)))}}
+	case 2:
+		return algebra.NullTest{Operand: col, Negated: rng.Intn(2) == 0}
+	default:
+		return algebra.Cmp{Op: algebra.EQ, L: col, R: algebra.Col{Idx: rng.Intn(n)}}
+	}
+}
+
+func randOp(rng *rand.Rand) algebra.CmpOp {
+	return []algebra.CmpOp{algebra.EQ, algebra.NE, algebra.LT, algebra.LE, algebra.GT, algebra.GE}[rng.Intn(6)]
+}
+
+// genExpr builds a random binary-arity query.
+func genExpr(rng *rand.Rand, depth int) algebra.Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return algebra.Base{Name: "r", Cols: 2}
+		case 1:
+			return algebra.Base{Name: "s", Cols: 2}
+		default:
+			return algebra.Base{Name: "k", Cols: 2}
+		}
+	}
+	child := func() algebra.Expr { return genExpr(rng, depth-1) }
+	switch rng.Intn(8) {
+	case 0:
+		c := child()
+		return algebra.Select{Child: c, Cond: genCond(rng, c.Arity(), 2)}
+	case 1:
+		c := child()
+		// Keep arity 2: project a random pair (possibly repeating).
+		return algebra.Project{Child: c, Cols: []int{rng.Intn(2), rng.Intn(2)}}
+	case 2:
+		return algebra.Union{L: child(), R: child()}
+	case 3:
+		return algebra.Intersect{L: child(), R: child()}
+	case 4:
+		return algebra.Diff{L: child(), R: child()}
+	case 5:
+		l, r := child(), child()
+		return algebra.SemiJoin{L: l, R: r, Cond: genCond(rng, l.Arity()+r.Arity(), 2)}
+	case 6:
+		l, r := child(), child()
+		return algebra.SemiJoin{L: l, R: r, Cond: genCond(rng, l.Arity()+r.Arity(), 2), Anti: true}
+	default:
+		return algebra.Distinct{Child: child()}
+	}
+}
+
+func evalOn(t *testing.T, db *table.Database, e algebra.Expr, opts eval.Options) *table.Table {
+	t.Helper()
+	res, err := eval.New(db, opts).Eval(e)
+	if err != nil {
+		t.Fatalf("eval: %v\n%s", err, algebra.Format(e))
+	}
+	return res
+}
+
+func subset(a, b *table.Table) (bool, table.Row) {
+	bk := b.KeySet()
+	for _, r := range a.Rows() {
+		if _, ok := bk[value.RowKey(r)]; !ok {
+			return false, r
+		}
+	}
+	return true, nil
+}
+
+func sameSet(a, b *table.Table) bool {
+	okAB, _ := subset(a, b)
+	okBA, _ := subset(b, a)
+	return okAB && okBA
+}
+
+func iterations(t *testing.T, full int) int {
+	if testing.Short() {
+		return full / 5
+	}
+	return full
+}
+
+// TestPlusIsSound is Theorem 1 on random inputs: every tuple returned
+// by the translated query is a certain answer.
+func TestPlusIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < iterations(t, 400); i++ {
+		db := genDB(rng, 3)
+		q := genExpr(rng, 2+rng.Intn(2))
+
+		cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: brute force: %v", i, err)
+		}
+
+		sch := db.Schema
+		for _, mode := range []struct {
+			name string
+			tr   *certain.Translator
+			opts eval.Options
+		}{
+			{"naive-plain", &certain.Translator{Sch: sch, Mode: certain.ModeNaive}, eval.Options{Semantics: value.Naive}},
+			{"naive-optimized", &certain.Translator{Sch: sch, Mode: certain.ModeNaive, SimplifyNulls: true, SplitOrs: true, KeySimplify: true}, eval.Options{Semantics: value.Naive}},
+			{"sql-plain", &certain.Translator{Sch: sch, Mode: certain.ModeSQL}, eval.Options{Semantics: value.SQL3VL}},
+			{"sql-optimized", &certain.Translator{Sch: sch, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: true, KeySimplify: true}, eval.Options{Semantics: value.SQL3VL}},
+		} {
+			plus := mode.tr.Plus(q)
+			res := evalOn(t, db, plus, mode.opts)
+			if ok, witness := subset(res, cert); !ok {
+				t.Fatalf("iter %d (%s): Q+ returned non-certain tuple %v\nquery:\n%scert: %v\ngot:  %v",
+					i, mode.name, witness, algebra.Format(q), cert.SortedStrings(), res.SortedStrings())
+			}
+		}
+	}
+}
+
+// TestStarRepresentsPotentialAnswers is Lemma 2 sampled: for random
+// valuations v, Q(v(D)) ⊆ v(Q⋆(D)).
+func TestStarRepresentsPotentialAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < iterations(t, 400); i++ {
+		db := genDB(rng, 3)
+		q := genExpr(rng, 2+rng.Intn(2))
+
+		for _, mode := range []struct {
+			name string
+			tr   *certain.Translator
+			opts eval.Options
+		}{
+			{"naive", &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}, eval.Options{Semantics: value.Naive}},
+			{"sql", &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL, SimplifyNulls: true}, eval.Options{Semantics: value.SQL3VL}},
+		} {
+			star := mode.tr.Star(q)
+			starRes := evalOn(t, db, star, mode.opts)
+
+			for trial := 0; trial < 6; trial++ {
+				valuation := map[int64]value.Value{}
+				for _, id := range db.Nulls() {
+					valuation[id] = value.Int(int64(rng.Intn(6))) // includes fresh 4, 5
+				}
+				complete := db.Apply(valuation)
+				truth := evalOn(t, complete, q, eval.Options{Semantics: value.SQL3VL})
+
+				// v(Q⋆(D)) keys.
+				img := table.New(starRes.Arity())
+				for _, r := range starRes.Rows() {
+					nr := make(table.Row, len(r))
+					for j, v := range r {
+						if v.IsNull() {
+							nr[j] = valuation[v.NullID()]
+						} else {
+							nr[j] = v
+						}
+					}
+					img.Append(nr)
+				}
+				if ok, witness := subset(truth, img); !ok {
+					t.Fatalf("iter %d (%s): Q(v(D)) tuple %v not represented by Q*\nquery:\n%s",
+						i, mode.name, witness, algebra.Format(q))
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizationsPreserveResults checks that the three optimization
+// passes and the executor's strategy choices never change the result of
+// the translated query.
+func TestOptimizationsPreserveResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < iterations(t, 400); i++ {
+		db := genDB(rng, 4)
+		q := genExpr(rng, 2+rng.Intn(2))
+		sch := db.Schema
+
+		baseTr := &certain.Translator{Sch: sch, Mode: certain.ModeSQL}
+		ref := evalOn(t, db, baseTr.Plus(q), eval.Options{Semantics: value.SQL3VL})
+
+		variants := map[string]*certain.Translator{
+			"split":    {Sch: sch, Mode: certain.ModeSQL, SplitOrs: true},
+			"simplify": {Sch: sch, Mode: certain.ModeSQL, SimplifyNulls: true},
+			"keysimp":  {Sch: sch, Mode: certain.ModeSQL, KeySimplify: true},
+			"all":      {Sch: sch, Mode: certain.ModeSQL, SplitOrs: true, SimplifyNulls: true, KeySimplify: true},
+		}
+		for name, tr := range variants {
+			got := evalOn(t, db, tr.Plus(q), eval.Options{Semantics: value.SQL3VL})
+			if !sameSet(got, ref) {
+				t.Fatalf("iter %d: %s changed Q+ results\nquery:\n%sref: %v\ngot: %v",
+					i, name, algebra.Format(q), ref.SortedStrings(), got.SortedStrings())
+			}
+		}
+
+		// Executor ablations on the optimized plan.
+		plus := variants["all"].Plus(q)
+		ref2 := evalOn(t, db, plus, eval.Options{Semantics: value.SQL3VL})
+		for name, opts := range map[string]eval.Options{
+			"nohash":         {Semantics: value.SQL3VL, NoHashJoin: true},
+			"nocache":        {Semantics: value.SQL3VL, NoSubplanCache: true},
+			"noshortcircuit": {Semantics: value.SQL3VL, NoShortCircuit: true},
+		} {
+			got := evalOn(t, db, plus, opts)
+			if !sameSet(got, ref2) {
+				t.Fatalf("iter %d: executor option %s changed results\nquery:\n%s", i, name, algebra.Format(q))
+			}
+		}
+	}
+}
+
+// TestPlusEqualsQueryOnCompleteDatabases checks the paper's third
+// requirement of a correct translation: on databases without nulls, Q
+// and Q⁺ produce identical results (and both equal cert(Q, D)).
+func TestPlusEqualsQueryOnCompleteDatabases(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < iterations(t, 400); i++ {
+		db := genDB(rng, 0) // no nulls
+		q := genExpr(rng, 2+rng.Intn(2))
+		orig := evalOn(t, db, q, eval.Options{Semantics: value.SQL3VL})
+		for _, mode := range []certain.CondMode{certain.ModeNaive, certain.ModeSQL} {
+			tr := &certain.Translator{Sch: db.Schema, Mode: mode, SimplifyNulls: true, SplitOrs: true, KeySimplify: true}
+			plus := evalOn(t, db, tr.Plus(q), eval.Options{Semantics: value.SQL3VL})
+			if !sameSet(orig, plus) {
+				t.Fatalf("iter %d: on a complete database Q+ differs from Q (mode %d)\nquery:\n%sQ:  %v\nQ+: %v",
+					i, mode, algebra.Format(q), orig.SortedStrings(), plus.SortedStrings())
+			}
+		}
+	}
+}
+
+// TestNaiveModeDominatesSQLMode: naive evaluation of the naive-mode
+// translation sees mark equality that SQL 3VL cannot, so on the same
+// database it returns a superset of the SQL-adjusted translation's
+// certain answers — never the other way around.
+func TestNaiveModeDominatesSQLMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < iterations(t, 300); i++ {
+		db := genDB(rng, 3)
+		q := genExpr(rng, 2)
+		naive := evalOn(t, db,
+			(&certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}).Plus(q),
+			eval.Options{Semantics: value.Naive})
+		sqlMode := evalOn(t, db,
+			(&certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL}).Plus(q),
+			eval.Options{Semantics: value.SQL3VL})
+		if ok, witness := subset(sqlMode, naive); !ok {
+			t.Fatalf("iter %d: SQL-mode Q+ returned %v which naive-mode misses\nquery:\n%s",
+				i, witness, algebra.Format(q))
+		}
+	}
+}
+
+// TestBruteForceAgreesOnPositiveQueries: for positive queries (no
+// difference, no anti-joins, no negated atoms), naive evaluation
+// computes exactly certain answers with nulls (Fact 1 of the paper).
+func TestBruteForceAgreesOnPositiveQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var genPos func(depth int) algebra.Expr
+	genPos = func(depth int) algebra.Expr {
+		if depth <= 0 {
+			return []algebra.Expr{
+				algebra.Base{Name: "r", Cols: 2},
+				algebra.Base{Name: "s", Cols: 2},
+			}[rng.Intn(2)]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			c := genPos(depth - 1)
+			// Positive condition: equality atoms only, no negation.
+			cond := algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: rng.Intn(2)}, R: algebra.Col{Idx: rng.Intn(2)}}
+			return algebra.Select{Child: c, Cond: cond}
+		case 1:
+			return algebra.Union{L: genPos(depth - 1), R: genPos(depth - 1)}
+		case 2:
+			return algebra.Intersect{L: genPos(depth - 1), R: genPos(depth - 1)}
+		default:
+			return algebra.Project{Child: genPos(depth - 1), Cols: []int{rng.Intn(2), rng.Intn(2)}}
+		}
+	}
+	for i := 0; i < iterations(t, 300); i++ {
+		db := genDB(rng, 3)
+		q := genPos(2)
+		naive := evalOn(t, db, q, eval.Options{Semantics: value.Naive})
+		cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !sameSet(naive.Distinct(), cert) {
+			t.Fatalf("iter %d: naive evaluation ≠ cert on positive query\nquery:\n%snaive: %v\ncert:  %v",
+				i, algebra.Format(q), naive.SortedStrings(), cert.SortedStrings())
+		}
+	}
+}
+
+// TestPlusIdempotentShapes sanity-checks a few specific translations.
+func TestPlusShapes(t *testing.T) {
+	sch := propSchema()
+	tr := &certain.Translator{Sch: sch, Mode: certain.ModeSQL}
+	r := algebra.Base{Name: "r", Cols: 2}
+	s := algebra.Base{Name: "s", Cols: 2}
+
+	// (R − S)+ = R ▷⇑ S (rule 3.4 with base relations).
+	plus := tr.Plus(algebra.Diff{L: r, R: s})
+	if u, ok := plus.(algebra.UnifySemi); !ok || !u.Anti {
+		t.Fatalf("(R−S)+ = %T, want unification anti-semijoin", plus)
+	}
+	// (R ∩ S)* = R ⋉⇑ S (rule 4.3).
+	star := tr.Star(algebra.Intersect{L: r, R: s})
+	if u, ok := star.(algebra.UnifySemi); !ok || u.Anti {
+		t.Fatalf("(R∩S)* = %T, want unification semijoin", star)
+	}
+	// Base relations are fixed points.
+	if tr.Plus(r).Key() != r.Key() || tr.Star(r).Key() != r.Key() {
+		t.Fatal("base relations must translate to themselves")
+	}
+	// Unsupported expressions panic (programming error, not user error).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown expression")
+		}
+	}()
+	tr.Plus(unknownExpr{})
+}
+
+type unknownExpr struct{}
+
+func (unknownExpr) Arity() int  { return 0 }
+func (unknownExpr) Key() string { return "?" }
+
+// TestStarRepresentsExhaustive upgrades the Lemma 2 check from sampled
+// valuations to an exhaustive sweep of the finite valuation pool, via
+// the Definition 3 checker.
+func TestStarRepresentsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for i := 0; i < iterations(t, 150); i++ {
+		db := genDB(rng, 3)
+		q := genExpr(rng, 2)
+		for _, mode := range []struct {
+			name string
+			tr   *certain.Translator
+			opts eval.Options
+		}{
+			{"naive", &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}, eval.Options{Semantics: value.Naive}},
+			{"sql", &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: true}, eval.Options{Semantics: value.SQL3VL}},
+		} {
+			starRes := evalOn(t, db, mode.tr.Star(q), mode.opts)
+			ok, missing, witness, err := certain.RepresentsPotentialAnswers(q, db, starRes, certain.BruteForceOptions{})
+			if err != nil {
+				t.Fatalf("iter %d (%s): %v", i, mode.name, err)
+			}
+			if !ok {
+				t.Fatalf("iter %d (%s): Q* fails Definition 3: tuple %v under valuation %v not represented\nquery:\n%s",
+					i, mode.name, missing, witness, algebra.Format(q))
+			}
+		}
+	}
+
+	// Negative control: the empty set does not represent potential
+	// answers of a base relation with rows.
+	db := genDB(rng, 1)
+	for db.MustTable("r").Len() == 0 {
+		db = genDB(rng, 1)
+	}
+	q := algebra.Base{Name: "r", Cols: 2}
+	ok, _, _, err := certain.RepresentsPotentialAnswers(q, db, table.New(2), certain.BruteForceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("the empty set cannot represent potential answers of a non-empty relation")
+	}
+}

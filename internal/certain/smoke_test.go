@@ -1,0 +1,128 @@
+package certain_test
+
+import (
+	"testing"
+
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// introDB builds the introduction's example: R = {1}, S = {⊥}.
+func introDB(t *testing.T) *table.Database {
+	t.Helper()
+	sch := schema.New()
+	sch.MustAdd(&schema.Relation{Name: "r", Attrs: []schema.Attribute{{Name: "a", Type: value.KindInt, Nullable: true}}})
+	sch.MustAdd(&schema.Relation{Name: "s", Attrs: []schema.Attribute{{Name: "a", Type: value.KindInt, Nullable: true}}})
+	db := table.NewDatabase(sch)
+	if err := db.Insert("r", table.Row{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("s", table.Row{db.FreshNull()}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestIntroExample reproduces the paper's introductory false positive:
+// SELECT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE R.A = S.A)
+// returns {1} under SQL evaluation although the certain answer is empty,
+// and the Q⁺ translation returns the empty (correct) result.
+func TestIntroExample(t *testing.T) {
+	db := introDB(t)
+	q, err := sql.Parse(`SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := compile.Compile(q, db.Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := eval.New(db, eval.Options{Semantics: value.SQL3VL})
+	got, err := ev.Eval(compiled.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Row(0)[0] != value.Int(1) {
+		t.Fatalf("SQL evaluation: got %v, want {(1)}", got.SortedStrings())
+	}
+
+	cert, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != 0 {
+		t.Fatalf("certain answers: got %v, want empty", cert.SortedStrings())
+	}
+
+	tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: true}
+	plus := tr.Plus(compiled.Expr)
+	got2, err := eval.New(db, eval.Options{Semantics: value.SQL3VL}).Eval(plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 0 {
+		t.Fatalf("Q+ evaluation: got %v, want empty", got2.SortedStrings())
+	}
+}
+
+// TestIncomparabilityExamples reproduces the two Section 6 examples
+// showing Q⁺ and SQL evaluation are incomparable.
+func TestIncomparabilityExamples(t *testing.T) {
+	// D2: R = {(⊥,⊥)} (the same mark twice), Q2 = σ_{A=B}(R).
+	// (⊥,⊥) ∈ Q2⁺(D2) under naive evaluation, but SQL returns nothing.
+	sch := schema.New()
+	sch.MustAdd(&schema.Relation{Name: "r", Attrs: []schema.Attribute{
+		{Name: "a", Type: value.KindInt, Nullable: true},
+		{Name: "b", Type: value.KindInt, Nullable: true},
+	}})
+	db := table.NewDatabase(sch)
+	n := db.FreshNull()
+	if err := db.Insert("r", table.Row{n, n}); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := sql.Parse(`SELECT r.a, r.b FROM r WHERE a = b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := compile.Compile(q, db.Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SQL evaluation: empty (⊥ = ⊥ is unknown in SQL).
+	sqlRes, err := eval.New(db, eval.Options{Semantics: value.SQL3VL}).Eval(compiled.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqlRes.Len() != 0 {
+		t.Fatalf("SQL evaluation of self-equality: got %v, want empty", sqlRes.SortedStrings())
+	}
+
+	// Naive-mode Q⁺ with the original condition translation keeps it:
+	// A = B holds under every valuation since both are the same mark.
+	tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
+	plus := tr.Plus(compiled.Expr)
+	naiveRes, err := eval.New(db, eval.Options{Semantics: value.Naive}).Eval(plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naiveRes.Len() != 1 {
+		t.Fatalf("naive Q+ of self-equality: got %v, want the null tuple", naiveRes.SortedStrings())
+	}
+
+	// And it is indeed a certain answer.
+	cert, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != 1 {
+		t.Fatalf("certain answers of self-equality: got %v, want the null tuple", cert.SortedStrings())
+	}
+}

@@ -1,0 +1,178 @@
+package certain
+
+import (
+	"fmt"
+
+	"certsql/internal/algebra"
+	"certsql/internal/schema"
+)
+
+// Translator turns queries into queries with correctness guarantees.
+// The zero value (plus a schema) gives the plain Figure-3 translation
+// under naive-evaluation conditions; set Mode, SplitOrs, SimplifyNulls
+// and KeySimplify for the SQL-adjusted, optimizer-friendly pipeline the
+// paper's experiments use.
+type Translator struct {
+	// Sch provides nullability and key information. May be nil, in
+	// which case the nullability-aware simplification and the key-based
+	// simplification are unavailable.
+	Sch *schema.Schema
+
+	// Mode selects the condition-translation variant (see CondMode).
+	Mode CondMode
+
+	// SimplifyNulls removes IS NULL / IS NOT NULL tests on columns that
+	// provably cannot be null (schema nullability propagated through
+	// operators), recovering the compact appendix queries.
+	SimplifyNulls bool
+
+	// SplitOrs applies the Section 7 rewrite that splits the disjuncts
+	// of anti-semijoin (NOT EXISTS) conditions into separate
+	// anti-semijoins, restoring hash-joinable conditions.
+	SplitOrs bool
+
+	// KeySimplify rewrites R ⋉̸⇑ S into R − S when S is provably a
+	// subset of R and R has a primary key (Section 7).
+	KeySimplify bool
+}
+
+// Plus returns Q⁺, which has correctness guarantees for e: on every
+// database, Q⁺ returns a subset of the certain answers (with nulls) to
+// e. This is Theorem 1 of the paper, with the Figure-3 rules extended
+// to (anti-)semijoins as derived below.
+func (t *Translator) Plus(e algebra.Expr) algebra.Expr {
+	out := t.plus(e)
+	if t.SimplifyNulls && t.Sch != nil {
+		out = t.simplifyNullTests(out)
+	}
+	if t.SplitOrs {
+		out = t.splitOrs(out)
+	}
+	if t.KeySimplify && t.Sch != nil {
+		out = t.keySimplify(out)
+	}
+	return out
+}
+
+// Star returns Q⋆, which represents potential answers to e: for every
+// database D and valuation v, Q(v(D)) ⊆ v(Q⋆(D)) (Lemma 2).
+func (t *Translator) Star(e algebra.Expr) algebra.Expr {
+	out := t.star(e)
+	if t.SimplifyNulls && t.Sch != nil {
+		out = t.simplifyNullTests(out)
+	}
+	return out
+}
+
+// plus implements rules (3.1)–(3.7) of Figure 3, plus the semijoin
+// rules. For SemiJoin/AntiJoin the rules are derived from (3.4) by
+// rewriting L ▷θ R = L − π_L(σθ(L × R)):
+//
+//	(L ⋉θ R)⁺ = L⁺ ⋉θ*  R⁺   — a certain match must be certainly a match
+//	(L ▷θ R)⁺ = L⁺ ▷θ** R⋆   — excluded by any *potential* match in R⋆
+//
+// The antijoin rule is exactly what the paper's SQL-level translation
+// does: keep NOT EXISTS and weaken its condition with OR … IS NULL
+// disjuncts (see queries Q⁺1–Q⁺4 in the appendix). Soundness of the
+// antijoin rule follows the proof of Lemma 1: if r̄ ∈ L⁺ ▷θ** R⋆ and
+// v(r̄) had a θ-match s' in R(v(D)), then by Lemma 2 some s̄ ∈ R⋆(D) has
+// v(s̄) = s', and θ(v(r̄)·v(s̄)) implies θ**(r̄·s̄) — contradiction.
+func (t *Translator) plus(e algebra.Expr) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Base, algebra.AdomPower:
+		return e
+	case algebra.Select:
+		return algebra.Select{Child: t.plus(e.Child), Cond: t.starCond(algebra.NNF(e.Cond))}
+	case algebra.Project:
+		return algebra.Project{Child: t.plus(e.Child), Cols: e.Cols}
+	case algebra.Product:
+		return algebra.Product{L: t.plus(e.L), R: t.plus(e.R)}
+	case algebra.Union:
+		return algebra.Union{L: t.plus(e.L), R: t.plus(e.R)}
+	case algebra.Intersect:
+		return algebra.Intersect{L: t.plus(e.L), R: t.plus(e.R)}
+	case algebra.Diff:
+		// (Q1 − Q2)⁺ = Q1⁺ ⋉̸⇑ Q2⋆ (rule 3.4).
+		return algebra.UnifySemi{L: t.plus(e.L), R: t.star(e.R), Anti: true}
+	case algebra.SemiJoin:
+		if e.Anti {
+			return algebra.SemiJoin{L: t.plus(e.L), R: t.star(e.R), Cond: t.dstarCond(algebra.NNF(e.Cond)), Anti: true}
+		}
+		return algebra.SemiJoin{L: t.plus(e.L), R: t.plus(e.R), Cond: t.starCond(algebra.NNF(e.Cond))}
+	case algebra.UnifySemi:
+		if e.Anti {
+			return algebra.UnifySemi{L: t.plus(e.L), R: t.star(e.R), Anti: true}
+		}
+		return algebra.UnifySemi{L: t.plus(e.L), R: t.plus(e.R)}
+	case algebra.Distinct:
+		return algebra.Distinct{Child: t.plus(e.Child)}
+	case algebra.Division:
+		// Sound when the divisor is a database relation (the proviso of
+		// Fact 1): then R(v(D)) = v(R(D)), and x̄ ∈ L⁺ ÷ R gives, for
+		// any valuation v and any r' = v(r̄) ∈ R(v(D)),
+		// v(x̄)·r' = v(x̄·r̄) ∈ L(v(D)).
+		if _, ok := e.R.(algebra.Base); !ok {
+			panic("certain: plus: division by a non-base relation is outside the guarantee of Fact 1")
+		}
+		return algebra.Division{L: t.plus(e.L), R: e.R}
+	default:
+		panic(fmt.Sprintf("certain: plus: unknown expression %T", e))
+	}
+}
+
+// star implements rules (4.1)–(4.7) of Figure 3 plus the semijoin rules:
+//
+//	(L ⋉θ R)⋆ = L⋆ ⋉θ** R⋆  — a potential match stays potentially matched
+//	(L ▷θ R)⋆ = L⋆ ▷θ*  R⁺  — only *certain* matches may exclude
+//
+// Soundness of the antijoin rule (cf. Lemma 2's difference case): take
+// r' ∈ (L ▷θ R)(v(D)); some r̄ ∈ L⋆(D) has v(r̄) = r'. If some
+// s̄ ∈ R⁺(D) satisfied θ*(r̄·s̄), then θ would hold on every valuation,
+// in particular θ(r'·v(s̄)) with v(s̄) ∈ R(v(D)) — contradicting that r'
+// had no match.
+func (t *Translator) star(e algebra.Expr) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Base, algebra.AdomPower:
+		return e
+	case algebra.Select:
+		return algebra.Select{Child: t.star(e.Child), Cond: t.dstarCond(algebra.NNF(e.Cond))}
+	case algebra.Project:
+		return algebra.Project{Child: t.star(e.Child), Cols: e.Cols}
+	case algebra.Product:
+		return algebra.Product{L: t.star(e.L), R: t.star(e.R)}
+	case algebra.Union:
+		return algebra.Union{L: t.star(e.L), R: t.star(e.R)}
+	case algebra.Intersect:
+		// (Q1 ∩ Q2)⋆ = Q1⋆ ⋉⇑ Q2⋆ (rule 4.3).
+		return algebra.UnifySemi{L: t.star(e.L), R: t.star(e.R)}
+	case algebra.Diff:
+		// (Q1 − Q2)⋆ = Q1⋆ − Q2⁺ (rule 4.4).
+		return algebra.Diff{L: t.star(e.L), R: t.plus(e.R)}
+	case algebra.SemiJoin:
+		if e.Anti {
+			return algebra.SemiJoin{L: t.star(e.L), R: t.plus(e.R), Cond: t.starCond(algebra.NNF(e.Cond)), Anti: true}
+		}
+		return algebra.SemiJoin{L: t.star(e.L), R: t.star(e.R), Cond: t.dstarCond(algebra.NNF(e.Cond))}
+	case algebra.UnifySemi:
+		if e.Anti {
+			// L ▷⇑ R = L − (L ⋉⇑ R); a conservative representation of
+			// potential answers is L⋆ itself (every answer to L ▷⇑ R on
+			// v(D) is an answer to L, hence covered by L⋆).
+			return t.star(e.L)
+		}
+		return algebra.UnifySemi{L: t.star(e.L), R: t.star(e.R)}
+	case algebra.Distinct:
+		return algebra.Distinct{Child: t.star(e.Child)}
+	case algebra.Division:
+		// Every answer to L ÷ R on v(D) is a prefix of an answer to L,
+		// so the prefix projection of L⋆ represents its potential
+		// answers (a conservative choice, as Corollary 1 permits).
+		cols := make([]int, e.Arity())
+		for i := range cols {
+			cols[i] = i
+		}
+		return algebra.Distinct{Child: algebra.Project{Child: t.star(e.L), Cols: cols}}
+	default:
+		panic(fmt.Sprintf("certain: star: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,228 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/compile"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// Aggregation, ORDER BY and LIMIT behaviour tests (standard evaluation
+// mode; the certain mode rejects these — see the root API tests).
+
+func aggDB(t *testing.T) *table.Database {
+	t.Helper()
+	db := table.NewDatabase(testSchema())
+	rows := []struct {
+		a int64
+		b any // int64 or nil for NULL
+	}{
+		{1, int64(10)},
+		{1, int64(20)},
+		{1, nil},
+		{2, int64(5)},
+		{2, int64(7)},
+		{3, nil},
+	}
+	for _, r := range rows {
+		var bv value.Value
+		if r.b == nil {
+			bv = db.FreshNull()
+		} else {
+			bv = value.Int(r.b.(int64))
+		}
+		if err := db.Insert("t", table.Row{value.Int(r.a), bv}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := aggDB(t)
+	got := runSQL(t, db, `SELECT a, COUNT(*), COUNT(b), SUM(b), AVG(b), MIN(b), MAX(b)
+	                      FROM t GROUP BY a ORDER BY a`, nil)
+	if got.Len() != 3 {
+		t.Fatalf("groups: %v", got.SortedStrings())
+	}
+	// Group a=1: count(*)=3, count(b)=2 (null ignored), sum=30, avg=15.
+	g1 := got.Row(0)
+	want1 := []string{"1", "3", "2", "30", "15", "10", "20"}
+	for i, w := range want1 {
+		if g1[i].String() != w {
+			t.Errorf("group 1 col %d = %s, want %s", i, g1[i], w)
+		}
+	}
+	// Group a=3: only a null value — count(b)=0, SUM/AVG/MIN/MAX NULL.
+	g3 := got.Row(2)
+	if g3[1].String() != "1" || g3[2].String() != "0" {
+		t.Errorf("group 3 counts: %v", g3)
+	}
+	for _, i := range []int{3, 4, 5, 6} {
+		if !g3[i].IsNull() {
+			t.Errorf("group 3 col %d = %v, want NULL", i, g3[i])
+		}
+	}
+}
+
+func TestGlobalAggregateOverEmptyInput(t *testing.T) {
+	db := table.NewDatabase(testSchema())
+	got := runSQL(t, db, `SELECT COUNT(*), SUM(a) FROM t`, nil)
+	if got.Len() != 1 {
+		t.Fatalf("global aggregate over empty input: %d rows, want 1", got.Len())
+	}
+	if got.Row(0)[0].String() != "0" || !got.Row(0)[1].IsNull() {
+		t.Errorf("empty input aggregates: %v", got.Row(0))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := aggDB(t)
+	got := runSQL(t, db, `SELECT a, b FROM t ORDER BY b DESC, a LIMIT 3`, nil)
+	if got.Len() != 3 {
+		t.Fatalf("limit: %d rows", got.Len())
+	}
+	// DESC puts nulls first (reverse of NULLS LAST), then 20, 10.
+	if !got.Row(0)[1].IsNull() || !got.Row(1)[1].IsNull() {
+		t.Errorf("DESC null placement: %v", got.Rows())
+	}
+	// Ties on b (both null) break by a ascending: 1 before 3.
+	if got.Row(0)[0].String() != "1" || got.Row(1)[0].String() != "3" {
+		t.Errorf("tie-break order: %v, %v", got.Row(0), got.Row(1))
+	}
+
+	asc := runSQL(t, db, `SELECT b FROM t ORDER BY b`, nil)
+	if asc.Row(0)[0].IsNull() {
+		t.Errorf("ASC must put nulls last: %v", asc.Rows())
+	}
+	last := asc.Row(asc.Len() - 1)[0]
+	if !last.IsNull() {
+		t.Errorf("ASC last value = %v, want NULL", last)
+	}
+
+	// Positional ORDER BY.
+	pos := runSQL(t, db, `SELECT a, b FROM t ORDER BY 1 DESC LIMIT 1`, nil)
+	if pos.Row(0)[0].String() != "3" {
+		t.Errorf("ORDER BY 1 DESC: %v", pos.Row(0))
+	}
+
+	// LIMIT 0 and LIMIT beyond the result size.
+	if z := runSQL(t, db, `SELECT a FROM t LIMIT 0`, nil); z.Len() != 0 {
+		t.Errorf("LIMIT 0: %d rows", z.Len())
+	}
+	if all := runSQL(t, db, `SELECT a FROM t LIMIT 100`, nil); all.Len() != 6 {
+		t.Errorf("LIMIT 100: %d rows", all.Len())
+	}
+}
+
+func TestAggregateWithWhereAndJoin(t *testing.T) {
+	db := aggDB(t)
+	for _, x := range []int64{1, 2} {
+		if err := db.Insert("u", table.Row{value.Int(x), value.Str("s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runSQL(t, db, `SELECT a, COUNT(*) FROM t, u WHERE a = x AND b IS NOT NULL GROUP BY a ORDER BY a`, nil)
+	if got.Len() != 2 {
+		t.Fatalf("join+aggregate: %v", got.SortedStrings())
+	}
+	if got.Row(0)[1].String() != "2" || got.Row(1)[1].String() != "2" {
+		t.Errorf("counts: %v", got.SortedStrings())
+	}
+}
+
+func TestGroupByColumnNames(t *testing.T) {
+	db := aggDB(t)
+	c := mustCompile(t, `SELECT a, COUNT(*), AVG(b) FROM t GROUP BY a`, nil)
+	want := []string{"a", "count", "avg"}
+	if len(c.Columns) != 3 {
+		t.Fatalf("Columns = %v", c.Columns)
+	}
+	for i, w := range want {
+		if c.Columns[i] != w {
+			t.Errorf("Columns[%d] = %q, want %q", i, c.Columns[i], w)
+		}
+	}
+	_ = db
+}
+
+func TestOrderByIsDeterministicAndStable(t *testing.T) {
+	db := aggDB(t)
+	a := runSQL(t, db, `SELECT a, b FROM t ORDER BY a`, nil)
+	b := runSQL(t, db, `SELECT a, b FROM t ORDER BY a`, nil)
+	if strings.Join(rowsAsStrings(a), "|") != strings.Join(rowsAsStrings(b), "|") {
+		t.Error("ORDER BY result not deterministic")
+	}
+	// Stability: within a = 1, insertion order 10, 20, NULL preserved.
+	if a.Row(0)[1].String() != "10" || a.Row(1)[1].String() != "20" {
+		t.Errorf("stable sort violated: %v", rowsAsStrings(a))
+	}
+}
+
+func rowsAsStrings(t *table.Table) []string {
+	out := make([]string, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, ",")
+	}
+	return out
+}
+
+func TestHaving(t *testing.T) {
+	db := aggDB(t)
+	// Groups: a=1 (count 3), a=2 (count 2), a=3 (count 1).
+	got := runSQL(t, db, `SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 2 ORDER BY a`, nil)
+	if got.Len() != 2 {
+		t.Fatalf("HAVING filtered to %v", got.SortedStrings())
+	}
+	if got.Row(0)[0].String() != "1" || got.Row(1)[0].String() != "2" {
+		t.Errorf("groups kept: %v", got.SortedStrings())
+	}
+
+	// HAVING may use aggregates absent from the select list.
+	got2 := runSQL(t, db, `SELECT a FROM t GROUP BY a HAVING SUM(b) > 10 AND COUNT(*) > 0`, nil)
+	// sum(b): a=1 -> 30, a=2 -> 12, a=3 -> NULL (comparison unknown).
+	if got2.Len() != 2 {
+		t.Fatalf("HAVING with hidden aggregates: %v", got2.SortedStrings())
+	}
+
+	// HAVING on a key column.
+	got3 := runSQL(t, db, `SELECT a, COUNT(*) FROM t GROUP BY a HAVING a <> 2`, nil)
+	if got3.Len() != 2 {
+		t.Errorf("HAVING on key: %v", got3.SortedStrings())
+	}
+
+	// HAVING without GROUP BY: global aggregate filtered.
+	got4 := runSQL(t, db, `SELECT COUNT(*) FROM t HAVING COUNT(*) > 100`, nil)
+	if got4.Len() != 0 {
+		t.Errorf("global HAVING: %v", got4.SortedStrings())
+	}
+	got5 := runSQL(t, db, `SELECT COUNT(*) FROM t HAVING COUNT(*) > 1`, nil)
+	if got5.Len() != 1 {
+		t.Errorf("global HAVING keep: %v", got5.SortedStrings())
+	}
+
+	// HAVING over a non-grouped bare column is rejected.
+	q, err := sql.Parse(`SELECT a, COUNT(*) FROM t GROUP BY a HAVING b > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Compile(q, db.Schema, nil); err == nil {
+		t.Error("HAVING on a non-grouped column accepted")
+	}
+	// Aggregates remain illegal in WHERE.
+	q2, err := sql.Parse(`SELECT a FROM t WHERE COUNT(*) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Compile(q2, db.Schema, nil); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+}

@@ -1,0 +1,409 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/compile"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+func testSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "t", Attrs: []schema.Attribute{
+		{Name: "a", Type: value.KindInt, Nullable: true},
+		{Name: "b", Type: value.KindInt, Nullable: true},
+	}})
+	s.MustAdd(&schema.Relation{Name: "u", Attrs: []schema.Attribute{
+		{Name: "x", Type: value.KindInt, Nullable: true},
+		{Name: "y", Type: value.KindString, Nullable: true},
+	}})
+	return s
+}
+
+func mustCompile(t *testing.T, src string, params compile.Params) *compile.Compiled {
+	t.Helper()
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := compile.Compile(q, testSchema(), params)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c
+}
+
+func TestCompileShapes(t *testing.T) {
+	cases := []struct {
+		src      string
+		params   compile.Params
+		contains []string
+		arity    int
+	}{
+		{
+			src:      `SELECT a FROM t`,
+			contains: []string{"π[0](t)"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a, b FROM t WHERE a = 1`,
+			contains: []string{"σ[#0 = 1]"},
+			arity:    2,
+		},
+		{
+			src:      `SELECT a FROM t, u WHERE a = x`,
+			contains: []string{"(t × u)", "#0 = #2"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.a)`,
+			contains: []string{"⋉[#2 = #0]"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.x = t.a)`,
+			contains: []string{"▷[#2 = #0]"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE a IN (SELECT x FROM u)`,
+			contains: []string{"⋉[#0 = #2]"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE a IN (1, 2)`,
+			contains: []string{"#0 = 1 OR #0 = 2"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE a NOT IN (1, 2)`,
+			contains: []string{"#0 <> 1 AND #0 <> 2"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE a IN ($keys)`,
+			params:   compile.Params{"keys": []int64{5, 6, 7}},
+			contains: []string{"#0 = 5 OR #0 = 6 OR #0 = 7"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT DISTINCT a FROM t`,
+			contains: []string{"δ(π[0](t))"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t UNION SELECT x FROM u`,
+			contains: []string{"∪"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t EXCEPT SELECT x FROM u`,
+			contains: []string{"−"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT a FROM t WHERE b > (SELECT AVG(x) FROM u)`,
+			contains: []string{"scalar[AVG(#0)"},
+			arity:    1,
+		},
+		{
+			src:      `WITH v AS (SELECT x FROM u WHERE x = 1) SELECT a FROM t, v WHERE a = x`,
+			contains: []string{"π[0](σ[#0 = 1](u))"},
+			arity:    1,
+		},
+		{
+			src:      `SELECT * FROM t`,
+			contains: []string{"π[0,1](t)"},
+			arity:    2,
+		},
+		{
+			src:      `SELECT y FROM u WHERE y LIKE '%'||$c||'%'`,
+			params:   compile.Params{"c": "red"},
+			contains: []string{"#1 LIKE '%red%'"},
+			arity:    1,
+		},
+	}
+	for _, c := range cases {
+		got := mustCompile(t, c.src, c.params)
+		key := got.Expr.Key()
+		for _, want := range c.contains {
+			if !strings.Contains(key, want) {
+				t.Errorf("%s\n  compiled to %s\n  missing %q", c.src, key, want)
+			}
+		}
+		if got.Expr.Arity() != c.arity {
+			t.Errorf("%s: arity %d, want %d", c.src, got.Expr.Arity(), c.arity)
+		}
+	}
+}
+
+func TestCompileColumnNames(t *testing.T) {
+	c := mustCompile(t, `SELECT b, a FROM t`, nil)
+	if len(c.Columns) != 2 || c.Columns[0] != "b" || c.Columns[1] != "a" {
+		t.Errorf("Columns = %v", c.Columns)
+	}
+	star := mustCompile(t, `SELECT * FROM t, u`, nil)
+	if len(star.Columns) != 4 || star.Columns[2] != "x" {
+		t.Errorf("star Columns = %v", star.Columns)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []struct {
+		src    string
+		params compile.Params
+		want   string
+	}{
+		{`SELECT a FROM nope`, nil, "unknown table"},
+		{`SELECT z FROM t`, nil, "unknown column"},
+		{`SELECT nope.a FROM t`, nil, "unknown table or alias"},
+		{`SELECT t.z FROM t`, nil, "not found"},
+		{`SELECT a FROM t WHERE a = $p`, nil, "unbound parameter"},
+		{`SELECT a FROM t UNION SELECT x, y FROM u`, nil, "arities"},
+		{`SELECT a FROM t WHERE a = 1 OR EXISTS (SELECT * FROM u)`, nil, "top-level WHERE conjunct"},
+		{`SELECT a FROM t WHERE a IN (SELECT x, y FROM u)`, nil, "exactly one column"},
+		{`SELECT a FROM t WHERE a > (SELECT x FROM u)`, nil, "aggregate"},
+		{`SELECT a, AVG(b) FROM t`, nil, "GROUP BY"},
+		{`SELECT a FROM t GROUP BY a ORDER BY b`, nil, "not in the select list"},
+		{`SELECT a FROM t ORDER BY 5`, nil, "out of range"},
+		{`SELECT a FROM t WHERE EXISTS (SELECT x FROM u GROUP BY x)`, nil, "GROUP BY is not supported"},
+		{`SELECT a FROM t WHERE a IN (SELECT x FROM u LIMIT 1)`, nil, "LIMIT is not supported"},
+		{`SELECT a FROM t WHERE a = $list`, compile.Params{"list": []int64{1, 2}}, "scalar position"},
+		{`SELECT a FROM t WHERE b IN ($x)`, compile.Params{"x": struct{}{}}, "unsupported type"},
+	}
+	for _, c := range bad {
+		q, err := sql.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		_, err = compile.Compile(q, testSchema(), c.params)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCompileTwoLevelCorrelationRejected(t *testing.T) {
+	src := `SELECT a FROM t WHERE NOT EXISTS (
+	            SELECT * FROM u WHERE EXISTS (
+	                SELECT * FROM u u2 WHERE u2.x = t.a))`
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Compile(q, testSchema(), nil); err == nil {
+		t.Error("correlation across two block levels accepted")
+	}
+}
+
+// runSQL compiles and evaluates under SQL 3VL.
+func runSQL(t *testing.T, db *table.Database, src string, params compile.Params) *table.Table {
+	t.Helper()
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := compile.Compile(q, db.Schema, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eval.New(db, eval.Options{Semantics: value.SQL3VL}).Eval(c.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestNotInVsNotExistsNullSemantics captures SQL's classic trap, which
+// the compiler must preserve: with U = {NULL}, `a NOT IN (SELECT x FROM
+// u)` filters everything out (the comparison is unknown) while the
+// equivalent-looking NOT EXISTS keeps the row.
+func TestNotInVsNotExistsNullSemantics(t *testing.T) {
+	db := table.NewDatabase(testSchema())
+	if err := db.Insert("t", table.Row{value.Int(1), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("u", table.Row{db.FreshNull(), value.Str("s")}); err != nil {
+		t.Fatal(err)
+	}
+
+	notIn := runSQL(t, db, `SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)`, nil)
+	if notIn.Len() != 0 {
+		t.Errorf("NOT IN with a null in the subquery returned %v, want empty", notIn.SortedStrings())
+	}
+	notExists := runSQL(t, db, `SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.x = t.a)`, nil)
+	if notExists.Len() != 1 {
+		t.Errorf("NOT EXISTS returned %v, want one row", notExists.SortedStrings())
+	}
+	// And IN with a null neither matches nor excludes.
+	in := runSQL(t, db, `SELECT a FROM t WHERE a IN (SELECT x FROM u)`, nil)
+	if in.Len() != 0 {
+		t.Errorf("IN over {NULL} returned %v, want empty", in.SortedStrings())
+	}
+	// NOT IN with an empty subquery keeps the row.
+	db2 := table.NewDatabase(testSchema())
+	if err := db2.Insert("t", table.Row{value.Int(1), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runSQL(t, db2, `SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)`, nil); got.Len() != 1 {
+		t.Errorf("NOT IN over empty subquery returned %v, want one row", got.SortedStrings())
+	}
+	// NOT IN where the *outer* operand is null also excludes the row.
+	db3 := table.NewDatabase(testSchema())
+	if err := db3.Insert("t", table.Row{db3.FreshNull(), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db3.Insert("u", table.Row{value.Int(7), value.Str("s")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runSQL(t, db3, `SELECT b FROM t WHERE a NOT IN (SELECT x FROM u)`, nil); got.Len() != 0 {
+		t.Errorf("NULL NOT IN {7} returned %v, want empty", got.SortedStrings())
+	}
+}
+
+func TestCompileParamKinds(t *testing.T) {
+	db := table.NewDatabase(testSchema())
+	if err := db.Insert("t", table.Row{value.Int(5), value.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]compile.Params{
+		"int":   {"p": 5},
+		"int64": {"p": int64(5)},
+		"value": {"p": value.Int(5)},
+		"float": {"p": 5.0},
+	} {
+		got := runSQL(t, db, `SELECT a FROM t WHERE a = $p`, p)
+		if got.Len() != 1 {
+			t.Errorf("param kind %s: got %d rows", name, got.Len())
+		}
+	}
+	// String and bool params compile too.
+	if err := db.Insert("u", table.Row{value.Int(1), value.Str("red")}); err != nil {
+		t.Fatal(err)
+	}
+	got := runSQL(t, db, `SELECT x FROM u WHERE y = $s`, compile.Params{"s": "red"})
+	if got.Len() != 1 {
+		t.Errorf("string param: %d rows", got.Len())
+	}
+}
+
+func TestScalarSubqueryBehavior(t *testing.T) {
+	db := table.NewDatabase(testSchema())
+	for _, v := range []int64{2, 4, 6} {
+		if err := db.Insert("u", table.Row{value.Int(v), value.Str("s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("t", table.Row{value.Int(5), value.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", table.Row{value.Int(3), value.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// AVG(x) = 4: only a = 5 exceeds it.
+	got := runSQL(t, db, `SELECT a FROM t WHERE a > (SELECT AVG(x) FROM u)`, nil)
+	if got.Len() != 1 || got.Row(0)[0] != value.Int(5) {
+		t.Errorf("AVG comparison: %v", got.SortedStrings())
+	}
+	// Aggregate over the empty set is NULL: comparison unknown, no rows.
+	got2 := runSQL(t, db, `SELECT a FROM t WHERE a > (SELECT AVG(x) FROM u WHERE x > 100)`, nil)
+	if got2.Len() != 0 {
+		t.Errorf("comparison against empty AVG returned %v", got2.SortedStrings())
+	}
+	// COUNT over the empty set is 0.
+	got3 := runSQL(t, db, `SELECT a FROM t WHERE a > (SELECT COUNT(*) FROM u WHERE x > 100)`, nil)
+	if got3.Len() != 2 {
+		t.Errorf("comparison against empty COUNT returned %v", got3.SortedStrings())
+	}
+	// MIN and MAX.
+	if got := runSQL(t, db, `SELECT a FROM t WHERE a > (SELECT MIN(x) FROM u)`, nil); got.Len() != 2 {
+		t.Errorf("MIN: %v", got.SortedStrings())
+	}
+	if got := runSQL(t, db, `SELECT a FROM t WHERE a > (SELECT MAX(x) FROM u)`, nil); got.Len() != 0 {
+		t.Errorf("MAX: %v", got.SortedStrings())
+	}
+	if got := runSQL(t, db, `SELECT a FROM t WHERE a < (SELECT SUM(x) FROM u)`, nil); got.Len() != 2 {
+		t.Errorf("SUM: %v", got.SortedStrings())
+	}
+}
+
+func TestAggregatesIgnoreNulls(t *testing.T) {
+	db := table.NewDatabase(testSchema())
+	if err := db.Insert("u", table.Row{value.Int(10), value.Str("s")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("u", table.Row{db.FreshNull(), value.Str("s")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", table.Row{value.Int(9), value.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// AVG ignores the null: avg = 10, so 9 < 10 keeps the row.
+	got := runSQL(t, db, `SELECT a FROM t WHERE a < (SELECT AVG(x) FROM u)`, nil)
+	if got.Len() != 1 {
+		t.Errorf("AVG over {10, NULL}: %v", got.SortedStrings())
+	}
+	// COUNT(*) counts rows (2), COUNT semantics on the starred form.
+	got2 := runSQL(t, db, `SELECT a FROM t WHERE a > (SELECT COUNT(*) FROM u)`, nil)
+	if got2.Len() != 1 {
+		t.Errorf("COUNT(*) = 2 expected: %v", got2.SortedStrings())
+	}
+}
+
+func TestViewsAreVisibleOnlyInScope(t *testing.T) {
+	// A WITH view must not leak into a sibling query compilation.
+	q1, err := sql.Parse(`WITH v AS (SELECT x FROM u) SELECT a FROM t, v WHERE a = x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Compile(q1, testSchema(), nil); err != nil {
+		t.Fatalf("view compile: %v", err)
+	}
+	q2, err := sql.Parse(`SELECT a FROM t, v WHERE a = x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Compile(q2, testSchema(), nil); err == nil {
+		t.Error("view leaked across compilations")
+	}
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	db := table.NewDatabase(testSchema())
+	if err := db.Insert("t", table.Row{value.Int(1), value.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", table.Row{value.Int(2), value.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	// Chain: t1.b = t2.a.
+	got := runSQL(t, db, `SELECT t1.a, t2.b FROM t t1, t t2 WHERE t1.b = t2.a`, nil)
+	if got.Len() != 1 || got.Row(0)[0] != value.Int(1) || got.Row(0)[1] != value.Int(3) {
+		t.Errorf("self join: %v", got.SortedStrings())
+	}
+}
+
+func TestDateLiteralComparison(t *testing.T) {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "d", Attrs: []schema.Attribute{
+		{Name: "when", Type: value.KindDate, Nullable: true},
+	}})
+	db := table.NewDatabase(s)
+	if err := db.Insert("d", table.Row{value.MustDate("1995-06-15")}); err != nil {
+		t.Fatal(err)
+	}
+	got := runSQL(t, db, `SELECT when FROM d WHERE when > $cutoff`,
+		compile.Params{"cutoff": value.MustDate("1995-01-01")})
+	if got.Len() != 1 {
+		t.Errorf("date comparison: %v", got.SortedStrings())
+	}
+}

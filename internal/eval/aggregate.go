@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"certsql/internal/algebra"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// This file executes the decision-support operators: grouping with
+// SQL's aggregate semantics (nulls ignored; AVG/SUM/MIN/MAX over an
+// empty input are NULL, COUNT is 0), stable sorting with NULLS LAST,
+// and LIMIT.
+
+// evalGroupBy executes γ_keys;aggs(child).
+func (ev *Evaluator) evalGroupBy(e algebra.GroupBy) (*table.Table, error) {
+	child, err := ev.eval(e.Child)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		rep  table.Row
+		accs []aggAcc
+	}
+	newAccs := func() []aggAcc {
+		accs := make([]aggAcc, len(e.Aggs))
+		for i, spec := range e.Aggs {
+			accs[i] = aggAcc{spec: spec}
+		}
+		return accs
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range child.Rows() {
+		ev.stats.CostUnits++
+		k := value.TupleKey(row, e.Keys)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: row, accs: newAccs()}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i := range g.accs {
+			g.accs[i].add(row)
+		}
+	}
+	// SQL: a global aggregate (no keys) yields one row even when the
+	// input is empty.
+	if len(e.Keys) == 0 && len(order) == 0 {
+		groups[""] = &group{rep: nil, accs: newAccs()}
+		order = append(order, "")
+	}
+	out := table.New(e.Arity())
+	for _, k := range order {
+		g := groups[k]
+		row := make(table.Row, 0, e.Arity())
+		for _, kc := range e.Keys {
+			row = append(row, g.rep[kc])
+		}
+		for i := range g.accs {
+			row = append(row, g.accs[i].result())
+		}
+		out.Append(row)
+	}
+	ev.note("group by %v -> %d groups", e.Keys, out.Len())
+	return out, nil
+}
+
+// aggAcc accumulates one aggregate over one group.
+type aggAcc struct {
+	spec  algebra.AggSpec
+	count int64
+	sum   float64
+	min   value.Value
+	max   value.Value
+	have  bool
+}
+
+func (a *aggAcc) add(row table.Row) {
+	if a.spec.Col < 0 { // COUNT(*)
+		a.count++
+		return
+	}
+	v := row[a.spec.Col]
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch a.spec.Func {
+	case algebra.AggSum, algebra.AggAvg:
+		a.sum += v.AsFloat()
+	case algebra.AggMin:
+		if !a.have {
+			a.min = v
+		} else if c, ok := value.Compare(v, a.min); ok && c < 0 {
+			a.min = v
+		}
+	case algebra.AggMax:
+		if !a.have {
+			a.max = v
+		} else if c, ok := value.Compare(v, a.max); ok && c > 0 {
+			a.max = v
+		}
+	}
+	a.have = true
+}
+
+func (a *aggAcc) result() value.Value {
+	switch a.spec.Func {
+	case algebra.AggCount:
+		return value.Int(a.count)
+	case algebra.AggSum:
+		if !a.have {
+			return value.Null(0)
+		}
+		return value.Float(a.sum)
+	case algebra.AggAvg:
+		if !a.have {
+			return value.Null(0)
+		}
+		return value.Float(a.sum / float64(a.count))
+	case algebra.AggMin:
+		if !a.have {
+			return value.Null(0)
+		}
+		return a.min
+	case algebra.AggMax:
+		if !a.have {
+			return value.Null(0)
+		}
+		return a.max
+	default:
+		return value.Null(0)
+	}
+}
+
+// evalSort executes a stable multi-key sort. Ascending keys put nulls
+// last; descending keys reverse the whole order (nulls first), per the
+// common SQL default.
+func (ev *Evaluator) evalSort(e algebra.Sort) (*table.Table, error) {
+	child, err := ev.eval(e.Child)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]table.Row, child.Len())
+	copy(rows, child.Rows())
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range e.Keys {
+			c := sortOrder(rows[i][k.Col], rows[j][k.Col])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	ev.stats.CostUnits += int64(len(rows))
+	ev.note("sort %d rows", len(rows))
+	return table.FromRows(child.Arity(), rows), nil
+}
+
+// sortOrder compares for ORDER BY: unlike the naive-semantics total
+// order, all nulls are peers (SQL does not expose marks), sorting after
+// every constant.
+func sortOrder(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return 1
+	case b.IsNull():
+		return -1
+	default:
+		return value.TotalOrder(a, b)
+	}
+}
+
+// evalLimit keeps the first N rows.
+func (ev *Evaluator) evalLimit(e algebra.Limit) (*table.Table, error) {
+	child, err := ev.eval(e.Child)
+	if err != nil {
+		return nil, err
+	}
+	if e.N < 0 {
+		return nil, fmt.Errorf("eval: negative LIMIT %d", e.N)
+	}
+	n := e.N
+	if n > child.Len() {
+		n = child.Len()
+	}
+	out := table.New(child.Arity())
+	for i := 0; i < n; i++ {
+		out.Append(child.Row(i))
+	}
+	ev.note("limit %d -> %d rows", e.N, out.Len())
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package eval_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/eval"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// TestGroupByAgainstOracle cross-checks the GroupBy operator against a
+// straightforward map-based oracle on random inputs with nulls.
+func TestGroupByAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 200; iter++ {
+		db := newDB(t)
+		type stats struct {
+			rows, nonNull int64
+			sum           float64
+			min, max      int64
+			have          bool
+		}
+		oracle := map[int64]*stats{}
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			key := int64(rng.Intn(4))
+			var v value.Value
+			st := oracle[key]
+			if st == nil {
+				st = &stats{}
+				oracle[key] = st
+			}
+			st.rows++
+			if rng.Float64() < 0.3 {
+				v = db.FreshNull()
+			} else {
+				x := int64(rng.Intn(100))
+				v = value.Int(x)
+				st.nonNull++
+				st.sum += float64(x)
+				if !st.have || x < st.min {
+					st.min = x
+				}
+				if !st.have || x > st.max {
+					st.max = x
+				}
+				st.have = true
+			}
+			ins(t, db, "r", table.Row{value.Int(key), v})
+		}
+
+		e := algebra.GroupBy{
+			Child: baseR,
+			Keys:  []int{0},
+			Aggs: []algebra.AggSpec{
+				{Func: algebra.AggCount, Col: -1},
+				{Func: algebra.AggCount, Col: 1},
+				{Func: algebra.AggSum, Col: 1},
+				{Func: algebra.AggAvg, Col: 1},
+				{Func: algebra.AggMin, Col: 1},
+				{Func: algebra.AggMax, Col: 1},
+			},
+		}
+		got := run(t, db, e, eval.Options{Semantics: value.SQL3VL})
+		if got.Len() != len(oracle) {
+			t.Fatalf("iter %d: %d groups, want %d", iter, got.Len(), len(oracle))
+		}
+		for _, row := range got.Rows() {
+			st := oracle[row[0].AsInt()]
+			if st == nil {
+				t.Fatalf("iter %d: unexpected group %v", iter, row[0])
+			}
+			if row[1].AsInt() != st.rows || row[2].AsInt() != st.nonNull {
+				t.Fatalf("iter %d: counts %v/%v, want %d/%d", iter, row[1], row[2], st.rows, st.nonNull)
+			}
+			if !st.have {
+				for _, c := range []int{3, 4, 5, 6} {
+					if !row[c].IsNull() {
+						t.Fatalf("iter %d: aggregate over all-null group not NULL: %v", iter, row)
+					}
+				}
+				continue
+			}
+			if math.Abs(row[3].AsFloat()-st.sum) > 1e-9 {
+				t.Fatalf("iter %d: sum %v, want %g", iter, row[3], st.sum)
+			}
+			if math.Abs(row[4].AsFloat()-st.sum/float64(st.nonNull)) > 1e-9 {
+				t.Fatalf("iter %d: avg %v", iter, row[4])
+			}
+			if row[5].AsInt() != st.min || row[6].AsInt() != st.max {
+				t.Fatalf("iter %d: min/max %v/%v, want %d/%d", iter, row[5], row[6], st.min, st.max)
+			}
+		}
+	}
+}
+
+// TestSortLimitProperties: sorting is a permutation, ordered per the
+// comparator, and LIMIT is a prefix of it.
+func TestSortLimitProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 100; iter++ {
+		db := newDB(t)
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			row := table.Row{value.Int(int64(rng.Intn(5))), value.Int(int64(rng.Intn(5)))}
+			if rng.Float64() < 0.2 {
+				row[1] = db.FreshNull()
+			}
+			ins(t, db, "r", row)
+		}
+		sorted := run(t, db, algebra.Sort{Child: baseR, Keys: []algebra.SortKey{{Col: 1}, {Col: 0, Desc: true}}},
+			eval.Options{Semantics: value.SQL3VL})
+		if sorted.Len() != n {
+			t.Fatalf("sort changed cardinality: %d vs %d", sorted.Len(), n)
+		}
+		for i := 1; i < sorted.Len(); i++ {
+			a, b := sorted.Row(i-1), sorted.Row(i)
+			// b[1] must not sort strictly before a[1] (nulls last).
+			if cmpNullsLast(b[1], a[1]) < 0 {
+				t.Fatalf("iter %d: rows %d,%d out of order: %v then %v", iter, i-1, i, a, b)
+			}
+		}
+		k := rng.Intn(n + 2)
+		limited := run(t, db, algebra.Limit{Child: algebra.Sort{Child: baseR, Keys: []algebra.SortKey{{Col: 1}, {Col: 0, Desc: true}}}, N: k},
+			eval.Options{Semantics: value.SQL3VL})
+		want := k
+		if want > n {
+			want = n
+		}
+		if limited.Len() != want {
+			t.Fatalf("limit %d over %d rows gave %d", k, n, limited.Len())
+		}
+		for i := 0; i < limited.Len(); i++ {
+			if value.RowKey(limited.Row(i)) != value.RowKey(sorted.Row(i)) {
+				t.Fatalf("limit is not a prefix of sort at row %d", i)
+			}
+		}
+	}
+}
+
+func cmpNullsLast(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return 1
+	case b.IsNull():
+		return -1
+	default:
+		return value.TotalOrder(a, b)
+	}
+}
+
+func TestLimitNegative(t *testing.T) {
+	db := newDB(t)
+	if _, err := eval.New(db, eval.Options{}).Eval(algebra.Limit{Child: baseR, N: -1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+func TestDivisionArityError(t *testing.T) {
+	db := newDB(t)
+	bad := algebra.Division{L: algebra.Project{Child: baseR, Cols: []int{0}}, R: baseR}
+	if _, err := eval.New(db, eval.Options{}).Eval(bad); err == nil {
+		t.Error("division with negative prefix arity accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package eval_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// Engine micro-benchmarks: the executor primitives the experiment
+// results are built from.
+
+func benchDB(n int, nullRate float64) *table.Database {
+	s := schema.New()
+	for _, name := range []string{"r", "s"} {
+		s.MustAdd(&schema.Relation{Name: name, Attrs: []schema.Attribute{
+			{Name: "a", Type: value.KindInt, Nullable: true},
+			{Name: "b", Type: value.KindInt, Nullable: true},
+		}})
+	}
+	db := table.NewDatabase(s)
+	rng := rand.New(rand.NewSource(1))
+	for _, rel := range []string{"r", "s"} {
+		for i := 0; i < n; i++ {
+			row := table.Row{value.Int(int64(rng.Intn(n))), value.Int(int64(rng.Intn(8)))}
+			if rng.Float64() < nullRate {
+				row[rng.Intn(2)] = db.FreshNull()
+			}
+			if err := db.Insert(rel, row); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return db
+}
+
+func benchEval(b *testing.B, db *table.Database, e algebra.Expr, opts eval.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.New(db, opts).Eval(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashVsNestedAntiJoin(b *testing.B) {
+	cond := algebra.NewAnd(
+		algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: 0}, R: algebra.Col{Idx: 2}},
+		algebra.Cmp{Op: algebra.NE, L: algebra.Col{Idx: 1}, R: algebra.Col{Idx: 3}},
+	)
+	e := algebra.SemiJoin{
+		L: algebra.Base{Name: "r", Cols: 2}, R: algebra.Base{Name: "s", Cols: 2},
+		Cond: cond, Anti: true,
+	}
+	for _, n := range []int{1000, 4000} {
+		db := benchDB(n, 0.02)
+		b.Run(fmt.Sprintf("hash/n=%d", n), func(b *testing.B) {
+			benchEval(b, db, e, eval.Options{Semantics: value.SQL3VL})
+		})
+		b.Run(fmt.Sprintf("nestedloop/n=%d", n), func(b *testing.B) {
+			benchEval(b, db, e, eval.Options{Semantics: value.SQL3VL, NoHashJoin: true})
+		})
+	}
+}
+
+func BenchmarkUnifySemiJoin(b *testing.B) {
+	e := algebra.UnifySemi{
+		L: algebra.Base{Name: "r", Cols: 2}, R: algebra.Base{Name: "s", Cols: 2},
+		Anti: true,
+	}
+	db := benchDB(500, 0.05)
+	benchEval(b, db, e, eval.Options{Semantics: value.Naive})
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	e := algebra.GroupBy{
+		Child: algebra.Base{Name: "r", Cols: 2},
+		Keys:  []int{1},
+		Aggs: []algebra.AggSpec{
+			{Func: algebra.AggCount, Col: -1},
+			{Func: algebra.AggAvg, Col: 0},
+			{Func: algebra.AggMax, Col: 0},
+		},
+	}
+	db := benchDB(10000, 0.02)
+	benchEval(b, db, e, eval.Options{Semantics: value.SQL3VL})
+}
+
+func BenchmarkSortLimit(b *testing.B) {
+	e := algebra.Limit{
+		Child: algebra.Sort{
+			Child: algebra.Base{Name: "r", Cols: 2},
+			Keys:  []algebra.SortKey{{Col: 1, Desc: true}, {Col: 0}},
+		},
+		N: 10,
+	}
+	db := benchDB(10000, 0.02)
+	benchEval(b, db, e, eval.Options{Semantics: value.SQL3VL})
+}
+
+func BenchmarkDivision(b *testing.B) {
+	e := algebra.Division{
+		L: algebra.Base{Name: "r", Cols: 2},
+		R: algebra.Distinct{Child: algebra.Project{Child: algebra.Base{Name: "s", Cols: 2}, Cols: []int{1}}},
+	}
+	db := benchDB(5000, 0)
+	benchEval(b, db, e, eval.Options{Semantics: value.Naive})
+}
+
+func BenchmarkJoinBlockPlanner(b *testing.B) {
+	// σ over a 3-way product with one join edge and a residual.
+	cond := algebra.NewAnd(
+		algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: 0}, R: algebra.Col{Idx: 2}},
+		algebra.Cmp{Op: algebra.NE, L: algebra.Col{Idx: 1}, R: algebra.Col{Idx: 3}},
+	)
+	e := algebra.Select{
+		Child: algebra.Product{L: algebra.Base{Name: "r", Cols: 2}, R: algebra.Base{Name: "s", Cols: 2}},
+		Cond:  cond,
+	}
+	db := benchDB(2000, 0.02)
+	benchEval(b, db, e, eval.Options{Semantics: value.SQL3VL})
+}

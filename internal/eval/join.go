@@ -1,0 +1,486 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"certsql/internal/algebra"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// evalSelect evaluates σ_cond(child). When the child is a chain of
+// Cartesian products — the shape SELECT-FROM-WHERE blocks compile to —
+// the condition's equality conjuncts are used to plan a greedy hash
+// equi-join instead of materializing the product.
+func (ev *Evaluator) evalSelect(e algebra.Select) (*table.Table, error) {
+	leaves := flattenProduct(e.Child)
+	if len(leaves) >= 2 && !ev.opts.NoHashJoin {
+		return ev.planJoinBlock(leaves, e.Cond)
+	}
+	child, err := ev.eval(e.Child)
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(child.Arity())
+	for _, r := range child.Rows() {
+		ev.stats.CostUnits++
+		v, err := ev.evalCond(e.Cond, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTrue() {
+			out.Append(r)
+		}
+	}
+	ev.note("filter %s -> %d rows", e.Cond, out.Len())
+	return out, nil
+}
+
+// flattenProduct returns the leaves of a left-to-right product chain, or
+// a single-element slice when e is not a product.
+func flattenProduct(e algebra.Expr) []algebra.Expr {
+	if p, ok := e.(algebra.Product); ok {
+		return append(flattenProduct(p.L), flattenProduct(p.R)...)
+	}
+	return []algebra.Expr{e}
+}
+
+// joinEdge is a pure column-to-column equality conjunct usable as a hash
+// key, expressed in canonical (pre-join) column positions.
+type joinEdge struct {
+	leafA, leafB int
+	colA, colB   int // canonical positions, colA in leafA and colB in leafB
+}
+
+// planJoinBlock plans and executes σ_cond(leaf₀ × leaf₁ × …) greedily:
+// single-leaf conjuncts filter their leaf first; pure equality conjuncts
+// across two leaves become hash-join edges; everything else (including
+// OR-disjunctions — the shape that defeats real optimizers in Section 7
+// of the paper) is a residual filter applied once its leaves are joined.
+// The output preserves the canonical column order of the product.
+func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*table.Table, error) {
+	n := len(leaves)
+	offsets := make([]int, n+1)
+	for i, l := range leaves {
+		offsets[i+1] = offsets[i] + l.Arity()
+	}
+	totalArity := offsets[n]
+	leafOf := func(col int) int {
+		return sort.Search(n, func(i int) bool { return offsets[i+1] > col })
+	}
+
+	// Classify conjuncts.
+	var (
+		singles   = make([][]algebra.Cond, n)
+		edges     []joinEdge
+		residuals []algebra.Cond
+	)
+	for _, c := range algebra.Conjuncts(algebra.NNF(cond)) {
+		cols := algebra.ColsUsed(c)
+		touched := map[int]struct{}{}
+		for _, col := range cols {
+			touched[leafOf(col)] = struct{}{}
+		}
+		switch {
+		case len(touched) == 0:
+			residuals = append(residuals, c) // constant or scalar-only condition
+		case len(touched) == 1:
+			var li int
+			for l := range touched {
+				li = l
+			}
+			singles[li] = append(singles[li], c)
+		default:
+			if cmp, ok := c.(algebra.Cmp); ok && cmp.Op == algebra.EQ {
+				lc, lok := cmp.L.(algebra.Col)
+				rc, rok := cmp.R.(algebra.Col)
+				if lok && rok && len(touched) == 2 {
+					la, lb := leafOf(lc.Idx), leafOf(rc.Idx)
+					if la != lb {
+						edges = append(edges, joinEdge{leafA: la, colA: lc.Idx, leafB: lb, colB: rc.Idx})
+						continue
+					}
+				}
+			}
+			residuals = append(residuals, c)
+		}
+	}
+
+	// Evaluate and filter each leaf. Filtered leaves are wrapped in a
+	// Select node and evaluated through the subplan cache, so the same
+	// filtered relation appearing in several NOT EXISTS branches is
+	// computed once — the executor-level counterpart of the WITH views
+	// the paper introduces for Q⁺4.
+	filtered := make([]*table.Table, n)
+	for i, leaf := range leaves {
+		src := leaf
+		if len(singles[i]) > 0 {
+			remap := func(col int) int { return col - offsets[i] }
+			src = algebra.Select{Child: leaf, Cond: algebra.MapCols(algebra.NewAnd(singles[i]...), remap)}
+		}
+		t, err := ev.eval(src)
+		if err != nil {
+			return nil, err
+		}
+		filtered[i] = t
+	}
+
+	// Greedy join order: start at the smallest leaf; grow via hash edges.
+	joined := map[int]bool{}
+	start := 0
+	for i := 1; i < n; i++ {
+		if filtered[i].Len() < filtered[start].Len() {
+			start = i
+		}
+	}
+	joined[start] = true
+	cur := filtered[start]
+	// pos maps canonical column -> position in cur (-1 when absent).
+	pos := make([]int, totalArity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for c := 0; c < leaves[start].Arity(); c++ {
+		pos[offsets[start]+c] = c
+	}
+
+	appliedEdge := make([]bool, len(edges))
+	appliedRes := make([]bool, len(residuals))
+
+	applyResiduals := func() error {
+		for ri, c := range residuals {
+			if appliedRes[ri] {
+				continue
+			}
+			ready := true
+			for _, col := range algebra.ColsUsed(c) {
+				if pos[col] < 0 {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			appliedRes[ri] = true
+			remapped := algebra.MapCols(c, func(col int) int { return pos[col] })
+			f := table.New(cur.Arity())
+			for _, r := range cur.Rows() {
+				ev.stats.CostUnits++
+				v, err := ev.evalCond(remapped, r)
+				if err != nil {
+					return err
+				}
+				if v.IsTrue() {
+					f.Append(r)
+				}
+			}
+			ev.note("residual filter %s -> %d rows", c, f.Len())
+			cur = f
+		}
+		return nil
+	}
+	if err := applyResiduals(); err != nil {
+		return nil, err
+	}
+
+	for len(joined) < n {
+		// Collect edges from the joined set to each candidate leaf.
+		candEdges := map[int][]int{} // leaf -> edge indexes
+		for ei, e := range edges {
+			if appliedEdge[ei] {
+				continue
+			}
+			switch {
+			case joined[e.leafA] && !joined[e.leafB]:
+				candEdges[e.leafB] = append(candEdges[e.leafB], ei)
+			case joined[e.leafB] && !joined[e.leafA]:
+				candEdges[e.leafA] = append(candEdges[e.leafA], ei)
+			}
+		}
+		next := -1
+		for leaf := range candEdges {
+			if next == -1 || filtered[leaf].Len() < filtered[next].Len() {
+				next = leaf
+			}
+		}
+		if next >= 0 {
+			// Hash join cur with filtered[next] on all connecting edges.
+			var curCols, leafCols []int
+			for _, ei := range candEdges[next] {
+				e := edges[ei]
+				appliedEdge[ei] = true
+				if e.leafA == next {
+					leafCols = append(leafCols, e.colA-offsets[next])
+					curCols = append(curCols, pos[e.colB])
+				} else {
+					leafCols = append(leafCols, e.colB-offsets[next])
+					curCols = append(curCols, pos[e.colA])
+				}
+			}
+			var err error
+			cur, err = ev.hashJoin(cur, filtered[next], curCols, leafCols)
+			if err != nil {
+				return nil, err
+			}
+			ev.stats.HashJoins++
+			ev.note("hash join + %s -> %d rows", leaves[next].Key(), cur.Len())
+		} else {
+			// No connecting edge: Cartesian step with the smallest leaf.
+			next = -1
+			for i := 0; i < n; i++ {
+				if joined[i] {
+					continue
+				}
+				if next == -1 || filtered[i].Len() < filtered[next].Len() {
+					next = i
+				}
+			}
+			var err error
+			cur, err = ev.product(cur, filtered[next])
+			if err != nil {
+				return nil, err
+			}
+		}
+		base := cur.Arity() - leaves[next].Arity()
+		for c := 0; c < leaves[next].Arity(); c++ {
+			pos[offsets[next]+c] = base + c
+		}
+		joined[next] = true
+		if cur.Len() > ev.opts.maxRows() {
+			return nil, fmt.Errorf("%w: join intermediate of %d rows", ErrTooLarge, cur.Len())
+		}
+		if err := applyResiduals(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Any edges between leaves that were joined through other paths.
+	for ei, e := range edges {
+		if appliedEdge[ei] {
+			continue
+		}
+		appliedEdge[ei] = true
+		remapped := algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: pos[e.colA]}, R: algebra.Col{Idx: pos[e.colB]}}
+		f := table.New(cur.Arity())
+		for _, r := range cur.Rows() {
+			ev.stats.CostUnits++
+			v, err := ev.evalCond(remapped, r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				f.Append(r)
+			}
+		}
+		cur = f
+	}
+
+	// Permute back to canonical column order.
+	out := table.New(totalArity)
+	out.Grow(cur.Len())
+	for _, r := range cur.Rows() {
+		nr := make(table.Row, totalArity)
+		for col := 0; col < totalArity; col++ {
+			nr[col] = r[pos[col]]
+		}
+		out.Append(nr)
+	}
+	ev.note("join block (%d leaves) -> %d rows", n, out.Len())
+	return out, nil
+}
+
+// hashJoin joins l and r on equality of the given column lists. Under
+// SQL3VL semantics rows with null key values cannot match (A = NULL is
+// unknown) and are skipped; under naive semantics marked nulls join by
+// their marks, which the key encoding preserves.
+func (ev *Evaluator) hashJoin(l, r *table.Table, lCols, rCols []int) (*table.Table, error) {
+	sqlMode := ev.opts.Semantics == value.SQL3VL
+	idx := make(map[string][]int, r.Len())
+	for i, rr := range r.Rows() {
+		if sqlMode && anyNull(rr, rCols) {
+			continue
+		}
+		k := value.TupleKey(rr, rCols)
+		idx[k] = append(idx[k], i)
+	}
+	out := table.New(l.Arity() + r.Arity())
+	for _, lr := range l.Rows() {
+		ev.stats.CostUnits++
+		if sqlMode && anyNull(lr, lCols) {
+			continue
+		}
+		for _, ri := range idx[value.TupleKey(lr, lCols)] {
+			ev.stats.CostUnits++
+			nr := make(table.Row, 0, l.Arity()+r.Arity())
+			nr = append(nr, lr...)
+			nr = append(nr, r.Row(ri)...)
+			out.Append(nr)
+			if out.Len() > ev.opts.maxRows() {
+				return nil, fmt.Errorf("%w: hash join result exceeds %d rows", ErrTooLarge, ev.opts.maxRows())
+			}
+		}
+	}
+	ev.stats.CostUnits += int64(r.Len())
+	return out, nil
+}
+
+func anyNull(r table.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// evalSemiJoin executes L ⋉θ R / L ▷θ R with the strategy selection
+// described in the package comment.
+func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
+	nL := e.L.Arity()
+	cond := algebra.NNF(e.Cond)
+
+	// Uncorrelated subquery: the condition mentions no columns of L, so
+	// "∃s ∈ R: θ(s)" has one answer for the whole query. Evaluating R
+	// first lets an anti-join with a witness short-circuit to the empty
+	// result without ever computing L — this is precisely why the
+	// translated Q2 runs orders of magnitude faster than the original.
+	correlated := false
+	for _, col := range algebra.ColsUsed(cond) {
+		if col < nL {
+			correlated = true
+			break
+		}
+	}
+	if !correlated && !ev.opts.NoShortCircuit {
+		r, err := ev.eval(e.R)
+		if err != nil {
+			return nil, err
+		}
+		exists := false
+		row := make(table.Row, nL+r.Arity())
+		for _, rr := range r.Rows() {
+			ev.stats.CostUnits++
+			copy(row[nL:], rr)
+			v, err := ev.evalCond(cond, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				exists = true
+				break
+			}
+		}
+		ev.stats.ShortCircuits++
+		ev.note("uncorrelated subquery: exists=%v", exists)
+		if exists == e.Anti {
+			return table.New(nL), nil // empty result, L never evaluated
+		}
+		return ev.eval(e.L)
+	}
+
+	l, err := ev.eval(e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.eval(e.R)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extract pure equality conjuncts spanning both sides as hash keys.
+	var lCols, rCols []int
+	if !ev.opts.NoHashJoin {
+		for _, c := range algebra.Conjuncts(cond) {
+			cmp, ok := c.(algebra.Cmp)
+			if !ok || cmp.Op != algebra.EQ {
+				continue
+			}
+			a, aok := cmp.L.(algebra.Col)
+			b, bok := cmp.R.(algebra.Col)
+			if !aok || !bok {
+				continue
+			}
+			switch {
+			case a.Idx < nL && b.Idx >= nL:
+				lCols = append(lCols, a.Idx)
+				rCols = append(rCols, b.Idx-nL)
+			case b.Idx < nL && a.Idx >= nL:
+				lCols = append(lCols, b.Idx)
+				rCols = append(rCols, a.Idx-nL)
+			}
+		}
+	}
+
+	out := table.New(nL)
+	name := "semijoin"
+	if e.Anti {
+		name = "antijoin"
+	}
+
+	if len(lCols) > 0 {
+		// Hash strategy: probe buckets, verify the full condition.
+		sqlMode := ev.opts.Semantics == value.SQL3VL
+		idx := make(map[string][]int, r.Len())
+		for i, rr := range r.Rows() {
+			if sqlMode && anyNull(rr, rCols) {
+				continue
+			}
+			idx[value.TupleKey(rr, rCols)] = append(idx[value.TupleKey(rr, rCols)], i)
+		}
+		ev.stats.CostUnits += int64(r.Len())
+		row := make(table.Row, nL+r.Arity())
+		for _, lr := range l.Rows() {
+			ev.stats.CostUnits++
+			match := false
+			if !(sqlMode && anyNull(lr, lCols)) {
+				copy(row, lr)
+				for _, ri := range idx[value.TupleKey(lr, lCols)] {
+					ev.stats.CostUnits++
+					copy(row[nL:], r.Row(ri))
+					v, err := ev.evalCond(cond, row)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsTrue() {
+						match = true
+						break
+					}
+				}
+			}
+			if match != e.Anti {
+				out.Append(lr)
+			}
+		}
+		ev.stats.HashJoins++
+		ev.note("hash %s [%d keys] %d vs %d -> %d rows", name, len(lCols), l.Len(), r.Len(), out.Len())
+		return out, nil
+	}
+
+	// Nested loop: the "confused optimizer" path that conditions of the
+	// form (A = B OR B IS NULL) force, per Section 7 of the paper.
+	row := make(table.Row, nL+r.Arity())
+	for _, lr := range l.Rows() {
+		match := false
+		copy(row, lr)
+		for _, rr := range r.Rows() {
+			ev.stats.CostUnits++
+			copy(row[nL:], rr)
+			v, err := ev.evalCond(cond, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				match = true
+				break
+			}
+		}
+		if match != e.Anti {
+			out.Append(lr)
+		}
+	}
+	ev.stats.NestedLoopJoins++
+	ev.note("nested-loop %s %d × %d -> %d rows", name, l.Len(), r.Len(), out.Len())
+	return out, nil
+}

@@ -1,0 +1,190 @@
+// Package experiment contains the drivers that regenerate every table
+// and figure of the paper's evaluation:
+//
+//   - Figure 1: average percentage of false positives per query as the
+//     null rate grows (Section 4);
+//   - the Section 5 observation that the legacy translation of
+//     [Libkin, TODS 2016] is infeasible already on tiny instances;
+//   - Figure 4: relative performance t⁺/t of the translated queries at
+//     null rates 1–5% (Section 7);
+//   - Table 1: ranges of relative performance across instance sizes;
+//   - the precision and recall measurements of Section 7;
+//   - the Section 7 optimizer discussion (plan costs with and without
+//     OR-splitting).
+//
+// Absolute timings obviously differ from the paper's PostgreSQL-on-
+// hardware setup; what the drivers reproduce is the *shape* of each
+// result: who wins, by what order of magnitude, and how it trends.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/eval"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// PaperNullRatesFig1 are the null rates of Figure 1: 0.5%–6% in steps
+// of 0.5% and 6%–10% in steps of 1%.
+func PaperNullRatesFig1() []float64 {
+	var out []float64
+	for r := 0.005; r < 0.0601; r += 0.005 {
+		out = append(out, r)
+	}
+	for r := 0.07; r < 0.101; r += 0.01 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// PaperNullRatesFig4 are the null rates of Figure 4: 1%–5% in steps of 1%.
+func PaperNullRatesFig4() []float64 {
+	return []float64{0.01, 0.02, 0.03, 0.04, 0.05}
+}
+
+// Prepare compiles query qid against db with params and returns the
+// original and translated (Q⁺) expressions.
+func Prepare(qid tpch.QueryID, db *table.Database, params compile.Params, tr *certain.Translator) (orig, plus *compile.Compiled, err error) {
+	q, err := sql.Parse(qid.SQL())
+	if err != nil {
+		return nil, nil, err
+	}
+	orig, err = compile.Compile(q, db.Schema, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	plus = &compile.Compiled{Expr: tr.Plus(orig.Expr), Columns: orig.Columns}
+	return orig, plus, nil
+}
+
+// DefaultTranslator returns the paper's recommended translation
+// pipeline for SQL-mode evaluation over db.
+func DefaultTranslator(db *table.Database) *certain.Translator {
+	return &certain.Translator{
+		Sch:           db.Schema,
+		Mode:          certain.ModeSQL,
+		SimplifyNulls: true,
+		SplitOrs:      true,
+		KeySimplify:   true,
+	}
+}
+
+// runOnce evaluates an expression with a fresh evaluator (no caches
+// shared across timed runs) and returns the result and wall time.
+func runOnce(db *table.Database, c *compile.Compiled) (*table.Table, time.Duration, eval.Stats, error) {
+	ev := eval.New(db, eval.Options{Semantics: value.SQL3VL})
+	start := time.Now()
+	t, err := ev.Eval(c.Expr)
+	return t, time.Since(start), ev.Stats(), err
+}
+
+// Figure1Config configures the false-positive experiment.
+type Figure1Config struct {
+	// NullRates to test; nil means the paper's Figure 1 rates.
+	NullRates []float64
+	// Instances per null rate (the paper uses 100).
+	Instances int
+	// ParamDraws per instance (the paper uses 5).
+	ParamDraws int
+	// Scale is the TPC-H scale factor; the paper scales the 1 GB
+	// instance down by 10³ for this experiment.
+	Scale float64
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// Queries to run; nil means Q1–Q4.
+	Queries []tpch.QueryID
+}
+
+func (c *Figure1Config) defaults() {
+	if c.NullRates == nil {
+		c.NullRates = PaperNullRatesFig1()
+	}
+	if c.Instances == 0 {
+		c.Instances = 5
+	}
+	if c.ParamDraws == 0 {
+		c.ParamDraws = 5
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.001
+	}
+	if c.Queries == nil {
+		c.Queries = tpch.AllQueries
+	}
+}
+
+// Figure1Row is one point of Figure 1: the average percentage of
+// detected false positives per query at one null rate.
+type Figure1Row struct {
+	NullRate  float64
+	FPPercent map[tpch.QueryID]float64
+	// Executions with a non-empty answer, per query (the denominator).
+	Samples map[tpch.QueryID]int
+}
+
+// Figure1 reproduces Figure 1: SQL-evaluate Q1–Q4 on instances with
+// increasing null rates and measure, via the detection algorithms of
+// Section 4, the fraction of answers that are provably false positives.
+func Figure1(cfg Figure1Config) ([]Figure1Row, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed})
+	sizes := tpch.Config{ScaleFactor: cfg.Scale}.Sizes()
+
+	var out []Figure1Row
+	for _, rate := range cfg.NullRates {
+		row := Figure1Row{
+			NullRate:  rate,
+			FPPercent: map[tpch.QueryID]float64{},
+			Samples:   map[tpch.QueryID]int{},
+		}
+		sum := map[tpch.QueryID]float64{}
+		for inst := 0; inst < cfg.Instances; inst++ {
+			db := base.Clone()
+			tpch.InjectNulls(db, rate, rng)
+			for _, qid := range cfg.Queries {
+				detect := tpch.DetectorFor(qid)
+				for d := 0; d < cfg.ParamDraws; d++ {
+					params := qid.Params(rng, sizes)
+					q, err := sql.Parse(qid.SQL())
+					if err != nil {
+						return nil, err
+					}
+					compiled, err := compile.Compile(q, db.Schema, params)
+					if err != nil {
+						return nil, err
+					}
+					res, _, _, err := runOnce(db, compiled)
+					if err != nil {
+						return nil, fmt.Errorf("fig1 %s: %w", qid, err)
+					}
+					if res.Len() == 0 {
+						continue
+					}
+					fp := 0
+					for _, r := range res.Rows() {
+						if detect(db, params, r) {
+							fp++
+						}
+					}
+					sum[qid] += 100 * float64(fp) / float64(res.Len())
+					row.Samples[qid]++
+				}
+			}
+		}
+		for _, qid := range cfg.Queries {
+			if n := row.Samples[qid]; n > 0 {
+				row.FPPercent[qid] = sum[qid] / float64(n)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

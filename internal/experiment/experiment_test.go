@@ -1,0 +1,205 @@
+package experiment_test
+
+import (
+	"errors"
+	"testing"
+
+	"certsql/internal/eval"
+	"certsql/internal/experiment"
+	"certsql/internal/tpch"
+)
+
+// TestFigure1Shape runs a miniature Figure 1 and checks the paper's
+// qualitative findings: every query produces false positives at modest
+// null rates, Q2 is close to 100%, and Q3's rate grows with the null
+// rate.
+func TestFigure1Shape(t *testing.T) {
+	rows, err := experiment.Figure1(experiment.Figure1Config{
+		NullRates:  []float64{0.02, 0.08},
+		Instances:  3,
+		ParamDraws: 4,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	low, high := rows[0], rows[1]
+
+	if low.Samples[tpch.Q2] > 0 && low.FPPercent[tpch.Q2] < 50 {
+		t.Errorf("Q2 FP rate at 2%% nulls = %.1f%%, paper reports near 100%%", low.FPPercent[tpch.Q2])
+	}
+	if high.Samples[tpch.Q3] > 0 && low.Samples[tpch.Q3] > 0 &&
+		high.FPPercent[tpch.Q3] < low.FPPercent[tpch.Q3] {
+		t.Errorf("Q3 FP rate should grow with the null rate: %.1f%% at 2%% vs %.1f%% at 8%%",
+			low.FPPercent[tpch.Q3], high.FPPercent[tpch.Q3])
+	}
+	anyFP := false
+	for _, q := range tpch.AllQueries {
+		if high.FPPercent[q] > 0 {
+			anyFP = true
+		}
+	}
+	if !anyFP {
+		t.Error("no query produced false positives at 8% nulls")
+	}
+	t.Log("\n" + experiment.RenderFigure1(rows))
+}
+
+// TestFigure4Shape runs a miniature Figure 4 and checks the paper's
+// three behaviours: Q1/Q3 cheap, Q2 dramatically faster, Q4 slower but
+// bounded.
+func TestFigure4Shape(t *testing.T) {
+	rows, err := experiment.Figure4(experiment.Figure4Config{
+		NullRates:  []float64{0.02, 0.04},
+		Instances:  1,
+		ParamDraws: 2,
+		Repeats:    2,
+		Scale:      0.002,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if v := r.RelPerf[tpch.Q2]; v > 0.8 {
+			t.Errorf("Q2 relative perf %.3f at %.0f%%, expected well below 1 (paper: ~10⁻³)", v, 100*r.NullRate)
+		}
+		for _, q := range []tpch.QueryID{tpch.Q1, tpch.Q3} {
+			if v := r.RelPerf[q]; v > 2.5 {
+				t.Errorf("%s relative perf %.3f at %.0f%%, expected near 1", q, v, 100*r.NullRate)
+			}
+		}
+		if v := r.RelPerf[tpch.Q4]; v > 25 {
+			t.Errorf("Q4 relative perf %.3f, expected bounded overhead", v)
+		}
+	}
+	t.Log("\n" + experiment.RenderFigure4(rows))
+}
+
+// TestRecallIs100 checks the paper's headline recall result: Q⁺ returns
+// exactly the SQL answers minus the detected false positives, and never
+// leaks a detected false positive.
+func TestRecallIs100(t *testing.T) {
+	results, err := experiment.Recall(experiment.RecallConfig{
+		Instances:  3,
+		ParamDraws: 4,
+		NullRate:   0.04,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.LeakedFalsePositives != 0 {
+			t.Errorf("%s: Q+ leaked %d detected false positives", r.Query, r.LeakedFalsePositives)
+		}
+		if r.Recall() < 100 {
+			t.Errorf("%s: recall %.1f%%, paper reports 100%%", r.Query, r.Recall())
+		}
+	}
+	t.Log("\n" + experiment.RenderRecall(results))
+}
+
+// TestLegacyBlowup checks the Section 5 result: the legacy translation's
+// cost grows superlinearly and exceeds the budget well before 10³ rows,
+// while Q⁺ keeps up easily.
+func TestLegacyBlowup(t *testing.T) {
+	points, err := experiment.LegacyBlowup(experiment.LegacyConfig{
+		Sizes:   []int{8, 32, 128, 512},
+		MaxRows: 500_000,
+		Seed:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	if !last.LegacyFailed {
+		t.Errorf("legacy translation survived %d rows within budget; expected blow-up", last.Rows)
+	}
+	for _, p := range points {
+		if p.PlusCost >= p.LegacyCost && !p.LegacyFailed {
+			t.Errorf("Q+ cost %d not below legacy cost %d at %d rows", p.PlusCost, p.LegacyCost, p.Rows)
+		}
+	}
+	t.Log("\n" + experiment.RenderLegacy(points))
+}
+
+// TestLegacyOnQ3 checks that the legacy translation of the real Q3 is
+// infeasible outright (adom^9 for the orders relation).
+func TestLegacyOnQ3(t *testing.T) {
+	adom, err := experiment.LegacyOnQ3(0.001, 5)
+	if err == nil {
+		t.Fatal("legacy translation of Q3 unexpectedly evaluated within budget")
+	}
+	if !errors.Is(err, eval.ErrTooLarge) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	t.Logf("legacy Q3 with |adom| = %d: %v", adom, err)
+}
+
+// TestOrSplitQ2 checks the Section 7 optimizer story on Q2: without
+// splitting, the translated NOT EXISTS condition contains OR … IS NULL
+// and forces a nested loop; with splitting, the plan short-circuits and
+// wins once the instance is non-trivial.
+func TestOrSplitQ2(t *testing.T) {
+	r, err := experiment.OrSplit(tpch.Q2, 0.005, 0.03, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnsplitRows != r.SplitRow {
+		t.Errorf("split changed the result: %d vs %d rows", r.UnsplitRows, r.SplitRow)
+	}
+	if r.UnsplitStats.NestedLoopJoins == 0 {
+		t.Error("unsplit Q2+ used no nested loops; expected the confused-optimizer path")
+	}
+	if r.SplitStats.ShortCircuits == 0 {
+		t.Error("split Q2+ performed no short circuits; expected the decorrelated IS NULL branch")
+	}
+	t.Log("\n" + experiment.RenderOrSplit(r))
+}
+
+// TestOrSplitQ4 checks the harder half of the Section 7 story: the
+// unsplit Q4+ plan has "astronomical" cost (here: it exceeds the row
+// budget via Cartesian fallbacks), while the split plan completes.
+func TestOrSplitQ4(t *testing.T) {
+	r, err := experiment.OrSplit(tpch.Q4, 0.002, 0.03, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.UnsplitFailed && r.UnsplitStats.CostUnits < 4*r.SplitStats.CostUnits {
+		t.Errorf("unsplit Q4+ cost %d not dramatically above split cost %d",
+			r.UnsplitStats.CostUnits, r.SplitStats.CostUnits)
+	}
+	if r.SplitRow == 0 {
+		t.Log("note: split Q4+ returned no rows on this draw")
+	}
+	t.Log("\n" + experiment.RenderOrSplit(r))
+}
+
+// TestAblationShape runs the design-decision ablation study and checks
+// the headline effects: losing OR-splitting cripples Q4 (or busts the
+// budget), losing the short circuit slows Q2 severely, and losing hash
+// joins makes Q3's anti-join quadratic.
+func TestAblationShape(t *testing.T) {
+	rows, err := experiment.Ablation(experiment.AblationConfig{Seed: 7, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQuery := map[tpch.QueryID]experiment.AblationRow{}
+	for _, r := range rows {
+		byQuery[r.Query] = r
+	}
+	if r := byQuery[tpch.Q4]; !r.Failed["no-orsplit"] && r.Factor["no-orsplit"] < 5 {
+		t.Errorf("Q4 without OR-split: factor %.2f, expected severe slowdown", r.Factor["no-orsplit"])
+	}
+	if r := byQuery[tpch.Q2]; r.Factor["no-shortcircuit"] < 2 {
+		t.Errorf("Q2 without short circuit: factor %.2f, expected a large slowdown", r.Factor["no-shortcircuit"])
+	}
+	if r := byQuery[tpch.Q3]; !r.Failed["no-hashjoin"] && r.Factor["no-hashjoin"] < 5 {
+		t.Errorf("Q3 without hash joins: factor %.2f, expected quadratic blow-up", r.Factor["no-hashjoin"])
+	}
+	t.Log("\n" + experiment.RenderAblation(rows))
+}

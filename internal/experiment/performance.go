@@ -1,0 +1,309 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// Figure4Config configures the price-of-correctness experiment.
+type Figure4Config struct {
+	// NullRates to test; nil means 1%–5% as in Figure 4.
+	NullRates []float64
+	// Instances per null rate (the paper uses 10).
+	Instances int
+	// ParamDraws per instance (the paper uses 5).
+	ParamDraws int
+	// Repeats per query instance (the paper uses 3).
+	Repeats int
+	// Scale is the TPC-H scale factor of the "1 GB-equivalent"
+	// instance for this reproduction.
+	Scale float64
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// Queries to run; nil means Q1–Q4.
+	Queries []tpch.QueryID
+}
+
+func (c *Figure4Config) defaults() {
+	if c.NullRates == nil {
+		c.NullRates = PaperNullRatesFig4()
+	}
+	if c.Instances == 0 {
+		c.Instances = 3
+	}
+	if c.ParamDraws == 0 {
+		c.ParamDraws = 3
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.002
+	}
+	if c.Queries == nil {
+		c.Queries = tpch.AllQueries
+	}
+}
+
+// Figure4Row is one point of Figure 4: the average relative performance
+// t⁺/t per query at one null rate (below 1 means the correct query is
+// faster).
+type Figure4Row struct {
+	NullRate float64
+	RelPerf  map[tpch.QueryID]float64
+}
+
+// Figure4 reproduces Figure 4: run each query and its Q⁺ translation on
+// instances with null rates 1%–5% and report the ratio of their running
+// times, averaged over instances, parameter draws and repeats.
+func Figure4(cfg Figure4Config) ([]Figure4Row, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed})
+	sizes := tpch.Config{ScaleFactor: cfg.Scale}.Sizes()
+
+	var out []Figure4Row
+	for _, rate := range cfg.NullRates {
+		row := Figure4Row{NullRate: rate, RelPerf: map[tpch.QueryID]float64{}}
+		sumRatio := map[tpch.QueryID]float64{}
+		samples := map[tpch.QueryID]int{}
+		for inst := 0; inst < cfg.Instances; inst++ {
+			db := base.Clone()
+			tpch.InjectNulls(db, rate, rng)
+			tr := DefaultTranslator(db)
+			for _, qid := range cfg.Queries {
+				for d := 0; d < cfg.ParamDraws; d++ {
+					params := qid.Params(rng, sizes)
+					orig, plus, err := Prepare(qid, db, params, tr)
+					if err != nil {
+						return nil, fmt.Errorf("fig4 %s: %w", qid, err)
+					}
+					var tOrig, tPlus time.Duration
+					for rep := 0; rep < cfg.Repeats; rep++ {
+						if _, dt, _, err := runOnce(db, orig); err != nil {
+							return nil, fmt.Errorf("fig4 %s original: %w", qid, err)
+						} else {
+							tOrig += dt
+						}
+						if _, dt, _, err := runOnce(db, plus); err != nil {
+							return nil, fmt.Errorf("fig4 %s translated: %w", qid, err)
+						} else {
+							tPlus += dt
+						}
+					}
+					if tOrig > 0 {
+						sumRatio[qid] += float64(tPlus) / float64(tOrig)
+						samples[qid]++
+					}
+				}
+			}
+		}
+		for _, qid := range cfg.Queries {
+			if samples[qid] > 0 {
+				row.RelPerf[qid] = sumRatio[qid] / float64(samples[qid])
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table1Config configures the instance-size scaling experiment.
+type Table1Config struct {
+	// ScaleMultipliers relative to BaseScale; nil means {1, 3, 6, 10},
+	// the paper's 1/3/6/10 GB instances.
+	ScaleMultipliers []float64
+	// BaseScale is the scale factor of the "1 GB-equivalent" instance.
+	BaseScale float64
+	// NullRates as in Figure 4 (1%–5%); ranges are taken across them.
+	NullRates []float64
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// ParamDraws per size and rate.
+	ParamDraws int
+	// Queries to run; nil means Q1–Q4.
+	Queries []tpch.QueryID
+}
+
+func (c *Table1Config) defaults() {
+	if c.ScaleMultipliers == nil {
+		c.ScaleMultipliers = []float64{1, 3, 6, 10}
+	}
+	if c.BaseScale == 0 {
+		c.BaseScale = 0.002
+	}
+	if c.NullRates == nil {
+		c.NullRates = PaperNullRatesFig4()
+	}
+	if c.ParamDraws == 0 {
+		c.ParamDraws = 2
+	}
+	if c.Queries == nil {
+		c.Queries = tpch.AllQueries
+	}
+}
+
+// Table1Row is one cell range of Table 1: the min–max of average
+// relative performance for one query at one instance size.
+type Table1Row struct {
+	Multiplier float64
+	Min, Max   map[tpch.QueryID]float64
+}
+
+// Table1 reproduces Table 1: ranges of relative performance t⁺/t as the
+// instance grows.
+func Table1(cfg Table1Config) ([]Table1Row, error) {
+	cfg.defaults()
+	var out []Table1Row
+	for _, mult := range cfg.ScaleMultipliers {
+		rows, err := Figure4(Figure4Config{
+			NullRates:  cfg.NullRates,
+			Instances:  1,
+			ParamDraws: cfg.ParamDraws,
+			Repeats:    2,
+			Scale:      cfg.BaseScale * mult,
+			Seed:       cfg.Seed + int64(mult*1000),
+			Queries:    cfg.Queries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t1 := Table1Row{Multiplier: mult, Min: map[tpch.QueryID]float64{}, Max: map[tpch.QueryID]float64{}}
+		for _, qid := range cfg.Queries {
+			for i, r := range rows {
+				v, ok := r.RelPerf[qid]
+				if !ok {
+					continue
+				}
+				if i == 0 || v < t1.Min[qid] {
+					t1.Min[qid] = v
+				}
+				if i == 0 || v > t1.Max[qid] {
+					t1.Max[qid] = v
+				}
+			}
+		}
+		out = append(out, t1)
+	}
+	return out, nil
+}
+
+// RecallResult reports the recall measurement of Section 7 for one
+// query: among the certain answers that standard SQL evaluation
+// returned (i.e. its answers minus the detected false positives), the
+// fraction also returned by Q⁺. The paper observes 100% everywhere.
+type RecallResult struct {
+	Query tpch.QueryID
+	// CertainReturned is the number of SQL answers not detected as
+	// false positives, summed over all runs.
+	CertainReturned int
+	// Recalled is how many of those Q⁺ returned.
+	Recalled int
+	// FalsePositives is the number of detected false positives among
+	// SQL answers (all of which Q⁺ must avoid).
+	FalsePositives int
+	// LeakedFalsePositives counts detected false positives that Q⁺
+	// returned — must be zero.
+	LeakedFalsePositives int
+}
+
+// Recall returns CertainReturned == Recalled as a percentage.
+func (r RecallResult) Recall() float64 {
+	if r.CertainReturned == 0 {
+		return 100
+	}
+	return 100 * float64(r.Recalled) / float64(r.CertainReturned)
+}
+
+// RecallConfig configures the recall experiment.
+type RecallConfig struct {
+	Scale      float64
+	NullRate   float64
+	Instances  int
+	ParamDraws int
+	Seed       int64
+	Queries    []tpch.QueryID
+}
+
+func (c *RecallConfig) defaults() {
+	if c.Scale == 0 {
+		c.Scale = 0.001
+	}
+	if c.NullRate == 0 {
+		c.NullRate = 0.03
+	}
+	if c.Instances == 0 {
+		c.Instances = 5
+	}
+	if c.ParamDraws == 0 {
+		c.ParamDraws = 5
+	}
+	if c.Queries == nil {
+		c.Queries = tpch.AllQueries
+	}
+}
+
+// Recall reproduces the Section 7 recall measurement on small
+// DataFiller-style instances: Q⁺ must return precisely the SQL answers
+// minus the detected false positives.
+func Recall(cfg RecallConfig) ([]RecallResult, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed})
+	sizes := tpch.Config{ScaleFactor: cfg.Scale}.Sizes()
+
+	results := map[tpch.QueryID]*RecallResult{}
+	for _, qid := range cfg.Queries {
+		results[qid] = &RecallResult{Query: qid}
+	}
+	for inst := 0; inst < cfg.Instances; inst++ {
+		db := base.Clone()
+		tpch.InjectNulls(db, cfg.NullRate, rng)
+		tr := DefaultTranslator(db)
+		for _, qid := range cfg.Queries {
+			detect := tpch.DetectorFor(qid)
+			for d := 0; d < cfg.ParamDraws; d++ {
+				params := qid.Params(rng, sizes)
+				orig, plus, err := Prepare(qid, db, params, tr)
+				if err != nil {
+					return nil, err
+				}
+				sqlRes, _, _, err := runOnce(db, orig)
+				if err != nil {
+					return nil, err
+				}
+				plusRes, _, _, err := runOnce(db, plus)
+				if err != nil {
+					return nil, err
+				}
+				plusKeys := plusRes.KeySet()
+				r := results[qid]
+				for _, row := range sqlRes.Rows() {
+					_, inPlus := plusKeys[rowKey(row)]
+					if detect(db, params, row) {
+						r.FalsePositives++
+						if inPlus {
+							r.LeakedFalsePositives++
+						}
+						continue
+					}
+					r.CertainReturned++
+					if inPlus {
+						r.Recalled++
+					}
+				}
+			}
+		}
+	}
+	out := make([]RecallResult, 0, len(cfg.Queries))
+	for _, qid := range cfg.Queries {
+		out = append(out, *results[qid])
+	}
+	return out, nil
+}
+
+func rowKey(row []value.Value) string { return value.RowKey(row) }

@@ -1,0 +1,453 @@
+// Package rewrite renders relational-algebra expressions back to SQL
+// text. Combined with the certain translation it yields direct
+// SQL-to-SQL rewriting — the workflow the paper's experiments use (and
+// its future-work section asks for): parse Q, translate to Q⁺, render
+// Q⁺ as SQL. The appendix queries Q⁺1–Q⁺4 of the paper are regenerated
+// this way (see the translation tests).
+//
+// The renderer understands the block shapes that compiled queries have —
+// selections over products with (anti-)semijoins on top — and renders
+// them as flat SELECT-FROM-WHERE blocks with EXISTS / NOT EXISTS
+// subqueries. Anything else is rendered as a set-operation or derived
+// expression. Unification semijoins expand into per-column null-aware
+// comparisons; with SQL's Codd-style nulls this is exact for tuples
+// without repeated marks (the paper's Section 7 discusses why SQL nulls
+// cannot express mark equality).
+package rewrite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"certsql/internal/algebra"
+	"certsql/internal/schema"
+)
+
+// ToSQL renders e as SQL text. The schema provides attribute names for
+// base relations.
+func ToSQL(e algebra.Expr, sch *schema.Schema) (string, error) {
+	r := &renderer{sch: sch}
+	out, err := r.render(e)
+	if err != nil {
+		return "", err
+	}
+	return out.sql, nil
+}
+
+type renderer struct {
+	sch     *schema.Schema
+	aliasID int
+}
+
+// rendered is a complete SQL query along with its output column
+// expressions (usable in an enclosing select list) — either bare
+// attribute references for block shapes or positional names.
+type rendered struct {
+	sql  string
+	cols []string
+}
+
+// blockEnv maps the positional columns of a block (a product of base
+// relations) to alias-qualified attribute names.
+type blockEnv struct {
+	names []string // per column: alias.attr
+}
+
+func (r *renderer) freshAlias(base string) string {
+	r.aliasID++
+	return fmt.Sprintf("%s_%d", base, r.aliasID)
+}
+
+// render dispatches on the expression shape.
+func (r *renderer) render(e algebra.Expr) (rendered, error) {
+	switch e := e.(type) {
+	case algebra.Sort:
+		inner, err := r.render(e.Child)
+		if err != nil {
+			return rendered{}, err
+		}
+		parts := make([]string, len(e.Keys))
+		for i, k := range e.Keys {
+			parts[i] = strconv.Itoa(k.Col + 1)
+			if k.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		return rendered{sql: inner.sql + "\nORDER BY " + strings.Join(parts, ", "), cols: inner.cols}, nil
+	case algebra.Limit:
+		inner, err := r.render(e.Child)
+		if err != nil {
+			return rendered{}, err
+		}
+		return rendered{sql: inner.sql + fmt.Sprintf("\nLIMIT %d", e.N), cols: inner.cols}, nil
+	case algebra.Project:
+		if gb, ok := e.Child.(algebra.GroupBy); ok {
+			return r.renderGroupBy(gb, nil, e.Cols)
+		}
+		if sel, ok := e.Child.(algebra.Select); ok {
+			if gb, ok := sel.Child.(algebra.GroupBy); ok {
+				return r.renderGroupBy(gb, sel.Cond, e.Cols)
+			}
+		}
+		return r.renderProjectedBlock(e.Child, e.Cols, false)
+	case algebra.GroupBy:
+		all := make([]int, e.Arity())
+		for i := range all {
+			all[i] = i
+		}
+		return r.renderGroupBy(e, nil, all)
+	case algebra.Distinct:
+		if p, ok := e.Child.(algebra.Project); ok {
+			return r.renderProjectedBlock(p.Child, p.Cols, true)
+		}
+		inner, err := r.render(e.Child)
+		if err != nil {
+			return rendered{}, err
+		}
+		return rendered{sql: "SELECT DISTINCT * FROM (" + inner.sql + ") dt", cols: inner.cols}, nil
+	case algebra.Union:
+		return r.renderSetOp(e.L, e.R, "UNION")
+	case algebra.Intersect:
+		return r.renderSetOp(e.L, e.R, "INTERSECT")
+	case algebra.Diff:
+		return r.renderSetOp(e.L, e.R, "EXCEPT")
+	case algebra.UnifySemi:
+		return r.renderUnify(e)
+	default:
+		// A bare block (no projection): render with SELECT *.
+		all := make([]int, e.Arity())
+		for i := range all {
+			all[i] = i
+		}
+		return r.renderProjectedBlock(e, all, false)
+	}
+}
+
+func (r *renderer) renderSetOp(l, rt algebra.Expr, op string) (rendered, error) {
+	lr, err := r.render(l)
+	if err != nil {
+		return rendered{}, err
+	}
+	rr, err := r.render(rt)
+	if err != nil {
+		return rendered{}, err
+	}
+	return rendered{sql: lr.sql + "\n" + op + "\n" + rr.sql, cols: lr.cols}, nil
+}
+
+// renderUnify renders a unification (anti-)semijoin as a [NOT] EXISTS
+// over the per-column unifiability condition.
+func (r *renderer) renderUnify(e algebra.UnifySemi) (rendered, error) {
+	// Render L as a block with SELECT *; attach the subquery.
+	all := make([]int, e.L.Arity())
+	for i := range all {
+		all[i] = i
+	}
+	from, env, wheres, err := r.renderBlockParts(e.L)
+	if err != nil {
+		return rendered{}, err
+	}
+	rFrom, rEnv, rWheres, err := r.renderBlockParts(e.R)
+	if err != nil {
+		return rendered{}, err
+	}
+	var unif []string
+	for i := 0; i < e.L.Arity(); i++ {
+		a, b := env.names[i], rEnv.names[i]
+		unif = append(unif, fmt.Sprintf("(%s = %s OR %s IS NULL OR %s IS NULL)", a, b, a, b))
+	}
+	sub := "SELECT * FROM " + strings.Join(rFrom, ", ")
+	subConds := append(append([]string{}, rWheres...), unif...)
+	if len(subConds) > 0 {
+		sub += " WHERE " + strings.Join(subConds, "\n    AND ")
+	}
+	kw := "EXISTS"
+	if e.Anti {
+		kw = "NOT EXISTS"
+	}
+	wheres = append(wheres, kw+" (\n    "+sub+" )")
+	sql := "SELECT " + strings.Join(pick(env.names, all), ", ") + "\nFROM " + strings.Join(from, ", ")
+	if len(wheres) > 0 {
+		sql += "\nWHERE " + strings.Join(wheres, "\n  AND ")
+	}
+	return rendered{sql: sql, cols: pick(env.names, all)}, nil
+}
+
+// renderGroupBy renders π_sel(σ_having(γ_keys;aggs(block))) as a
+// grouped SELECT with an optional HAVING clause. sel lists GroupBy
+// output positions: keys first, then aggregates.
+func (r *renderer) renderGroupBy(e algebra.GroupBy, having algebra.Cond, sel []int) (rendered, error) {
+	from, env, wheres, err := r.renderBlockParts(e.Child)
+	if err != nil {
+		return rendered{}, err
+	}
+	outExpr := make([]string, 0, len(e.Keys)+len(e.Aggs))
+	outName := make([]string, 0, len(e.Keys)+len(e.Aggs))
+	for _, k := range e.Keys {
+		outExpr = append(outExpr, env.names[k])
+		outName = append(outName, shortName(env.names[k]))
+	}
+	for _, a := range e.Aggs {
+		arg := "*"
+		if a.Col >= 0 {
+			arg = env.names[a.Col]
+		}
+		outExpr = append(outExpr, a.Func.String()+"("+arg+")")
+		outName = append(outName, strings.ToLower(a.Func.String()))
+	}
+	items := make([]string, len(sel))
+	names := make([]string, len(sel))
+	for i, s := range sel {
+		items[i] = outExpr[s]
+		names[i] = outName[s]
+	}
+	sql := "SELECT " + strings.Join(items, ", ") + "\nFROM " + strings.Join(from, ", ")
+	if len(wheres) > 0 {
+		sql += "\nWHERE " + strings.Join(wheres, "\n  AND ")
+	}
+	if len(e.Keys) > 0 {
+		keyNames := make([]string, len(e.Keys))
+		for i, k := range e.Keys {
+			keyNames[i] = env.names[k]
+		}
+		sql += "\nGROUP BY " + strings.Join(keyNames, ", ")
+	}
+	if having != nil {
+		// HAVING references GroupBy output positions; substitute the
+		// key and aggregate expressions directly.
+		h, err := r.condSQL(having, outExpr)
+		if err != nil {
+			return rendered{}, err
+		}
+		sql += "\nHAVING " + h
+	}
+	return rendered{sql: sql, cols: names}, nil
+}
+
+func shortName(qualified string) string {
+	if dot := strings.LastIndexByte(qualified, '.'); dot >= 0 {
+		return qualified[dot+1:]
+	}
+	return qualified
+}
+
+// renderProjectedBlock renders πcols(block) as a SELECT statement.
+func (r *renderer) renderProjectedBlock(e algebra.Expr, cols []int, distinct bool) (rendered, error) {
+	from, env, wheres, err := r.renderBlockParts(e)
+	if err != nil {
+		return rendered{}, err
+	}
+	sel := "SELECT "
+	if distinct {
+		sel = "SELECT DISTINCT "
+	}
+	names := pick(env.names, cols)
+	sql := sel + strings.Join(names, ", ") + "\nFROM " + strings.Join(from, ", ")
+	if len(wheres) > 0 {
+		sql += "\nWHERE " + strings.Join(wheres, "\n  AND ")
+	}
+	short := make([]string, len(names))
+	for i, n := range names {
+		if dot := strings.LastIndexByte(n, '.'); dot >= 0 {
+			short[i] = n[dot+1:]
+		} else {
+			short[i] = n
+		}
+	}
+	return rendered{sql: sql, cols: short}, nil
+}
+
+// renderBlockParts decomposes a block-shaped expression into FROM items,
+// a column environment, and WHERE conjuncts (including EXISTS
+// subqueries from semijoins).
+func (r *renderer) renderBlockParts(e algebra.Expr) (from []string, env blockEnv, wheres []string, err error) {
+	switch e := e.(type) {
+	case algebra.Base:
+		rel, ok := r.sch.Relation(e.Name)
+		if !ok {
+			return nil, blockEnv{}, nil, fmt.Errorf("rewrite: unknown relation %q", e.Name)
+		}
+		alias := r.freshAlias(e.Name)
+		names := make([]string, rel.Arity())
+		for i, a := range rel.Attrs {
+			names[i] = alias + "." + a.Name
+		}
+		return []string{e.Name + " " + alias}, blockEnv{names: names}, nil, nil
+
+	case algebra.Product:
+		lf, le, lw, err := r.renderBlockParts(e.L)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		rf, re, rw, err := r.renderBlockParts(e.R)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		return append(lf, rf...), blockEnv{names: append(le.names, re.names...)}, append(lw, rw...), nil
+
+	case algebra.Select:
+		from, env, wheres, err = r.renderBlockParts(e.Child)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		cond, err := r.condSQL(e.Cond, env.names)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		return from, env, append(wheres, cond), nil
+
+	case algebra.SemiJoin:
+		from, env, wheres, err = r.renderBlockParts(e.L)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		rFrom, rEnv, rWheres, err := r.renderBlockParts(e.R)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		combined := append(append([]string{}, env.names...), rEnv.names...)
+		var conds []string
+		if _, isTrue := e.Cond.(algebra.TrueCond); !isTrue {
+			c, err := r.condSQL(e.Cond, combined)
+			if err != nil {
+				return nil, blockEnv{}, nil, err
+			}
+			conds = append(conds, c)
+		}
+		conds = append(conds, rWheres...)
+		sub := "SELECT * FROM " + strings.Join(rFrom, ", ")
+		if len(conds) > 0 {
+			sub += " WHERE " + strings.Join(conds, " AND ")
+		}
+		kw := "EXISTS"
+		if e.Anti {
+			kw = "NOT EXISTS"
+		}
+		return from, env, append(wheres, kw+" (\n    "+sub+" )"), nil
+
+	case algebra.UnifySemi, algebra.Union, algebra.Intersect, algebra.Diff, algebra.Project, algebra.Distinct:
+		// Non-block shape: render as a derived table.
+		inner, err := r.render(e)
+		if err != nil {
+			return nil, blockEnv{}, nil, err
+		}
+		alias := r.freshAlias("dt")
+		names := make([]string, len(inner.cols))
+		for i, c := range inner.cols {
+			names[i] = alias + "." + c
+		}
+		return []string{"(" + inner.sql + ") " + alias}, blockEnv{names: names}, nil, nil
+
+	case algebra.AdomPower:
+		return nil, blockEnv{}, nil, fmt.Errorf("rewrite: adom^%d has no reasonable SQL rendering (this is the point of Section 5)", e.K)
+
+	default:
+		return nil, blockEnv{}, nil, fmt.Errorf("rewrite: unsupported expression %T", e)
+	}
+}
+
+func pick(names []string, cols []int) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = names[c]
+	}
+	return out
+}
+
+// condSQL renders a condition with columns resolved to names.
+func (r *renderer) condSQL(c algebra.Cond, names []string) (string, error) {
+	switch c := c.(type) {
+	case algebra.TrueCond:
+		return "1 = 1", nil
+	case algebra.FalseCond:
+		return "1 = 0", nil
+	case algebra.Cmp:
+		l, err := r.operandSQL(c.L, names)
+		if err != nil {
+			return "", err
+		}
+		rr, err := r.operandSQL(c.R, names)
+		if err != nil {
+			return "", err
+		}
+		return l + " " + c.Op.String() + " " + rr, nil
+	case algebra.Like:
+		l, err := r.operandSQL(c.Operand, names)
+		if err != nil {
+			return "", err
+		}
+		p, err := r.operandSQL(c.Pattern, names)
+		if err != nil {
+			return "", err
+		}
+		if c.Negated {
+			return l + " NOT LIKE " + p, nil
+		}
+		return l + " LIKE " + p, nil
+	case algebra.NullTest:
+		o, err := r.operandSQL(c.Operand, names)
+		if err != nil {
+			return "", err
+		}
+		if c.Negated {
+			return o + " IS NOT NULL", nil
+		}
+		return o + " IS NULL", nil
+	case algebra.And:
+		parts, err := r.condListSQL(c.Conds, names, true)
+		if err != nil {
+			return "", err
+		}
+		return strings.Join(parts, " AND "), nil
+	case algebra.Or:
+		parts, err := r.condListSQL(c.Conds, names, false)
+		if err != nil {
+			return "", err
+		}
+		return "( " + strings.Join(parts, " OR ") + " )", nil
+	case algebra.Not:
+		inner, err := r.condSQL(c.C, names)
+		if err != nil {
+			return "", err
+		}
+		return "NOT (" + inner + ")", nil
+	default:
+		return "", fmt.Errorf("rewrite: unknown condition %T", c)
+	}
+}
+
+func (r *renderer) condListSQL(cs []algebra.Cond, names []string, parenOrs bool) ([]string, error) {
+	parts := make([]string, len(cs))
+	for i, sub := range cs {
+		s, err := r.condSQL(sub, names)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = s
+	}
+	return parts, nil
+}
+
+func (r *renderer) operandSQL(o algebra.Operand, names []string) (string, error) {
+	switch o := o.(type) {
+	case algebra.Col:
+		if o.Idx < 0 || o.Idx >= len(names) {
+			return "", fmt.Errorf("rewrite: column #%d out of range", o.Idx)
+		}
+		return names[o.Idx], nil
+	case algebra.Lit:
+		return o.Val.SQLString(), nil
+	case algebra.Scalar:
+		inner, err := r.render(algebra.Project{Child: o.Sub, Cols: []int{o.Col}})
+		if err != nil {
+			return "", err
+		}
+		// Re-render as an aggregate over the single projected column.
+		body := strings.Replace(inner.sql, "SELECT ", "SELECT "+o.Agg.String()+"(", 1)
+		body = strings.Replace(body, "\nFROM", ")\nFROM", 1)
+		return "(" + body + ")", nil
+	default:
+		return "", fmt.Errorf("rewrite: unknown operand %T", o)
+	}
+}

@@ -1,0 +1,162 @@
+package rewrite_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/compile"
+	"certsql/internal/eval"
+	"certsql/internal/rewrite"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+func testSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "t", Attrs: []schema.Attribute{
+		{Name: "a", Type: value.KindInt, Nullable: true},
+		{Name: "b", Type: value.KindInt, Nullable: true},
+	}})
+	s.MustAdd(&schema.Relation{Name: "u", Attrs: []schema.Attribute{
+		{Name: "x", Type: value.KindInt, Nullable: true},
+		{Name: "y", Type: value.KindString, Nullable: true},
+	}})
+	return s
+}
+
+// roundTrip compiles a query, renders it back to SQL, re-parses and
+// re-compiles the rendering, and checks both versions produce the same
+// results on a small database with nulls. This is the strongest check
+// the renderer can get: semantic, not textual.
+func roundTrip(t *testing.T, src string, params compile.Params) {
+	t.Helper()
+	sch := testSchema()
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c1, err := compile.Compile(q, sch, params)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	text, err := rewrite.ToSQL(c1.Expr, sch)
+	if err != nil {
+		t.Fatalf("render %q: %v", src, err)
+	}
+	q2, err := sql.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse rendering of %q:\n%s\n%v", src, text, err)
+	}
+	c2, err := compile.Compile(q2, sch, nil) // parameters were inlined
+	if err != nil {
+		t.Fatalf("recompile rendering of %q:\n%s\n%v", src, text, err)
+	}
+
+	db := table.NewDatabase(sch)
+	vals := []value.Value{value.Int(0), value.Int(1), value.Int(2), db.FreshNull(), db.FreshNull()}
+	i := 0
+	next := func() value.Value { i++; return vals[i%len(vals)] }
+	for r := 0; r < 5; r++ {
+		if err := db.Insert("t", table.Row{next(), next()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("u", table.Row{next(), value.Str([]string{"red", "blue"}[r%2])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res1, err := eval.New(db, eval.Options{}).Eval(c1.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eval.New(db, eval.Options{}).Eval(c2.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := res1.SortedStrings(), res2.SortedStrings()
+	if strings.Join(s1, ";") != strings.Join(s2, ";") {
+		t.Fatalf("round trip changed semantics for %q\nrendered:\n%s\noriginal: %v\nrendered: %v",
+			src, text, s1, s2)
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	cases := []struct {
+		src    string
+		params compile.Params
+	}{
+		{`SELECT a FROM t`, nil},
+		{`SELECT a, b FROM t WHERE a = 1 AND b <> 2`, nil},
+		{`SELECT a FROM t, u WHERE a = x AND y = 'red'`, nil},
+		{`SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.a)`, nil},
+		{`SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.x = t.a AND u.y LIKE '%e%')`, nil},
+		{`SELECT DISTINCT b FROM t WHERE a IS NOT NULL`, nil},
+		{`SELECT a FROM t UNION SELECT x FROM u`, nil},
+		{`SELECT a FROM t EXCEPT SELECT x FROM u`, nil},
+		{`SELECT a FROM t WHERE a IN (1, 2)`, nil},
+		{`SELECT a FROM t WHERE a = $p`, compile.Params{"p": 1}},
+		{`SELECT a FROM t WHERE b > (SELECT AVG(x) FROM u)`, nil},
+		{`SELECT t1.a FROM t t1, t t2 WHERE t1.b = t2.a`, nil},
+		{`SELECT a, COUNT(*) FROM t GROUP BY a`, nil},
+		{`SELECT a, AVG(b) FROM t WHERE b IS NOT NULL GROUP BY a ORDER BY 1 DESC LIMIT 2`, nil},
+		{`SELECT COUNT(*) FROM t`, nil},
+		{`SELECT a FROM t ORDER BY a LIMIT 3`, nil},
+		{`SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1`, nil},
+		{`SELECT a FROM t GROUP BY a HAVING SUM(b) > 2 AND a IS NOT NULL`, nil},
+	}
+	for _, c := range cases {
+		roundTrip(t, c.src, c.params)
+	}
+}
+
+func TestRenderUnifySemi(t *testing.T) {
+	sch := testSchema()
+	e := algebra.UnifySemi{
+		L:    algebra.Base{Name: "t", Cols: 2},
+		R:    algebra.Base{Name: "u", Cols: 2},
+		Anti: true,
+	}
+	out, err := rewrite.ToSQL(e, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NOT EXISTS", "IS NULL", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unification antijoin rendering misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAdomPowerFails(t *testing.T) {
+	if _, err := rewrite.ToSQL(algebra.AdomPower{K: 2}, testSchema()); err == nil {
+		t.Error("adom power rendered to SQL")
+	}
+}
+
+func TestRenderUnknownRelation(t *testing.T) {
+	if _, err := rewrite.ToSQL(algebra.Base{Name: "ghost", Cols: 1}, testSchema()); err == nil {
+		t.Error("unknown relation rendered")
+	}
+}
+
+func TestRenderAliasesAreUnique(t *testing.T) {
+	sch := testSchema()
+	// A self join must get two distinct aliases.
+	q, err := sql.Parse(`SELECT t1.a FROM t t1, t t2 WHERE t1.a = t2.b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := compile.Compile(q, sch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rewrite.ToSQL(c.Expr, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t t_1") || !strings.Contains(out, "t t_2") {
+		t.Errorf("self join aliases missing:\n%s", out)
+	}
+}

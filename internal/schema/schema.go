@@ -1,0 +1,116 @@
+// Package schema describes relational schemas: relations, attributes,
+// types, primary keys and nullability.
+//
+// Nullability matters twice in this reproduction: the data generator
+// injects nulls only into nullable attributes (Section 3 of the paper),
+// and the key-based simplification of the certain-answer translation
+// (Section 7: R ⋉̸⇑ S = R − S when S ⊆ R and R has a key) consults
+// primary-key information.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"certsql/internal/value"
+)
+
+// Attribute is a named, typed column of a relation.
+type Attribute struct {
+	Name     string
+	Type     value.Kind
+	Nullable bool
+}
+
+// Relation is the schema of one relation: its name and attributes, plus
+// the positions of its primary key (empty when no key is declared).
+type Relation struct {
+	Name  string
+	Attrs []Attribute
+	Key   []int // attribute positions forming the primary key
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the attribute with the given name,
+// or -1 when absent. Lookup is case-insensitive, matching SQL.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if strings.EqualFold(a.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasKey reports whether the relation declares a primary key.
+func (r *Relation) HasKey() bool { return len(r.Key) > 0 }
+
+// String renders the schema in CREATE TABLE-like form.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(", r.Name)
+	for i, a := range r.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Type)
+		if !a.Nullable {
+			b.WriteString(" not null")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Schema is a catalog of relations, keyed by lower-cased name.
+type Schema struct {
+	rels  map[string]*Relation
+	order []string // insertion order, for deterministic listing
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{rels: map[string]*Relation{}}
+}
+
+// Add registers a relation. It returns an error on duplicate names or on
+// key positions out of range.
+func (s *Schema) Add(r *Relation) error {
+	name := strings.ToLower(r.Name)
+	if _, dup := s.rels[name]; dup {
+		return fmt.Errorf("schema: duplicate relation %q", r.Name)
+	}
+	for _, k := range r.Key {
+		if k < 0 || k >= len(r.Attrs) {
+			return fmt.Errorf("schema: relation %q: key position %d out of range", r.Name, k)
+		}
+		if r.Attrs[k].Nullable {
+			return fmt.Errorf("schema: relation %q: key attribute %q cannot be nullable", r.Name, r.Attrs[k].Name)
+		}
+	}
+	s.rels[name] = r
+	s.order = append(s.order, name)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for static catalogs.
+func (s *Schema) MustAdd(r *Relation) {
+	if err := s.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation looks up a relation by name (case-insensitive).
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.rels[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names returns the relation names in insertion order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}

@@ -1,0 +1,89 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/value"
+)
+
+func rel() *Relation {
+	return &Relation{
+		Name: "Orders",
+		Attrs: []Attribute{
+			{Name: "o_orderkey", Type: value.KindInt},
+			{Name: "o_custkey", Type: value.KindInt, Nullable: true},
+			{Name: "o_status", Type: value.KindString, Nullable: true},
+		},
+		Key: []int{0},
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := rel()
+	if r.Arity() != 3 {
+		t.Errorf("arity %d", r.Arity())
+	}
+	if !r.HasKey() {
+		t.Error("HasKey")
+	}
+	if i := r.AttrIndex("O_CUSTKEY"); i != 1 {
+		t.Errorf("case-insensitive AttrIndex = %d", i)
+	}
+	if i := r.AttrIndex("nope"); i != -1 {
+		t.Errorf("missing attr index = %d", i)
+	}
+	s := r.String()
+	for _, want := range []string{"Orders(", "o_orderkey int not null", "o_custkey int,"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q misses %q", s, want)
+		}
+	}
+}
+
+func TestSchemaAdd(t *testing.T) {
+	s := New()
+	if err := s.Add(rel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rel()); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	got, ok := s.Relation("ORDERS")
+	if !ok || got.Name != "Orders" {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := s.Relation("nope"); ok {
+		t.Error("lookup of unknown relation succeeded")
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "orders" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestSchemaKeyValidation(t *testing.T) {
+	s := New()
+	bad := rel()
+	bad.Name = "bad1"
+	bad.Key = []int{9}
+	if err := s.Add(bad); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	bad2 := rel()
+	bad2.Name = "bad2"
+	bad2.Key = []int{1} // o_custkey is nullable
+	if err := s.Add(bad2); err == nil {
+		t.Error("nullable key attribute accepted")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	s := New()
+	s.MustAdd(rel())
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on duplicate")
+		}
+	}()
+	s.MustAdd(rel())
+}

@@ -1,0 +1,439 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a full query: optional WITH views followed by a query
+// expression (a select or a set operation over selects).
+type Query struct {
+	With []CTE
+	Body QueryExpr
+}
+
+// CTE is one WITH view.
+type CTE struct {
+	Name string
+	Body QueryExpr
+}
+
+// QueryExpr is a select statement or a set operation.
+type QueryExpr interface {
+	isQueryExpr()
+	sqlText(b *strings.Builder)
+}
+
+// SetOpKind distinguishes the three set operations.
+type SetOpKind uint8
+
+// Set operation kinds.
+const (
+	OpUnion SetOpKind = iota
+	OpIntersect
+	OpExcept
+)
+
+// String renders the SQL keyword.
+func (k SetOpKind) String() string {
+	switch k {
+	case OpUnion:
+		return "UNION"
+	case OpIntersect:
+		return "INTERSECT"
+	default:
+		return "EXCEPT"
+	}
+}
+
+// SetOp is L op R (set semantics, as in relational algebra).
+type SetOp struct {
+	Op   SetOpKind
+	L, R QueryExpr
+}
+
+// SelectStmt is a SELECT-FROM-WHERE block.
+type SelectStmt struct {
+	// Certain marks the `SELECT CERTAIN` evaluation mode — the syntax
+	// the paper's conclusion envisions for a second, fully correct
+	// evaluation mode. The engine then evaluates the query's Q⁺
+	// translation instead of the query itself.
+	Certain bool
+	// Possible marks the dual `SELECT POSSIBLE` mode: the engine
+	// evaluates Q⋆, a compact representation of the potential answers
+	// (Definition 3 of the paper) — every answer obtainable under some
+	// interpretation of the nulls is an instantiation of a returned
+	// tuple.
+	Possible bool
+	Distinct bool
+	Star     bool // SELECT *
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent
+	// GroupBy lists the grouping columns (standard evaluation mode
+	// only; certain-answer evaluation of aggregates is open theory —
+	// Section 8 of the paper). Having filters the groups.
+	GroupBy []ColRef
+	Having  Expr // nil when absent
+	// OrderBy sorts the output; Limit (when non-nil) truncates it.
+	OrderBy []OrderItem
+	Limit   *int
+}
+
+// OrderItem is one ORDER BY key: an output column by name, or a
+// 1-based output position when Pos > 0.
+type OrderItem struct {
+	Ref  ColRef
+	Pos  int
+	Desc bool
+}
+
+// SelectItem is one output expression (a column or an aggregate call).
+type SelectItem struct {
+	Expr Expr
+}
+
+// TableRef is one FROM entry: a base table or WITH-view name with an
+// optional alias.
+type TableRef struct {
+	Table string
+	Alias string // empty when none; resolution falls back to Table
+}
+
+// Name returns the name the reference is known by in scope.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+func (SetOp) isQueryExpr()       {}
+func (*SelectStmt) isQueryExpr() {}
+
+// Expr is a scalar expression or condition in the AST. The SQL grammar
+// mixes these freely; the compiler sorts them out.
+type Expr interface {
+	isExpr()
+	sqlText(b *strings.Builder)
+}
+
+// ColRef references a column, optionally qualified by a table alias.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
+
+// NumLit is a numeric literal; Text preserves the source form.
+type NumLit struct{ Text string }
+
+// StrLit is a string literal.
+type StrLit struct{ Text string }
+
+// NullLit is the literal NULL.
+type NullLit struct{}
+
+// Param is a $name parameter, bound at compile time.
+type Param struct{ Name string }
+
+// Concat is `a || b || …` string concatenation.
+type Concat struct{ Parts []Expr }
+
+// AggCall is an aggregate call AVG(col), COUNT(*), …, legal only in the
+// select list of a scalar subquery.
+type AggCall struct {
+	Func string // upper-cased
+	Arg  Expr   // nil for COUNT(*)
+}
+
+// CmpExpr is a comparison L op R, with op in =, <>, <, <=, >, >=.
+type CmpExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// LikeExpr is L [NOT] LIKE pattern.
+type LikeExpr struct {
+	L, Pattern Expr
+	Negated    bool
+}
+
+// IsNullExpr is E IS [NOT] NULL.
+type IsNullExpr struct {
+	E       Expr
+	Negated bool
+}
+
+// InExpr is E [NOT] IN (list) or E [NOT] IN (subquery).
+type InExpr struct {
+	E       Expr
+	List    []Expr // non-nil for a value list
+	Sub     *Query // non-nil for a subquery
+	Negated bool
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub     *Query
+	Negated bool
+}
+
+// SubqueryExpr is a scalar subquery used as a comparison operand.
+type SubqueryExpr struct{ Q *Query }
+
+// AndExpr, OrExpr and NotExpr are the Boolean connectives.
+type (
+	// AndExpr is L AND R.
+	AndExpr struct{ L, R Expr }
+	// OrExpr is L OR R.
+	OrExpr struct{ L, R Expr }
+	// NotExpr is NOT E.
+	NotExpr struct{ E Expr }
+)
+
+func (ColRef) isExpr()       {}
+func (NumLit) isExpr()       {}
+func (StrLit) isExpr()       {}
+func (NullLit) isExpr()      {}
+func (Param) isExpr()        {}
+func (Concat) isExpr()       {}
+func (AggCall) isExpr()      {}
+func (CmpExpr) isExpr()      {}
+func (LikeExpr) isExpr()     {}
+func (IsNullExpr) isExpr()   {}
+func (InExpr) isExpr()       {}
+func (ExistsExpr) isExpr()   {}
+func (SubqueryExpr) isExpr() {}
+func (AndExpr) isExpr()      {}
+func (OrExpr) isExpr()       {}
+func (NotExpr) isExpr()      {}
+
+// SQL renders the query back to SQL text; round-tripping is used by the
+// rewriter and by tests.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	if len(q.With) > 0 {
+		b.WriteString("WITH ")
+		for i, cte := range q.With {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(cte.Name)
+			b.WriteString(" AS (")
+			cte.Body.sqlText(&b)
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+	}
+	q.Body.sqlText(&b)
+	return b.String()
+}
+
+func (s SetOp) sqlText(b *strings.Builder) {
+	s.L.sqlText(b)
+	fmt.Fprintf(b, " %s ", s.Op)
+	if _, nested := s.R.(SetOp); nested {
+		b.WriteString("(")
+		s.R.sqlText(b)
+		b.WriteString(")")
+	} else {
+		s.R.sqlText(b)
+	}
+}
+
+func (s *SelectStmt) sqlText(b *strings.Builder) {
+	b.WriteString("SELECT ")
+	if s.Certain {
+		b.WriteString("CERTAIN ")
+	}
+	if s.Possible {
+		b.WriteString("POSSIBLE ")
+	}
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			it.Expr.sqlText(b)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" {
+			b.WriteString(" ")
+			b.WriteString(t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		s.Where.sqlText(b)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			g.sqlText(b)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		s.Having.sqlText(b)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if o.Pos > 0 {
+				fmt.Fprintf(b, "%d", o.Pos)
+			} else {
+				o.Ref.sqlText(b)
+			}
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(b, " LIMIT %d", *s.Limit)
+	}
+}
+
+func (e ColRef) sqlText(b *strings.Builder) {
+	if e.Qualifier != "" {
+		b.WriteString(e.Qualifier)
+		b.WriteString(".")
+	}
+	b.WriteString(e.Name)
+}
+
+func (e NumLit) sqlText(b *strings.Builder) { b.WriteString(e.Text) }
+func (e StrLit) sqlText(b *strings.Builder) {
+	b.WriteString("'" + strings.ReplaceAll(e.Text, "'", "''") + "'")
+}
+func (e NullLit) sqlText(b *strings.Builder) { b.WriteString("NULL") }
+func (e Param) sqlText(b *strings.Builder)   { b.WriteString("$" + e.Name) }
+
+func (e Concat) sqlText(b *strings.Builder) {
+	for i, p := range e.Parts {
+		if i > 0 {
+			b.WriteString("||")
+		}
+		p.sqlText(b)
+	}
+}
+
+func (e AggCall) sqlText(b *strings.Builder) {
+	b.WriteString(e.Func)
+	b.WriteString("(")
+	if e.Arg == nil {
+		b.WriteString("*")
+	} else {
+		e.Arg.sqlText(b)
+	}
+	b.WriteString(")")
+}
+
+func (e CmpExpr) sqlText(b *strings.Builder) {
+	e.L.sqlText(b)
+	b.WriteString(" " + e.Op + " ")
+	if sub, ok := e.R.(SubqueryExpr); ok {
+		sub.sqlText(b)
+		return
+	}
+	e.R.sqlText(b)
+}
+
+func (e LikeExpr) sqlText(b *strings.Builder) {
+	e.L.sqlText(b)
+	if e.Negated {
+		b.WriteString(" NOT LIKE ")
+	} else {
+		b.WriteString(" LIKE ")
+	}
+	e.Pattern.sqlText(b)
+}
+
+func (e IsNullExpr) sqlText(b *strings.Builder) {
+	e.E.sqlText(b)
+	if e.Negated {
+		b.WriteString(" IS NOT NULL")
+	} else {
+		b.WriteString(" IS NULL")
+	}
+}
+
+func (e InExpr) sqlText(b *strings.Builder) {
+	e.E.sqlText(b)
+	if e.Negated {
+		b.WriteString(" NOT IN (")
+	} else {
+		b.WriteString(" IN (")
+	}
+	if e.Sub != nil {
+		b.WriteString(e.Sub.SQL())
+	} else {
+		for i, v := range e.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			v.sqlText(b)
+		}
+	}
+	b.WriteString(")")
+}
+
+func (e ExistsExpr) sqlText(b *strings.Builder) {
+	if e.Negated {
+		b.WriteString("NOT ")
+	}
+	b.WriteString("EXISTS (")
+	b.WriteString(e.Sub.SQL())
+	b.WriteString(")")
+}
+
+func (e SubqueryExpr) sqlText(b *strings.Builder) {
+	b.WriteString("(")
+	b.WriteString(e.Q.SQL())
+	b.WriteString(")")
+}
+
+func (e AndExpr) sqlText(b *strings.Builder) {
+	andOperand(b, e.L)
+	b.WriteString(" AND ")
+	andOperand(b, e.R)
+}
+
+func andOperand(b *strings.Builder, e Expr) {
+	if _, ok := e.(OrExpr); ok {
+		b.WriteString("(")
+		e.sqlText(b)
+		b.WriteString(")")
+		return
+	}
+	e.sqlText(b)
+}
+
+func (e OrExpr) sqlText(b *strings.Builder) {
+	e.L.sqlText(b)
+	b.WriteString(" OR ")
+	e.R.sqlText(b)
+}
+
+func (e NotExpr) sqlText(b *strings.Builder) {
+	b.WriteString("NOT (")
+	e.E.sqlText(b)
+	b.WriteString(")")
+}

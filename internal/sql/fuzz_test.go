@@ -1,0 +1,63 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, and that anything it
+// accepts renders to text it accepts again, stably (render-reparse
+// convergence). Seeds cover every syntactic construct.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT a FROM t`,
+		`SELECT CERTAIN a FROM t WHERE NOT EXISTS (SELECT * FROM s WHERE s.x = t.a)`,
+		`SELECT POSSIBLE * FROM t`,
+		`WITH v AS (SELECT a FROM t UNION SELECT b FROM u) SELECT a FROM v WHERE a IN (1, 2)`,
+		`SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY 2 DESC LIMIT 5`,
+		`SELECT a FROM t WHERE x LIKE '%'||$p||'%' AND y IS NOT NULL OR NOT z <> 3.5`,
+		`SELECT a FROM t WHERE b > (SELECT AVG(x) FROM u WHERE u.k NOT IN (SELECT j FROM w))`,
+		`select distinct t1.a from t t1, t as t2 where t1.a >= t2.b -- comment`,
+		`SELECT 'it''s' FROM t`,
+		`((((`,
+		`SELECT FROM WHERE`,
+		"SELECT a FROM t WHERE a = 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text1 := q.SQL()
+		q2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("rendering of accepted input rejected:\ninput: %q\nrendered: %q\nerror: %v", src, text1, err)
+		}
+		if text2 := q2.SQL(); text2 != text1 {
+			t.Fatalf("render not stable:\n1: %q\n2: %q", text1, text2)
+		}
+	})
+}
+
+// FuzzLex checks the lexer never panics and always terminates.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT * FROM t -- x")
+	f.Add("'a''b' $p 1.2.3 <> != <= || (")
+	f.Add(string([]byte{0, 255, '\'', '-', '-'}))
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream must end in EOF")
+		}
+		if len(toks) > len(src)+1 {
+			t.Fatalf("more tokens (%d) than bytes (%d)", len(toks), len(src))
+		}
+		_ = strings.Join(nil, "")
+	})
+}

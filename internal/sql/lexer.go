@@ -1,0 +1,128 @@
+package sql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer splits SQL text into tokens. Identifiers and keywords are
+// case-insensitive (keywords are recognized by the parser, not the
+// lexer). Strings use single quotes with ” as the escape for a quote.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// Lex tokenizes the whole input, returning the token stream ending in
+// TokEOF, or an error for malformed input.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		lx.pos++
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return Token{Kind: TokIdent, Text: lx.src[start:lx.pos], Pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		lx.pos++
+		for lx.pos < len(lx.src) && (isDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.') {
+			lx.pos++
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+
+	case c == '\'':
+		lx.pos++
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, errorf(start, "unterminated string literal")
+			}
+			if lx.src[lx.pos] == '\'' {
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+					b.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(lx.src[lx.pos])
+			lx.pos++
+		}
+
+	case c == '$':
+		lx.pos++
+		s := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		if lx.pos == s {
+			return Token{}, errorf(start, "expected parameter name after $")
+		}
+		return Token{Kind: TokParam, Text: lx.src[s:lx.pos], Pos: start}, nil
+
+	default:
+		for _, sym := range multiCharSymbols {
+			if strings.HasPrefix(lx.src[lx.pos:], sym) {
+				lx.pos += len(sym)
+				return Token{Kind: TokSymbol, Text: sym, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()+-*/,.=<>", rune(c)) {
+			lx.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, errorf(start, "unexpected character %q", c)
+	}
+}
+
+// multiCharSymbols must be checked longest-first.
+var multiCharSymbols = []string{"<>", "!=", "<=", ">=", "||"}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			lx.pos++
+		case strings.HasPrefix(lx.src[lx.pos:], "--"):
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

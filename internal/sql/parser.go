@@ -1,0 +1,654 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL query.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF) {
+		return nil, errorf(p.cur().Pos, "unexpected %s after query", p.cur())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+// atKeyword reports whether the current token is the given keyword
+// (identifiers are case-insensitive).
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().Kind == TokIdent && strings.EqualFold(p.cur().Text, kw)
+}
+
+func (p *parser) atSymbol(s string) bool {
+	return p.cur().Kind == TokSymbol && p.cur().Text == s
+}
+
+func (p *parser) advance() Token {
+	t := p.cur()
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return errorf(p.cur().Pos, "expected %s, found %s", strings.ToUpper(kw), p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.atSymbol(s) {
+		return errorf(p.cur().Pos, "expected %q, found %s", s, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(TokIdent) {
+		return "", errorf(p.cur().Pos, "expected identifier, found %s", p.cur())
+	}
+	return p.advance().Text, nil
+}
+
+// reserved keywords cannot be used as table aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "exists": true, "in": true, "like": true, "is": true,
+	"null": true, "union": true, "intersect": true, "except": true,
+	"with": true, "as": true, "distinct": true, "on": true, "between": true,
+	"group": true, "order": true, "by": true, "limit": true,
+	"asc": true, "desc": true, "having": true,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.atKeyword("with") {
+		p.advance()
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("as"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			body, err := p.parseQueryExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			q.With = append(q.With, CTE{Name: name, Body: body})
+			if p.atSymbol(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	body, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	q.Body = body
+	return q, nil
+}
+
+func (p *parser) parseQueryExpr() (QueryExpr, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	var out QueryExpr = left
+	for {
+		var op SetOpKind
+		switch {
+		case p.atKeyword("union"):
+			op = OpUnion
+		case p.atKeyword("intersect"):
+			op = OpIntersect
+		case p.atKeyword("except"):
+			op = OpExcept
+		default:
+			return out, nil
+		}
+		p.advance()
+		if p.atKeyword("all") {
+			return nil, errorf(p.cur().Pos, "bag semantics (UNION ALL) is outside the studied fragment")
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		out = SetOp{Op: op, L: out, R: right}
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	// SELECT CERTAIN — the correct-evaluation mode the paper's
+	// conclusion proposes — and its dual SELECT POSSIBLE. Either may
+	// also name a column, so they are keywords only when not
+	// immediately followed by FROM or a comma.
+	modeKeyword := func(kw string) bool {
+		return p.atKeyword(kw) && !p.peekKeywordIs("from") &&
+			!(p.peek().Kind == TokSymbol && p.peek().Text == ",")
+	}
+	switch {
+	case modeKeyword("certain"):
+		p.advance()
+		s.Certain = true
+	case modeKeyword("possible"):
+		p.advance()
+		s.Possible = true
+	}
+	if p.atKeyword("distinct") {
+		p.advance()
+		s.Distinct = true
+	}
+	if p.atSymbol("*") {
+		p.advance()
+		s.Star = true
+	} else {
+		for {
+			e, err := p.parseSelectExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, SelectItem{Expr: e})
+			if p.atSymbol(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: name}
+		if p.atKeyword("as") {
+			p.advance()
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = alias
+		} else if p.at(TokIdent) && !reserved[strings.ToLower(p.cur().Text)] {
+			ref.Alias = p.advance().Text
+		}
+		s.From = append(s.From, ref)
+		if p.atSymbol(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.atKeyword("where") {
+		p.advance()
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.atKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, ref)
+			if p.atSymbol(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("having") {
+		p.advance()
+		h, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.atKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			var item OrderItem
+			if p.at(TokNumber) {
+				n, err := strconv.Atoi(p.advance().Text)
+				if err != nil || n < 1 {
+					return nil, errorf(p.cur().Pos, "ORDER BY position must be a positive integer")
+				}
+				item.Pos = n
+			} else {
+				ref, err := p.parseColRef()
+				if err != nil {
+					return nil, err
+				}
+				item.Ref = ref
+			}
+			switch {
+			case p.atKeyword("desc"):
+				p.advance()
+				item.Desc = true
+			case p.atKeyword("asc"):
+				p.advance()
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if p.atSymbol(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("limit") {
+		p.advance()
+		if !p.at(TokNumber) {
+			return nil, errorf(p.cur().Pos, "expected a number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.advance().Text)
+		if err != nil || n < 0 {
+			return nil, errorf(p.cur().Pos, "LIMIT must be a non-negative integer")
+		}
+		s.Limit = &n
+	}
+	return s, nil
+}
+
+// parseColRef parses `name` or `qualifier.name`.
+func (p *parser) parseColRef() (ColRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.atSymbol(".") {
+		p.advance()
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: name, Name: col}, nil
+	}
+	return ColRef{Name: name}, nil
+}
+
+// parseSelectExpr parses a select-list item: a column reference or an
+// aggregate call.
+func (p *parser) parseSelectExpr() (Expr, error) {
+	return p.parseOperand()
+}
+
+// parseAggCall parses AVG(col), COUNT(*) and friends when the cursor
+// sits on an aggregate function name followed by '('; ok is false
+// otherwise.
+func (p *parser) parseAggCall() (Expr, bool, error) {
+	if !(p.at(TokIdent) && p.peek().Kind == TokSymbol && p.peek().Text == "(") {
+		return nil, false, nil
+	}
+	fn := strings.ToUpper(p.cur().Text)
+	switch fn {
+	case "AVG", "SUM", "COUNT", "MIN", "MAX":
+	default:
+		return nil, false, nil
+	}
+	p.advance()
+	p.advance() // (
+	var arg Expr
+	if p.atSymbol("*") {
+		p.advance()
+	} else {
+		a, err := p.parseOperand()
+		if err != nil {
+			return nil, false, err
+		}
+		arg = a
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, false, err
+	}
+	return AggCall{Func: fn, Arg: arg}, true, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = OrExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = AndExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("not") && !p.peekIsExistsFollowing() {
+		// NOT EXISTS is handled in parsePredicate so the Negated flag
+		// lands on the ExistsExpr; plain NOT wraps a predicate.
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) peekIsExistsFollowing() bool {
+	n := p.peek()
+	return n.Kind == TokIdent && strings.EqualFold(n.Text, "exists")
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	// [NOT] EXISTS (subquery)
+	negated := false
+	if p.atKeyword("not") && p.peekIsExistsFollowing() {
+		p.advance()
+		negated = true
+	}
+	if p.atKeyword("exists") {
+		p.advance()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return ExistsExpr{Sub: sub, Negated: negated}, nil
+	}
+
+	// Parenthesized condition (but not a scalar subquery, which is an
+	// operand and handled in parseOperand).
+	if p.atSymbol("(") && !(p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "select")) {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePredicateRest(left)
+}
+
+func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
+	switch {
+	case p.atKeyword("between"):
+		p.advance()
+		return p.parseBetweenRest(left, false)
+
+	case p.atKeyword("not") && p.peekKeywordIs("between"):
+		p.advance()
+		p.advance()
+		return p.parseBetweenRest(left, true)
+
+	case p.atKeyword("is"):
+		p.advance()
+		neg := false
+		if p.atKeyword("not") {
+			p.advance()
+			neg = true
+		}
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return IsNullExpr{E: left, Negated: neg}, nil
+
+	case p.atKeyword("like"):
+		p.advance()
+		pat, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return LikeExpr{L: left, Pattern: pat}, nil
+
+	case p.atKeyword("not") && (p.peekKeywordIs("like") || p.peekKeywordIs("in")):
+		p.advance()
+		if p.atKeyword("like") {
+			p.advance()
+			pat, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return LikeExpr{L: left, Pattern: pat, Negated: true}, nil
+		}
+		p.advance() // IN
+		return p.parseInRest(left, true)
+
+	case p.atKeyword("in"):
+		p.advance()
+		return p.parseInRest(left, false)
+
+	case p.atSymbol("=") || p.atSymbol("<>") || p.atSymbol("!=") ||
+		p.atSymbol("<") || p.atSymbol("<=") || p.atSymbol(">") || p.atSymbol(">="):
+		op := p.advance().Text
+		if op == "!=" {
+			op = "<>"
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return CmpExpr{Op: op, L: left, R: right}, nil
+
+	default:
+		return nil, errorf(p.cur().Pos, "expected predicate, found %s", p.cur())
+	}
+}
+
+// parseBetweenRest parses `lo AND hi` after [NOT] BETWEEN and desugars
+// it into the conjunction left >= lo AND left <= hi (negated: left < lo
+// OR left > hi), matching SQL's definition.
+func (p *parser) parseBetweenRest(left Expr, negated bool) (Expr, error) {
+	lo, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("and"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if negated {
+		return OrExpr{
+			L: CmpExpr{Op: "<", L: left, R: lo},
+			R: CmpExpr{Op: ">", L: left, R: hi},
+		}, nil
+	}
+	return AndExpr{
+		L: CmpExpr{Op: ">=", L: left, R: lo},
+		R: CmpExpr{Op: "<=", L: left, R: hi},
+	}, nil
+}
+
+func (p *parser) peekKeywordIs(kw string) bool {
+	n := p.peek()
+	return n.Kind == TokIdent && strings.EqualFold(n.Text, kw)
+}
+
+func (p *parser) parseInRest(left Expr, negated bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("select") || p.atKeyword("with") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InExpr{E: left, Sub: sub, Negated: negated}, nil
+	}
+	var list []Expr
+	for {
+		v, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, v)
+		if p.atSymbol(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return InExpr{E: left, List: list, Negated: negated}, nil
+}
+
+// parseOperand parses a scalar operand, including `||` concatenations.
+func (p *parser) parseOperand() (Expr, error) {
+	left, err := p.parsePrimaryOperand()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atSymbol("||") {
+		return left, nil
+	}
+	parts := []Expr{left}
+	for p.atSymbol("||") {
+		p.advance()
+		next, err := p.parsePrimaryOperand()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return Concat{Parts: parts}, nil
+}
+
+func (p *parser) parsePrimaryOperand() (Expr, error) {
+	if agg, ok, err := p.parseAggCall(); err != nil {
+		return nil, err
+	} else if ok {
+		return agg, nil
+	}
+	switch {
+	case p.at(TokNumber):
+		return NumLit{Text: p.advance().Text}, nil
+	case p.at(TokString):
+		return StrLit{Text: p.advance().Text}, nil
+	case p.at(TokParam):
+		return Param{Name: p.advance().Text}, nil
+	case p.atKeyword("null"):
+		p.advance()
+		return NullLit{}, nil
+	case p.atSymbol("("):
+		p.advance()
+		if !p.atKeyword("select") && !p.atKeyword("with") {
+			return nil, errorf(p.cur().Pos, "expected scalar subquery after '(' in operand position")
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return SubqueryExpr{Q: sub}, nil
+	case p.at(TokIdent):
+		name := p.advance().Text
+		if p.atSymbol(".") {
+			p.advance()
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Qualifier: name, Name: col}, nil
+		}
+		return ColRef{Name: name}, nil
+	default:
+		return nil, errorf(p.cur().Pos, "expected operand, found %s", p.cur())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

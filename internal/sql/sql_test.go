@@ -1,0 +1,302 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT a, t.b FROM t WHERE a <> 'it''s' AND b >= 1.5 OR x LIKE '%'||$color -- comment
+	AND c != 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{"SELECT", "<>", "it's", ">=", "1.5", "||", "color", "!=", ","} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token stream misses %q: %s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "comment") {
+		t.Error("comment not skipped")
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("stream must end in EOF")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "$", "a ; b", "#"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Errorf("positions %d, %d; want 0, 4", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+// roundTrip parses, renders, and re-parses, requiring the two renders
+// to agree — a solid structural-equality proxy.
+func roundTrip(t *testing.T, src string) *Query {
+	t.Helper()
+	q1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	text1 := q1.SQL()
+	q2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", text1, err)
+	}
+	if text2 := q2.SQL(); text2 != text1 {
+		t.Fatalf("round trip unstable:\n1: %s\n2: %s", text1, text2)
+	}
+	return q1
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	sources := []string{
+		`SELECT a FROM t`,
+		`SELECT DISTINCT a, b FROM t, u WHERE a = b`,
+		`SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.x = t.a)`,
+		`SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.a AND u.y <> 3)`,
+		`SELECT a FROM t WHERE a IN (1, 2, 3)`,
+		`SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)`,
+		`SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL`,
+		`SELECT a FROM t WHERE name LIKE '%red%' AND name NOT LIKE '_x%'`,
+		`SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u WHERE b > 0)`,
+		`SELECT a FROM t WHERE NOT (a = 1 AND b = 2) OR c < 3`,
+		`SELECT a FROM t UNION SELECT b FROM u`,
+		`SELECT a FROM t INTERSECT SELECT b FROM u EXCEPT SELECT c FROM v`,
+		`WITH w AS (SELECT a FROM t UNION SELECT b FROM u) SELECT a FROM w`,
+		`SELECT CERTAIN a FROM t WHERE a = $p`,
+		`SELECT a FROM t t1, t t2 WHERE t1.a = t2.a`,
+		`SELECT a FROM t WHERE s LIKE '%'||$color||'%'`,
+		`SELECT COUNT(*) FROM t`,
+		`SELECT a FROM t WHERE a = NULL`,
+		`SELECT a, COUNT(*) FROM t GROUP BY a`,
+		`SELECT a, AVG(b) FROM t WHERE b > 0 GROUP BY a ORDER BY a DESC LIMIT 10`,
+		`SELECT a FROM t ORDER BY 1`,
+		`SELECT a, b FROM t ORDER BY b DESC, a ASC LIMIT 0`,
+		`SELECT a FROM t GROUP BY t.a`,
+		`SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a`,
+		`SELECT COUNT(*) FROM t HAVING SUM(b) >= 10 OR MIN(b) IS NULL`,
+	}
+	for _, src := range sources {
+		roundTrip(t, src)
+	}
+}
+
+func TestParseCertainKeyword(t *testing.T) {
+	q := roundTrip(t, `SELECT CERTAIN a FROM t`)
+	if !q.Body.(*SelectStmt).Certain {
+		t.Error("CERTAIN flag not set")
+	}
+	// A column actually named `certain` must still parse as a column.
+	q2 := roundTrip(t, `SELECT certain FROM t`)
+	sel := q2.Body.(*SelectStmt)
+	if sel.Certain {
+		t.Error("bare column `certain` misparsed as the keyword")
+	}
+	if len(sel.Items) != 1 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if ref, ok := sel.Items[0].Expr.(ColRef); !ok || ref.Name != "certain" {
+		t.Errorf("item = %#v", sel.Items[0].Expr)
+	}
+	// `SELECT certain, a FROM t` — comma also disambiguates.
+	q3 := roundTrip(t, `SELECT certain, a FROM t`)
+	if q3.Body.(*SelectStmt).Certain {
+		t.Error("column list starting with `certain` misparsed")
+	}
+	// And CERTAIN combined with a star.
+	q4 := roundTrip(t, `SELECT CERTAIN * FROM t`)
+	if !q4.Body.(*SelectStmt).Certain || !q4.Body.(*SelectStmt).Star {
+		t.Error("SELECT CERTAIN * misparsed")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// AND binds tighter than OR.
+	q := roundTrip(t, `SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3`)
+	or, ok := q.Body.(*SelectStmt).Where.(OrExpr)
+	if !ok {
+		t.Fatalf("top is %T, want OrExpr", q.Body.(*SelectStmt).Where)
+	}
+	if _, ok := or.R.(AndExpr); !ok {
+		t.Errorf("right of OR is %T, want AndExpr", or.R)
+	}
+	// NOT binds tighter than AND.
+	q2 := roundTrip(t, `SELECT a FROM t WHERE NOT x = 1 AND y = 2`)
+	and, ok := q2.Body.(*SelectStmt).Where.(AndExpr)
+	if !ok {
+		t.Fatalf("top is %T, want AndExpr", q2.Body.(*SelectStmt).Where)
+	}
+	if _, ok := and.L.(NotExpr); !ok {
+		t.Errorf("left of AND is %T, want NotExpr", and.L)
+	}
+}
+
+func TestParseNotExists(t *testing.T) {
+	q := roundTrip(t, `SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u)`)
+	ex, ok := q.Body.(*SelectStmt).Where.(ExistsExpr)
+	if !ok || !ex.Negated {
+		t.Fatalf("NOT EXISTS parsed as %#v", q.Body.(*SelectStmt).Where)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q := roundTrip(t, `SELECT a FROM lineitem l1, orders AS o WHERE l1.x = o.y`)
+	from := q.Body.(*SelectStmt).From
+	if from[0].Alias != "l1" || from[1].Alias != "o" {
+		t.Errorf("aliases = %q, %q", from[0].Alias, from[1].Alias)
+	}
+	if from[0].Name() != "l1" {
+		t.Errorf("Name() = %q", from[0].Name())
+	}
+	if (TableRef{Table: "t"}).Name() != "t" {
+		t.Error("Name() without alias")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t WHERE a`,
+		`SELECT a FROM t WHERE a =`,
+		`SELECT a FROM t WHERE a = 1 extra`,
+		`SELECT a FROM t UNION ALL SELECT b FROM u`,
+		`SELECT a FROM t WHERE a IN ()`,
+		`SELECT a FROM t WHERE EXISTS SELECT * FROM u`,
+		`WITH w AS SELECT a FROM t SELECT a FROM w`,
+		`SELECT a FROM t WHERE (a = 1`,
+		`SELECT a FROM t WHERE a IS 1`,
+		`SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND`,
+		`SELECT a FROM t GROUP a`,
+		`SELECT a FROM t ORDER BY`,
+		`SELECT a FROM t LIMIT`,
+		`SELECT a FROM t LIMIT x`,
+		`SELECT a FROM t ORDER BY 0`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Parse(`SELECT a FROM t WHERE a = `)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var perr *Error
+	if !asError(err, &perr) {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos == 0 {
+		t.Error("error position is 0")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position info: %v", err)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestParamAndConcat(t *testing.T) {
+	q := roundTrip(t, `SELECT a FROM t WHERE p_name LIKE '%'||$color||'%'`)
+	like := q.Body.(*SelectStmt).Where.(LikeExpr)
+	cat, ok := like.Pattern.(Concat)
+	if !ok || len(cat.Parts) != 3 {
+		t.Fatalf("pattern = %#v", like.Pattern)
+	}
+	if _, ok := cat.Parts[1].(Param); !ok {
+		t.Errorf("middle part = %#v", cat.Parts[1])
+	}
+}
+
+func TestSetOpAssociativity(t *testing.T) {
+	q := roundTrip(t, `SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v`)
+	top, ok := q.Body.(SetOp)
+	if !ok || top.Op != OpExcept {
+		t.Fatalf("top = %#v, want EXCEPT (left associative)", q.Body)
+	}
+	if inner, ok := top.L.(SetOp); !ok || inner.Op != OpUnion {
+		t.Fatalf("left = %#v, want UNION", top.L)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := map[string]Token{
+		"end of input": {Kind: TokEOF},
+		"'abc'":        {Kind: TokString, Text: "abc"},
+		"$p":           {Kind: TokParam, Text: "p"},
+		"foo":          {Kind: TokIdent, Text: "foo"},
+	}
+	for want, tok := range cases {
+		if tok.String() != want {
+			t.Errorf("Token.String() = %q, want %q", tok.String(), want)
+		}
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := roundTrip(t, `SELECT a FROM t WHERE a BETWEEN 1 AND 5`)
+	and, ok := q.Body.(*SelectStmt).Where.(AndExpr)
+	if !ok {
+		t.Fatalf("BETWEEN desugared to %T", q.Body.(*SelectStmt).Where)
+	}
+	if cmp, ok := and.L.(CmpExpr); !ok || cmp.Op != ">=" {
+		t.Errorf("lower bound: %#v", and.L)
+	}
+	if cmp, ok := and.R.(CmpExpr); !ok || cmp.Op != "<=" {
+		t.Errorf("upper bound: %#v", and.R)
+	}
+
+	q2 := roundTrip(t, `SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5`)
+	or, ok := q2.Body.(*SelectStmt).Where.(OrExpr)
+	if !ok {
+		t.Fatalf("NOT BETWEEN desugared to %T", q2.Body.(*SelectStmt).Where)
+	}
+	if cmp, ok := or.L.(CmpExpr); !ok || cmp.Op != "<" {
+		t.Errorf("negated lower: %#v", or.L)
+	}
+
+	// BETWEEN binds tighter than AND: a BETWEEN 1 AND 5 AND b = 2.
+	q3 := roundTrip(t, `SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b = 2`)
+	top, ok := q3.Body.(*SelectStmt).Where.(AndExpr)
+	if !ok {
+		t.Fatalf("top: %T", q3.Body.(*SelectStmt).Where)
+	}
+	if _, ok := top.R.(CmpExpr); !ok {
+		t.Errorf("right conjunct: %#v", top.R)
+	}
+	if _, err := Parse(`SELECT a FROM t WHERE a BETWEEN 1`); err == nil {
+		t.Error("incomplete BETWEEN accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Package sql provides a lexer, AST, and recursive-descent parser for
+// the SQL fragment studied in the paper: first-order SELECT-FROM-WHERE
+// queries with (correlated) subqueries under IN / EXISTS and their
+// negations, set operations (UNION / INTERSECT / EXCEPT), WITH views,
+// LIKE and order comparisons, scalar aggregate subqueries, `$name`
+// parameters, and `||` string concatenation.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokParam  // $name
+	TokSymbol // punctuation and operators; Text holds the lexeme
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	case TokParam:
+		return "$" + t.Text
+	default:
+		return t.Text
+	}
+}
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errorf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

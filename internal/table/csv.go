@@ -1,0 +1,140 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"certsql/internal/value"
+)
+
+// NullToken is the CSV representation of a null, following PostgreSQL's
+// COPY convention. When marks matter (repeated marked nulls), use
+// WriteCSVWithMarks, which writes ⊥id tokens instead.
+const NullToken = `\N`
+
+// WriteCSV writes a table to w in CSV form, nulls as NullToken.
+func (t *Table) WriteCSV(w io.Writer) error { return t.writeCSV(w, false) }
+
+// WriteCSVWithMarks writes a table to w in CSV form, nulls as ⊥id so
+// that repeated marks survive a round trip.
+func (t *Table) WriteCSVWithMarks(w io.Writer) error { return t.writeCSV(w, true) }
+
+func (t *Table) writeCSV(w io.Writer, marks bool) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, t.arity)
+	for _, r := range t.rows {
+		for i, v := range r {
+			rec[i] = csvField(v, marks)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func csvField(v value.Value, marks bool) string {
+	switch v.Kind() {
+	case value.KindNull:
+		if marks {
+			return fmt.Sprintf("⊥%d", v.NullID())
+		}
+		return NullToken
+	case value.KindString:
+		return v.AsString()
+	case value.KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case value.KindFloat:
+		return strconv.FormatFloat(v.AsFloat(), 'f', -1, 64)
+	case value.KindDate:
+		return time.Unix(v.AsDate()*86400, 0).UTC().Format("2006-01-02")
+	case value.KindBool:
+		if v.AsBool() {
+			return "true"
+		}
+		return "false"
+	default:
+		return v.String()
+	}
+}
+
+// ReadCSVInto reads CSV records from r into the named relation of db,
+// parsing fields according to the relation's attribute types. NullToken
+// fields become fresh marked nulls; ⊥id fields reuse the given mark,
+// and the database's fresh-mark counter is advanced past every mark
+// read, so later FreshNull calls cannot collide.
+func ReadCSVInto(db *Database, relName string, r io.Reader) error {
+	rel, ok := db.Schema.Relation(relName)
+	if !ok {
+		return fmt.Errorf("table: unknown relation %q", relName)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = rel.Arity()
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		row := make(Row, len(rec))
+		for i, f := range rec {
+			v, err := parseCSVField(db, f, rel.Attrs[i].Type)
+			if err != nil {
+				return fmt.Errorf("table: %s.%s: %w", relName, rel.Attrs[i].Name, err)
+			}
+			if v.IsNull() && v.NullID() >= db.nextNull {
+				db.nextNull = v.NullID() + 1
+			}
+			row[i] = v
+		}
+		if err := db.Insert(relName, row); err != nil {
+			return err
+		}
+	}
+}
+
+func parseCSVField(db *Database, f string, kind value.Kind) (value.Value, error) {
+	if f == NullToken {
+		return db.FreshNull(), nil
+	}
+	if strings.HasPrefix(f, "⊥") {
+		id, err := strconv.ParseInt(strings.TrimPrefix(f, "⊥"), 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad null mark %q", f)
+		}
+		return value.Null(id), nil
+	}
+	switch kind {
+	case value.KindInt:
+		i, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Int(i), nil
+	case value.KindFloat:
+		fl, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Float(fl), nil
+	case value.KindString:
+		return value.Str(f), nil
+	case value.KindDate:
+		return value.ParseDate(f)
+	case value.KindBool:
+		b, err := strconv.ParseBool(f)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Bool(b), nil
+	default:
+		return value.Value{}, fmt.Errorf("unsupported kind %s", kind)
+	}
+}

@@ -1,0 +1,342 @@
+// Package table provides in-memory relation instances: row storage,
+// hash indexes, set operations, and the incomplete database (a catalog
+// of named tables over a schema).
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"certsql/internal/schema"
+	"certsql/internal/value"
+)
+
+// Row is one tuple. Rows are never mutated after insertion.
+type Row = []value.Value
+
+// Table is a bag of rows of a fixed arity.
+type Table struct {
+	arity int
+	rows  []Row
+}
+
+// New returns an empty table of the given arity.
+func New(arity int) *Table { return &Table{arity: arity} }
+
+// FromRows builds a table from rows, all of which must share the arity.
+func FromRows(arity int, rows []Row) *Table {
+	t := New(arity)
+	for _, r := range rows {
+		t.Append(r)
+	}
+	return t
+}
+
+// Arity returns the number of columns.
+func (t *Table) Arity() int { return t.arity }
+
+// Len returns the number of rows (bag cardinality).
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows exposes the backing rows. Callers must not mutate them.
+func (t *Table) Rows() []Row { return t.rows }
+
+// Row returns the i-th row.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Append adds a row. It panics on arity mismatch — a programming error.
+func (t *Table) Append(r Row) {
+	if len(r) != t.arity {
+		panic(fmt.Sprintf("table: appending row of arity %d to table of arity %d", len(r), t.arity))
+	}
+	t.rows = append(t.rows, r)
+}
+
+// SetRow replaces the i-th row. It panics on arity mismatch. Replacing
+// (rather than mutating) rows keeps clones of the table independent:
+// Clone copies the row-pointer slice, so replacement is not visible
+// through other clones while in-place mutation would be.
+func (t *Table) SetRow(i int, r Row) {
+	if len(r) != t.arity {
+		panic(fmt.Sprintf("table: setting row of arity %d in table of arity %d", len(r), t.arity))
+	}
+	t.rows[i] = r
+}
+
+// Grow pre-allocates capacity for n additional rows.
+func (t *Table) Grow(n int) {
+	if cap(t.rows)-len(t.rows) < n {
+		rows := make([]Row, len(t.rows), len(t.rows)+n)
+		copy(rows, t.rows)
+		t.rows = rows
+	}
+}
+
+// Distinct returns a new table with duplicate rows removed (set
+// semantics). Duplicate detection uses the canonical row key, so marked
+// nulls are distinct unless their marks coincide.
+func (t *Table) Distinct() *Table {
+	out := New(t.arity)
+	seen := make(map[string]struct{}, len(t.rows))
+	for _, r := range t.rows {
+		k := value.RowKey(r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Append(r)
+	}
+	return out
+}
+
+// Contains reports whether the table contains a row identical to r.
+func (t *Table) Contains(r Row) bool {
+	k := value.RowKey(r)
+	for _, s := range t.rows {
+		if value.RowKey(s) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// KeySet returns the set of canonical row keys, for set operations.
+func (t *Table) KeySet() map[string]struct{} {
+	s := make(map[string]struct{}, len(t.rows))
+	for _, r := range t.rows {
+		s[value.RowKey(r)] = struct{}{}
+	}
+	return s
+}
+
+// SortedStrings renders each row as a string and sorts them; used by
+// tests and examples to compare results deterministically.
+func (t *Table) SortedStrings() []string {
+	out := make([]string, 0, len(t.rows))
+	for _, r := range t.rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		out = append(out, "("+strings.Join(parts, ", ")+")")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the table, one row per line, in insertion order.
+func (t *Table) String() string {
+	var b strings.Builder
+	for _, r := range t.rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		b.WriteString("(" + strings.Join(parts, ", ") + ")\n")
+	}
+	return b.String()
+}
+
+// Index is a hash index on a projection of a table's columns.
+type Index struct {
+	cols    []int
+	buckets map[string][]int // key -> row positions
+}
+
+// BuildIndex builds a hash index on the given column positions.
+func (t *Table) BuildIndex(cols []int) *Index {
+	idx := &Index{cols: cols, buckets: make(map[string][]int, len(t.rows))}
+	for i, r := range t.rows {
+		k := value.TupleKey(r, cols)
+		idx.buckets[k] = append(idx.buckets[k], i)
+	}
+	return idx
+}
+
+// Lookup returns the positions of rows whose indexed columns match the
+// projection of probe onto probeCols.
+func (idx *Index) Lookup(probe Row, probeCols []int) []int {
+	return idx.buckets[value.TupleKey(probe, probeCols)]
+}
+
+// Database is an incomplete database instance: a schema plus one table
+// per relation. It also tracks the next fresh null mark, so loaders and
+// generators can mint globally unique marked nulls.
+type Database struct {
+	Schema   *schema.Schema
+	tables   map[string]*Table
+	nextNull int64
+}
+
+// NewDatabase returns an empty database over the given schema, with an
+// empty table pre-created for every relation.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{Schema: s, tables: map[string]*Table{}, nextNull: 1}
+	for _, name := range s.Names() {
+		r, _ := s.Relation(name)
+		db.tables[name] = New(r.Arity())
+	}
+	return db
+}
+
+// Table returns the instance of the named relation (case-insensitive),
+// or an error when the relation is not in the schema.
+func (db *Database) Table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("table: unknown relation %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table that panics on unknown relations.
+func (db *Database) MustTable(name string) *Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Insert appends a row to the named relation, validating arity and
+// column types (nulls are allowed anywhere here; nullability is a
+// generator-side concern, as in the paper's setup).
+func (db *Database) Insert(name string, r Row) error {
+	rel, ok := db.Schema.Relation(name)
+	if !ok {
+		return fmt.Errorf("table: unknown relation %q", name)
+	}
+	if len(r) != rel.Arity() {
+		return fmt.Errorf("table: relation %q: row arity %d, want %d", name, len(r), rel.Arity())
+	}
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		want := rel.Attrs[i].Type
+		if v.Kind() != want && !(numericKind(v.Kind()) && numericKind(want)) {
+			return fmt.Errorf("table: relation %q attribute %q: value %s has kind %s, want %s",
+				name, rel.Attrs[i].Name, v, v.Kind(), want)
+		}
+	}
+	db.tables[strings.ToLower(name)].Append(r)
+	return nil
+}
+
+func numericKind(k value.Kind) bool { return k == value.KindInt || k == value.KindFloat }
+
+// FreshNull mints a marked null with a previously unused mark.
+func (db *Database) FreshNull() value.Value {
+	id := db.nextNull
+	db.nextNull++
+	return value.Null(id)
+}
+
+// SetNextNullMark makes subsequent FreshNull calls start from mark id.
+func (db *Database) SetNextNullMark(id int64) { db.nextNull = id }
+
+// NullCount returns the total number of null entries across all tables.
+func (db *Database) NullCount() int {
+	n := 0
+	for _, t := range db.tables {
+		for _, r := range t.rows {
+			for _, v := range r {
+				if v.IsNull() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Nulls returns the distinct null marks occurring in the database, in
+// ascending order.
+func (db *Database) Nulls() []int64 {
+	seen := map[int64]struct{}{}
+	for _, t := range db.tables {
+		for _, r := range t.rows {
+			for _, v := range r {
+				if v.IsNull() {
+					seen[v.NullID()] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Constants returns the distinct constants occurring in the database
+// (the constant part of the active domain), in a deterministic order.
+func (db *Database) Constants() []value.Value {
+	seen := map[value.Value]struct{}{}
+	for _, t := range db.tables {
+		for _, r := range t.rows {
+			for _, v := range r {
+				if !v.IsNull() {
+					seen[v] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]value.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ActiveDomain returns all elements (constants and nulls) occurring in
+// the database, constants first, in a deterministic order.
+func (db *Database) ActiveDomain() []value.Value {
+	out := db.Constants()
+	for _, id := range db.Nulls() {
+		out = append(out, value.Null(id))
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy of the database: tables are copied,
+// rows are shared (rows are immutable by convention).
+func (db *Database) Clone() *Database {
+	out := &Database{Schema: db.Schema, tables: map[string]*Table{}, nextNull: db.nextNull}
+	for name, t := range db.tables {
+		nt := New(t.arity)
+		nt.rows = append(nt.rows, t.rows...)
+		out.tables[name] = nt
+	}
+	return out
+}
+
+// Apply returns the complete database v(D) obtained by replacing every
+// null ⊥ᵢ with valuation[i]. Marks missing from the valuation map are
+// left untouched (callers building full valuations must cover all marks).
+func (db *Database) Apply(valuation map[int64]value.Value) *Database {
+	out := &Database{Schema: db.Schema, tables: map[string]*Table{}, nextNull: db.nextNull}
+	for name, t := range db.tables {
+		nt := New(t.arity)
+		nt.Grow(t.Len())
+		for _, r := range t.rows {
+			nr := make(Row, len(r))
+			for i, v := range r {
+				if v.IsNull() {
+					if c, ok := valuation[v.NullID()]; ok {
+						nr[i] = c
+						continue
+					}
+				}
+				nr[i] = v
+			}
+			nt.Append(nr)
+		}
+		out.tables[name] = nt
+	}
+	return out
+}

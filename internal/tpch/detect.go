@@ -1,0 +1,158 @@
+package tpch
+
+import (
+	"strings"
+
+	"certsql/internal/compile"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// This file implements the false-positive detection algorithms of
+// Section 4 of the paper. Each takes the parameter bindings, the
+// database and one answer tuple, and returns true when the tuple is
+// provably a false positive (not a certain answer), giving a lower
+// bound on the number of false positives. The shared idea: a null in a
+// relevant comparison can be valued so as to falsify the answer.
+
+// Detector checks one answer tuple of one query for being a false
+// positive.
+type Detector func(db *table.Database, params compile.Params, answer table.Row) bool
+
+// DetectorFor returns the detector for the given query.
+func DetectorFor(q QueryID) Detector {
+	switch q {
+	case Q1:
+		return DetectQ1
+	case Q2:
+		return DetectQ2
+	case Q3:
+		return DetectQ3
+	case Q4:
+		return DetectQ4
+	default:
+		panic("tpch: unknown query")
+	}
+}
+
+// DetectQ1 is Algorithm 1 of the paper. The answer tuple is
+// (s_suppkey, o_orderkey). If some other lineitem of the order has an
+// unknown supplier or an unknown/late delivery, the NOT EXISTS branch
+// can be falsified.
+func DetectQ1(db *table.Database, params compile.Params, answer table.Row) bool {
+	suppKey := answer[0]
+	orderKey := answer[1]
+	li := db.MustTable("lineitem")
+	for _, t := range li.Rows() {
+		if !sameConst(t[LOrderKey], orderKey) {
+			continue
+		}
+		x := t[LSuppKey]
+		if !x.IsNull() && sameConst(x, suppKey) {
+			continue
+		}
+		d1, d2 := t[LCommitDate], t[LReceiptDate]
+		if d1.IsNull() || d2.IsNull() || laterDate(d2, d1) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectQ2 implements the paper's check for Q2: if any order has an
+// unknown customer, that customer could be anybody — including the one
+// in the answer tuple — so every answer is a false positive.
+func DetectQ2(db *table.Database, params compile.Params, answer table.Row) bool {
+	for _, t := range db.MustTable("orders").Rows() {
+		if t[OCustKey].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectQ3 implements the paper's check for Q3: an order id k in the
+// answer is falsified by a lineitem of order k whose supplier is
+// unknown (it may well differ from $supp_key).
+func DetectQ3(db *table.Database, params compile.Params, answer table.Row) bool {
+	orderKey := answer[0]
+	for _, t := range db.MustTable("lineitem").Rows() {
+		if sameConst(t[LOrderKey], orderKey) && t[LSuppKey].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectQ4 is Algorithm 2 of the paper: an answer order is falsified by
+// a lineitem of the order whose part could have the color (unknown part
+// or unknown/matching name) and whose supplier could be from the nation
+// (unknown supplier, unknown nation key, or the nation itself).
+func DetectQ4(db *table.Database, params compile.Params, answer table.Row) bool {
+	orderKey := answer[0]
+	color, _ := params["color"].(string)
+	nation, _ := params["nation"].(string)
+	parts := db.MustTable("part")
+	supps := db.MustTable("supplier")
+	nations := db.MustTable("nation")
+
+	for _, t := range db.MustTable("lineitem").Rows() {
+		if !sameConst(t[LOrderKey], orderKey) {
+			continue
+		}
+		partOK, suppOK := false, false
+		for _, p := range parts.Rows() {
+			if !t[LPartKey].IsNull() && !sameConst(t[LPartKey], p[PPartKey]) {
+				continue
+			}
+			name := p[PName]
+			if name.IsNull() || strings.Contains(name.AsString(), color) {
+				partOK = true
+				break
+			}
+		}
+		if !partOK {
+			continue
+		}
+		for _, s := range supps.Rows() {
+			if !t[LSuppKey].IsNull() && !sameConst(t[LSuppKey], s[SSuppKey]) {
+				continue
+			}
+			x := s[SNationKey]
+			if x.IsNull() {
+				suppOK = true
+				break
+			}
+			for _, n := range nations.Rows() {
+				if !sameConst(n[NNationKey], x) {
+					continue
+				}
+				if n[NName].IsNull() || n[NName].AsString() == nation {
+					suppOK = true
+				}
+				break
+			}
+			if suppOK {
+				break
+			}
+		}
+		if partOK && suppOK {
+			return true
+		}
+	}
+	return false
+}
+
+// sameConst reports constant equality, false when either side is null.
+func sameConst(a, b value.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return value.ConstEqual(a, b)
+}
+
+// laterDate reports a > b on non-null dates.
+func laterDate(a, b value.Value) bool {
+	c, ok := value.Compare(a, b)
+	return ok && c > 0
+}

@@ -1,0 +1,196 @@
+package tpch_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// Realism checks on the generator: the four queries' behaviour depends
+// on these distributional properties, so they are pinned here.
+
+func TestGeneratorReferentialIntegrity(t *testing.T) {
+	db := genDB(t, 0, 21)
+	sizes := tpch.Config{ScaleFactor: 0.001}.Sizes()
+
+	keys := func(rel string, col int) map[int64]bool {
+		out := map[int64]bool{}
+		for _, r := range db.MustTable(rel).Rows() {
+			out[r[col].AsInt()] = true
+		}
+		return out
+	}
+	suppliers := keys("supplier", tpch.SSuppKey)
+	parts := keys("part", tpch.PPartKey)
+	orders := keys("orders", tpch.OOrderKey)
+	customers := keys("customer", tpch.CCustKey)
+	nations := keys("nation", tpch.NNationKey)
+
+	if len(suppliers) != sizes.Suppliers || len(parts) != sizes.Parts ||
+		len(customers) != sizes.Customers || len(orders) != sizes.Orders {
+		t.Fatalf("key cardinalities: s=%d p=%d c=%d o=%d, want %+v",
+			len(suppliers), len(parts), len(customers), len(orders), sizes)
+	}
+	if len(nations) != 25 {
+		t.Fatalf("nations: %d", len(nations))
+	}
+
+	for _, r := range db.MustTable("lineitem").Rows() {
+		if !orders[r[tpch.LOrderKey].AsInt()] {
+			t.Fatal("lineitem references a missing order")
+		}
+		if !parts[r[tpch.LPartKey].AsInt()] {
+			t.Fatal("lineitem references a missing part")
+		}
+		if !suppliers[r[tpch.LSuppKey].AsInt()] {
+			t.Fatal("lineitem references a missing supplier")
+		}
+	}
+	for _, r := range db.MustTable("orders").Rows() {
+		if !customers[r[tpch.OCustKey].AsInt()] {
+			t.Fatal("order references a missing customer")
+		}
+	}
+	for _, r := range db.MustTable("supplier").Rows() {
+		if !nations[r[tpch.SNationKey].AsInt()] {
+			t.Fatal("supplier references a missing nation")
+		}
+	}
+	for _, r := range db.MustTable("partsupp").Rows() {
+		if !parts[r[0].AsInt()] || !suppliers[r[1].AsInt()] {
+			t.Fatal("partsupp references a missing part or supplier")
+		}
+	}
+}
+
+func TestGeneratorDatesAndStatus(t *testing.T) {
+	db := genDB(t, 0, 22)
+	lo, hi := value.MustDate("1992-01-01").AsDate(), value.MustDate("1998-08-02").AsDate()
+
+	orderDates := map[int64]int64{}
+	statuses := map[string]int{}
+	for _, r := range db.MustTable("orders").Rows() {
+		d := r[4].AsDate()
+		if d < lo || d > hi {
+			t.Fatalf("order date %v out of the TPC-H range", r[4])
+		}
+		orderDates[r[tpch.OOrderKey].AsInt()] = d
+		statuses[r[tpch.OStatus].AsString()]++
+	}
+	for _, s := range []string{"F", "O"} {
+		if statuses[s] == 0 {
+			t.Errorf("no orders with status %q (distribution: %v)", s, statuses)
+		}
+	}
+
+	lineCounts := map[int64]int{}
+	lateSeen := false
+	for _, r := range db.MustTable("lineitem").Rows() {
+		o := r[tpch.LOrderKey].AsInt()
+		lineCounts[o]++
+		ship := r[10].AsDate()
+		commit := r[tpch.LCommitDate].AsDate()
+		receipt := r[tpch.LReceiptDate].AsDate()
+		if ship <= orderDates[o] {
+			t.Fatal("shipped before ordered")
+		}
+		if receipt <= ship {
+			t.Fatal("received before shipped")
+		}
+		if commit <= orderDates[o] {
+			t.Fatal("committed before ordered")
+		}
+		if receipt > commit {
+			lateSeen = true
+		}
+	}
+	if !lateSeen {
+		t.Error("no late lineitems at all — Q1 would be vacuous")
+	}
+	for o, n := range lineCounts {
+		if n < 1 || n > 7 {
+			t.Fatalf("order %d has %d lineitems, want 1–7", o, n)
+		}
+	}
+}
+
+func TestGeneratorPartNames(t *testing.T) {
+	db := genDB(t, 0, 23)
+	colorSet := map[string]bool{}
+	for _, c := range tpch.Colors {
+		colorSet[c] = true
+	}
+	for _, r := range db.MustTable("part").Rows() {
+		words := strings.Fields(r[tpch.PName].AsString())
+		if len(words) != 5 {
+			t.Fatalf("part name %q has %d words, want 5", r[tpch.PName], len(words))
+		}
+		seen := map[string]bool{}
+		for _, w := range words {
+			if !colorSet[w] {
+				t.Fatalf("part name word %q is not a color", w)
+			}
+			if seen[w] {
+				t.Fatalf("part name %q repeats a color", r[tpch.PName])
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestGeneratorSomeCustomersNeverOrder(t *testing.T) {
+	db := genDB(t, 0, 24)
+	ordered := map[int64]bool{}
+	for _, r := range db.MustTable("orders").Rows() {
+		ordered[r[tpch.OCustKey].AsInt()] = true
+	}
+	n := db.MustTable("customer").Len()
+	without := n - len(ordered)
+	// The spec says a third of customers place no orders; allow slack.
+	if without < n/6 || without > n/2 {
+		t.Errorf("%d of %d customers have no orders; expected roughly a third", without, n)
+	}
+}
+
+func TestNullInjectionRespectsSchema(t *testing.T) {
+	db := genDB(t, 0.2, 25)
+	marks := map[int64]bool{}
+	for _, name := range db.Schema.Names() {
+		rel, _ := db.Schema.Relation(name)
+		for _, r := range db.MustTable(name).Rows() {
+			for i, v := range r {
+				if !v.IsNull() {
+					continue
+				}
+				if !rel.Attrs[i].Nullable {
+					t.Fatalf("%s.%s is NOT NULL but contains %v", name, rel.Attrs[i].Name, v)
+				}
+				if marks[v.NullID()] {
+					t.Fatalf("mark ⊥%d repeated — injection must use Codd nulls", v.NullID())
+				}
+				marks[v.NullID()] = true
+			}
+		}
+	}
+	if len(marks) == 0 {
+		t.Fatal("no nulls injected at 20% rate")
+	}
+	// Roughly the right volume: 20% of nullable positions.
+	nullable := 0
+	for _, name := range db.Schema.Names() {
+		rel, _ := db.Schema.Relation(name)
+		perRow := 0
+		for _, a := range rel.Attrs {
+			if a.Nullable {
+				perRow++
+			}
+		}
+		nullable += perRow * db.MustTable(name).Len()
+	}
+	rate := float64(len(marks)) / float64(nullable)
+	if rate < 0.15 || rate > 0.25 {
+		t.Errorf("observed null rate %.3f, want ≈ 0.20", rate)
+	}
+}

@@ -1,0 +1,72 @@
+package tpch
+
+// The fixed vocabularies of the TPC-H specification, used by the data
+// generator and the query parameter generators.
+
+// Nations lists the 25 TPC-H nations with their region keys.
+var Nations = []struct {
+	Name      string
+	RegionKey int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+// Regions lists the 5 TPC-H regions.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// Colors is the palette of words from which part names (p_name) are
+// composed, and from which Q4's $color parameter is drawn. The TPC-H
+// specification lists 92 words; this reconstruction carries 89 of them,
+// which preserves the LIKE-substring selectivity that Q4 exercises.
+var Colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished",
+	"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+	"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+	"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+	"green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+	"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+	"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+	"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+	"peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+	"rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+	"sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+	"thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+}
+
+// Segments are the customer market segments.
+var Segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// Priorities are the order priorities.
+var Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+// ShipModes are the lineitem shipping modes.
+var ShipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+// ShipInstructs are the lineitem shipping instructions.
+var ShipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+// Containers and types compose part descriptions.
+var (
+	containerSizes = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containerKinds = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	typeSyllable1  = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyllable2  = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyllable3  = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+)
+
+// commentWords supplies filler for the comment columns.
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "final",
+	"special", "pending", "express", "regular", "ironic", "even", "bold",
+	"silent", "deposits", "requests", "packages", "accounts", "theodolites",
+	"instructions", "foxes", "pinto", "beans", "dependencies", "platelets",
+	"sleep", "nag", "haggle", "cajole", "integrate", "wake", "above",
+	"against", "along", "around",
+}

@@ -1,0 +1,207 @@
+package tpch
+
+import (
+	"math/rand"
+
+	"certsql/internal/compile"
+)
+
+// QueryID identifies one of the four experiment queries.
+type QueryID int
+
+// The four queries of Section 3 of the paper: two TPC-H queries with
+// NOT EXISTS (21 and 22, here Q1 and Q2) and two textbook queries
+// (Q3 and Q4).
+const (
+	Q1 QueryID = iota + 1
+	Q2
+	Q3
+	Q4
+)
+
+// String names the query.
+func (q QueryID) String() string {
+	return [...]string{"", "Q1", "Q2", "Q3", "Q4"}[q]
+}
+
+// AllQueries lists Q1–Q4.
+var AllQueries = []QueryID{Q1, Q2, Q3, Q4}
+
+// SQL returns the query text, verbatim from Section 3 of the paper
+// (aggregates in the outer select list dropped, as the paper does,
+// since they are irrelevant to false positives and relative timing).
+func (q QueryID) SQL() string {
+	switch q {
+	case Q1:
+		// TPC-H query 21: suppliers who kept orders waiting — the only
+		// supplier in a multi-supplier finalized order who missed the
+		// committed delivery date.
+		return `
+SELECT s_suppkey, o_orderkey
+FROM supplier, lineitem l1, orders, nation
+WHERE s_suppkey = l1.l_suppkey
+  AND o_orderkey = l1.l_orderkey
+  AND o_orderstatus = 'F'
+  AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (
+        SELECT *
+        FROM lineitem l2
+        WHERE l2.l_orderkey = l1.l_orderkey
+          AND l2.l_suppkey <> l1.l_suppkey )
+  AND NOT EXISTS (
+        SELECT *
+        FROM lineitem l3
+        WHERE l3.l_orderkey = l1.l_orderkey
+          AND l3.l_suppkey <> l1.l_suppkey
+          AND l3.l_receiptdate > l3.l_commitdate )
+  AND s_nationkey = n_nationkey
+  AND n_name = $nation`
+	case Q2:
+		// TPC-H query 22: customers in given countries with above-
+		// average positive balance and no orders.
+		return `
+SELECT c_custkey, c_nationkey
+FROM customer
+WHERE c_nationkey IN ($countries)
+  AND c_acctbal > (
+        SELECT AVG(c_acctbal)
+        FROM customer
+        WHERE c_acctbal > 0.00
+          AND c_nationkey IN ($countries) )
+  AND NOT EXISTS (
+        SELECT *
+        FROM orders
+        WHERE o_custkey = c_custkey )`
+	case Q3:
+		// Textbook: orders supplied entirely by one given supplier.
+		return `
+SELECT o_orderkey
+FROM orders
+WHERE NOT EXISTS (
+        SELECT *
+        FROM lineitem
+        WHERE l_orderkey = o_orderkey
+          AND l_suppkey <> $supp_key )`
+	case Q4:
+		// Textbook: orders not supplied with any part of a given color
+		// by any supplier from a given nation.
+		return `
+SELECT o_orderkey
+FROM orders
+WHERE NOT EXISTS (
+        SELECT *
+        FROM lineitem, part, supplier, nation
+        WHERE l_orderkey = o_orderkey
+          AND l_partkey = p_partkey
+          AND l_suppkey = s_suppkey
+          AND p_name LIKE '%'||$color||'%'
+          AND s_nationkey = n_nationkey
+          AND n_name = $nation )`
+	default:
+		panic("tpch: unknown query")
+	}
+}
+
+// FullSQL returns the aggregate-bearing form of the query, closest to
+// the original TPC-H text (query 21's numwait count, query 22's
+// per-country count and balance sum). The paper drops the aggregates
+// because they do not affect false positives or relative timings; the
+// engine runs these full forms in *standard* mode (certain answers
+// under aggregation are future work — paper Section 8). The textbook
+// queries Q3/Q4 gain a result count. Item aliases are not part of the
+// dialect, so ORDER BY uses output positions.
+func (q QueryID) FullSQL() string {
+	switch q {
+	case Q1:
+		return `
+SELECT s_suppkey, COUNT(*)
+FROM supplier, lineitem l1, orders, nation
+WHERE s_suppkey = l1.l_suppkey
+  AND o_orderkey = l1.l_orderkey
+  AND o_orderstatus = 'F'
+  AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (
+        SELECT *
+        FROM lineitem l2
+        WHERE l2.l_orderkey = l1.l_orderkey
+          AND l2.l_suppkey <> l1.l_suppkey )
+  AND NOT EXISTS (
+        SELECT *
+        FROM lineitem l3
+        WHERE l3.l_orderkey = l1.l_orderkey
+          AND l3.l_suppkey <> l1.l_suppkey
+          AND l3.l_receiptdate > l3.l_commitdate )
+  AND s_nationkey = n_nationkey
+  AND n_name = $nation
+GROUP BY s_suppkey
+ORDER BY 2 DESC, 1
+LIMIT 100`
+	case Q2:
+		return `
+SELECT c_nationkey, COUNT(*), SUM(c_acctbal)
+FROM customer
+WHERE c_nationkey IN ($countries)
+  AND c_acctbal > (
+        SELECT AVG(c_acctbal)
+        FROM customer
+        WHERE c_acctbal > 0.00
+          AND c_nationkey IN ($countries) )
+  AND NOT EXISTS (
+        SELECT *
+        FROM orders
+        WHERE o_custkey = c_custkey )
+GROUP BY c_nationkey
+ORDER BY c_nationkey`
+	case Q3:
+		return `
+SELECT COUNT(*)
+FROM orders
+WHERE NOT EXISTS (
+        SELECT *
+        FROM lineitem
+        WHERE l_orderkey = o_orderkey
+          AND l_suppkey <> $supp_key )`
+	case Q4:
+		return `
+SELECT COUNT(*)
+FROM orders
+WHERE NOT EXISTS (
+        SELECT *
+        FROM lineitem, part, supplier, nation
+        WHERE l_orderkey = o_orderkey
+          AND l_partkey = p_partkey
+          AND l_suppkey = s_suppkey
+          AND p_name LIKE '%'||$color||'%'
+          AND s_nationkey = n_nationkey
+          AND n_name = $nation )`
+	default:
+		panic("tpch: unknown query")
+	}
+}
+
+// Params draws random parameter bindings for the query, following
+// Section 3: $nation is a random nation, $countries a list of 7
+// distinct nation keys, $supp_key a random supplier key, $color a
+// random color word.
+func (q QueryID) Params(rng *rand.Rand, sz Sizes) compile.Params {
+	switch q {
+	case Q1:
+		return compile.Params{"nation": Nations[rng.Intn(len(Nations))].Name}
+	case Q2:
+		perm := rng.Perm(len(Nations))[:7]
+		keys := make([]int64, len(perm))
+		for i, p := range perm {
+			keys[i] = int64(p)
+		}
+		return compile.Params{"countries": keys}
+	case Q3:
+		return compile.Params{"supp_key": int64(rng.Intn(sz.Suppliers) + 1)}
+	case Q4:
+		return compile.Params{
+			"color":  Colors[rng.Intn(len(Colors))],
+			"nation": Nations[rng.Intn(len(Nations))].Name,
+		}
+	default:
+		panic("tpch: unknown query")
+	}
+}

@@ -1,0 +1,145 @@
+// Package tpch provides the TPC-H substrate of the reproduction: the
+// benchmark schema, a DBGen-like deterministic data generator, null
+// injection at a configurable null rate, the four experiment queries
+// Q1–Q4 of the paper, and the paper's false-positive detection
+// algorithms (Section 4).
+package tpch
+
+import (
+	"certsql/internal/schema"
+	"certsql/internal/value"
+)
+
+// Column positions used by the false-positive detectors. They must
+// match the attribute order in Schema.
+const (
+	LOrderKey    = 0
+	LPartKey     = 1
+	LSuppKey     = 2
+	LLineNumber  = 3
+	LQuantity    = 4
+	LCommitDate  = 11
+	LReceiptDate = 12
+
+	OOrderKey = 0
+	OCustKey  = 1
+	OStatus   = 2
+
+	PPartKey = 0
+	PName    = 1
+
+	SSuppKey    = 0
+	SNationKey  = 3
+	CCustKey    = 0
+	CNationKey  = 3
+	CAcctBal    = 5
+	NNationKey  = 0
+	NName       = 1
+	NRegionKey  = 2
+	RRegionKey  = 0
+	RName       = 1
+	PSPartKey   = 0
+	PSSuppKey   = 1
+	PSAvailQty  = 2
+	PSSupplyCst = 3
+)
+
+// Schema returns the TPC-H schema. Following the paper's setup
+// (Section 3), every attribute that is not part of a primary key is
+// nullable; nulls are injected only into nullable attributes.
+func Schema() *schema.Schema {
+	s := schema.New()
+	add := func(name string, key []int, attrs ...schema.Attribute) {
+		keySet := map[int]bool{}
+		for _, k := range key {
+			keySet[k] = true
+		}
+		for i := range attrs {
+			attrs[i].Nullable = !keySet[i]
+		}
+		s.MustAdd(&schema.Relation{Name: name, Attrs: attrs, Key: key})
+	}
+
+	at := func(name string, kind value.Kind) schema.Attribute {
+		return schema.Attribute{Name: name, Type: kind}
+	}
+
+	add("region", []int{0},
+		at("r_regionkey", value.KindInt),
+		at("r_name", value.KindString),
+		at("r_comment", value.KindString),
+	)
+	add("nation", []int{0},
+		at("n_nationkey", value.KindInt),
+		at("n_name", value.KindString),
+		at("n_regionkey", value.KindInt),
+		at("n_comment", value.KindString),
+	)
+	add("supplier", []int{0},
+		at("s_suppkey", value.KindInt),
+		at("s_name", value.KindString),
+		at("s_address", value.KindString),
+		at("s_nationkey", value.KindInt),
+		at("s_phone", value.KindString),
+		at("s_acctbal", value.KindFloat),
+		at("s_comment", value.KindString),
+	)
+	add("part", []int{0},
+		at("p_partkey", value.KindInt),
+		at("p_name", value.KindString),
+		at("p_mfgr", value.KindString),
+		at("p_brand", value.KindString),
+		at("p_type", value.KindString),
+		at("p_size", value.KindInt),
+		at("p_container", value.KindString),
+		at("p_retailprice", value.KindFloat),
+		at("p_comment", value.KindString),
+	)
+	add("partsupp", []int{0, 1},
+		at("ps_partkey", value.KindInt),
+		at("ps_suppkey", value.KindInt),
+		at("ps_availqty", value.KindInt),
+		at("ps_supplycost", value.KindFloat),
+		at("ps_comment", value.KindString),
+	)
+	add("customer", []int{0},
+		at("c_custkey", value.KindInt),
+		at("c_name", value.KindString),
+		at("c_address", value.KindString),
+		at("c_nationkey", value.KindInt),
+		at("c_phone", value.KindString),
+		at("c_acctbal", value.KindFloat),
+		at("c_mktsegment", value.KindString),
+		at("c_comment", value.KindString),
+	)
+	add("orders", []int{0},
+		at("o_orderkey", value.KindInt),
+		at("o_custkey", value.KindInt),
+		at("o_orderstatus", value.KindString),
+		at("o_totalprice", value.KindFloat),
+		at("o_orderdate", value.KindDate),
+		at("o_orderpriority", value.KindString),
+		at("o_clerk", value.KindString),
+		at("o_shippriority", value.KindInt),
+		at("o_comment", value.KindString),
+	)
+	add("lineitem", []int{0, 3},
+		at("l_orderkey", value.KindInt),
+		at("l_partkey", value.KindInt),
+		at("l_suppkey", value.KindInt),
+		at("l_linenumber", value.KindInt),
+		at("l_quantity", value.KindInt),
+		at("l_extendedprice", value.KindFloat),
+		at("l_discount", value.KindFloat),
+		at("l_tax", value.KindFloat),
+		at("l_returnflag", value.KindString),
+		at("l_linestatus", value.KindString),
+		at("l_shipdate", value.KindDate),
+		at("l_commitdate", value.KindDate),
+		at("l_receiptdate", value.KindDate),
+		at("l_shipinstruct", value.KindString),
+		at("l_shipmode", value.KindString),
+		at("l_comment", value.KindString),
+	)
+	return s
+}

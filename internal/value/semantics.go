@@ -1,0 +1,148 @@
+package value
+
+import "certsql/internal/tvl"
+
+// Semantics selects how comparisons treat nulls.
+type Semantics uint8
+
+const (
+	// SQL3VL is SQL's behaviour: any comparison touching a null is
+	// unknown, even ⊥ᵢ = ⊥ᵢ (SQL nulls cannot be compared with
+	// themselves — see Section 7 of the paper).
+	SQL3VL Semantics = iota
+	// Naive is naive evaluation over marked nulls: nulls behave as
+	// ordinary values, so ⊥ᵢ = ⊥ⱼ is true iff i = j and ⊥ᵢ = c is
+	// false for every constant c. Comparisons are two-valued.
+	Naive
+)
+
+// String names the semantics.
+func (s Semantics) String() string {
+	if s == Naive {
+		return "naive"
+	}
+	return "sql3vl"
+}
+
+// Equal evaluates a = b under the given semantics.
+func Equal(sem Semantics, a, b Value) tvl.TV {
+	if a.kind == KindNull || b.kind == KindNull {
+		if sem == SQL3VL {
+			return tvl.Unknown
+		}
+		// Naive: nulls are ordinary values compared by mark.
+		if a.kind == KindNull && b.kind == KindNull {
+			return tvl.FromBool(a.i == b.i)
+		}
+		return tvl.False
+	}
+	return tvl.FromBool(ConstEqual(a, b))
+}
+
+// Less evaluates a < b under the given semantics; see OrderCmp.
+func Less(sem Semantics, a, b Value) tvl.TV {
+	return OrderCmp(sem, a, b, func(c int) bool { return c < 0 })
+}
+
+// OrderCmp evaluates an order comparison: keep receives the three-way
+// comparison result (e.g. keep(c) = c < 0 for <).
+//
+// Under SQL3VL an order comparison touching a null is unknown. Under
+// naive semantics values are *totally* ordered — marked nulls sort
+// after all constants and among themselves by mark, and constants of
+// incomparable kinds order deterministically by kind — so that the
+// condition language stays closed under negation (¬(A > B) ≡ A ≤ B
+// must hold atom-wise for the paper's NNF propagation). The translation
+// layer never relies on the order of a null: θ* guards order atoms with
+// const() and θ** weakens them with null() disjuncts.
+func OrderCmp(sem Semantics, a, b Value, keep func(int) bool) tvl.TV {
+	if sem == SQL3VL && (a.kind == KindNull || b.kind == KindNull) {
+		return tvl.Unknown
+	}
+	return tvl.FromBool(keep(totalOrder(a, b)))
+}
+
+// TotalOrder is a deterministic total order on all values: comparable
+// constants by Compare, incomparable constants by kind then rendering,
+// nulls after constants and among themselves by mark. It backs naive-
+// mode order comparisons and ORDER BY (nulls last).
+func TotalOrder(a, b Value) int { return totalOrder(a, b) }
+
+// totalOrder is a deterministic total order on all values: comparable
+// constants by Compare, incomparable constants by kind then rendering,
+// nulls after constants and among themselves by mark.
+func totalOrder(a, b Value) int {
+	aNull, bNull := a.kind == KindNull, b.kind == KindNull
+	switch {
+	case aNull && bNull:
+		return cmpInt64(a.i, b.i)
+	case aNull:
+		return 1
+	case bNull:
+		return -1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	if a.kind != b.kind {
+		return cmpInt64(int64(a.kind), int64(b.kind))
+	}
+	as, bs := a.String(), b.String()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Like evaluates a LIKE pattern match under the given semantics.
+// The pattern uses SQL wildcards: % matches any (possibly empty)
+// substring, _ matches exactly one character. Non-string operands
+// make the match false; null operands make it unknown (SQL) or false
+// (naive).
+func Like(sem Semantics, a, pattern Value) tvl.TV {
+	if a.kind == KindNull || pattern.kind == KindNull {
+		if sem == SQL3VL {
+			return tvl.Unknown
+		}
+		return tvl.False
+	}
+	if a.kind != KindString || pattern.kind != KindString {
+		return tvl.False
+	}
+	return tvl.FromBool(likeMatch(a.s, pattern.s))
+}
+
+// likeMatch matches s against a SQL LIKE pattern with % and _ wildcards,
+// using an iterative two-pointer algorithm with backtracking on the last
+// % seen (linear in practice).
+func likeMatch(s, pat string) bool {
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		// '%' is always a wildcard, even when the subject also contains
+		// a literal '%' — the wildcard case must win the tie.
+		case pi < len(pat) && pat[pi] == '%':
+			starP = pi
+			starS = si
+			pi++
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

@@ -1,0 +1,102 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+
+	"certsql/internal/tvl"
+)
+
+// TestTotalOrderIsTotal property-checks antisymmetry, transitivity and
+// totality of the deterministic order backing naive comparisons and
+// ORDER BY.
+func TestTotalOrderIsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := make([]Value, 0, 64)
+	for i := 0; i < 64; i++ {
+		pool = append(pool, randomValue(rng))
+	}
+	for i := 0; i < 5000; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		ab, ba := TotalOrder(a, b), TotalOrder(b, a)
+		if sign(ab) != -sign(ba) {
+			t.Fatalf("not antisymmetric: %v vs %v: %d, %d", a, b, ab, ba)
+		}
+		if TotalOrder(a, a) != 0 {
+			t.Fatalf("not reflexive: %v", a)
+		}
+		if ab <= 0 && TotalOrder(b, c) <= 0 && TotalOrder(a, c) > 0 {
+			t.Fatalf("not transitive: %v ≤ %v ≤ %v but a > c (%v, %v)", a, b, c, a, c)
+		}
+	}
+}
+
+// TestTotalOrderConventions pins the documented conventions.
+func TestTotalOrderConventions(t *testing.T) {
+	if TotalOrder(Int(5), Null(1)) >= 0 {
+		t.Error("constants must sort before nulls")
+	}
+	if TotalOrder(Null(1), Null(2)) >= 0 {
+		t.Error("nulls sort by mark")
+	}
+	if TotalOrder(Int(2), Float(2)) != 0 {
+		t.Error("numeric kinds compare by value")
+	}
+	if TotalOrder(Int(1), Str("a")) == 0 {
+		t.Error("distinct incomparable kinds must not tie")
+	}
+}
+
+// TestOrderComplementarity: under both semantics, an order atom and its
+// complement never agree — the property NNF's atom negation relies on.
+// Under SQL3VL both may be unknown (on nulls); under naive semantics
+// exactly one of a < b and a ≥ b holds.
+func TestOrderComplementarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lt := func(c int) bool { return c < 0 }
+	ge := func(c int) bool { return c >= 0 }
+	for i := 0; i < 3000; i++ {
+		a, b := randomValue(rng), randomValue(rng)
+		for _, sem := range []Semantics{SQL3VL, Naive} {
+			x := OrderCmp(sem, a, b, lt)
+			y := OrderCmp(sem, a, b, ge)
+			if x.IsUnknown() != y.IsUnknown() {
+				t.Fatalf("%v: unknownness differs for %v, %v", sem, a, b)
+			}
+			if !x.IsUnknown() && x == y {
+				t.Fatalf("%v: a<b and a>=b both %v for %v, %v", sem, x, a, b)
+			}
+		}
+	}
+	// Naive mode is two-valued.
+	if OrderCmp(Naive, Null(1), Int(0), lt).IsUnknown() {
+		t.Error("naive order comparison returned unknown")
+	}
+}
+
+// TestEqualComplementarity: same for equality atoms.
+func TestEqualComplementarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		a, b := randomValue(rng), randomValue(rng)
+		for _, sem := range []Semantics{SQL3VL, Naive} {
+			eq := Equal(sem, a, b)
+			ne := eq.Not()
+			if eq == tvl.True && ne != tvl.False {
+				t.Fatalf("%v: negation broken for %v, %v", sem, a, b)
+			}
+		}
+		// Symmetric.
+		if Equal(Naive, a, b) != Equal(Naive, b, a) || Equal(SQL3VL, a, b) != Equal(SQL3VL, b, a) {
+			t.Fatalf("equality not symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if SQL3VL.String() != "sql3vl" || Naive.String() != "naive" {
+		t.Error("Semantics.String")
+	}
+}

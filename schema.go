@@ -1,0 +1,103 @@
+package certsql
+
+import (
+	"fmt"
+
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// Type is a column type.
+type Type uint8
+
+// Column types.
+const (
+	TInt Type = iota
+	TFloat
+	TString
+	TDate
+	TBool
+)
+
+func (t Type) kind() value.Kind {
+	switch t {
+	case TInt:
+		return value.KindInt
+	case TFloat:
+		return value.KindFloat
+	case TString:
+		return value.KindString
+	case TDate:
+		return value.KindDate
+	default:
+		return value.KindBool
+	}
+}
+
+// Column declares one column of a table. Columns are nullable unless
+// NotNull is set; key columns are implicitly NOT NULL.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// Table declares one table: name, columns, and the names of the
+// primary-key columns (optional).
+type Table struct {
+	Name    string
+	Columns []Column
+	Key     []string
+}
+
+// Open creates an empty database with the given tables.
+func Open(tables ...Table) (*DB, error) {
+	s := schema.New()
+	for _, t := range tables {
+		attrs := make([]schema.Attribute, len(t.Columns))
+		for i, c := range t.Columns {
+			attrs[i] = schema.Attribute{Name: c.Name, Type: c.Type.kind(), Nullable: !c.NotNull}
+		}
+		rel := &schema.Relation{Name: t.Name, Attrs: attrs}
+		for _, kn := range t.Key {
+			i := rel.AttrIndex(kn)
+			if i < 0 {
+				return nil, fmt.Errorf("certsql: table %s: key column %q not declared", t.Name, kn)
+			}
+			rel.Attrs[i].Nullable = false
+			rel.Key = append(rel.Key, i)
+		}
+		if err := s.Add(rel); err != nil {
+			return nil, err
+		}
+	}
+	return wrap(table.NewDatabase(s)), nil
+}
+
+// MustOpen is Open that panics on error, for examples and tests.
+func MustOpen(tables ...Table) *DB {
+	db, err := Open(tables...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// TPCHConfig configures TPC-H instance generation; see the tpch package
+// for the scale conventions (ScaleFactor 1.0 ≈ the paper's 1 GB
+// instances; the experiments use micro scales).
+type TPCHConfig = tpch.Config
+
+// OpenTPCH generates a TPC-H instance with injected nulls, the workload
+// of all the paper's experiments.
+func OpenTPCH(cfg TPCHConfig) *DB {
+	return wrap(tpch.Generate(cfg))
+}
+
+// OpenTPCHEmpty returns an empty database over the TPC-H schema, ready
+// for LoadCSV or manual inserts.
+func OpenTPCHEmpty() *DB {
+	return wrap(table.NewDatabase(tpch.Schema()))
+}
