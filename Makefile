@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is what CI runs: build, vet, and the full test suite under the
+# race detector (the parallel executor must stay race-clean).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -194,6 +194,38 @@ func BenchmarkFigure4PriceOfCorrectness(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSpeedup measures the data-parallel executor on the
+// Q⁺4 nested-loop antijoin — the hottest path in Figure 4 — at worker
+// counts 1 and 4. The determinism contract is asserted inline: every
+// setting must produce a byte-identical result table. The wall-clock
+// ratio only materializes on multi-core hardware (GOMAXPROCS ≥ 4);
+// on a single core the two settings coincide by design.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	db := instance(b, 0.002, 0.02, 202)
+	_, plus, _ := mustPrepare(b, tpch.Q4, db, 11)
+
+	ref, err := eval.New(db, eval.Options{Semantics: value.SQL3VL, Parallelism: 1}).Eval(plus.Expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := ref.String()
+
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, Parallelism: par})
+				t, err := ev.Eval(plus.Expr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if t.String() != want {
+					b.Fatalf("parallelism=%d produced a result differing from sequential", par)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1Scaling regenerates Table 1: relative performance as
 // the instance grows (multipliers of the base scale).
 func BenchmarkTable1Scaling(b *testing.B) {

@@ -87,6 +87,12 @@ type Options struct {
 	// MaxRows bounds intermediate results (0 = default 4M rows).
 	MaxRows int
 
+	// Parallelism sets the number of workers the executor fans the
+	// probe side of joins, semijoins and filters out over: 0 uses
+	// GOMAXPROCS, 1 forces sequential execution, N>1 uses N workers.
+	// Results are deterministic — byte-identical at any setting.
+	Parallelism int
+
 	// Trace records an EXPLAIN ANALYZE-style plan trace, retrievable
 	// from Result.Trace.
 	Trace bool
@@ -103,6 +109,7 @@ func (o Options) evalOptions() eval.Options {
 	return eval.Options{
 		Semantics:      o.semantics(),
 		MaxRows:        o.MaxRows,
+		Parallelism:    o.Parallelism,
 		NoHashJoin:     o.NoHashJoin,
 		NoSubplanCache: o.NoViewCache,
 		NoShortCircuit: o.NoShortCircuit,

@@ -38,8 +38,10 @@ func main() {
 		query    = flag.String("query", "", "run one query and exit (instead of the interactive shell)")
 		maxRows  = flag.Int("maxrows", 50, "maximum result rows to print")
 		dataDir  = flag.String("data", "", "load the instance from a directory of CSV files (as written by tpchgen) instead of generating")
+		par      = flag.Int("parallelism", 0, "executor worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
+	opts := certsql.Options{Parallelism: *par}
 
 	var db *certsql.DB
 	if *dataDir != "" {
@@ -57,7 +59,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ready: %d nulls; type \\q to quit, SELECT CERTAIN ... for certain answers\n", db.NullCount())
 
 	if *query != "" {
-		if err := execute(db, *query, *maxRows); err != nil {
+		if err := execute(db, *query, *maxRows, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "certsql:", err)
 			os.Exit(1)
 		}
@@ -82,14 +84,14 @@ func main() {
 		}
 		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
 		buf.Reset()
-		if err := execute(db, stmt, *maxRows); err != nil {
+		if err := execute(db, stmt, *maxRows, opts); err != nil {
 			fmt.Println("error:", err)
 		}
 		fmt.Print("certsql> ")
 	}
 }
 
-func execute(db *certsql.DB, stmt string, maxRows int) error {
+func execute(db *certsql.DB, stmt string, maxRows int, opts certsql.Options) error {
 	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
 	switch {
 	case stmt == `\schema`:
@@ -111,7 +113,7 @@ func execute(db *certsql.DB, stmt string, maxRows int) error {
 		return nil
 
 	case strings.HasPrefix(stmt, `\explain `):
-		out, err := db.Explain(strings.TrimPrefix(stmt, `\explain `), nil, certsql.Options{})
+		out, err := db.Explain(strings.TrimPrefix(stmt, `\explain `), nil, opts)
 		if err != nil {
 			return err
 		}
@@ -134,7 +136,7 @@ func execute(db *certsql.DB, stmt string, maxRows int) error {
 		return nil
 	}
 
-	res, err := db.Query(stmt, nil)
+	res, err := db.QueryWithOptions(stmt, nil, opts)
 	if err != nil {
 		return err
 	}

@@ -31,16 +31,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		quick     = flag.Bool("quick", false, "use reduced settings for a fast smoke run")
 		csvDir    = flag.String("csv", "", "also write plot-ready CSV files into this directory")
+		par       = flag.Int("parallelism", 0, "executor worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
 
-	if err := dispatch(*run, *scale, *instances, *draws, *seed, *quick, *csvDir); err != nil {
+	if err := dispatch(*run, *scale, *instances, *draws, *seed, *quick, *csvDir, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(run string, scale float64, instances, draws int, seed int64, quick bool, csvDir string) error {
+func dispatch(run string, scale float64, instances, draws int, seed int64, quick bool, csvDir string, par int) error {
 	all := run == "all"
 	ran := false
 
@@ -69,7 +70,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "fig1" {
 		ran = true
-		cfg := experiment.Figure1Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed}
+		cfg := experiment.Figure1Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par}
 		if quick {
 			cfg.NullRates = []float64{0.01, 0.03, 0.05, 0.08, 0.10}
 			if cfg.Instances == 0 {
@@ -109,7 +110,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "fig4" {
 		ran = true
-		cfg := experiment.Figure4Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed}
+		cfg := experiment.Figure4Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par}
 		if quick {
 			cfg.Instances, cfg.ParamDraws, cfg.Repeats = 1, 2, 2
 		}
@@ -125,7 +126,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "table1" {
 		ran = true
-		cfg := experiment.Table1Config{BaseScale: scale, Seed: seed}
+		cfg := experiment.Table1Config{BaseScale: scale, Seed: seed, Parallelism: par}
 		if quick {
 			cfg.ScaleMultipliers = []float64{1, 3}
 			cfg.NullRates = []float64{0.02, 0.04}
@@ -142,7 +143,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "recall" {
 		ran = true
-		cfg := experiment.RecallConfig{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed}
+		cfg := experiment.RecallConfig{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par}
 		results, err := experiment.Recall(cfg)
 		if err != nil {
 			return err

@@ -3,8 +3,11 @@ package certain
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"certsql/internal/algebra"
 	"certsql/internal/eval"
@@ -27,6 +30,22 @@ type BruteForceOptions struct {
 	// MaxCandidates bounds the size of the candidate tuple space
 	// adom(D)^k (default 300,000).
 	MaxCandidates int
+	// Parallelism fans the valuation-filtering loop out over this many
+	// workers (0 = GOMAXPROCS, 1 = sequential). Each valuation's
+	// membership check is independent and survival is a conjunction
+	// over all valuations, so the result is identical at any setting.
+	Parallelism int
+}
+
+func (o BruteForceOptions) workers() int {
+	switch {
+	case o.Parallelism > 0:
+		return o.Parallelism
+	case o.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
 }
 
 func (o BruteForceOptions) maxValuations() int {
@@ -82,23 +101,26 @@ func CertainAnswers(e algebra.Expr, db *table.Database, opts BruteForceOptions) 
 	// and take the preimages of its answers: every certain candidate ā
 	// must satisfy v₀(ā) ∈ Q(v₀(D)), so ā is, position by position, an
 	// adom element that v₀ maps to the answer's value.
-	run := func(valuation map[int64]value.Value) (*table.Table, error) {
-		complete := db.Apply(valuation)
-		ev := eval.New(complete, eval.Options{Semantics: value.SQL3VL})
-		return ev.Eval(e)
-	}
-
-	choice := make([]int, len(nullIDs))
-	makeValuation := func() map[int64]value.Value {
+	// valuationAt decodes valuation index idx in little-endian mixed
+	// radix over the pools (pool 0 is the fastest-moving digit); index 0
+	// is v₀, the all-first-choices valuation.
+	valuationAt := func(idx int) map[int64]value.Value {
 		valuation := make(map[int64]value.Value, len(nullIDs))
 		for i, id := range nullIDs {
-			valuation[id] = pools[i][choice[i]]
+			p := pools[i]
+			valuation[id] = p[idx%len(p)]
+			idx /= len(p)
 		}
 		return valuation
 	}
+	run := func(valuation map[int64]value.Value, par int) (*table.Table, error) {
+		complete := db.Apply(valuation)
+		ev := eval.New(complete, eval.Options{Semantics: value.SQL3VL, Parallelism: par})
+		return ev.Eval(e)
+	}
 
-	v0 := makeValuation()
-	res0, err := run(v0)
+	v0 := valuationAt(0)
+	res0, err := run(v0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -167,40 +189,84 @@ func CertainAnswers(e algebra.Expr, db *table.Database, opts BruteForceOptions) 
 		}
 	}
 
-	// Iterate the remaining valuations, filtering candidates, with an
-	// early exit once no candidate survives.
-	for len(cands) > 0 {
-		// Advance the odometer.
-		i := 0
-		for i < len(choice) {
-			choice[i]++
-			if choice[i] < len(pools[i]) {
-				break
+	// Filter the candidates against the remaining valuations, indices
+	// [1, total), partitioned contiguously across workers. Survival is
+	// a conjunction over all valuations, so the surviving set — kept in
+	// original candidate order — is independent of how the index space
+	// is split. Per-candidate alive flags let every worker prune and
+	// give a global early exit once no candidate survives.
+	if len(cands) > 0 && total > 1 {
+		workers := opts.workers()
+		if span := total - 1; workers > span {
+			workers = span
+		}
+		innerPar := 0
+		if workers > 1 {
+			innerPar = 1 // valuation-level fan-out already saturates the cores
+		}
+		alive := make([]atomic.Bool, len(cands))
+		for i := range alive {
+			alive[i].Store(true)
+		}
+		var aliveCount atomic.Int64
+		aliveCount.Store(int64(len(cands)))
+		var failed atomic.Bool
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		lo := 1
+		for part := 0; part < workers; part++ {
+			size := (total - 1) / workers
+			if part < (total-1)%workers {
+				size++
 			}
-			choice[i] = 0
-			i++
-		}
-		if i == len(choice) {
-			break
-		}
-		valuation := makeValuation()
-		res, err := run(valuation)
-		if err != nil {
-			return nil, err
-		}
-		keys := res.KeySet()
-		kept := cands[:0]
-		for _, c := range cands {
-			img := make(table.Row, k)
-			for i, v := range c {
-				if v.IsNull() {
-					img[i] = valuation[v.NullID()]
-				} else {
-					img[i] = v
+			hi := lo + size
+			wg.Add(1)
+			go func(part, lo, hi int) {
+				defer wg.Done()
+				img := make(table.Row, k)
+				for idx := lo; idx < hi; idx++ {
+					if aliveCount.Load() == 0 || failed.Load() {
+						return
+					}
+					valuation := valuationAt(idx)
+					res, err := run(valuation, innerPar)
+					if err != nil {
+						errs[part] = err
+						failed.Store(true)
+						return
+					}
+					keys := res.KeySet()
+					for ci := range cands {
+						if !alive[ci].Load() {
+							continue
+						}
+						for i, v := range cands[ci] {
+							if v.IsNull() {
+								img[i] = valuation[v.NullID()]
+							} else {
+								img[i] = v
+							}
+						}
+						if _, ok := keys[value.RowKey(img)]; !ok {
+							if alive[ci].CompareAndSwap(true, false) {
+								aliveCount.Add(-1)
+							}
+						}
+					}
 				}
+			}(part, lo, hi)
+			lo = hi
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
-			if _, ok := keys[value.RowKey(img)]; ok {
-				kept = append(kept, c)
+		}
+		kept := cands[:0]
+		for ci := range alive {
+			if alive[ci].Load() {
+				kept = append(kept, cands[ci])
 			}
 		}
 		cands = kept

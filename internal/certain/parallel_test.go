@@ -1,0 +1,74 @@
+package certain_test
+
+import (
+	"testing"
+
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// bruteDB builds a small incomplete instance whose valuation space is
+// large enough to split across workers but still exhaustive.
+func bruteDB(t *testing.T) *table.Database {
+	t.Helper()
+	sch := schema.New()
+	sch.MustAdd(&schema.Relation{Name: "r", Attrs: []schema.Attribute{{Name: "a", Type: value.KindInt, Nullable: true}}})
+	sch.MustAdd(&schema.Relation{Name: "s", Attrs: []schema.Attribute{{Name: "a", Type: value.KindInt, Nullable: true}}})
+	db := table.NewDatabase(sch)
+	for _, v := range []int64{1, 2, 3} {
+		if err := db.Insert("r", table.Row{value.Int(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("r", table.Row{db.FreshNull()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("s", table.Row{value.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := db.Insert("s", table.Row{db.FreshNull()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestCertainAnswersParallelMatchesSequential asserts that the
+// brute-force ground truth is independent of the valuation-loop worker
+// count: survival under every valuation is a conjunction, so any
+// partitioning of the valuation space gives the same surviving set in
+// the same order.
+func TestCertainAnswersParallelMatchesSequential(t *testing.T) {
+	db := bruteDB(t)
+	for _, query := range []string{
+		`SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.a)`,
+		`SELECT r.a FROM r WHERE EXISTS (SELECT * FROM s WHERE r.a = s.a)`,
+	} {
+		q, err := sql.Parse(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := compile.Compile(q, db.Schema, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 3, 8} {
+			got, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Parallelism: par})
+			if err != nil {
+				t.Fatalf("Parallelism=%d: %v", par, err)
+			}
+			if got.String() != want.String() {
+				t.Errorf("query %q Parallelism=%d:\ngot  %q\nwant %q", query, par, got.String(), want.String())
+			}
+		}
+	}
+}

@@ -60,7 +60,7 @@ func (ev *Evaluator) evalGroupBy(e algebra.GroupBy) (*table.Table, error) {
 			row = append(row, g.rep[kc])
 		}
 		for i := range g.accs {
-			row = append(row, g.accs[i].result())
+			row = append(row, g.accs[i].result(ev.freshAggNull))
 		}
 		out.Append(row)
 	}
@@ -107,32 +107,36 @@ func (a *aggAcc) add(row table.Row) {
 	a.have = true
 }
 
-func (a *aggAcc) result() value.Value {
+// result finalizes the aggregate. SUM/AVG/MIN/MAX over an empty group
+// are NULL; each such NULL is minted by fresh so that two independent
+// aggregate NULLs carry distinct marks and never spuriously unify or
+// compare equal under naive marked-null semantics.
+func (a *aggAcc) result(fresh func() value.Value) value.Value {
 	switch a.spec.Func {
 	case algebra.AggCount:
 		return value.Int(a.count)
 	case algebra.AggSum:
 		if !a.have {
-			return value.Null(0)
+			return fresh()
 		}
 		return value.Float(a.sum)
 	case algebra.AggAvg:
 		if !a.have {
-			return value.Null(0)
+			return fresh()
 		}
 		return value.Float(a.sum / float64(a.count))
 	case algebra.AggMin:
 		if !a.have {
-			return value.Null(0)
+			return fresh()
 		}
 		return a.min
 	case algebra.AggMax:
 		if !a.have {
-			return value.Null(0)
+			return fresh()
 		}
 		return a.max
 	default:
-		return value.Null(0)
+		return fresh()
 	}
 }
 

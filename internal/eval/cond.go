@@ -137,9 +137,11 @@ func (ev *Evaluator) operand(o algebra.Operand, row table.Row) (value.Value, err
 
 // scalarValue computes (and caches) an uncorrelated scalar aggregate
 // subquery. SQL semantics: nulls in the aggregated column are ignored;
-// AVG/SUM/MIN/MAX over an empty input are NULL (rendered here as a fresh
-// mark-0 null, which makes any comparison against them unknown under
-// SQL3VL); COUNT over an empty input is 0.
+// AVG/SUM/MIN/MAX over an empty input are NULL (rendered here as a
+// freshly-marked null disjoint from every database null, which makes
+// any comparison against them unknown under SQL3VL and never unifies
+// with another null under naive semantics); COUNT over an empty input
+// is 0.
 func (ev *Evaluator) scalarValue(s algebra.Scalar) (value.Value, error) {
 	key := s.String()
 	if v, ok := ev.scalar[key]; ok {
@@ -186,25 +188,25 @@ func (ev *Evaluator) scalarValue(s algebra.Scalar) (value.Value, error) {
 		out = value.Int(count)
 	case algebra.AggSum:
 		if !have {
-			out = value.Null(0)
+			out = ev.freshAggNull()
 		} else {
 			out = value.Float(sum)
 		}
 	case algebra.AggAvg:
 		if !have {
-			out = value.Null(0)
+			out = ev.freshAggNull()
 		} else {
 			out = value.Float(sum / float64(count))
 		}
 	case algebra.AggMin:
 		if !have {
-			out = value.Null(0)
+			out = ev.freshAggNull()
 		} else {
 			out = min
 		}
 	case algebra.AggMax:
 		if !have {
-			out = value.Null(0)
+			out = ev.freshAggNull()
 		} else {
 			out = max
 		}

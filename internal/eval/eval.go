@@ -25,6 +25,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"certsql/internal/algebra"
 	"certsql/internal/table"
@@ -49,6 +50,21 @@ type Options struct {
 	// Zero means the default of 4,000,000 rows.
 	MaxRows int
 
+	// MaxCostUnits bounds the number of elementary row operations a
+	// single unguarded nested-loop operator (unification semijoin,
+	// division) may perform, so translations that compile to quadratic
+	// loops degrade with ErrTooLarge instead of hanging. Zero means the
+	// default of 2^30 units.
+	MaxCostUnits int64
+
+	// Parallelism is the number of worker goroutines data-parallel
+	// operators may use: 0 means GOMAXPROCS, 1 forces sequential
+	// execution, N > 1 uses N workers. Results are deterministic at any
+	// setting: workers scan contiguous partitions of the probe side and
+	// their outputs are concatenated in partition order, so the result
+	// table and the Stats counters are identical to a sequential run.
+	Parallelism int
+
 	// NoHashJoin disables hash strategies everywhere, forcing nested
 	// loops. Used by ablation benchmarks.
 	NoHashJoin bool
@@ -63,13 +79,23 @@ type Options struct {
 	Trace bool
 }
 
-const defaultMaxRows = 4_000_000
+const (
+	defaultMaxRows      = 4_000_000
+	defaultMaxCostUnits = int64(1) << 30
+)
 
 func (o Options) maxRows() int {
 	if o.MaxRows > 0 {
 		return o.MaxRows
 	}
 	return defaultMaxRows
+}
+
+func (o Options) maxCostUnits() int64 {
+	if o.MaxCostUnits > 0 {
+		return o.MaxCostUnits
+	}
+	return defaultMaxCostUnits
 }
 
 // Stats accumulates execution counters across one evaluation.
@@ -99,6 +125,24 @@ type Evaluator struct {
 	scalar map[string]value.Value
 	trace  []traceEntry
 	depth  int
+
+	// aggNulls counts the evaluator-local marks minted for empty
+	// aggregate results; see freshAggNull.
+	aggNulls int64
+}
+
+// freshAggNull mints a marked null for an empty SUM/AVG/MIN/MAX result.
+// SQL's aggregate NULL is a Codd null — a fresh unknown per occurrence —
+// so every result gets its own mark; sharing one mark would make two
+// unrelated aggregate NULLs compare equal (and unify) under naive
+// marked-null semantics. Marks are negative, which keeps them disjoint
+// from the database's generator-minted marks (positive, see
+// table.Database.FreshNull). Minting happens only on the coordinating
+// goroutine (GroupBy and scalar-subquery evaluation are sequential), so
+// the marks are deterministic at any Parallelism.
+func (ev *Evaluator) freshAggNull() value.Value {
+	ev.aggNulls++
+	return value.Null(-ev.aggNulls)
 }
 
 // New returns an evaluator over db with the given options.
@@ -370,6 +414,9 @@ func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
 		return nil, fmt.Errorf("eval: division of arity %d by arity %d", e.L.Arity(), e.R.Arity())
 	}
 	need := r.Distinct()
+	if cost := int64(l.Len()) + int64(l.Len())*int64(need.Len()); cost > ev.opts.maxCostUnits() {
+		return nil, fmt.Errorf("%w: division cost %d exceeds %d units", ErrTooLarge, cost, ev.opts.maxCostUnits())
+	}
 	groups := map[string]map[string]struct{}{}
 	preCols := make([]int, nPre)
 	sufCols := make([]int, e.R.Arity())
@@ -387,6 +434,11 @@ func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
 		}
 		groups[pk][value.TupleKey(row, sufCols)] = struct{}{}
 	}
+	needKeys := make([]string, 0, need.Len())
+	allCols := rangeInts(e.R.Arity())
+	for _, want := range need.Rows() {
+		needKeys = append(needKeys, value.TupleKey(want, allCols))
+	}
 	out := table.New(nPre)
 	emitted := map[string]struct{}{}
 	for _, row := range l.Rows() { // first-seen order keeps output deterministic
@@ -397,9 +449,9 @@ func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
 		emitted[pk] = struct{}{}
 		have := groups[pk]
 		covers := true
-		for _, want := range need.Rows() {
+		for _, wk := range needKeys {
 			ev.stats.CostUnits++
-			if _, ok := have[value.TupleKey(want, rangeInts(len(want)))]; !ok {
+			if _, ok := have[wk]; !ok {
 				covers = false
 				break
 			}
@@ -434,20 +486,37 @@ func (ev *Evaluator) evalUnifySemi(e algebra.UnifySemi) (*table.Table, error) {
 	if l.Arity() != r.Arity() {
 		return nil, fmt.Errorf("eval: unification semijoin of arities %d and %d", l.Arity(), r.Arity())
 	}
-	out := table.New(l.Arity())
-	for _, lr := range l.Rows() {
-		match := false
-		for _, rr := range r.Rows() {
-			ev.stats.CostUnits++
-			if value.UnifyTuples(lr, rr) {
-				match = true
-				break
+	if cost := int64(l.Len()) * int64(r.Len()); cost > ev.opts.maxCostUnits() {
+		return nil, fmt.Errorf("%w: unification semijoin cost %d exceeds %d units", ErrTooLarge, cost, ev.opts.maxCostUnits())
+	}
+	lRows, rRows := l.Rows(), r.Rows()
+	chunks := make([][]table.Row, ev.opts.workers())
+	err = ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+		var out []table.Row
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return nil
+			}
+			lr := lRows[i]
+			match := false
+			for _, rr := range rRows {
+				st.costUnits++
+				if value.UnifyTuples(lr, rr) {
+					match = true
+					break
+				}
+			}
+			if match != e.Anti {
+				out = append(out, lr)
 			}
 		}
-		if match != e.Anti {
-			out.Append(lr)
-		}
+		chunks[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := concatChunks(l.Arity(), chunks)
 	name := "unify-semijoin"
 	if e.Anti {
 		name = "unify-antijoin"

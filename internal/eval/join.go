@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"certsql/internal/algebra"
 	"certsql/internal/table"
@@ -22,16 +23,9 @@ func (ev *Evaluator) evalSelect(e algebra.Select) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := table.New(child.Arity())
-	for _, r := range child.Rows() {
-		ev.stats.CostUnits++
-		v, err := ev.evalCond(e.Cond, r)
-		if err != nil {
-			return nil, err
-		}
-		if v.IsTrue() {
-			out.Append(r)
-		}
+	out, err := ev.filterTable(child, e.Cond)
+	if err != nil {
+		return nil, err
 	}
 	ev.note("filter %s -> %d rows", e.Cond, out.Len())
 	return out, nil
@@ -165,16 +159,9 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 			}
 			appliedRes[ri] = true
 			remapped := algebra.MapCols(c, func(col int) int { return pos[col] })
-			f := table.New(cur.Arity())
-			for _, r := range cur.Rows() {
-				ev.stats.CostUnits++
-				v, err := ev.evalCond(remapped, r)
-				if err != nil {
-					return err
-				}
-				if v.IsTrue() {
-					f.Append(r)
-				}
+			f, err := ev.filterTable(cur, remapped)
+			if err != nil {
+				return err
 			}
 			ev.note("residual filter %s -> %d rows", c, f.Len())
 			cur = f
@@ -263,16 +250,9 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 		}
 		appliedEdge[ei] = true
 		remapped := algebra.Cmp{Op: algebra.EQ, L: algebra.Col{Idx: pos[e.colA]}, R: algebra.Col{Idx: pos[e.colB]}}
-		f := table.New(cur.Arity())
-		for _, r := range cur.Rows() {
-			ev.stats.CostUnits++
-			v, err := ev.evalCond(remapped, r)
-			if err != nil {
-				return nil, err
-			}
-			if v.IsTrue() {
-				f.Append(r)
-			}
+		f, err := ev.filterTable(cur, remapped)
+		if err != nil {
+			return nil, err
 		}
 		cur = f
 	}
@@ -305,25 +285,42 @@ func (ev *Evaluator) hashJoin(l, r *table.Table, lCols, rCols []int) (*table.Tab
 		k := value.TupleKey(rr, rCols)
 		idx[k] = append(idx[k], i)
 	}
-	out := table.New(l.Arity() + r.Arity())
-	for _, lr := range l.Rows() {
-		ev.stats.CostUnits++
-		if sqlMode && anyNull(lr, lCols) {
-			continue
-		}
-		for _, ri := range idx[value.TupleKey(lr, lCols)] {
-			ev.stats.CostUnits++
-			nr := make(table.Row, 0, l.Arity()+r.Arity())
-			nr = append(nr, lr...)
-			nr = append(nr, r.Row(ri)...)
-			out.Append(nr)
-			if out.Len() > ev.opts.maxRows() {
-				return nil, fmt.Errorf("%w: hash join result exceeds %d rows", ErrTooLarge, ev.opts.maxRows())
+	// Probe partitions of l in parallel; a shared row counter enforces
+	// the budget across partitions and cancels in-flight ones.
+	arity := l.Arity() + r.Arity()
+	lRows := l.Rows()
+	chunks := make([][]table.Row, ev.opts.workers())
+	var outRows atomic.Int64
+	err := ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+		var out []table.Row
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return nil
+			}
+			lr := lRows[i]
+			st.costUnits++
+			if sqlMode && anyNull(lr, lCols) {
+				continue
+			}
+			for _, ri := range idx[value.TupleKey(lr, lCols)] {
+				st.costUnits++
+				nr := make(table.Row, 0, arity)
+				nr = append(nr, lr...)
+				nr = append(nr, r.Row(ri)...)
+				out = append(out, nr)
+				if outRows.Add(1) > int64(ev.opts.maxRows()) {
+					return fmt.Errorf("%w: hash join result exceeds %d rows", ErrTooLarge, ev.opts.maxRows())
+				}
 			}
 		}
+		chunks[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ev.stats.CostUnits += int64(r.Len())
-	return out, nil
+	return concatChunks(arity, chunks), nil
 }
 
 func anyNull(r table.Row, cols []int) bool {
@@ -413,11 +410,17 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 		}
 	}
 
-	out := table.New(nL)
 	name := "semijoin"
 	if e.Anti {
 		name = "antijoin"
 	}
+	// Workers verify cond, so any scalar subquery it mentions must be
+	// resolved on this goroutine first.
+	if err := ev.prewarmScalars(cond); err != nil {
+		return nil, err
+	}
+	lRows := l.Rows()
+	chunks := make([][]table.Row, ev.opts.workers())
 
 	if len(lCols) > 0 {
 		// Hash strategy: probe buckets, verify the full condition.
@@ -427,59 +430,89 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 			if sqlMode && anyNull(rr, rCols) {
 				continue
 			}
-			idx[value.TupleKey(rr, rCols)] = append(idx[value.TupleKey(rr, rCols)], i)
+			k := value.TupleKey(rr, rCols)
+			idx[k] = append(idx[k], i)
 		}
 		ev.stats.CostUnits += int64(r.Len())
-		row := make(table.Row, nL+r.Arity())
-		for _, lr := range l.Rows() {
-			ev.stats.CostUnits++
-			match := false
-			if !(sqlMode && anyNull(lr, lCols)) {
-				copy(row, lr)
-				for _, ri := range idx[value.TupleKey(lr, lCols)] {
-					ev.stats.CostUnits++
-					copy(row[nL:], r.Row(ri))
-					v, err := ev.evalCond(cond, row)
-					if err != nil {
-						return nil, err
-					}
-					if v.IsTrue() {
-						match = true
-						break
+		err := ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+			var out []table.Row
+			row := make(table.Row, nL+r.Arity())
+			for i := lo; i < hi; i++ {
+				if stop.Load() {
+					return nil
+				}
+				lr := lRows[i]
+				st.costUnits++
+				match := false
+				if !(sqlMode && anyNull(lr, lCols)) {
+					copy(row, lr)
+					for _, ri := range idx[value.TupleKey(lr, lCols)] {
+						st.costUnits++
+						copy(row[nL:], r.Row(ri))
+						v, err := ev.evalCond(cond, row)
+						if err != nil {
+							return err
+						}
+						if v.IsTrue() {
+							match = true
+							break
+						}
 					}
 				}
+				if match != e.Anti {
+					out = append(out, lr)
+				}
 			}
-			if match != e.Anti {
-				out.Append(lr)
-			}
+			chunks[part] = out
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		out := concatChunks(nL, chunks)
 		ev.stats.HashJoins++
 		ev.note("hash %s [%d keys] %d vs %d -> %d rows", name, len(lCols), l.Len(), r.Len(), out.Len())
 		return out, nil
 	}
 
 	// Nested loop: the "confused optimizer" path that conditions of the
-	// form (A = B OR B IS NULL) force, per Section 7 of the paper.
-	row := make(table.Row, nL+r.Arity())
-	for _, lr := range l.Rows() {
-		match := false
-		copy(row, lr)
-		for _, rr := range r.Rows() {
-			ev.stats.CostUnits++
-			copy(row[nL:], rr)
-			v, err := ev.evalCond(cond, row)
-			if err != nil {
-				return nil, err
+	// form (A = B OR B IS NULL) force, per Section 7 of the paper. The
+	// probe rows are independent, so the quadratic scan partitions
+	// across workers — the single largest lever on the Figure 4 / Q⁺4
+	// cost.
+	err = ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+		var out []table.Row
+		row := make(table.Row, nL+r.Arity())
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return nil
 			}
-			if v.IsTrue() {
-				match = true
-				break
+			lr := lRows[i]
+			match := false
+			copy(row, lr)
+			for _, rr := range r.Rows() {
+				st.costUnits++
+				copy(row[nL:], rr)
+				v, err := ev.evalCond(cond, row)
+				if err != nil {
+					return err
+				}
+				if v.IsTrue() {
+					match = true
+					break
+				}
+			}
+			if match != e.Anti {
+				out = append(out, lr)
 			}
 		}
-		if match != e.Anti {
-			out.Append(lr)
-		}
+		chunks[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := concatChunks(nL, chunks)
 	ev.stats.NestedLoopJoins++
 	ev.note("nested-loop %s %d × %d -> %d rows", name, l.Len(), r.Len(), out.Len())
 	return out, nil

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"certsql/internal/algebra"
+	"certsql/internal/table"
+)
+
+// Data-parallel execution of the probe-side hot loops.
+//
+// The four loops that dominate the paper's "price of correctness"
+// measurements — the hash-join probe, the hash and nested-loop
+// semi/antijoin probes, and the unification-semijoin scan — share one
+// shape: an outer scan over independent probe rows. This file provides
+// the worker pool that partitions such a scan into one contiguous chunk
+// per worker. Determinism is structural: every partition preserves the
+// input order of its rows, and the per-partition outputs are
+// concatenated in partition order, so the result table (and the summed
+// Stats counters) are byte-identical to a sequential run at any
+// Parallelism.
+//
+// Workers never touch the evaluator's mutable state: they may only call
+// evalCond (after prewarmScalars has resolved scalar subqueries on the
+// coordinating goroutine), accumulate counters in their chunkStats
+// shard, and append to their own output buffer. Trace notes are emitted
+// by the coordinator only.
+
+// minParallelRows is the smallest probe side worth fanning out; below
+// one chunk of this size per extra worker, goroutine handoff costs more
+// than the scan.
+const minParallelRows = 256
+
+// workers resolves the Parallelism option: 0 = GOMAXPROCS, otherwise at
+// least one worker.
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism > 0:
+		return o.Parallelism
+	case o.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// chunkStats is the per-partition shard of the Stats counters touched
+// inside probe loops; shards are merged into ev.stats when the operator
+// finishes.
+type chunkStats struct {
+	costUnits int64
+}
+
+// runChunks partitions [0, n) into one contiguous range per worker and
+// runs body on every range, concurrently when more than one worker is
+// available. body(part, lo, hi, st, stop) processes rows [lo, hi),
+// accumulating counters in st; it should poll stop between rows and
+// return early when it is set (a failing partition sets it, cancelling
+// in-flight work). The error of the lowest-numbered failing partition
+// is returned, and all shards — including those of cancelled partitions
+// — are merged into ev.stats with atomic adds.
+func (ev *Evaluator) runChunks(n int, body func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error) error {
+	workers := ev.opts.workers()
+	if max := n / minParallelRows; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var stop atomic.Bool
+	if workers == 1 {
+		var st chunkStats
+		err := body(0, 0, n, &st, &stop)
+		ev.stats.CostUnits += st.costUnits
+		return err
+	}
+
+	errs := make([]error, workers)
+	shards := make([]chunkStats, workers)
+	var wg sync.WaitGroup
+	lo := 0
+	for part := 0; part < workers; part++ {
+		size := n / workers
+		if part < n%workers {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(part, lo, hi int) {
+			defer wg.Done()
+			if err := body(part, lo, hi, &shards[part], &stop); err != nil {
+				errs[part] = err
+				stop.Store(true)
+			}
+			// Atomic merge: shards may finish while others still run,
+			// and Stats must never be torn even mid-operator.
+			atomic.AddInt64(&ev.stats.CostUnits, shards[part].costUnits)
+		}(part, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// concatChunks assembles per-partition row buffers into one table in
+// partition order, preserving the sequential output order exactly.
+func concatChunks(arity int, chunks [][]table.Row) *table.Table {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	out := table.New(arity)
+	out.Grow(n)
+	for _, c := range chunks {
+		for _, r := range c {
+			out.Append(r)
+		}
+	}
+	return out
+}
+
+// prewarmScalars resolves every scalar subquery operand of c on the
+// coordinating goroutine, so that worker calls to evalCond only read
+// the scalar cache. It must run before any parallel loop whose
+// condition may contain algebra.Scalar operands.
+func (ev *Evaluator) prewarmScalars(c algebra.Cond) error {
+	warm := func(o algebra.Operand) error {
+		if s, ok := o.(algebra.Scalar); ok {
+			_, err := ev.scalarValue(s)
+			return err
+		}
+		return nil
+	}
+	switch c := c.(type) {
+	case algebra.Cmp:
+		if err := warm(c.L); err != nil {
+			return err
+		}
+		return warm(c.R)
+	case algebra.Like:
+		if err := warm(c.Operand); err != nil {
+			return err
+		}
+		return warm(c.Pattern)
+	case algebra.NullTest:
+		return warm(c.Operand)
+	case algebra.And:
+		for _, sub := range c.Conds {
+			if err := ev.prewarmScalars(sub); err != nil {
+				return err
+			}
+		}
+	case algebra.Or:
+		for _, sub := range c.Conds {
+			if err := ev.prewarmScalars(sub); err != nil {
+				return err
+			}
+		}
+	case algebra.Not:
+		return ev.prewarmScalars(c.C)
+	}
+	return nil
+}
+
+// filterTable returns the rows of t satisfying cond, scanning
+// partitions of t in parallel. This is the executor's generic filter —
+// the σ fallback of evalSelect, the per-leaf and residual filter stages
+// of planJoinBlock all route through it.
+func (ev *Evaluator) filterTable(t *table.Table, cond algebra.Cond) (*table.Table, error) {
+	if err := ev.prewarmScalars(cond); err != nil {
+		return nil, err
+	}
+	rows := t.Rows()
+	chunks := make([][]table.Row, ev.opts.workers())
+	err := ev.runChunks(t.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+		var out []table.Row
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return nil
+			}
+			st.costUnits++
+			v, err := ev.evalCond(cond, rows[i])
+			if err != nil {
+				return err
+			}
+			if v.IsTrue() {
+				out = append(out, rows[i])
+			}
+		}
+		chunks[part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatChunks(t.Arity(), chunks), nil
+}

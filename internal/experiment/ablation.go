@@ -27,6 +27,9 @@ type AblationConfig struct {
 	Repeats int
 	// Queries to run; nil means Q1–Q4.
 	Queries []tpch.QueryID
+	// Parallelism is the executor worker count used by every variant
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
 }
 
 func (c *AblationConfig) defaults() {
@@ -99,13 +102,13 @@ func Ablation(cfg AblationConfig) ([]AblationRow, error) {
 			opts eval.Options
 		}
 		plans := []plan{{name: "base", expr: DefaultTranslator(db).Plus(compiled.Expr),
-			opts: eval.Options{Semantics: value.SQL3VL, MaxRows: 2_000_000}}}
+			opts: eval.Options{Semantics: value.SQL3VL, MaxRows: 2_000_000, Parallelism: cfg.Parallelism}}}
 		for _, v := range ablationVariants {
 			tr := DefaultTranslator(db)
 			if v.tr != nil {
 				v.tr(tr)
 			}
-			opts := eval.Options{Semantics: value.SQL3VL, MaxRows: 2_000_000}
+			opts := eval.Options{Semantics: value.SQL3VL, MaxRows: 2_000_000, Parallelism: cfg.Parallelism}
 			if v.opts != nil {
 				v.opts(&opts)
 			}

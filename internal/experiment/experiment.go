@@ -78,8 +78,10 @@ func DefaultTranslator(db *table.Database) *certain.Translator {
 
 // runOnce evaluates an expression with a fresh evaluator (no caches
 // shared across timed runs) and returns the result and wall time.
-func runOnce(db *table.Database, c *compile.Compiled) (*table.Table, time.Duration, eval.Stats, error) {
-	ev := eval.New(db, eval.Options{Semantics: value.SQL3VL})
+// par is the executor worker count (0 = GOMAXPROCS, 1 = sequential);
+// results are identical at any setting.
+func runOnce(db *table.Database, c *compile.Compiled, par int) (*table.Table, time.Duration, eval.Stats, error) {
+	ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, Parallelism: par})
 	start := time.Now()
 	t, err := ev.Eval(c.Expr)
 	return t, time.Since(start), ev.Stats(), err
@@ -100,6 +102,9 @@ type Figure1Config struct {
 	Seed int64
 	// Queries to run; nil means Q1–Q4.
 	Queries []tpch.QueryID
+	// Parallelism is the executor worker count (0 = GOMAXPROCS,
+	// 1 = sequential); measurements are over identical results.
+	Parallelism int
 }
 
 func (c *Figure1Config) defaults() {
@@ -161,7 +166,7 @@ func Figure1(cfg Figure1Config) ([]Figure1Row, error) {
 					if err != nil {
 						return nil, err
 					}
-					res, _, _, err := runOnce(db, compiled)
+					res, _, _, err := runOnce(db, compiled, cfg.Parallelism)
 					if err != nil {
 						return nil, fmt.Errorf("fig1 %s: %w", qid, err)
 					}

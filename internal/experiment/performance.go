@@ -26,6 +26,10 @@ type Figure4Config struct {
 	Seed int64
 	// Queries to run; nil means Q1–Q4.
 	Queries []tpch.QueryID
+	// Parallelism is the executor worker count (0 = GOMAXPROCS,
+	// 1 = sequential). Both t and t⁺ run at the same setting, so the
+	// reported ratios stay comparable.
+	Parallelism int
 }
 
 func (c *Figure4Config) defaults() {
@@ -84,12 +88,12 @@ func Figure4(cfg Figure4Config) ([]Figure4Row, error) {
 					}
 					var tOrig, tPlus time.Duration
 					for rep := 0; rep < cfg.Repeats; rep++ {
-						if _, dt, _, err := runOnce(db, orig); err != nil {
+						if _, dt, _, err := runOnce(db, orig, cfg.Parallelism); err != nil {
 							return nil, fmt.Errorf("fig4 %s original: %w", qid, err)
 						} else {
 							tOrig += dt
 						}
-						if _, dt, _, err := runOnce(db, plus); err != nil {
+						if _, dt, _, err := runOnce(db, plus, cfg.Parallelism); err != nil {
 							return nil, fmt.Errorf("fig4 %s translated: %w", qid, err)
 						} else {
 							tPlus += dt
@@ -127,6 +131,9 @@ type Table1Config struct {
 	ParamDraws int
 	// Queries to run; nil means Q1–Q4.
 	Queries []tpch.QueryID
+	// Parallelism is the executor worker count, forwarded to the
+	// underlying Figure 4 runs.
+	Parallelism int
 }
 
 func (c *Table1Config) defaults() {
@@ -161,13 +168,14 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	var out []Table1Row
 	for _, mult := range cfg.ScaleMultipliers {
 		rows, err := Figure4(Figure4Config{
-			NullRates:  cfg.NullRates,
-			Instances:  1,
-			ParamDraws: cfg.ParamDraws,
-			Repeats:    2,
-			Scale:      cfg.BaseScale * mult,
-			Seed:       cfg.Seed + int64(mult*1000),
-			Queries:    cfg.Queries,
+			NullRates:   cfg.NullRates,
+			Instances:   1,
+			ParamDraws:  cfg.ParamDraws,
+			Repeats:     2,
+			Scale:       cfg.BaseScale * mult,
+			Seed:        cfg.Seed + int64(mult*1000),
+			Queries:     cfg.Queries,
+			Parallelism: cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -227,6 +235,9 @@ type RecallConfig struct {
 	ParamDraws int
 	Seed       int64
 	Queries    []tpch.QueryID
+	// Parallelism is the executor worker count (0 = GOMAXPROCS,
+	// 1 = sequential); results are identical at any setting.
+	Parallelism int
 }
 
 func (c *RecallConfig) defaults() {
@@ -272,11 +283,11 @@ func Recall(cfg RecallConfig) ([]RecallResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				sqlRes, _, _, err := runOnce(db, orig)
+				sqlRes, _, _, err := runOnce(db, orig, cfg.Parallelism)
 				if err != nil {
 					return nil, err
 				}
-				plusRes, _, _, err := runOnce(db, plus)
+				plusRes, _, _, err := runOnce(db, plus, cfg.Parallelism)
 				if err != nil {
 					return nil, err
 				}
