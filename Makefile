@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench fuzz fuzzcert
 
 # check is what CI runs: build, vet, and the full test suite under the
 # race detector (the parallel executor must stay race-clean).
@@ -20,3 +21,25 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz runs every native fuzz target for FUZZTIME each, under the race
+# detector. 30s per target is the CI smoke setting; for a nightly long
+# run use e.g.
+#
+#	make fuzz FUZZTIME=10m
+#
+# Crashers are written to the package's testdata/fuzz/<Target>/
+# directory and replay as part of the plain test suite — commit them.
+fuzz:
+	$(GO) test -race -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sql
+	$(GO) test -race -run='^$$' -fuzz=FuzzLex -fuzztime=$(FUZZTIME) ./internal/sql
+	$(GO) test -race -run='^$$' -fuzz=FuzzLike -fuzztime=$(FUZZTIME) ./internal/value
+	$(GO) test -race -run='^$$' -fuzz=FuzzUnifyTuples -fuzztime=$(FUZZTIME) ./internal/value
+	$(GO) test -race -run='^$$' -fuzz=FuzzCertainPipeline -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -race -run='^$$' -fuzz=FuzzCompileEval -fuzztime=$(FUZZTIME) ./internal/difftest
+
+# fuzzcert runs the seeded differential oracle over a deterministic
+# range of cases (no coverage guidance, instantly reproducible: every
+# failure prints its seed and a shrunken Go repro).
+fuzzcert:
+	$(GO) run ./cmd/fuzzcert -cases 2000 -seed 1

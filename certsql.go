@@ -139,6 +139,10 @@ type DB struct {
 // wrap adopts an internal database (used by the TPC-H constructors).
 func wrap(d *table.Database) *DB { return &DB{d: d} }
 
+// FromInternal adopts an internal database, for in-module drivers such
+// as the differential-testing oracle that build databases directly.
+func FromInternal(d *table.Database) *DB { return wrap(d) }
+
 // Insert appends one row to a table. Use NULL for missing values; each
 // NULL becomes a fresh marked null.
 func (db *DB) Insert(tableName string, vals ...any) error {
@@ -228,15 +232,32 @@ const (
 	modePossible
 )
 
+// leadSelect returns the SelectStmt that carries the CERTAIN/POSSIBLE
+// flags: the body itself, or the leftmost operand of a set operation
+// (where the parser attaches the keyword for e.g. `SELECT CERTAIN ...
+// UNION ...`).
+func leadSelect(body sql.QueryExpr) *sql.SelectStmt {
+	for {
+		switch b := body.(type) {
+		case *sql.SelectStmt:
+			return b
+		case sql.SetOp:
+			body = b.L
+		default:
+			return nil
+		}
+	}
+}
+
 func forceCertain(q *sql.Query) {
-	if sel, ok := q.Body.(*sql.SelectStmt); ok {
+	if sel := leadSelect(q.Body); sel != nil {
 		sel.Certain = true
 		sel.Possible = false
 	}
 }
 
 func forcePossible(q *sql.Query) {
-	if sel, ok := q.Body.(*sql.SelectStmt); ok {
+	if sel := leadSelect(q.Body); sel != nil {
 		sel.Possible = true
 		sel.Certain = false
 	}
@@ -245,8 +266,8 @@ func forcePossible(q *sql.Query) {
 // takeMode reads and strips the CERTAIN/POSSIBLE flags (the compiler
 // does not know them).
 func takeMode(q *sql.Query) evalMode {
-	sel, ok := q.Body.(*sql.SelectStmt)
-	if !ok {
+	sel := leadSelect(q.Body)
+	if sel == nil {
 		return modeStandard
 	}
 	switch {

@@ -1,0 +1,46 @@
+package certsql_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndRun compiles, vets and executes every example
+// program. The examples double as living documentation (README links
+// into them), so they must keep working as the API evolves — a broken
+// example is an API regression even when the library tests pass.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := "./" + filepath.Join("examples", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			vet := exec.Command("go", "vet", dir)
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet %s: %v\n%s", dir, err, out)
+			}
+			run := exec.Command("go", "run", dir)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s printed nothing; examples should demonstrate their output", dir)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"certsql/internal/algebra"
+	"certsql/internal/schema"
 )
 
 // CheckTranslatable reports whether the certain-answer translation is
@@ -38,4 +39,99 @@ func CheckTranslatable(e algebra.Expr) error {
 		}
 	})
 	return err
+}
+
+// RigidScalars reports whether every scalar aggregate subquery occurring
+// in e is rigid: guaranteed to evaluate to the same value on every
+// valuation of the database. The translation treats scalar subqueries as
+// black-box constants (Section 7 of the paper, mirrored in the appendix
+// query Q⁺2), which is exact only for rigid ones — over
+// valuation-dependent input the translated query keeps the paper's
+// pragmatic semantics but loses the certain-answer guarantee. The
+// differential-testing oracle uses this to know when the brute-force
+// soundness invariants apply.
+//
+// The static criterion is conservative: a scalar is considered rigid
+// when no base relation reachable from its subquery (including through
+// nested scalar subqueries) has a nullable attribute, so no valuation
+// can change what the subquery computes.
+func RigidScalars(e algebra.Expr, sch *schema.Schema) bool {
+	rigid := true
+	algebra.Walk(e, func(sub algebra.Expr) {
+		var cond algebra.Cond
+		switch n := sub.(type) {
+		case algebra.Select:
+			cond = n.Cond
+		case algebra.SemiJoin:
+			cond = n.Cond
+		default:
+			return
+		}
+		forEachScalar(cond, func(s algebra.Scalar) {
+			if !nullFreeExpr(s.Sub, sch) {
+				rigid = false
+			}
+		})
+	})
+	return rigid
+}
+
+// forEachScalar visits the scalar subquery operands of cond's atoms
+// (not those nested inside the scalars' own subqueries — callers walk
+// those through the expression they belong to).
+func forEachScalar(c algebra.Cond, f func(algebra.Scalar)) {
+	visit := func(o algebra.Operand) {
+		if s, ok := o.(algebra.Scalar); ok {
+			f(s)
+		}
+	}
+	switch c := c.(type) {
+	case algebra.Cmp:
+		visit(c.L)
+		visit(c.R)
+	case algebra.Like:
+		visit(c.Operand)
+		visit(c.Pattern)
+	case algebra.NullTest:
+		visit(c.Operand)
+	case algebra.And:
+		for _, sub := range c.Conds {
+			forEachScalar(sub, f)
+		}
+	case algebra.Or:
+		for _, sub := range c.Conds {
+			forEachScalar(sub, f)
+		}
+	case algebra.Not:
+		forEachScalar(c.C, f)
+	}
+}
+
+// nullFreeExpr reports whether no base relation reachable from e has a
+// nullable attribute (unknown relations and a nil schema count as
+// nullable). Walk descends into scalar subqueries, so nested scalars
+// over nullable data are caught too.
+func nullFreeExpr(e algebra.Expr, sch *schema.Schema) bool {
+	ok := true
+	algebra.Walk(e, func(sub algebra.Expr) {
+		b, isBase := sub.(algebra.Base)
+		if !isBase {
+			return
+		}
+		if sch == nil {
+			ok = false
+			return
+		}
+		rel, found := sch.Relation(b.Name)
+		if !found {
+			ok = false
+			return
+		}
+		for _, a := range rel.Attrs {
+			if a.Nullable {
+				ok = false
+			}
+		}
+	})
+	return ok
 }

@@ -1,0 +1,56 @@
+package certain_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"certsql/internal/compile"
+	"certsql/internal/tpch"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden SQL files under testdata/golden")
+
+// TestGoldenRewrites locks the exact SQL text of the rewritten
+// appendix queries Q⁺1–Q⁺4. The structural assertions in
+// appendix_test.go allow cosmetic drift; these files do not — any
+// change to the renderer or the translation shows up as a readable
+// diff in review. Regenerate intentionally with:
+//
+//	go test ./internal/certain -run TestGoldenRewrites -update
+func TestGoldenRewrites(t *testing.T) {
+	cases := []struct {
+		name   string
+		qid    tpch.QueryID
+		params compile.Params
+	}{
+		{"q1", tpch.Q1, compile.Params{"nation": "FRANCE"}},
+		{"q2", tpch.Q2, compile.Params{"countries": []int64{1, 2, 3, 4, 5, 6, 7}}},
+		{"q3", tpch.Q3, compile.Params{"supp_key": int64(1)}},
+		{"q4", tpch.Q4, compile.Params{"color": "red", "nation": "FRANCE"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := rewriteQuery(t, tc.qid, tc.params) + "\n"
+			path := filepath.Join("testdata", "golden", tc.name+".sql")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("rewritten SQL for %s drifted from %s\n--- got ---\n%s--- want ---\n%s",
+					tc.name, path, got, want)
+			}
+		})
+	}
+}

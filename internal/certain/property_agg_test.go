@@ -1,0 +1,282 @@
+package certain_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/certain"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// This file extends the property tests to the plan shapes the random
+// generator in property_test.go never emits: relational division (the
+// compiled form of FOR ALL-style SQL) and grouping/aggregation (standard
+// evaluation mode only — certain answers under aggregation are open
+// theory, Section 8 of the paper).
+
+// propDivSchema is propSchema plus a unary relation to divide by.
+func propDivSchema() *schema.Schema {
+	s := propSchema()
+	s.MustAdd(&schema.Relation{Name: "u", Attrs: []schema.Attribute{
+		{Name: "c", Type: value.KindInt, Nullable: true},
+	}})
+	return s
+}
+
+// genDivDB fills propDivSchema with random small tables, repeating
+// marks occasionally as genDB does.
+func genDivDB(rng *rand.Rand, maxNulls int) *table.Database {
+	db := table.NewDatabase(propDivSchema())
+	nulls := 0
+	var lastNull value.Value
+	mkVal := func() value.Value {
+		if nulls < maxNulls && rng.Float64() < 0.25 {
+			nulls++
+			if !lastNull.IsNull() || rng.Float64() < 0.7 {
+				lastNull = db.FreshNull()
+			}
+			return lastNull
+		}
+		return value.Int(int64(rng.Intn(3)))
+	}
+	for _, rel := range []string{"r", "s"} {
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if err := db.Insert(rel, table.Row{mkVal(), mkVal()}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		if err := db.Insert("k", table.Row{value.Int(int64(i)), mkVal()}); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		if err := db.Insert("u", table.Row{mkVal()}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// genDivExpr builds a division plan with a base divisor (the only
+// translatable form — Fact 1), over a random dividend.
+func genDivExpr(rng *rand.Rand) algebra.Expr {
+	dividend := genExpr(rng, 1+rng.Intn(2))
+	if rng.Intn(2) == 0 {
+		dividend = algebra.Select{Child: dividend, Cond: genCond(rng, dividend.Arity(), 1)}
+	}
+	return algebra.Division{L: dividend, R: algebra.Base{Name: "u", Cols: 1}}
+}
+
+// TestDivisionPlusIsSound is Theorem 1 on division plans: the
+// translation of R ÷ U under-approximates its certain answers, in all
+// four translator modes.
+func TestDivisionPlusIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < iterations(t, 250); i++ {
+		db := genDivDB(rng, 3)
+		q := genDivExpr(rng)
+		if err := certain.CheckTranslatable(q); err != nil {
+			t.Fatalf("iter %d: base-divisor division must be translatable: %v", i, err)
+		}
+		cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: brute force: %v", i, err)
+		}
+		sch := db.Schema
+		for _, mode := range []struct {
+			name string
+			tr   *certain.Translator
+			opts eval.Options
+		}{
+			{"naive-plain", &certain.Translator{Sch: sch, Mode: certain.ModeNaive}, eval.Options{Semantics: value.Naive}},
+			{"naive-optimized", &certain.Translator{Sch: sch, Mode: certain.ModeNaive, SimplifyNulls: true, SplitOrs: true, KeySimplify: true}, eval.Options{Semantics: value.Naive}},
+			{"sql-plain", &certain.Translator{Sch: sch, Mode: certain.ModeSQL}, eval.Options{Semantics: value.SQL3VL}},
+			{"sql-optimized", &certain.Translator{Sch: sch, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: true, KeySimplify: true}, eval.Options{Semantics: value.SQL3VL}},
+		} {
+			res := evalOn(t, db, mode.tr.Plus(q), mode.opts)
+			if ok, witness := subset(res, cert); !ok {
+				t.Fatalf("iter %d (%s): division Q+ returned non-certain tuple %v\nquery:\n%scert: %v\ngot:  %v",
+					i, mode.name, witness, algebra.Format(q), cert.SortedStrings(), res.SortedStrings())
+			}
+		}
+	}
+}
+
+// TestDivisionStarRepresents is Definition 3 on division plans.
+func TestDivisionStarRepresents(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < iterations(t, 120); i++ {
+		db := genDivDB(rng, 3)
+		q := genDivExpr(rng)
+		for _, mode := range []struct {
+			name string
+			tr   *certain.Translator
+			opts eval.Options
+		}{
+			{"naive", &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}, eval.Options{Semantics: value.Naive}},
+			{"sql", &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: true}, eval.Options{Semantics: value.SQL3VL}},
+		} {
+			starRes := evalOn(t, db, mode.tr.Star(q), mode.opts)
+			ok, missing, witness, err := certain.RepresentsPotentialAnswers(q, db, starRes, certain.BruteForceOptions{})
+			if err != nil {
+				t.Fatalf("iter %d (%s): %v", i, mode.name, err)
+			}
+			if !ok {
+				t.Fatalf("iter %d (%s): division Q* fails Definition 3: tuple %v under valuation %v\nquery:\n%s",
+					i, mode.name, missing, witness, algebra.Format(q))
+			}
+		}
+	}
+}
+
+// TestDeepDiffChainsSound: nested set differences over the keyed
+// relation drive the key-based simplification and the unification
+// anti-semijoins through shapes single-Diff queries do not reach.
+func TestDeepDiffChainsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for i := 0; i < iterations(t, 250); i++ {
+		db := genDB(rng, 3)
+		k := algebra.Base{Name: "k", Cols: 2}
+		q := algebra.Expr(k)
+		for d := 0; d < 1+rng.Intn(3); d++ {
+			r := genExpr(rng, 1)
+			if rng.Intn(2) == 0 {
+				q = algebra.Diff{L: q, R: r}
+			} else {
+				q = algebra.Diff{L: algebra.Diff{L: k, R: q}, R: r}
+			}
+		}
+		cert, err := certain.CertainAnswers(q, db, certain.BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: brute force: %v", i, err)
+		}
+		for _, keySimp := range []bool{false, true} {
+			tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL, SimplifyNulls: true, SplitOrs: true, KeySimplify: keySimp}
+			res := evalOn(t, db, tr.Plus(q), eval.Options{Semantics: value.SQL3VL})
+			if ok, witness := subset(res, cert); !ok {
+				t.Fatalf("iter %d (keySimplify=%v): diff-chain Q+ returned non-certain tuple %v\nquery:\n%s",
+					i, keySimp, witness, algebra.Format(q))
+			}
+		}
+	}
+}
+
+// genGroupBy builds a random grouping plan over a random child.
+func genGroupBy(rng *rand.Rand) algebra.Expr {
+	child := genExpr(rng, 1+rng.Intn(2))
+	aggs := []algebra.AggSpec{{Func: algebra.AggCount, Col: -1}}
+	for _, fn := range []algebra.AggFunc{algebra.AggSum, algebra.AggAvg, algebra.AggMin, algebra.AggMax} {
+		if rng.Float64() < 0.4 {
+			aggs = append(aggs, algebra.AggSpec{Func: fn, Col: rng.Intn(2)})
+		}
+	}
+	return algebra.GroupBy{Child: child, Keys: []int{rng.Intn(2)}, Aggs: aggs}
+}
+
+// TestGroupByRefusedByTranslation: aggregation has no certain-answer
+// semantics (Section 8), so the translation must refuse it — wherever
+// the GroupBy sits in the plan.
+func TestGroupByRefusedByTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < iterations(t, 100); i++ {
+		gb := genGroupBy(rng)
+		wrapped := []algebra.Expr{
+			gb,
+			algebra.Distinct{Child: gb},
+			algebra.Project{Child: gb, Cols: []int{0}},
+			algebra.Diff{L: gb, R: gb},
+		}
+		for _, q := range wrapped {
+			if err := certain.CheckTranslatable(q); err == nil {
+				t.Fatalf("iter %d: CheckTranslatable accepted an aggregation plan:\n%s", i, algebra.Format(q))
+			}
+		}
+	}
+}
+
+// TestGroupByStandardInvariants: grouping plans in standard mode are
+// deterministic — byte-identical across runs and parallelism settings —
+// and invariant under the executor's strategy ablations. This covers the
+// empty-group path where SUM/AVG/MIN/MAX mint fresh deterministic null
+// marks.
+func TestGroupByStandardInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for i := 0; i < iterations(t, 250); i++ {
+		db := genDB(rng, 4)
+		q := genGroupBy(rng)
+
+		ref := evalOn(t, db, q, eval.Options{Semantics: value.SQL3VL, Parallelism: 1})
+		rerun := evalOn(t, db, q, eval.Options{Semantics: value.SQL3VL, Parallelism: 1})
+		if ref.String() != rerun.String() {
+			t.Fatalf("iter %d: aggregation not deterministic across runs\nquery:\n%s", i, algebra.Format(q))
+		}
+		for _, p := range []int{2, 4} {
+			got := evalOn(t, db, q, eval.Options{Semantics: value.SQL3VL, Parallelism: p})
+			if got.String() != ref.String() {
+				t.Fatalf("iter %d: P=%d changed the aggregation result\nquery:\n%sP=1: %v\nP=%d: %v",
+					i, p, algebra.Format(q), ref.SortedStrings(), p, got.SortedStrings())
+			}
+		}
+		for name, opts := range map[string]eval.Options{
+			"nohash":         {Semantics: value.SQL3VL, NoHashJoin: true},
+			"nocache":        {Semantics: value.SQL3VL, NoSubplanCache: true},
+			"noshortcircuit": {Semantics: value.SQL3VL, NoShortCircuit: true},
+		} {
+			got := evalOn(t, db, q, opts)
+			if !sameSet(got, ref) {
+				t.Fatalf("iter %d: executor option %s changed aggregation results\nquery:\n%s", i, name, algebra.Format(q))
+			}
+		}
+	}
+}
+
+// TestGroupByAllNullAggregates: a group whose aggregated column is
+// entirely null aggregates to NULL (a fresh mark under the marked-null
+// model), and COUNT over it is 0 — while COUNT(*) still counts the rows.
+func TestGroupByAllNullAggregates(t *testing.T) {
+	db := table.NewDatabase(propSchema())
+	n1, n2 := db.FreshNull(), db.FreshNull()
+	for _, r := range []table.Row{
+		{value.Int(1), n1},
+		{value.Int(1), n2},
+		{value.Int(2), value.Int(7)},
+	} {
+		if err := db.Insert("r", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := algebra.GroupBy{Child: algebra.Base{Name: "r", Cols: 2}, Keys: []int{0}, Aggs: []algebra.AggSpec{
+		{Func: algebra.AggCount, Col: -1},
+		{Func: algebra.AggCount, Col: 1},
+		{Func: algebra.AggSum, Col: 1},
+	}}
+	res := evalOn(t, db, q, eval.Options{Semantics: value.SQL3VL})
+	if res.Len() != 2 {
+		t.Fatalf("want 2 groups, got %v", res.SortedStrings())
+	}
+	for _, row := range res.Rows() {
+		switch row[0].AsInt() {
+		case 1:
+			if row[1].AsInt() != 2 || row[2].AsInt() != 0 {
+				t.Errorf("group 1: COUNT(*)=%s COUNT(b)=%s, want 2 and 0", row[1], row[2])
+			}
+			if !row[3].IsNull() {
+				t.Errorf("group 1: SUM over all-null column = %s, want NULL", row[3])
+			}
+			if row[3].NullID() == n1.NullID() || row[3].NullID() == n2.NullID() {
+				t.Errorf("group 1: aggregate NULL reuses a database mark %s", row[3])
+			}
+		case 2:
+			if row[1].AsInt() != 1 || row[2].AsInt() != 1 || row[3].AsFloat() != 7 {
+				t.Errorf("group 2: got (%s, %s, %s)", row[1], row[2], row[3])
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+SELECT supplier_1.s_suppkey, orders_3.o_orderkey
+FROM supplier supplier_1, lineitem lineitem_2, orders orders_3, nation nation_4
+WHERE supplier_1.s_suppkey = lineitem_2.l_suppkey AND lineitem_2.l_suppkey IS NOT NULL AND orders_3.o_orderkey = lineitem_2.l_orderkey AND orders_3.o_orderstatus = 'F' AND orders_3.o_orderstatus IS NOT NULL AND lineitem_2.l_receiptdate > lineitem_2.l_commitdate AND lineitem_2.l_receiptdate IS NOT NULL AND lineitem_2.l_commitdate IS NOT NULL AND supplier_1.s_nationkey = nation_4.n_nationkey AND supplier_1.s_nationkey IS NOT NULL AND nation_4.n_name = 'FRANCE' AND nation_4.n_name IS NOT NULL
+  AND EXISTS (
+    SELECT * FROM lineitem lineitem_5 WHERE lineitem_5.l_orderkey = lineitem_2.l_orderkey AND lineitem_5.l_suppkey <> lineitem_2.l_suppkey AND lineitem_5.l_suppkey IS NOT NULL )
+  AND NOT EXISTS (
+    SELECT * FROM lineitem lineitem_6 WHERE lineitem_6.l_orderkey = lineitem_2.l_orderkey AND ( lineitem_6.l_suppkey <> lineitem_2.l_suppkey OR lineitem_6.l_suppkey IS NULL ) AND ( lineitem_6.l_receiptdate > lineitem_6.l_commitdate OR lineitem_6.l_receiptdate IS NULL OR lineitem_6.l_commitdate IS NULL ) )

@@ -1,0 +1,11 @@
+SELECT customer_1.c_custkey, customer_1.c_nationkey
+FROM customer customer_1
+WHERE ( customer_1.c_nationkey = 1 AND customer_1.c_nationkey IS NOT NULL OR customer_1.c_nationkey = 2 AND customer_1.c_nationkey IS NOT NULL OR customer_1.c_nationkey = 3 AND customer_1.c_nationkey IS NOT NULL OR customer_1.c_nationkey = 4 AND customer_1.c_nationkey IS NOT NULL OR customer_1.c_nationkey = 5 AND customer_1.c_nationkey IS NOT NULL OR customer_1.c_nationkey = 6 AND customer_1.c_nationkey IS NOT NULL OR customer_1.c_nationkey = 7 AND customer_1.c_nationkey IS NOT NULL ) AND customer_1.c_acctbal > (SELECT AVG(customer_2.c_acctbal)
+FROM customer customer_2
+WHERE customer_2.c_acctbal > 0 AND ( customer_2.c_nationkey = 1 OR customer_2.c_nationkey = 2 OR customer_2.c_nationkey = 3 OR customer_2.c_nationkey = 4 OR customer_2.c_nationkey = 5 OR customer_2.c_nationkey = 6 OR customer_2.c_nationkey = 7 )) AND customer_1.c_acctbal IS NOT NULL AND (SELECT AVG(customer_3.c_acctbal)
+FROM customer customer_3
+WHERE customer_3.c_acctbal > 0 AND ( customer_3.c_nationkey = 1 OR customer_3.c_nationkey = 2 OR customer_3.c_nationkey = 3 OR customer_3.c_nationkey = 4 OR customer_3.c_nationkey = 5 OR customer_3.c_nationkey = 6 OR customer_3.c_nationkey = 7 )) IS NOT NULL
+  AND NOT EXISTS (
+    SELECT * FROM orders orders_4 WHERE orders_4.o_custkey = customer_1.c_custkey )
+  AND NOT EXISTS (
+    SELECT * FROM orders orders_5 WHERE orders_5.o_custkey IS NULL )

@@ -1,0 +1,4 @@
+SELECT orders_1.o_orderkey
+FROM orders orders_1
+WHERE NOT EXISTS (
+    SELECT * FROM lineitem lineitem_2 WHERE lineitem_2.l_orderkey = orders_1.o_orderkey AND ( lineitem_2.l_suppkey <> 1 OR lineitem_2.l_suppkey IS NULL ) )

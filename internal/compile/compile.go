@@ -931,7 +931,9 @@ func (c *compiler) compileScalarSub(q *sql.Query) (algebra.Operand, error) {
 	case "MAX":
 		fn = algebra.AggMax
 	}
-	col := 0
+	// COUNT(*) counts rows, nulls included; Col = -1 tells the evaluator
+	// not to project (and skip nulls in) any particular column.
+	col := -1
 	if agg.Arg != nil {
 		ref, ok := agg.Arg.(sql.ColRef)
 		if !ok {

@@ -1,0 +1,358 @@
+package difftest
+
+import (
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// Predicate reports whether a candidate case still exhibits the failure
+// being minimized. Candidates that fail to compile or evaluate simply
+// make the predicate false; the minimizer never assumes a candidate is
+// well-formed.
+type Predicate func(db *table.Database, text string) bool
+
+// FailurePredicate keeps candidates on which Check still violates the
+// given invariant (any invariant when the name is empty).
+func FailurePredicate(opts Options, invariant string) Predicate {
+	opts.RequireValid = false
+	return func(db *table.Database, text string) bool {
+		rep := Check(db, text, opts)
+		if invariant == "" {
+			return rep.Failed()
+		}
+		return rep.Has(invariant)
+	}
+}
+
+// Minimize greedily shrinks a failing case to a local minimum: no single
+// relation, row, null mark, or query clause can be removed without
+// losing the failure. The input case must satisfy keep; the result does.
+func Minimize(db *table.Database, text string, keep Predicate) (*table.Database, string) {
+	if !keep(db, text) {
+		return db, text
+	}
+	for changed := true; changed; {
+		changed = false
+		if d, ok := shrinkRelations(db, text, keep); ok {
+			db, changed = d, true
+			continue
+		}
+		if d, ok := shrinkRows(db, text, keep); ok {
+			db, changed = d, true
+			continue
+		}
+		if t, ok := shrinkQuery(db, text, keep); ok {
+			text, changed = t, true
+			continue
+		}
+		if d, ok := shrinkNulls(db, text, keep); ok {
+			db, changed = d, true
+		}
+	}
+	return db, text
+}
+
+// shrinkRelations tries dropping one whole relation.
+func shrinkRelations(db *table.Database, text string, keep Predicate) (*table.Database, bool) {
+	for _, name := range db.Schema.Names() {
+		cand := rebuildDB(db, name, nil, nil)
+		if cand != nil && keep(cand, text) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// shrinkRows tries dropping one row of one relation.
+func shrinkRows(db *table.Database, text string, keep Predicate) (*table.Database, bool) {
+	for _, name := range db.Schema.Names() {
+		n := db.MustTable(name).Len()
+		for i := 0; i < n; i++ {
+			drop := map[int]bool{i: true}
+			cand := rebuildDB(db, "", map[string]map[int]bool{name: drop}, nil)
+			if cand != nil && keep(cand, text) {
+				return cand, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// shrinkNulls tries replacing one null mark (all its occurrences, to
+// keep repeated marks consistent) with a plain constant of the column's
+// kind.
+func shrinkNulls(db *table.Database, text string, keep Predicate) (*table.Database, bool) {
+	for _, name := range db.Schema.Names() {
+		rel, _ := db.Schema.Relation(name)
+		for _, row := range db.MustTable(name).Rows() {
+			for ai, v := range row {
+				if !v.IsNull() {
+					continue
+				}
+				id, c := v.NullID(), constOfKind(rel.Attrs[ai].Type)
+				cand := rebuildDB(db, "", nil, func(v value.Value) value.Value {
+					if v.IsNull() && v.NullID() == id {
+						return c
+					}
+					return v
+				})
+				if cand != nil && keep(cand, text) {
+					return cand, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func constOfKind(k value.Kind) value.Value {
+	switch k {
+	case value.KindInt:
+		return value.Int(0)
+	case value.KindFloat:
+		return value.Float(0.5)
+	case value.KindString:
+		return value.Str("x")
+	case value.KindBool:
+		return value.Bool(false)
+	case value.KindDate:
+		return value.Date(0)
+	default:
+		return value.Int(0)
+	}
+}
+
+// rebuildDB copies db without the dropped relation, without the dropped
+// rows, mapping every value through mapVal (all three optional). It
+// returns nil when the copy is rejected (e.g. a key constraint no longer
+// holds).
+func rebuildDB(db *table.Database, dropRel string, dropRows map[string]map[int]bool, mapVal func(value.Value) value.Value) *table.Database {
+	ns := schema.New()
+	for _, name := range db.Schema.Names() {
+		if name == dropRel {
+			continue
+		}
+		rel, _ := db.Schema.Relation(name)
+		ns.MustAdd(rel)
+	}
+	nd := table.NewDatabase(ns)
+	maxMark := int64(0)
+	for _, name := range ns.Names() {
+		for i, row := range db.MustTable(name).Rows() {
+			if dropRows[name][i] {
+				continue
+			}
+			nr := make(table.Row, len(row))
+			for j, v := range row {
+				if mapVal != nil {
+					v = mapVal(v)
+				}
+				if v.IsNull() && v.NullID() > maxMark {
+					maxMark = v.NullID()
+				}
+				nr[j] = v
+			}
+			if err := nd.Insert(name, nr); err != nil {
+				return nil
+			}
+		}
+	}
+	nd.SetNextNullMark(maxMark + 1)
+	if !contractsHold(nd) {
+		return nil
+	}
+	return nd
+}
+
+// contractsHold re-checks the semantic contracts the pipeline relies on
+// (declared keys unique and non-null, nulls only in nullable columns):
+// a shrunken database that breaks them could fail invariants for the
+// wrong reason, e.g. make the key-based simplification unsound.
+func contractsHold(db *table.Database) bool {
+	for _, name := range db.Schema.Names() {
+		rel, _ := db.Schema.Relation(name)
+		keys := map[string]bool{}
+		for _, row := range db.MustTable(name).Rows() {
+			for ai, v := range row {
+				if v.IsNull() && !rel.Attrs[ai].Nullable {
+					return false
+				}
+			}
+			if rel.HasKey() {
+				kv := make(table.Row, 0, len(rel.Key))
+				for _, ki := range rel.Key {
+					if row[ki].IsNull() {
+						return false
+					}
+					kv = append(kv, row[ki])
+				}
+				k := value.RowKey(kv)
+				if keys[k] {
+					return false
+				}
+				keys[k] = true
+			}
+		}
+	}
+	return true
+}
+
+// shrinkQuery tries one structural simplification of the SQL text:
+// replacing a set operation by one operand, dropping a CTE, a WHERE (or
+// one of its conjuncts), a HAVING, ORDER BY, LIMIT, DISTINCT, or a FROM
+// item. Candidates that no longer parse or compile are rejected by the
+// predicate.
+func shrinkQuery(db *table.Database, text string, keep Predicate) (string, bool) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return "", false
+	}
+	n := len(queryMutations(q))
+	for k := 0; k < n; k++ {
+		// Re-parse for every candidate: mutations destroy the AST, and
+		// the walk order is deterministic for a given text.
+		qq, err := sql.Parse(text)
+		if err != nil {
+			return "", false
+		}
+		muts := queryMutations(qq)
+		if k >= len(muts) {
+			break
+		}
+		muts[k]()
+		if cand := qq.SQL(); cand != text && keep(db, cand) {
+			return cand, true
+		}
+	}
+	return "", false
+}
+
+// queryMutations enumerates single-step simplifications as closures over
+// the given AST, in a deterministic order.
+func queryMutations(q *sql.Query) []func() {
+	var muts []func()
+	if op, ok := q.Body.(sql.SetOp); ok {
+		muts = append(muts,
+			func() { q.Body = op.L },
+			func() { q.Body = op.R },
+		)
+	}
+	for i := range q.With {
+		i := i
+		muts = append(muts, func() { q.With = append(q.With[:i:i], q.With[i+1:]...) })
+	}
+	for _, sel := range collectSelects(q) {
+		sel := sel
+		if sel.Where != nil {
+			muts = append(muts, func() { sel.Where = nil })
+			if cs := conjuncts(sel.Where); len(cs) > 1 {
+				for i := range cs {
+					i := i
+					muts = append(muts, func() {
+						rest := append(append([]sql.Expr{}, cs[:i]...), cs[i+1:]...)
+						sel.Where = andJoin(rest)
+					})
+				}
+			}
+		}
+		if sel.Having != nil {
+			muts = append(muts, func() { sel.Having = nil })
+		}
+		if len(sel.OrderBy) > 0 {
+			muts = append(muts, func() { sel.OrderBy = nil })
+		}
+		if sel.Limit != nil {
+			muts = append(muts, func() { sel.Limit = nil })
+		}
+		if sel.Distinct {
+			muts = append(muts, func() { sel.Distinct = false })
+		}
+		if len(sel.From) > 1 {
+			for i := range sel.From {
+				i := i
+				muts = append(muts, func() { sel.From = append(sel.From[:i:i], sel.From[i+1:]...) })
+			}
+		}
+	}
+	return muts
+}
+
+// collectSelects walks every SELECT block of the query, including CTE
+// bodies, set-operation operands and condition subqueries, in a
+// deterministic order.
+func collectSelects(q *sql.Query) []*sql.SelectStmt {
+	var out []*sql.SelectStmt
+	var walkQuery func(q *sql.Query)
+	var walkQE func(qe sql.QueryExpr)
+	var walkCond func(e sql.Expr)
+	walkQuery = func(q *sql.Query) {
+		for i := range q.With {
+			walkQE(q.With[i].Body)
+		}
+		walkQE(q.Body)
+	}
+	walkQE = func(qe sql.QueryExpr) {
+		switch b := qe.(type) {
+		case *sql.SelectStmt:
+			out = append(out, b)
+			if b.Where != nil {
+				walkCond(b.Where)
+			}
+			if b.Having != nil {
+				walkCond(b.Having)
+			}
+		case sql.SetOp:
+			walkQE(b.L)
+			walkQE(b.R)
+		}
+	}
+	walkCond = func(e sql.Expr) {
+		switch c := e.(type) {
+		case sql.AndExpr:
+			walkCond(c.L)
+			walkCond(c.R)
+		case sql.OrExpr:
+			walkCond(c.L)
+			walkCond(c.R)
+		case sql.NotExpr:
+			walkCond(c.E)
+		case sql.CmpExpr:
+			walkCond(c.L)
+			walkCond(c.R)
+		case sql.LikeExpr:
+			walkCond(c.L)
+			walkCond(c.Pattern)
+		case sql.IsNullExpr:
+			walkCond(c.E)
+		case sql.ExistsExpr:
+			walkQuery(c.Sub)
+		case sql.InExpr:
+			if c.Sub != nil {
+				walkQuery(c.Sub)
+			}
+		case sql.SubqueryExpr:
+			walkQuery(c.Q)
+		}
+	}
+	walkQuery(q)
+	return out
+}
+
+// conjuncts flattens nested ANDs into the list of top-level conjuncts.
+func conjuncts(e sql.Expr) []sql.Expr {
+	if and, ok := e.(sql.AndExpr); ok {
+		return append(conjuncts(and.L), conjuncts(and.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// andJoin rebuilds a conjunction from a non-empty conjunct list.
+func andJoin(list []sql.Expr) sql.Expr {
+	e := list[0]
+	for _, c := range list[1:] {
+		e = sql.AndExpr{L: e, R: c}
+	}
+	return e
+}

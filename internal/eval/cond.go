@@ -159,6 +159,11 @@ func (ev *Evaluator) scalarValue(s algebra.Scalar) (value.Value, error) {
 		have  bool
 	)
 	for _, r := range t.Rows() {
+		if s.Col < 0 {
+			// COUNT(*): count rows, nulls included.
+			count++
+			continue
+		}
 		v := r[s.Col]
 		if v.IsNull() {
 			continue

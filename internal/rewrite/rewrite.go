@@ -439,13 +439,24 @@ func (r *renderer) operandSQL(o algebra.Operand, names []string) (string, error)
 	case algebra.Lit:
 		return o.Val.SQLString(), nil
 	case algebra.Scalar:
-		inner, err := r.render(algebra.Project{Child: o.Sub, Cols: []int{o.Col}})
+		col, star := o.Col, o.Col < 0
+		if star {
+			// COUNT(*): project any column and render a * argument.
+			col = 0
+		}
+		inner, err := r.render(algebra.Project{Child: o.Sub, Cols: []int{col}})
 		if err != nil {
 			return "", err
 		}
 		// Re-render as an aggregate over the single projected column.
 		body := strings.Replace(inner.sql, "SELECT ", "SELECT "+o.Agg.String()+"(", 1)
 		body = strings.Replace(body, "\nFROM", ")\nFROM", 1)
+		if star {
+			// The aggregate argument is the first parenthesized column
+			// name (an identifier, so no nested parentheses).
+			lp, rp := strings.Index(body, "("), strings.Index(body, ")")
+			body = body[:lp+1] + "*" + body[rp:]
+		}
 		return "(" + body + ")", nil
 	default:
 		return "", fmt.Errorf("rewrite: unknown operand %T", o)

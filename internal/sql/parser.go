@@ -204,9 +204,13 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		ref := TableRef{Table: name}
 		if p.atKeyword("as") {
 			p.advance()
+			pos := p.cur().Pos
 			alias, err := p.expectIdent()
 			if err != nil {
 				return nil, err
+			}
+			if reserved[strings.ToLower(alias)] {
+				return nil, errorf(pos, "reserved word %q cannot be a table alias", alias)
 			}
 			ref.Alias = alias
 		} else if p.at(TokIdent) && !reserved[strings.ToLower(p.cur().Text)] {

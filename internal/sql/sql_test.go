@@ -173,6 +173,20 @@ func TestParseAliases(t *testing.T) {
 	}
 }
 
+// Reserved words are not aliases, with or without AS. Accepting one
+// broke the render/re-parse round trip (the renderer drops AS, turning
+// `t AS where` into `t where`); found by FuzzParse.
+func TestParseReservedAliasRejected(t *testing.T) {
+	for _, q := range []string{
+		`SELECT a FROM t AS where`,
+		`SELECT a FROM t AS Select WHERE a = 1`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) accepted a reserved word as alias", q)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		``,

@@ -1,0 +1,182 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/schema"
+	"certsql/internal/value"
+)
+
+// Edge cases for the CSV loader: quoting, embedded newlines, both null
+// conventions, and malformed input. Every malformed case must surface
+// as an error, never a panic — CSV is the user-facing ingestion path.
+
+func csvSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "t", Attrs: []schema.Attribute{
+		{Name: "a", Type: value.KindInt, Nullable: true},
+		{Name: "b", Type: value.KindString, Nullable: true},
+	}})
+	return s
+}
+
+func loadCSV(t *testing.T, input string) (*Database, error) {
+	t.Helper()
+	db := NewDatabase(csvSchema())
+	return db, ReadCSVInto(db, "t", strings.NewReader(input))
+}
+
+func TestReadCSVEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		want    []string // SortedStrings of t, nil when an error is expected
+		wantErr string   // substring of the expected error
+	}{
+		{
+			name:  "quoted comma",
+			input: "1,\"x, y\"\n",
+			want:  []string{"(1, 'x, y')"},
+		},
+		{
+			name:  "embedded newline in quoted field",
+			input: "1,\"line one\nline two\"\n",
+			want:  []string{"(1, 'line one\nline two')"},
+		},
+		{
+			name:  "quoted quotes",
+			input: "1,\"she said \"\"hi\"\"\"\n",
+			want:  []string{"(1, 'she said \"hi\"')"},
+		},
+		{
+			name:  "postgres null token",
+			input: "\\N,x\n",
+			want:  []string{"(⊥1, 'x')"},
+		},
+		{
+			name:  "explicit marks preserved",
+			input: "⊥7,first\n⊥7,second\n",
+			want:  []string{"(⊥7, 'first')", "(⊥7, 'second')"},
+		},
+		{
+			name:  "whitespace not trimmed",
+			input: "1, padded\n",
+			want:  []string{"(1, ' padded')"},
+		},
+		{
+			name:  "empty input is an empty table",
+			input: "",
+			want:  []string{},
+		},
+		{
+			name:    "too few fields",
+			input:   "1\n",
+			wantErr: "wrong number of fields",
+		},
+		{
+			name:    "too many fields",
+			input:   "1,x,extra\n",
+			wantErr: "wrong number of fields",
+		},
+		{
+			name:    "non-numeric int",
+			input:   "notanint,x\n",
+			wantErr: "t.a",
+		},
+		{
+			name:    "malformed null mark",
+			input:   "⊥xyz,x\n",
+			wantErr: "bad null mark",
+		},
+		{
+			name:    "unterminated quote",
+			input:   "1,\"never closed\n",
+			wantErr: "quote",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := loadCSV(t, tc.input)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got rows %v", tc.wantErr, db.MustTable("t").SortedStrings())
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := db.MustTable("t").SortedStrings()
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestReadCSVFreshNullTokens: each \N becomes its own fresh mark — two
+// tokens never alias, matching the semantics of unknown values.
+func TestReadCSVFreshNullTokens(t *testing.T) {
+	db, err := loadCSV(t, "\\N,x\n\\N,y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := db.MustTable("t").Rows()
+	if rows[0][0].NullID() == rows[1][0].NullID() {
+		t.Errorf("two \\N tokens share mark ⊥%d", rows[0][0].NullID())
+	}
+}
+
+// TestReadCSVAdvancesMarkCounter: after loading explicit ⊥id marks,
+// FreshNull must not mint a colliding mark.
+func TestReadCSVAdvancesMarkCounter(t *testing.T) {
+	db, err := loadCSV(t, "⊥41,x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh := db.FreshNull(); fresh.NullID() <= 41 {
+		t.Errorf("FreshNull after loading ⊥41 returned ⊥%d", fresh.NullID())
+	}
+}
+
+// TestCSVRoundTripWithMarks: WriteCSVWithMarks → ReadCSVInto preserves
+// values, repeated marks and mark identity.
+func TestCSVRoundTripWithMarks(t *testing.T) {
+	db := NewDatabase(csvSchema())
+	n := db.FreshNull()
+	for _, r := range []Row{
+		{value.Int(1), value.Str("plain")},
+		{n, value.Str("a, quoted\nnewline")},
+		{value.Int(2), n},
+	} {
+		if err := db.Insert("t", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := db.MustTable("t").WriteCSVWithMarks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDatabase(csvSchema())
+	if err := ReadCSVInto(db2, "t", strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.MustTable("t").SortedStrings(), db2.MustTable("t").SortedStrings()
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed the table:\n%v\n%v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip changed row %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
