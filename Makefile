@@ -1,11 +1,21 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench fuzz fuzzcert
+.PHONY: check build vet lint test race bench fuzz fuzzcert
 
-# check is what CI runs: build, vet, and the full test suite under the
-# race detector (the parallel executor must stay race-clean).
-check: build vet race
+# check is what CI runs: build, vet, lint, and the full test suite under
+# the race detector (the parallel executor must stay race-clean).
+check: build vet lint race
+
+# lint runs the repo-local static checks: astlint verifies that every
+# type switch over the SQL AST / algebra node families is exhaustive or
+# carries a loud default, and certlint must cleanly process the checked-
+# in Q⁺ corpus (the translated experiment queries) without operational
+# errors — they are hazardous by construction, which is exit status 1.
+lint:
+	$(GO) run ./tools/astlint
+	$(GO) run ./cmd/certlint -tpch internal/certain/testdata/golden/*.sql > /dev/null; \
+		status=$$?; [ $$status -eq 0 ] || [ $$status -eq 1 ] || exit $$status
 
 build:
 	$(GO) build ./...
@@ -37,6 +47,7 @@ fuzz:
 	$(GO) test -race -run='^$$' -fuzz=FuzzUnifyTuples -fuzztime=$(FUZZTIME) ./internal/value
 	$(GO) test -race -run='^$$' -fuzz=FuzzCertainPipeline -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -race -run='^$$' -fuzz=FuzzCompileEval -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -race -run='^$$' -fuzz=FuzzAnalyzerSoundness -fuzztime=$(FUZZTIME) ./internal/difftest
 
 # fuzzcert runs the seeded differential oracle over a deterministic
 # range of cases (no coverage guidance, instantly reproducible: every

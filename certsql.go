@@ -21,6 +21,8 @@ package certsql
 import (
 	"fmt"
 
+	"certsql/internal/algebra"
+	"certsql/internal/analyze"
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
@@ -83,6 +85,14 @@ type Options struct {
 	NoHashJoin     bool
 	NoViewCache    bool
 	NoShortCircuit bool
+
+	// NoAnalyzerFastPath disables the static-analyzer fast path for
+	// SELECT CERTAIN: queries the nullability analysis proves safe —
+	// plain evaluation already returns exactly the certain answers —
+	// normally skip the Q⁺ translation entirely (Stats.FastPathHits
+	// counts this). The flag exists for ablations and for the
+	// differential tests that compare both routes.
+	NoAnalyzerFastPath bool
 
 	// MaxRows bounds intermediate results (0 = default 4M rows).
 	MaxRows int
@@ -294,9 +304,25 @@ func (db *DB) runParsed(q *sql.Query, params Params, opts Options) (*Result, err
 			return nil, err
 		}
 	}
+	fastPath := false
 	switch mode {
 	case modeCertain:
-		expr = opts.translator(db).Plus(expr)
+		// Fast path: when the static analyzer proves the query safe —
+		// plain evaluation returns exactly the certain answers on every
+		// database conforming to the schema — skip the Q⁺ translation
+		// and run the query as-is. The verdict leans on the schema's
+		// NOT NULL declarations, which Insert does not enforce, so the
+		// data is checked for conformance first (one scan of the base
+		// relations; the certain answers of a non-conforming database
+		// are still correct via the translation route).
+		//
+		// Identity is NOT a valid potential-answer translation Q⋆ (it
+		// under-approximates), so modePossible never takes this path.
+		if !opts.NoAnalyzerFastPath && analyze.Plan(expr, db.d.Schema).Safe && db.conformsNonNull(expr) {
+			fastPath = true
+		} else {
+			expr = opts.translator(db).Plus(expr)
+		}
 	case modePossible:
 		expr = opts.translator(db).Star(expr)
 	}
@@ -305,14 +331,55 @@ func (db *DB) runParsed(q *sql.Query, params Params, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	stats := ev.Stats()
+	if fastPath {
+		stats.FastPathHits = 1
+	}
 	return &Result{
 		Columns:  compiled.Columns,
 		rows:     t,
 		Certain:  mode == modeCertain,
 		Possible: mode == modePossible,
-		Stats:    ev.Stats(),
+		Stats:    stats,
 		trace:    ev.Trace(),
 	}, nil
+}
+
+// conformsNonNull reports whether every base relation reachable from e
+// honours its schema NOT NULL declarations in the actual stored data.
+// The analyzer's safe verdict is a proof over conforming databases
+// only, and Insert deliberately does not enforce nullability (it is a
+// generator-side concern in the paper's setup), so the fast path
+// re-checks before trusting the verdict.
+func (db *DB) conformsNonNull(e algebra.Expr) bool {
+	ok := true
+	seen := map[string]bool{}
+	algebra.Walk(e, func(sub algebra.Expr) {
+		b, isBase := sub.(algebra.Base)
+		if !isBase || !ok || seen[b.Name] {
+			return
+		}
+		seen[b.Name] = true
+		rel, found := db.d.Schema.Relation(b.Name)
+		if !found {
+			ok = false
+			return
+		}
+		t, err := db.d.Table(b.Name)
+		if err != nil {
+			ok = false
+			return
+		}
+		for _, row := range t.Rows() {
+			for i, attr := range rel.Attrs {
+				if !attr.Nullable && row[i].IsNull() {
+					ok = false
+					return
+				}
+			}
+		}
+	})
+	return ok
 }
 
 // QueryPossible evaluates the query's potential-answer translation Q⋆:
@@ -352,6 +419,14 @@ func (db *DB) RewriteWithOptions(text string, params Params, opts Options) (stri
 	}
 	if err := certain.CheckTranslatable(compiled.Expr); err != nil {
 		return "", err
+	}
+	// A statically safe query is its own certain-answer translation: on
+	// a conventional DBMS the schema's NOT NULL constraints are
+	// enforced, so the analyzer's verdict applies without a data check.
+	if !opts.NoAnalyzerFastPath {
+		if rep := analyze.Plan(compiled.Expr, db.d.Schema); rep.Safe {
+			return rewrite.ToSQL(compiled.Expr, db.d.Schema)
+		}
 	}
 	plus := opts.translator(db).Plus(compiled.Expr)
 	return rewrite.ToSQL(plus, db.d.Schema)

@@ -1,0 +1,289 @@
+// Command certlint statically checks SQL files for certainty hazards:
+// places where SQL's three-valued evaluation over nullable data can
+// return rows that are not certain answers (the paper's central
+// false-positive problem). A clean bill means plain evaluation already
+// computes exactly the certain answers, so no Q⁺ rewriting is needed.
+//
+// Usage:
+//
+//	certlint -schema catalog.sql queries.sql ...
+//	certlint -tpch -json q1.sql
+//
+// The catalog is a script of CREATE TABLE statements (see
+// schema.ParseDDL); -tpch uses the built-in TPC-H subset instead. Each
+// input file may hold several ';'-terminated queries. Diagnostics are
+// reported as file:line:col: [code] message, or as a JSON array with
+// -json. Exit status: 0 when every query is certainty-safe, 1 when any
+// hazard is flagged, 2 on operational errors (unreadable files, DDL or
+// SQL syntax errors).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"certsql/internal/analyze"
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/tpch"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// stmtReport is the JSON shape for one checked statement.
+type stmtReport struct {
+	File         string               `json:"file"`
+	Statement    int                  `json:"statement"`
+	SQL          string               `json:"sql"`
+	Safe         bool                 `json:"safe"`
+	Translatable bool                 `json:"translatable"`
+	Notes        []string             `json:"notes,omitempty"`
+	Diagnostics  []analyze.Diagnostic `json:"diagnostics"`
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("certlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		schemaFile = fs.String("schema", "", "catalog file of CREATE TABLE statements")
+		useTPCH    = fs.Bool("tpch", false, "use the built-in TPC-H subset schema")
+		jsonOut    = fs.Bool("json", false, "emit diagnostics as JSON")
+		verbose    = fs.Bool("v", false, "also report safe statements and translatability notes")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: certlint (-schema catalog.sql | -tpch) [-json] [-v] file.sql ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	var sch *schema.Schema
+	switch {
+	case *useTPCH && *schemaFile != "":
+		fmt.Fprintln(errOut, "certlint: -schema and -tpch are mutually exclusive")
+		return 2
+	case *useTPCH:
+		sch = tpch.Schema()
+	case *schemaFile != "":
+		src, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fmt.Fprintf(errOut, "certlint: %v\n", err)
+			return 2
+		}
+		sch, err = schema.ParseDDL(string(src))
+		if err != nil {
+			fmt.Fprintf(errOut, "certlint: %s: %v\n", *schemaFile, err)
+			return 2
+		}
+	default:
+		fmt.Fprintln(errOut, "certlint: a schema is required (-schema catalog.sql or -tpch)")
+		return 2
+	}
+
+	var reports []stmtReport
+	status := 0
+	fail := func(code int) {
+		if code > status {
+			status = code
+		}
+	}
+	for _, path := range fs.Args() {
+		src, err := readInput(path)
+		if err != nil {
+			fmt.Fprintf(errOut, "certlint: %v\n", err)
+			fail(2)
+			continue
+		}
+		for i, st := range splitStatements(src) {
+			rep := checkStatement(path, i+1, src, st, sch)
+			reports = append(reports, rep)
+			switch {
+			case hasCode(rep.Diagnostics, "parse"):
+				fail(2)
+			case !rep.Safe:
+				fail(1)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if reports == nil {
+			reports = []stmtReport{}
+		}
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(errOut, "certlint: %v\n", err)
+			return 2
+		}
+		return status
+	}
+
+	total, hazardous, diags := 0, 0, 0
+	for _, rep := range reports {
+		total++
+		if !rep.Safe {
+			hazardous++
+		}
+		diags += len(rep.Diagnostics)
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintf(out, "%s:%s\n", rep.File, d.String())
+		}
+		if *verbose {
+			for _, n := range rep.Notes {
+				fmt.Fprintf(out, "%s: statement %d: note: %s\n", rep.File, rep.Statement, n)
+			}
+			if rep.Safe {
+				fmt.Fprintf(out, "%s: statement %d: safe — plain evaluation returns exactly the certain answers\n",
+					rep.File, rep.Statement)
+			}
+		}
+	}
+	fmt.Fprintf(out, "certlint: %d statement(s), %d hazardous, %d diagnostic(s)\n", total, hazardous, diags)
+	return status
+}
+
+// readInput loads one input file; "-" means standard input.
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+// statement is one ';'-delimited chunk of an input file.
+type statement struct {
+	text   string
+	offset int // byte offset of text within the file
+}
+
+// splitStatements cuts a file into ';'-terminated statements, skipping
+// string literals and -- comments, and dropping blank chunks.
+func splitStatements(src string) []statement {
+	var out []statement
+	start := 0
+	flush := func(end int) {
+		text := src[start:end]
+		trimmed := strings.TrimSpace(text)
+		// Drop leading comment-only lines so statement text (and JSON
+		// output) starts at the query itself.
+		for strings.HasPrefix(trimmed, "--") {
+			nl := strings.IndexByte(trimmed, '\n')
+			if nl < 0 {
+				trimmed = ""
+				break
+			}
+			trimmed = strings.TrimSpace(trimmed[nl+1:])
+		}
+		if trimmed != "" {
+			lead := strings.Index(text, trimmed)
+			out = append(out, statement{text: trimmed, offset: start + lead})
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\'':
+			for i++; i < len(src); i++ {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						i++
+						continue
+					}
+					break
+				}
+			}
+		case '-':
+			if i+1 < len(src) && src[i+1] == '-' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+			}
+		case ';':
+			flush(i)
+		}
+	}
+	flush(len(src))
+	return out
+}
+
+// checkStatement lints one query: AST-level certainty analysis for
+// positioned diagnostics, plus the plan-level analyzer (when the query
+// compiles) as a second opinion, and a translatability note.
+func checkStatement(path string, n int, fileSrc string, st statement, sch *schema.Schema) stmtReport {
+	rep := stmtReport{File: path, Statement: n, SQL: st.text, Diagnostics: []analyze.Diagnostic{}}
+	relocate := func(d analyze.Diagnostic) analyze.Diagnostic {
+		if d.Pos >= 0 {
+			d.Pos += st.offset
+			d.Line, d.Col = sql.LineCol(fileSrc, d.Pos)
+		}
+		return d
+	}
+
+	q, err := sql.Parse(st.text)
+	if err != nil {
+		d := analyze.Diagnostic{Code: "parse", Pos: -1, Msg: err.Error()}
+		if se, ok := err.(*sql.Error); ok {
+			d.Pos = se.Pos
+			d.Msg = se.Msg
+		}
+		rep.Diagnostics = append(rep.Diagnostics, relocate(d))
+		return rep
+	}
+
+	qr := analyze.Query(st.text, q, sch)
+	rep.Safe = qr.Safe
+	for _, d := range qr.Diagnostics {
+		rep.Diagnostics = append(rep.Diagnostics, relocate(d))
+	}
+
+	// Plan-level second opinion: the compiled algebra sees through
+	// shapes the AST walker treats conservatively, and vice versa. Only
+	// report codes the AST pass did not already flag, as plan-level
+	// diagnostics carry no source position.
+	compiled, err := compile.Compile(q, sch, nil)
+	if err != nil {
+		rep.Notes = append(rep.Notes, "not compiled (plan-level check skipped): "+err.Error())
+		return rep
+	}
+	pr := analyze.Plan(compiled.Expr, sch)
+	for _, h := range pr.Hazards {
+		if !hasCode(rep.Diagnostics, h.Code) {
+			rep.Diagnostics = append(rep.Diagnostics,
+				analyze.Diagnostic{Code: h.Code, Pos: -1, Msg: h.Msg + " (plan-level)"})
+		}
+	}
+	if !pr.Safe {
+		rep.Safe = false
+	}
+	if err := certain.CheckTranslatable(compiled.Expr); err == nil {
+		rep.Translatable = true
+	} else {
+		rep.Notes = append(rep.Notes, "certain-answer translation unavailable: "+err.Error())
+	}
+	return rep
+}
+
+func hasCode(ds []analyze.Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"certsql/internal/tpch"
+)
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testCatalog = `
+CREATE TABLE dept (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL);
+CREATE TABLE emp  (id INT PRIMARY KEY, dept_id INT);
+`
+
+func TestLintSafeAndHazardous(t *testing.T) {
+	cat := writeFile(t, "catalog.sql", testCatalog)
+	queries := writeFile(t, "queries.sql", `
+-- safe: only NOT NULL data is read
+SELECT id FROM dept WHERE name = 'sales';
+
+SELECT id FROM dept
+WHERE NOT EXISTS (SELECT * FROM emp WHERE dept_id = dept.id);
+`)
+	code, out, _ := runLint(t, "-schema", cat, queries)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (hazard found)", code)
+	}
+	if !strings.Contains(out, "[not-exists-nullable]") {
+		t.Errorf("missing hazard code in output:\n%s", out)
+	}
+	// The NOT EXISTS sits on line 6 of the file: positions must be
+	// file-relative, not statement-relative.
+	if !strings.Contains(out, queries+":6:7:") {
+		t.Errorf("diagnostic not relocated to file coordinates:\n%s", out)
+	}
+	if !strings.Contains(out, "2 statement(s), 1 hazardous") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+}
+
+func TestLintAllSafeExitsZero(t *testing.T) {
+	cat := writeFile(t, "catalog.sql", testCatalog)
+	queries := writeFile(t, "queries.sql", `SELECT id FROM dept WHERE name <> 'x'`)
+	code, out, _ := runLint(t, "-schema", cat, "-v", queries)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "safe — plain evaluation") {
+		t.Errorf("verbose mode should report safe statements:\n%s", out)
+	}
+}
+
+func TestLintParseErrorExitsTwo(t *testing.T) {
+	cat := writeFile(t, "catalog.sql", testCatalog)
+	queries := writeFile(t, "broken.sql", `SELECT FROM WHERE`)
+	code, out, _ := runLint(t, "-schema", cat, queries)
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 (parse error):\n%s", code, out)
+	}
+	if !strings.Contains(out, "[parse]") {
+		t.Errorf("missing parse diagnostic:\n%s", out)
+	}
+}
+
+func TestLintUsageErrors(t *testing.T) {
+	cat := writeFile(t, "catalog.sql", testCatalog)
+	q := writeFile(t, "q.sql", "SELECT id FROM dept")
+	for name, args := range map[string][]string{
+		"no files":       {"-schema", cat},
+		"no schema":      {q},
+		"both schemas":   {"-schema", cat, "-tpch", q},
+		"missing file":   {"-schema", cat, filepath.Join(t.TempDir(), "nope.sql")},
+		"bad catalog":    {"-schema", q, q},
+		"unknown schema": {"-schema", filepath.Join(t.TempDir(), "nope.sql"), q},
+	} {
+		if code, _, _ := runLint(t, args...); code != 2 {
+			t.Errorf("%s: exit = %d, want 2", name, code)
+		}
+	}
+}
+
+// TestLintAppendixQueries runs certlint -tpch over the four queries of
+// the paper's experiment and checks the CLI flags every one of them,
+// with the same diagnostics the analyzer goldens pin down
+// (internal/analyze/testdata/q*.diag).
+func TestLintAppendixQueries(t *testing.T) {
+	dir := t.TempDir()
+	var files []string
+	for _, id := range tpch.AllQueries {
+		path := filepath.Join(dir, strings.ToLower(id.String())+".sql")
+		if err := os.WriteFile(path, []byte(id.SQL()+";\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	code, out, _ := runLint(t, append([]string{"-tpch", "-json"}, files...)...)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (all four queries are hazardous)", code)
+	}
+	var reports []stmtReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.Safe {
+			t.Errorf("%s flagged safe; the experiment queries all have certainty hazards", files[i])
+		}
+		if len(rep.Diagnostics) == 0 {
+			t.Errorf("%s has no diagnostics", files[i])
+			continue
+		}
+		found := false
+		for _, d := range rep.Diagnostics {
+			if d.Code == "not-exists-nullable" || d.Code == "not-in-nullable" {
+				found = true
+			}
+			if d.Pos >= 0 && (d.Line < 1 || d.Col < 1) {
+				t.Errorf("%s: positioned diagnostic without line/col: %+v", files[i], d)
+			}
+		}
+		if !found {
+			t.Errorf("%s: no negation hazard among %v", files[i], rep.Diagnostics)
+		}
+	}
+}
+
+// TestLintGoldenCorpus runs certlint over the translated Q⁺ texts of
+// the experiment queries (internal/certain/testdata/golden). They are
+// the rewritten, *correct* forms — but they still read nullable TPC-H
+// columns under negation, so the linter reports them hazardous rather
+// than crashing or mis-parsing. This mirrors the `make lint` wiring.
+func TestLintGoldenCorpus(t *testing.T) {
+	matches, err := filepath.Glob("../../internal/certain/testdata/golden/*.sql")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("golden corpus missing: %v (%d files)", err, len(matches))
+	}
+	code, out, errOut := runLint(t, append([]string{"-tpch"}, matches...)...)
+	if code == 2 {
+		t.Fatalf("operational error on golden corpus:\n%s\n%s", out, errOut)
+	}
+	if !strings.Contains(out, "statement(s)") {
+		t.Errorf("no summary line:\n%s", out)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	src := "SELECT a FROM r; -- trailing; comment ; here\nSELECT ';' FROM r;\n\n  SELECT b FROM r"
+	sts := splitStatements(src)
+	if len(sts) != 3 {
+		t.Fatalf("got %d statements: %+v", len(sts), sts)
+	}
+	if sts[1].text != "SELECT ';' FROM r" {
+		t.Errorf("semicolon in string split: %q", sts[1].text)
+	}
+	for _, st := range sts {
+		if !strings.HasPrefix(src[st.offset:], st.text) {
+			t.Errorf("offset %d does not locate %q", st.offset, st.text)
+		}
+	}
+}

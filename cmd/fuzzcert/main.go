@@ -55,6 +55,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fmt.Fprintf(out, "  translatable:  %d\n", sum.Translatable)
 	fmt.Fprintf(out, "  brute-forced:  %d\n", sum.BruteForced)
 	fmt.Fprintf(out, "  recall exact:  %d/%d\n", sum.RecallExact, sum.BruteForced)
+	fmt.Fprintf(out, "  analyzer safe: %d (fast path taken: %d)\n", sum.AnalyzerSafe, sum.FastPath)
 	if len(sum.Skips) > 0 {
 		fmt.Fprintf(out, "  skipped invariants: %v\n", sum.Skips)
 	}

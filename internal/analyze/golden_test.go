@@ -1,0 +1,81 @@
+package analyze
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"certsql/internal/sql"
+	"certsql/internal/tpch"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files under testdata")
+
+// TestGoldenAppendixDiagnostics runs the AST-level hazard analysis over
+// the four experiment queries of the paper's Section 3 and compares the
+// rendered diagnostics against committed goldens. Each of Q1–Q4 must be
+// flagged as hazardous through its NOT EXISTS block — the whole point
+// of the paper is that plain evaluation of these queries returns
+// non-certain answers.
+func TestGoldenAppendixDiagnostics(t *testing.T) {
+	sch := tpch.Schema()
+	for _, id := range tpch.AllQueries {
+		src := id.SQL()
+		q, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", id, err)
+		}
+		rep := Query(src, q, sch)
+
+		var b strings.Builder
+		verdict := "safe"
+		if !rep.Safe {
+			verdict = "hazardous"
+		}
+		fmt.Fprintf(&b, "%s: %s (%d diagnostics)\n", id, verdict, len(rep.Diagnostics))
+		for _, d := range rep.Diagnostics {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		got := b.String()
+
+		path := filepath.Join("testdata", strings.ToLower(id.String())+".diag")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatalf("%s: write golden: %v", id, err)
+			}
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update to create): %v", id, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: diagnostics changed (re-run with -update if intended)\n got:\n%s\nwant:\n%s", id, got, want)
+		}
+
+		if rep.Safe {
+			t.Errorf("%s must not be certainty-safe", id)
+		}
+		if !strings.Contains(got, "[not-exists-nullable]") {
+			t.Errorf("%s must flag its NOT EXISTS hazard, got:\n%s", id, got)
+		}
+		// Every position must point into the source at a plausible
+		// operator token.
+		for _, d := range rep.Diagnostics {
+			if d.Pos < 0 {
+				continue
+			}
+			if d.Pos >= len(src) {
+				t.Errorf("%s: diagnostic offset %d beyond source", id, d.Pos)
+				continue
+			}
+			line, col := sql.LineCol(src, d.Pos)
+			if line != d.Line || col != d.Col {
+				t.Errorf("%s: line:col mismatch for offset %d", id, d.Pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/compile"
+	"certsql/internal/schema"
+	"certsql/internal/sql"
+	"certsql/internal/value"
+)
+
+// planFor compiles src against testSchema and analyzes the plan.
+func planFor(t *testing.T, src string) *PlanReport {
+	t.Helper()
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c, err := compile.Compile(q, testSchema(), nil)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return Plan(c.Expr, testSchema())
+}
+
+func hazardCodes(hs []Hazard) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.Code
+	}
+	return out
+}
+
+func hasCode(hs []Hazard, code string) bool {
+	for _, h := range hs {
+		if h.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlanSafeQueries(t *testing.T) {
+	safe := []string{
+		// Selections and joins over NOT NULL columns only.
+		`SELECT id FROM o WHERE id > 3`,
+		`SELECT o.id, l.oid FROM o, l WHERE o.id = l.oid`,
+		// Equality tolerates exactly one nullable side.
+		`SELECT id FROM o WHERE cust = 7`,
+		`SELECT o.id FROM o, l WHERE o.cust = l.oid`,
+		// Negation over rigid (null-free) data is exact.
+		`SELECT a FROM solid WHERE NOT EXISTS (SELECT * FROM solid s2 WHERE s2.a = solid.a AND s2.b <> solid.b)`,
+		`SELECT a FROM solid WHERE a NOT IN (SELECT a FROM solid s2 WHERE s2.b = 'x')`,
+		`SELECT a, b FROM solid EXCEPT SELECT a, b FROM solid`,
+		// Positive EXISTS over nullable data with safe atoms.
+		`SELECT id FROM o WHERE EXISTS (SELECT * FROM l WHERE l.oid = o.id)`,
+		`SELECT a FROM solid INTERSECT SELECT a FROM solid WHERE b = 'x'`,
+	}
+	for _, src := range safe {
+		rep := planFor(t, src)
+		if !rep.Safe {
+			t.Errorf("%s\n  want safe, got hazards %v", src, hazardCodes(rep.Hazards))
+		}
+	}
+}
+
+func TestPlanHazards(t *testing.T) {
+	cases := []struct {
+		src  string
+		code string
+	}{
+		// NOT EXISTS / NOT IN over nullable data.
+		{`SELECT id FROM o WHERE NOT EXISTS (SELECT * FROM l WHERE l.oid = o.id)`, "not-exists-nullable"},
+		{`SELECT a FROM solid WHERE a NOT IN (SELECT oid FROM l)`, "not-exists-nullable"},
+		// Anti-join condition referencing a nullable outer column.
+		{`SELECT cust FROM o WHERE NOT EXISTS (SELECT * FROM solid WHERE a = o.cust)`, "not-exists-nullable"},
+		// EXCEPT with nulls on either side.
+		{`SELECT id, cust FROM o EXCEPT SELECT a, a FROM solid`, "except-nullable"},
+		{`SELECT a, b FROM solid EXCEPT SELECT id, cust FROM o`, "except-nullable"},
+		// Comparisons over nullable columns.
+		{`SELECT id FROM o WHERE cust <> 3`, "cmp-nullable"},
+		{`SELECT id FROM o WHERE cust < 3`, "cmp-nullable"},
+		{`SELECT o.id FROM o, l WHERE o.cust = l.supp`, "eq-nullable-pair"},
+		{`SELECT id FROM o WHERE cust = cust`, "eq-nullable-pair"},
+		// Null tests break exactness in both polarities.
+		{`SELECT id FROM o WHERE cust IS NULL`, "null-test-nullable"},
+		{`SELECT id FROM o WHERE cust IS NOT NULL`, "null-test-nullable"},
+		// NULL literals and non-rigid or non-COUNT scalars.
+		{`SELECT id FROM o WHERE cust = NULL`, "null-literal"},
+		{`SELECT id FROM o WHERE id > (SELECT MIN(a) FROM solid)`, "scalar-subquery"},
+		{`SELECT id FROM o WHERE id > (SELECT COUNT(*) FROM l)`, "scalar-subquery"},
+		// LIKE over a nullable operand (⊥ LIKE '%').
+		{`SELECT id FROM o WHERE cust LIKE '%7%'`, "like-nullable"},
+		// A nullable finite-domain (boolean) column anywhere in the plan.
+		{`SELECT id FROM flags WHERE id > 0`, "finite-domain-null"},
+		// Aggregation / LIMIT over nullable input.
+		{`SELECT COUNT(*) FROM o`, "aggregate-nullable"},
+		{`SELECT id FROM o LIMIT 5`, "limit-nullable"},
+	}
+	for _, tc := range cases {
+		rep := planFor(t, tc.src)
+		if rep.Safe {
+			t.Errorf("%s\n  want hazard %s, got safe", tc.src, tc.code)
+			continue
+		}
+		if !hasCode(rep.Hazards, tc.code) {
+			t.Errorf("%s\n  want hazard %s, got %v", tc.src, tc.code, hazardCodes(rep.Hazards))
+		}
+	}
+}
+
+func TestPlanHazardShape(t *testing.T) {
+	rep := planFor(t, `SELECT id FROM o WHERE cust <> 3`)
+	if len(rep.Hazards) == 0 {
+		t.Fatal("expected a hazard")
+	}
+	h := rep.Hazards[0]
+	if h.Pos != -1 {
+		t.Errorf("plan hazards carry no position, got %d", h.Pos)
+	}
+	if h.Msg == "" || !strings.Contains(h.Msg, "NULL") {
+		t.Errorf("hazard message should explain the null dependence: %q", h.Msg)
+	}
+	if !boolsEq(rep.NonNull, []bool{true}) {
+		t.Errorf("NonNull for SELECT id: %v", rep.NonNull)
+	}
+}
+
+func TestPlanDirectOperators(t *testing.T) {
+	sch := testSchema()
+	o := algebra.Base{Name: "o", Cols: 2}
+	solid := algebra.Base{Name: "solid", Cols: 2}
+
+	cases := []struct {
+		name string
+		e    algebra.Expr
+		code string // "" means safe
+	}{
+		{"base", o, ""},
+		{"unknown relation", algebra.Base{Name: "nosuch", Cols: 1}, "unknown-relation"},
+		{"adom power", algebra.AdomPower{K: 2}, "active-domain"},
+		{"unify over nullable", algebra.UnifySemi{L: o, R: o}, "unify-nullable"},
+		{"unify over rigid", algebra.UnifySemi{L: solid, R: solid}, ""},
+		{"division by nullable", algebra.Division{L: algebra.Product{L: solid, R: o}, R: o}, "division-nullable"},
+		{"division by rigid", algebra.Division{L: algebra.Product{L: o, R: solid}, R: solid}, ""},
+		{"groupby over rigid", algebra.GroupBy{Child: solid, Keys: []int{0},
+			Aggs: []algebra.AggSpec{{Func: algebra.AggCount, Col: -1}}}, ""},
+		{"sort recurses", algebra.Sort{Child: algebra.Select{Child: o,
+			Cond: algebra.NullTest{Operand: algebra.Col{Idx: 1}}}}, "null-test-nullable"},
+	}
+	for _, tc := range cases {
+		rep := Plan(tc.e, sch)
+		if tc.code == "" {
+			if !rep.Safe {
+				t.Errorf("%s: want safe, got %v", tc.name, hazardCodes(rep.Hazards))
+			}
+			continue
+		}
+		if !hasCode(rep.Hazards, tc.code) {
+			t.Errorf("%s: want %s, got %v", tc.name, tc.code, hazardCodes(rep.Hazards))
+		}
+	}
+}
+
+// TestPlanFiniteDomainCounterexample pins the reason for the blanket
+// finite-kind rule: over L = {(⊥: bool)} and R = {(true), (false)} the
+// intersection certainly contains the marked row (it equals one of the
+// two R rows under every valuation) while plain evaluation returns
+// nothing — so "both children safe" is not enough for INTERSECT.
+func TestPlanFiniteDomainCounterexample(t *testing.T) {
+	sch := schema.New()
+	sch.MustAdd(&schema.Relation{Name: "lb", Attrs: []schema.Attribute{
+		{Name: "x", Type: value.KindBool, Nullable: true}}})
+	sch.MustAdd(&schema.Relation{Name: "rb", Attrs: []schema.Attribute{
+		{Name: "x", Type: value.KindBool}}})
+	e := algebra.Intersect{L: algebra.Base{Name: "lb", Cols: 1}, R: algebra.Base{Name: "rb", Cols: 1}}
+	rep := Plan(e, sch)
+	if rep.Safe || !hasCode(rep.Hazards, "finite-domain-null") {
+		t.Errorf("nullable bool must be flagged, got safe=%v %v", rep.Safe, hazardCodes(rep.Hazards))
+	}
+}

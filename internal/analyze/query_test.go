@@ -1,0 +1,171 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/sql"
+)
+
+// queryFor parses src and runs the AST-level analysis against
+// testSchema.
+func queryFor(t *testing.T, src string) *QueryReport {
+	t.Helper()
+	q, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Query(src, q, testSchema())
+}
+
+func diagCodes(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func TestQuerySafe(t *testing.T) {
+	safe := []string{
+		`SELECT id FROM o WHERE id > 3`,
+		`SELECT o.id, l.oid FROM o, l WHERE o.id = l.oid`,
+		`SELECT id FROM o WHERE cust = 7`,
+		`SELECT id FROM o WHERE EXISTS (SELECT * FROM l WHERE l.oid = o.id)`,
+		`SELECT a FROM solid WHERE NOT EXISTS (SELECT * FROM solid s2 WHERE s2.a = solid.a)`,
+		`SELECT a FROM solid WHERE a NOT IN (1, 2, 3)`,
+		`SELECT a FROM solid WHERE a NOT IN (SELECT a FROM solid s2)`,
+		`SELECT a, b FROM solid EXCEPT SELECT a, b FROM solid`,
+		`SELECT id FROM o WHERE cust IN (1, 2)`,
+		`SELECT id FROM o WHERE id > (SELECT COUNT(*) FROM solid)`,
+		`WITH v AS (SELECT a FROM solid) SELECT a FROM v WHERE NOT EXISTS (SELECT * FROM v v2 WHERE v2.a = v.a)`,
+	}
+	for _, src := range safe {
+		rep := queryFor(t, src)
+		if !rep.Safe {
+			t.Errorf("%s\n  want safe, got %v", src, diagCodes(rep.Diagnostics))
+		}
+	}
+}
+
+// TestQueryDiagnosticsPositioned checks both the hazard code and that
+// the reported byte offset points at the offending operator text.
+func TestQueryDiagnosticsPositioned(t *testing.T) {
+	cases := []struct {
+		src  string
+		code string
+		at   string // src[Pos:] must start with this
+	}{
+		{`SELECT id FROM o WHERE NOT EXISTS (SELECT * FROM l WHERE l.oid = o.id)`,
+			"not-exists-nullable", "NOT EXISTS"},
+		// Outer nullable correlation makes the inner block non-rigid.
+		{`SELECT cust FROM o WHERE NOT EXISTS (SELECT * FROM solid WHERE a = o.cust)`,
+			"not-exists-nullable", "NOT EXISTS"},
+		// NOT pushed through EXISTS.
+		{`SELECT id FROM o WHERE NOT (EXISTS (SELECT * FROM l WHERE l.oid = o.id))`,
+			"not-exists-nullable", "EXISTS"},
+		{`SELECT a FROM solid WHERE a NOT IN (SELECT oid FROM l)`,
+			"not-in-nullable", "NOT IN"},
+		{`SELECT id FROM o WHERE cust NOT IN (1, 2)`,
+			"not-in-nullable", "NOT IN"},
+		{`SELECT id FROM o WHERE cust <> 3`, "cmp-nullable", "<>"},
+		{`SELECT id FROM o WHERE cust < 3`, "cmp-nullable", "<"},
+		// Negation turns = into <> for hazard purposes.
+		{`SELECT id FROM o WHERE NOT (cust = 3)`, "cmp-nullable", "="},
+		{`SELECT o.id FROM o, l WHERE o.cust = l.supp`, "eq-nullable-pair", "="},
+		{`SELECT o.id FROM o, l WHERE o.cust IN (SELECT supp FROM l)`, "eq-nullable-pair", "IN"},
+		{`SELECT id FROM o WHERE cust IS NULL`, "null-test-nullable", "IS NULL"},
+		{`SELECT id FROM o WHERE cust IS NOT NULL`, "null-test-nullable", "IS NOT NULL"},
+		{`SELECT id FROM o WHERE cust = NULL`, "null-literal", "="},
+		{`SELECT id FROM o WHERE cust LIKE 'a%'`, "like-nullable", "LIKE"},
+		{`SELECT id FROM o WHERE cust NOT LIKE 'a%'`, "like-nullable", "NOT LIKE"},
+		{`SELECT id FROM o WHERE cust BETWEEN 1 AND 3`, "cmp-nullable", "BETWEEN"},
+		{`SELECT id FROM o WHERE id > (SELECT AVG(cust) FROM o o2)`, "scalar-subquery", ">"},
+		{`SELECT id FROM o WHERE id > (SELECT MIN(a) FROM solid)`, "scalar-subquery", ">"},
+		{`SELECT id, cust FROM o EXCEPT SELECT a, a FROM solid`, "except-nullable", "EXCEPT"},
+		{`SELECT a, b FROM solid EXCEPT SELECT id, cust FROM o`, "except-nullable", "EXCEPT"},
+		{`SELECT id FROM flags WHERE ok = seen`, "eq-finite", "="},
+	}
+	for _, tc := range cases {
+		rep := queryFor(t, tc.src)
+		found := false
+		for _, d := range rep.Diagnostics {
+			if d.Code != tc.code {
+				continue
+			}
+			found = true
+			if d.Pos < 0 || !strings.HasPrefix(tc.src[d.Pos:], tc.at) {
+				t.Errorf("%s\n  [%s] at offset %d points at %q, want %q",
+					tc.src, d.Code, d.Pos, snippet(tc.src, d.Pos), tc.at)
+			}
+			line, col := sql.LineCol(tc.src, d.Pos)
+			if d.Line != line || d.Col != col {
+				t.Errorf("%s\n  [%s] line:col %d:%d, want %d:%d", tc.src, d.Code, d.Line, d.Col, line, col)
+			}
+			break
+		}
+		if !found {
+			t.Errorf("%s\n  want %s, got %v", tc.src, tc.code, diagCodes(rep.Diagnostics))
+		}
+	}
+}
+
+func snippet(src string, pos int) string {
+	if pos < 0 || pos >= len(src) {
+		return ""
+	}
+	end := pos + 12
+	if end > len(src) {
+		end = len(src)
+	}
+	return src[pos:end]
+}
+
+func TestQueryUnknownRelation(t *testing.T) {
+	rep := queryFor(t, `SELECT x FROM nosuch`)
+	if rep.Safe {
+		t.Fatal("unknown relation cannot be safe")
+	}
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == "unknown-relation" {
+			found = true
+			if d.Pos != -1 || d.Line != 0 {
+				t.Errorf("unpositioned diagnostic rendered at %d (%d:%d)", d.Pos, d.Line, d.Col)
+			}
+			if got := d.String(); !strings.HasPrefix(got, "[unknown-relation]") {
+				t.Errorf("String() = %q", got)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("got %v", diagCodes(rep.Diagnostics))
+	}
+}
+
+func TestQueryDiagnosticString(t *testing.T) {
+	src := "SELECT id\nFROM o\nWHERE cust IS NULL"
+	rep := queryFor(t, src)
+	if len(rep.Diagnostics) != 1 {
+		t.Fatalf("diagnostics: %v", diagCodes(rep.Diagnostics))
+	}
+	if got := rep.Diagnostics[0].String(); got != "3:12: [null-test-nullable] IS [NOT] NULL on column cust (which can be NULL); the test's outcome differs between the marked row and its valuations" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestQueryNullableView checks that WITH views carry their inferred
+// nullability into the blocks that use them.
+func TestQueryNullableView(t *testing.T) {
+	src := `WITH v AS (SELECT cust FROM o) SELECT a FROM solid WHERE NOT EXISTS (SELECT * FROM v WHERE v.cust = solid.a)`
+	rep := queryFor(t, src)
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == "not-exists-nullable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("nullable view inside NOT EXISTS: got %v", diagCodes(rep.Diagnostics))
+	}
+}

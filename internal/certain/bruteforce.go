@@ -367,6 +367,8 @@ func collectCondConsts(c algebra.Cond, add func(value.Value), patterns *[]string
 		}
 	case algebra.Not:
 		collectCondConsts(c.C, add, patterns)
+	case algebra.TrueCond, algebra.FalseCond:
+		// no constants
 	}
 }
 

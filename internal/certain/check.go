@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"certsql/internal/algebra"
+	"certsql/internal/analyze"
 	"certsql/internal/schema"
 )
 
@@ -23,6 +24,8 @@ func CheckTranslatable(e algebra.Expr) error {
 		if err != nil {
 			return
 		}
+		// astlint:partial — a deny-list: every operator not named here
+		// is translatable.
 		switch sub.(type) {
 		case algebra.GroupBy:
 			err = fmt.Errorf("certain: aggregation has no certain-answer semantics yet (see paper §8); use standard evaluation")
@@ -104,34 +107,16 @@ func forEachScalar(c algebra.Cond, f func(algebra.Scalar)) {
 		}
 	case algebra.Not:
 		forEachScalar(c.C, f)
+	case algebra.TrueCond, algebra.FalseCond:
+		// no operands
 	}
 }
 
 // nullFreeExpr reports whether no base relation reachable from e has a
 // nullable attribute (unknown relations and a nil schema count as
-// nullable). Walk descends into scalar subqueries, so nested scalars
-// over nullable data are caught too.
+// nullable). It is analyze.NullFree, shared with the safe-query fast
+// path; algebra.Walk descends into scalar subqueries, so nested
+// scalars over nullable data are caught too.
 func nullFreeExpr(e algebra.Expr, sch *schema.Schema) bool {
-	ok := true
-	algebra.Walk(e, func(sub algebra.Expr) {
-		b, isBase := sub.(algebra.Base)
-		if !isBase {
-			return
-		}
-		if sch == nil {
-			ok = false
-			return
-		}
-		rel, found := sch.Relation(b.Name)
-		if !found {
-			ok = false
-			return
-		}
-		for _, a := range rel.Attrs {
-			if a.Nullable {
-				ok = false
-			}
-		}
-	})
-	return ok
+	return analyze.NullFree(e, sch)
 }

@@ -2,122 +2,33 @@ package certain
 
 import (
 	"certsql/internal/algebra"
+	"certsql/internal/analyze"
 )
 
 // nonNullCols computes, per output column of e, whether the column
-// provably never contains a null. The base facts come from schema
-// nullability; they propagate through operators and are strengthened by
-// selection conditions whose truth forces an operand to be non-null
-// (e.g. under SQL 3VL, A = B can only be true on constants).
+// provably never contains a null. The inference lives in
+// internal/analyze (it also powers the safe-query fast path and
+// certlint); the translator's condition mode picks the inference
+// strength: under SQL 3VL every true comparison has constant operands,
+// while under naive evaluation = can hold between equal marks and ≠
+// between distinct marks, so only order comparisons strengthen.
 //
 // The analysis is what lets the translator drop the IS NULL disjuncts
 // that the θ** translation would otherwise introduce on key columns,
 // matching the appendix queries of the paper (Q⁺1 has no
 // `l_orderkey IS NULL` disjunct because l_orderkey is part of a key).
 func (t *Translator) nonNullCols(e algebra.Expr) []bool {
-	switch e := e.(type) {
-	case algebra.Base:
-		rel, ok := t.Sch.Relation(e.Name)
-		if !ok {
-			return make([]bool, e.Cols)
-		}
-		out := make([]bool, rel.Arity())
-		for i, a := range rel.Attrs {
-			out[i] = !a.Nullable
-		}
-		return out
-	case algebra.AdomPower:
-		return make([]bool, e.K)
-	case algebra.Select:
-		out := cloneBools(t.nonNullCols(e.Child))
-		t.strengthen(out, 0, e.Cond)
-		return out
-	case algebra.Project:
-		child := t.nonNullCols(e.Child)
-		out := make([]bool, len(e.Cols))
-		for i, c := range e.Cols {
-			out[i] = child[c]
-		}
-		return out
-	case algebra.Product:
-		return append(cloneBools(t.nonNullCols(e.L)), t.nonNullCols(e.R)...)
-	case algebra.Union:
-		l, r := t.nonNullCols(e.L), t.nonNullCols(e.R)
-		out := make([]bool, len(l))
-		for i := range out {
-			out[i] = l[i] && r[i]
-		}
-		return out
-	case algebra.Intersect:
-		// Rows appear identically in both inputs, so either guarantee
-		// applies.
-		l, r := t.nonNullCols(e.L), t.nonNullCols(e.R)
-		out := make([]bool, len(l))
-		for i := range out {
-			out[i] = l[i] || r[i]
-		}
-		return out
-	case algebra.Diff:
-		return t.nonNullCols(e.L)
-	case algebra.SemiJoin:
-		out := cloneBools(t.nonNullCols(e.L))
-		if !e.Anti {
-			// Surviving rows satisfied the condition with some inner
-			// row; conjuncts over L columns strengthen them.
-			t.strengthen(out, 0, e.Cond)
-		}
-		return out
-	case algebra.UnifySemi:
-		return t.nonNullCols(e.L)
-	case algebra.Distinct:
-		return t.nonNullCols(e.Child)
-	case algebra.Division:
-		return t.nonNullCols(e.L)[:e.Arity()]
-	default:
-		return nil
+	st := analyze.StrengthNaive
+	if t.Mode == ModeSQL {
+		st = analyze.StrengthSQL
 	}
+	return analyze.NonNullCols(e, t.Sch, st)
 }
 
 func cloneBools(b []bool) []bool {
 	out := make([]bool, len(b))
 	copy(out, b)
 	return out
-}
-
-// strengthen marks columns of nonNull (those with index < len(nonNull),
-// offset by off) that must be constants whenever cond is true. Only
-// top-level conjunct atoms are considered.
-func (t *Translator) strengthen(nonNull []bool, off int, cond algebra.Cond) {
-	for _, c := range algebra.Conjuncts(algebra.NNF(cond)) {
-		switch c := c.(type) {
-		case algebra.Cmp:
-			// Under SQL 3VL every true comparison has constant
-			// operands. Under naive evaluation, = can hold between
-			// equal marks and ≠ between distinct marks, so only order
-			// comparisons (false on nulls) strengthen.
-			if t.Mode == ModeSQL || (c.Op != algebra.EQ && c.Op != algebra.NE) {
-				markNonNull(nonNull, off, c.L)
-				markNonNull(nonNull, off, c.R)
-			}
-		case algebra.Like:
-			if !c.Negated {
-				markNonNull(nonNull, off, c.Operand)
-			}
-		case algebra.NullTest:
-			if c.Negated {
-				markNonNull(nonNull, off, c.Operand)
-			}
-		}
-	}
-}
-
-func markNonNull(nonNull []bool, off int, o algebra.Operand) {
-	if col, ok := o.(algebra.Col); ok {
-		i := col.Idx - off
-		if i >= 0 && i < len(nonNull) {
-			nonNull[i] = true
-		}
-	}
 }
 
 // simplifyNullTests rewrites the expression, replacing null(A) by false

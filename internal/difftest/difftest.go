@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"certsql"
+	"certsql/internal/analyze"
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
@@ -93,6 +94,13 @@ type Report struct {
 	// RecallExact reports Q⁺(D) = cert(Q, D) on this case (the paper
 	// measures 100% recall; the translation only guarantees ⊆).
 	RecallExact bool
+	// AnalyzerSafe reports the static analyzer's verdict on the plain
+	// plan: safe means plain evaluation provably returns exactly the
+	// certain answers (checked against the brute force below).
+	AnalyzerSafe bool
+	// FastPath reports whether the default SELECT CERTAIN evaluation
+	// actually took the analyzer fast path on this case.
+	FastPath bool
 }
 
 // Failed reports whether any invariant broke.
@@ -128,6 +136,7 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  [%s] %s\n", v.Invariant, v.Detail)
 	}
 	fmt.Fprintf(&b, "  query: %s\n", r.SQL)
+	fmt.Fprintf(&b, "  analyzer: safe=%v fast-path=%v\n", r.AnalyzerSafe, r.FastPath)
 	if r.DB != nil {
 		for _, name := range r.DB.Schema.Names() {
 			rel, _ := r.DB.Schema.Relation(name)
@@ -187,6 +196,7 @@ func Check(db *table.Database, text string, opts Options) *Report {
 		return rep
 	}
 	expr := compiled.Expr
+	rep.AnalyzerSafe = analyze.Plan(expr, db.Schema).Safe
 
 	fdb := certsql.FromInternal(db)
 
@@ -240,11 +250,20 @@ func Check(db *table.Database, text string, opts Options) *Report {
 		rep.violate("plus-eval", "Q⁺ evaluation failed: %v", err)
 		return rep
 	}
+	rep.FastPath = plus.Stats.FastPathHits > 0
+	// The fast path must fire exactly when the analyzer proves the plan
+	// safe on conforming data — and never change the answer (the
+	// no-fast-path ablation below compares the results).
+	if want := rep.AnalyzerSafe && dbConformsNonNull(db); rep.FastPath != want {
+		rep.violate("fast-path-taken", "analyzer safe=%v, data conforms=%v, but fast path taken=%v",
+			rep.AnalyzerSafe, dbConformsNonNull(db), rep.FastPath)
+	}
 	for name, o := range map[string]certsql.Options{
 		"no-or-split":       {NoOrSplit: true},
 		"no-simplify-nulls": {NoSimplifyNulls: true},
 		"no-key-simplify":   {NoKeySimplify: true},
-		"all-off":           {NoOrSplit: true, NoSimplifyNulls: true, NoKeySimplify: true},
+		"no-fast-path":      {NoAnalyzerFastPath: true},
+		"all-off":           {NoOrSplit: true, NoSimplifyNulls: true, NoKeySimplify: true, NoAnalyzerFastPath: true},
 	} {
 		res, err := queryCertainWithOptions(fdb, text, o)
 		if err != nil {
@@ -294,6 +313,30 @@ func Check(db *table.Database, text string, opts Options) *Report {
 		return rep
 	}
 	rep.BruteForced = true
+
+	// Analyzer soundness: a safe verdict promises that plain evaluation —
+	// under SQL and naive semantics alike — returns exactly the certain
+	// answers on data that honours the schema's NOT NULL declarations.
+	// Evaluate the compiled plan directly (the case text may itself say
+	// SELECT CERTAIN, which the facade would translate again).
+	if rep.AnalyzerSafe && dbConformsNonNull(db) {
+		for _, sem := range []value.Semantics{value.SQL3VL, value.Naive} {
+			res, err := eval.New(db, eval.Options{Semantics: sem, Parallelism: 1}).Eval(expr)
+			if err != nil {
+				if budgetErr(err) {
+					rep.skip(fmt.Sprintf("analyzer-soundness (%v): %v", sem, err))
+					continue
+				}
+				rep.violate("analyzer-soundness", "plain evaluation (%v) of a safe plan failed: %v", sem, err)
+				continue
+			}
+			if !sameSet(res, cert) {
+				rep.violate("analyzer-soundness",
+					"analyzer calls the plan safe, but plain evaluation (%v) ≠ cert:\nplain: %v\ncert:  %v",
+					sem, res.SortedStrings(), cert.SortedStrings())
+			}
+		}
+	}
 
 	// Soundness (Theorem 1): Q⁺(D) ⊆ cert(Q, D), in both modes.
 	if row, ok := firstExtra(plus.Table(), cert); !ok {
@@ -404,6 +447,27 @@ func firstExtra(a, b *table.Table) (table.Row, bool) {
 		}
 	}
 	return nil, true
+}
+
+// dbConformsNonNull reports whether the data honours every NOT NULL
+// declaration in the schema (table.Insert does not enforce them — the
+// generator may smuggle nulls into attributes declared non-nullable, and
+// the analyzer's verdict is only binding on conforming databases).
+func dbConformsNonNull(db *table.Database) bool {
+	for _, name := range db.Schema.Names() {
+		rel, ok := db.Schema.Relation(name)
+		if !ok {
+			continue
+		}
+		for _, row := range db.MustTable(name).Rows() {
+			for i, v := range row {
+				if i < len(rel.Attrs) && !rel.Attrs[i].Nullable && v.IsNull() {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // hasRepeatedMarks reports whether any null mark occurs twice in the

@@ -3,6 +3,7 @@ package difftest
 import (
 	"testing"
 
+	"certsql/internal/qgen"
 	"certsql/internal/schema"
 	"certsql/internal/table"
 	"certsql/internal/value"
@@ -20,6 +21,23 @@ func FuzzCertainPipeline(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		rep := CheckSeed(seed, Options{})
+		if rep.Failed() {
+			t.Fatal(rep.Summary())
+		}
+	})
+}
+
+// FuzzAnalyzerSoundness biases the generator towards fully NOT NULL
+// schemas so the analyzer's safe verdict — and with it the evaluation
+// fast path and the analyzer-soundness invariant (plain evaluation =
+// cert on safe plans) — is exercised on most cases rather than rarely.
+func FuzzAnalyzerSoundness(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	opts := Options{Tuning: qgen.Tuning{NullFreeProb: 0.6}}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rep := CheckSeed(seed, opts)
 		if rep.Failed() {
 			t.Fatal(rep.Summary())
 		}

@@ -5,6 +5,9 @@ import (
 	"strconv"
 	"strings"
 
+	"certsql/internal/analyze"
+	"certsql/internal/compile"
+	"certsql/internal/sql"
 	"certsql/internal/table"
 	"certsql/internal/value"
 )
@@ -16,6 +19,9 @@ import (
 func GoRepro(name string, db *table.Database, sqlText string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "// TestRepro%s reproduces a differential-testing failure.\n", name)
+	if v := analyzerVerdict(db, sqlText); v != "" {
+		fmt.Fprintf(&b, "// Analyzer verdict: %s.\n", v)
+	}
 	b.WriteString("// Imports: certsql/internal/{difftest,schema,table,value}.\n")
 	fmt.Fprintf(&b, "func TestRepro%s(t *testing.T) {\n", name)
 	b.WriteString("\tsch := schema.New()\n")
@@ -60,6 +66,33 @@ func GoRepro(name string, db *table.Database, sqlText string) string {
 	b.WriteString("\tif rep.Failed() {\n\t\tt.Fatal(rep.Summary())\n\t}\n")
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// analyzerVerdict summarizes the static analyzer's view of the case for
+// the repro header: "safe", or "hazardous (code, code, …)". Empty when
+// the text does not reach the analyzer (parse or compile failure).
+func analyzerVerdict(db *table.Database, sqlText string) string {
+	q, err := sql.Parse(sqlText)
+	if err != nil {
+		return ""
+	}
+	compiled, err := compile.Compile(q, db.Schema, nil)
+	if err != nil {
+		return ""
+	}
+	rep := analyze.Plan(compiled.Expr, db.Schema)
+	if rep.Safe {
+		return "safe"
+	}
+	codes := map[string]bool{}
+	var order []string
+	for _, h := range rep.Hazards {
+		if !codes[h.Code] {
+			codes[h.Code] = true
+			order = append(order, h.Code)
+		}
+	}
+	return "hazardous (" + strings.Join(order, ", ") + ")"
 }
 
 func kindLit(k value.Kind) string {

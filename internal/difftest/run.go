@@ -20,6 +20,11 @@ type RunSummary struct {
 	Translatable int
 	BruteForced  int
 	RecallExact  int
+	// AnalyzerSafe counts cases the static analyzer proved safe;
+	// FastPath those where SELECT CERTAIN actually skipped the
+	// translation.
+	AnalyzerSafe int
+	FastPath     int
 	// Skips counts skipped invariants by reason prefix.
 	Skips map[string]int
 }
@@ -79,6 +84,12 @@ func Run(start uint64, cases, workers int, opts Options, progress func(*Report))
 		}
 		if rep.RecallExact {
 			sum.RecallExact++
+		}
+		if rep.AnalyzerSafe {
+			sum.AnalyzerSafe++
+		}
+		if rep.FastPath {
+			sum.FastPath++
 		}
 		for _, s := range rep.Skips {
 			if i := strings.IndexByte(s, ':'); i > 0 {

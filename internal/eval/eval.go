@@ -113,6 +113,11 @@ type Stats struct {
 	ShortCircuits int
 	// CacheHits counts subplan results served from the view cache.
 	CacheHits int
+	// FastPathHits counts SELECT CERTAIN evaluations that skipped the
+	// Q⁺ translation because the static analyzer proved the plain query
+	// already returns exactly the certain answers. Set by the facade,
+	// not by the evaluator itself.
+	FastPathHits int
 }
 
 // Evaluator executes expressions against one database.

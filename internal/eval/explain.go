@@ -42,6 +42,10 @@ func (ev *Evaluator) Report() string { return ev.stats.Summary() }
 
 // Summary renders the counters on one line.
 func (s Stats) Summary() string {
-	return fmt.Sprintf("cost=%d units, hash joins=%d, nested loops=%d, short circuits=%d, cache hits=%d",
+	out := fmt.Sprintf("cost=%d units, hash joins=%d, nested loops=%d, short circuits=%d, cache hits=%d",
 		s.CostUnits, s.HashJoins, s.NestedLoopJoins, s.ShortCircuits, s.CacheHits)
+	if s.FastPathHits > 0 {
+		out += fmt.Sprintf(", analyzer fast paths=%d", s.FastPathHits)
+	}
+	return out
 }

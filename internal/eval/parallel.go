@@ -165,6 +165,8 @@ func (ev *Evaluator) prewarmScalars(c algebra.Cond) error {
 		}
 	case algebra.Not:
 		return ev.prewarmScalars(c.C)
+	case algebra.TrueCond, algebra.FalseCond:
+		// no operands
 	}
 	return nil
 }

@@ -47,6 +47,12 @@ type Tuning struct {
 	// MarkReuseProb is the probability that a new null reuses the
 	// previous mark of the same kind (default 0.3).
 	MarkReuseProb float64
+	// NullFreeProb is the probability that the whole schema is declared
+	// NOT NULL (default 0.15). Null-free schemas are the boundary the
+	// static analyzer cares about: they make safe verdicts — and hence
+	// the evaluation fast path — reachable, so the analyzer-soundness
+	// invariant gets exercised.
+	NullFreeProb float64
 	// MaxDepth bounds subquery nesting (default 2).
 	MaxDepth int
 	// AggProb is the probability that the top-level block is an
@@ -82,6 +88,7 @@ func (t Tuning) withDefaults() Tuning {
 	def(&t.MaxNulls, 3)
 	def(&t.MaxDepth, 2)
 	deff(&t.MarkReuseProb, 0.3)
+	deff(&t.NullFreeProb, 0.15)
 	deff(&t.AggProb, 0.15)
 	deff(&t.SetOpProb, 0.25)
 	deff(&t.WithProb, 0.2)
@@ -110,6 +117,7 @@ func Schema(rng *rand.Rand, tn Tuning) *schema.Schema {
 	tn = tn.withDefaults()
 	s := schema.New()
 	nRel := 1 + rng.Intn(tn.MaxRelations)
+	nullFree := rng.Float64() < tn.NullFreeProb
 	next := 0
 	for ri := 0; ri < nRel; ri++ {
 		arity := 1 + rng.Intn(tn.MaxArity)
@@ -129,7 +137,7 @@ func Schema(rng *rand.Rand, tn Tuning) *schema.Schema {
 					attr.Type = value.KindInt
 				}
 			} else {
-				attr.Nullable = rng.Float64() < 0.6
+				attr.Nullable = !nullFree && rng.Float64() < 0.6
 			}
 			rel.Attrs = append(rel.Attrs, attr)
 		}

@@ -1,0 +1,242 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"certsql/internal/sql"
+	"certsql/internal/value"
+)
+
+// ParseDDL parses a script of CREATE TABLE statements into a Schema, so
+// tools like certlint can take the catalog as a plain .sql file:
+//
+//	CREATE TABLE orders (
+//	    id   INT PRIMARY KEY,
+//	    cust INT,
+//	    memo VARCHAR(80) NOT NULL
+//	);
+//
+// Columns are nullable unless declared NOT NULL or part of the primary
+// key (inline or via a trailing PRIMARY KEY (a, b) item). Types map onto
+// the engine's kinds: INT/INTEGER/BIGINT/SMALLINT → int, FLOAT/REAL/
+// DOUBLE [PRECISION]/DECIMAL/NUMERIC → float, CHAR/VARCHAR/TEXT/STRING →
+// string, BOOL/BOOLEAN → bool, DATE → date. Length and precision
+// arguments are accepted and ignored — nullability is the only column
+// metadata the certainty analysis consumes.
+func ParseDDL(src string) (*Schema, error) {
+	toks, err := sql.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &ddlParser{src: src, toks: toks}
+	sch := New()
+	for !p.atEOF() {
+		if p.isSymbol(";") {
+			p.i++
+			continue
+		}
+		rel, err := p.createTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := sch.Add(rel); err != nil {
+			return nil, err
+		}
+	}
+	return sch, nil
+}
+
+type ddlParser struct {
+	src  string
+	toks []sql.Token
+	i    int
+}
+
+func (p *ddlParser) peek() sql.Token { return p.toks[p.i] }
+
+func (p *ddlParser) atEOF() bool { return p.peek().Kind == sql.TokEOF }
+
+func (p *ddlParser) isSymbol(s string) bool {
+	t := p.peek()
+	return t.Kind == sql.TokSymbol && t.Text == s
+}
+
+func (p *ddlParser) isKeyword(w string) bool {
+	t := p.peek()
+	return t.Kind == sql.TokIdent && strings.EqualFold(t.Text, w)
+}
+
+func (p *ddlParser) expectSymbol(s string) error {
+	if !p.isSymbol(s) {
+		return p.errf(p.peek().Pos, "expected %q, found %s", s, p.peek())
+	}
+	p.i++
+	return nil
+}
+
+func (p *ddlParser) expectKeyword(w string) error {
+	if !p.isKeyword(w) {
+		return p.errf(p.peek().Pos, "expected %s, found %s", strings.ToUpper(w), p.peek())
+	}
+	p.i++
+	return nil
+}
+
+func (p *ddlParser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.Kind != sql.TokIdent {
+		return "", p.errf(t.Pos, "expected %s, found %s", what, t)
+	}
+	p.i++
+	return t.Text, nil
+}
+
+func (p *ddlParser) errf(pos int, format string, args ...any) error {
+	line, col := sql.LineCol(p.src, pos)
+	return fmt.Errorf("ddl: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (p *ddlParser) createTable() (*Relation, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	rel := &Relation{Name: name}
+	var keyNames []string
+	keyPos := -1
+	for {
+		if p.isKeyword("PRIMARY") {
+			keyPos = p.peek().Pos
+			p.i++
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			for {
+				kn, err := p.ident("key column name")
+				if err != nil {
+					return nil, err
+				}
+				keyNames = append(keyNames, kn)
+				if p.isSymbol(",") {
+					p.i++
+					continue
+				}
+				break
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			attr, inlineKey, err := p.column()
+			if err != nil {
+				return nil, err
+			}
+			rel.Attrs = append(rel.Attrs, attr)
+			if inlineKey {
+				rel.Key = append(rel.Key, len(rel.Attrs)-1)
+			}
+		}
+		if p.isSymbol(",") {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if p.isSymbol(";") {
+		p.i++
+	}
+	for _, kn := range keyNames {
+		idx := rel.AttrIndex(kn)
+		if idx < 0 {
+			return nil, p.errf(keyPos, "primary key names unknown column %q in table %q", kn, rel.Name)
+		}
+		rel.Attrs[idx].Nullable = false
+		rel.Key = append(rel.Key, idx)
+	}
+	return rel, nil
+}
+
+func (p *ddlParser) column() (Attribute, bool, error) {
+	name, err := p.ident("column name")
+	if err != nil {
+		return Attribute{}, false, err
+	}
+	tn, err := p.ident("column type")
+	if err != nil {
+		return Attribute{}, false, err
+	}
+	kind, ok := kindOf(tn)
+	if !ok {
+		return Attribute{}, false, p.errf(p.toks[p.i-1].Pos, "unsupported column type %q", tn)
+	}
+	if strings.EqualFold(tn, "DOUBLE") && p.isKeyword("PRECISION") {
+		p.i++
+	}
+	// Length / precision arguments: VARCHAR(80), DECIMAL(12, 2).
+	if p.isSymbol("(") {
+		p.i++
+		for !p.isSymbol(")") {
+			if p.atEOF() {
+				return Attribute{}, false, p.errf(p.peek().Pos, "unterminated type argument list")
+			}
+			p.i++
+		}
+		p.i++
+	}
+	attr := Attribute{Name: name, Type: kind, Nullable: true}
+	inlineKey := false
+	for {
+		switch {
+		case p.isKeyword("NOT"):
+			p.i++
+			if err := p.expectKeyword("NULL"); err != nil {
+				return Attribute{}, false, err
+			}
+			attr.Nullable = false
+		case p.isKeyword("NULL"):
+			p.i++
+			attr.Nullable = true
+		case p.isKeyword("PRIMARY"):
+			p.i++
+			if err := p.expectKeyword("KEY"); err != nil {
+				return Attribute{}, false, err
+			}
+			attr.Nullable = false
+			inlineKey = true
+		default:
+			return attr, inlineKey, nil
+		}
+	}
+}
+
+func kindOf(typeName string) (value.Kind, bool) {
+	switch strings.ToUpper(typeName) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return value.KindInt, true
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return value.KindFloat, true
+	case "CHAR", "VARCHAR", "TEXT", "STRING":
+		return value.KindString, true
+	case "BOOL", "BOOLEAN":
+		return value.KindBool, true
+	case "DATE":
+		return value.KindDate, true
+	}
+	return 0, false
+}

@@ -1,0 +1,98 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/value"
+)
+
+func TestParseDDL(t *testing.T) {
+	sch, err := ParseDDL(`
+-- catalog for the running example
+CREATE TABLE orders (
+    id   INT PRIMARY KEY,
+    cust INT,
+    memo VARCHAR(80) NOT NULL,
+    paid BOOLEAN,
+    due  DATE NULL
+);
+
+CREATE TABLE lineitem (
+    oid   BIGINT,
+    part  SMALLINT,
+    price DECIMAL(12, 2) NOT NULL,
+    PRIMARY KEY (oid, part)
+)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.Names(); len(got) != 2 || got[0] != "orders" || got[1] != "lineitem" {
+		t.Fatalf("Names = %v", got)
+	}
+
+	orders, _ := sch.Relation("orders")
+	wantOrders := []Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "cust", Type: value.KindInt, Nullable: true},
+		{Name: "memo", Type: value.KindString},
+		{Name: "paid", Type: value.KindBool, Nullable: true},
+		{Name: "due", Type: value.KindDate, Nullable: true},
+	}
+	for i, want := range wantOrders {
+		if orders.Attrs[i] != want {
+			t.Errorf("orders.Attrs[%d] = %+v, want %+v", i, orders.Attrs[i], want)
+		}
+	}
+	if len(orders.Key) != 1 || orders.Key[0] != 0 {
+		t.Errorf("orders.Key = %v", orders.Key)
+	}
+
+	li, _ := sch.Relation("lineitem")
+	if li.Attrs[0].Nullable || li.Attrs[1].Nullable {
+		t.Error("trailing PRIMARY KEY must force its columns NOT NULL")
+	}
+	if !li.Attrs[0].Nullable && li.Attrs[2].Nullable {
+		t.Error("price declared NOT NULL")
+	}
+	if len(li.Key) != 2 || li.Key[0] != 0 || li.Key[1] != 1 {
+		t.Errorf("lineitem.Key = %v", li.Key)
+	}
+}
+
+func TestParseDDLDoublePrecision(t *testing.T) {
+	sch, err := ParseDDL(`CREATE TABLE m (x DOUBLE PRECISION NOT NULL, y REAL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sch.Relation("m")
+	if m.Attrs[0].Type != value.KindFloat || m.Attrs[0].Nullable {
+		t.Errorf("x = %+v", m.Attrs[0])
+	}
+	if m.Attrs[1].Type != value.KindFloat || !m.Attrs[1].Nullable {
+		t.Errorf("y = %+v", m.Attrs[1])
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	cases := map[string]string{
+		"CREATE TABLE t (a BLOB)":                        "unsupported column type",
+		"CREATE TABLE t (a INT, PRIMARY KEY (zzz))":      "unknown column",
+		"CREATE TABLE t (a INT":                          "expected",
+		"DROP TABLE t":                                   "expected CREATE",
+		"CREATE TABLE t (a INT); CREATE TABLE t (b INT)": "duplicate relation",
+	}
+	for src, want := range cases {
+		if _, err := ParseDDL(src); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseDDL(%q) err = %v, want containing %q", src, err, want)
+		}
+	}
+}
+
+func TestParseDDLPositions(t *testing.T) {
+	_, err := ParseDDL("CREATE TABLE t (\n  a BLOB\n)")
+	if err == nil || !strings.Contains(err.Error(), "2:5") {
+		t.Errorf("err = %v, want line:col 2:5", err)
+	}
+}

@@ -50,6 +50,9 @@ func (k SetOpKind) String() string {
 type SetOp struct {
 	Op   SetOpKind
 	L, R QueryExpr
+	// Pos is the byte offset of the operator keyword in the source
+	// text, for diagnostics; 0 on synthesized nodes.
+	Pos int
 }
 
 // SelectStmt is a SELECT-FROM-WHERE block.
@@ -147,35 +150,45 @@ type AggCall struct {
 }
 
 // CmpExpr is a comparison L op R, with op in =, <>, <, <=, >, >=.
+// Pos is the byte offset of the operator symbol in the source text
+// (0 on synthesized nodes), kept for diagnostics.
 type CmpExpr struct {
 	Op   string
 	L, R Expr
+	Pos  int
 }
 
-// LikeExpr is L [NOT] LIKE pattern.
+// LikeExpr is L [NOT] LIKE pattern. Pos points at LIKE (or the NOT
+// preceding it).
 type LikeExpr struct {
 	L, Pattern Expr
 	Negated    bool
+	Pos        int
 }
 
-// IsNullExpr is E IS [NOT] NULL.
+// IsNullExpr is E IS [NOT] NULL. Pos points at the IS keyword.
 type IsNullExpr struct {
 	E       Expr
 	Negated bool
+	Pos     int
 }
 
-// InExpr is E [NOT] IN (list) or E [NOT] IN (subquery).
+// InExpr is E [NOT] IN (list) or E [NOT] IN (subquery). Pos points at
+// IN (or the NOT preceding it).
 type InExpr struct {
 	E       Expr
 	List    []Expr // non-nil for a value list
 	Sub     *Query // non-nil for a subquery
 	Negated bool
+	Pos     int
 }
 
-// ExistsExpr is [NOT] EXISTS (subquery).
+// ExistsExpr is [NOT] EXISTS (subquery). Pos points at EXISTS (or the
+// NOT preceding it).
 type ExistsExpr struct {
 	Sub     *Query
 	Negated bool
+	Pos     int
 }
 
 // SubqueryExpr is a scalar subquery used as a comparison operand.
@@ -187,8 +200,11 @@ type (
 	AndExpr struct{ L, R Expr }
 	// OrExpr is L OR R.
 	OrExpr struct{ L, R Expr }
-	// NotExpr is NOT E.
-	NotExpr struct{ E Expr }
+	// NotExpr is NOT E; Pos is the byte offset of the NOT keyword.
+	NotExpr struct {
+		E   Expr
+		Pos int
+	}
 )
 
 func (ColRef) isExpr()       {}

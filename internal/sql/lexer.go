@@ -92,7 +92,7 @@ func (lx *lexer) next() (Token, error) {
 				return Token{Kind: TokSymbol, Text: sym, Pos: start}, nil
 			}
 		}
-		if strings.ContainsRune("()+-*/,.=<>", rune(c)) {
+		if strings.ContainsRune("()+-*/,.=<>;", rune(c)) {
 			lx.pos++
 			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
 		}

@@ -16,6 +16,11 @@ func Parse(src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Tolerate a trailing statement terminator (files fed to certlint
+	// usually have one); the renderer never emits it.
+	for p.at(TokSymbol) && p.cur().Text == ";" {
+		p.i++
+	}
 	if !p.at(TokEOF) {
 		return nil, errorf(p.cur().Pos, "unexpected %s after query", p.cur())
 	}
@@ -139,6 +144,7 @@ func (p *parser) parseQueryExpr() (QueryExpr, error) {
 		default:
 			return out, nil
 		}
+		pos := p.cur().Pos
 		p.advance()
 		if p.atKeyword("all") {
 			return nil, errorf(p.cur().Pos, "bag semantics (UNION ALL) is outside the studied fragment")
@@ -147,7 +153,7 @@ func (p *parser) parseQueryExpr() (QueryExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = SetOp{Op: op, L: out, R: right}
+		out = SetOp{Op: op, L: out, R: right, Pos: pos}
 	}
 }
 
@@ -396,12 +402,13 @@ func (p *parser) parseNot() (Expr, error) {
 	if p.atKeyword("not") && !p.peekIsExistsFollowing() {
 		// NOT EXISTS is handled in parsePredicate so the Negated flag
 		// lands on the ExistsExpr; plain NOT wraps a predicate.
+		pos := p.cur().Pos
 		p.advance()
 		e, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return NotExpr{E: e}, nil
+		return NotExpr{E: e, Pos: pos}, nil
 	}
 	return p.parsePredicate()
 }
@@ -412,8 +419,10 @@ func (p *parser) peekIsExistsFollowing() bool {
 }
 
 func (p *parser) parsePredicate() (Expr, error) {
-	// [NOT] EXISTS (subquery)
+	// [NOT] EXISTS (subquery); the diagnostic position points at NOT
+	// when present, else at EXISTS.
 	negated := false
+	pos := p.cur().Pos
 	if p.atKeyword("not") && p.peekIsExistsFollowing() {
 		p.advance()
 		negated = true
@@ -430,7 +439,7 @@ func (p *parser) parsePredicate() (Expr, error) {
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		return ExistsExpr{Sub: sub, Negated: negated}, nil
+		return ExistsExpr{Sub: sub, Negated: negated, Pos: pos}, nil
 	}
 
 	// Parenthesized condition (but not a scalar subquery, which is an
@@ -455,15 +464,19 @@ func (p *parser) parsePredicate() (Expr, error) {
 }
 
 func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
+	// Every branch records the operator token's byte offset on the node
+	// it builds; for NOT LIKE / NOT IN / NOT BETWEEN the position points
+	// at the NOT.
+	pos := p.cur().Pos
 	switch {
 	case p.atKeyword("between"):
 		p.advance()
-		return p.parseBetweenRest(left, false)
+		return p.parseBetweenRest(left, false, pos)
 
 	case p.atKeyword("not") && p.peekKeywordIs("between"):
 		p.advance()
 		p.advance()
-		return p.parseBetweenRest(left, true)
+		return p.parseBetweenRest(left, true, pos)
 
 	case p.atKeyword("is"):
 		p.advance()
@@ -475,7 +488,7 @@ func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
 		if err := p.expectKeyword("null"); err != nil {
 			return nil, err
 		}
-		return IsNullExpr{E: left, Negated: neg}, nil
+		return IsNullExpr{E: left, Negated: neg, Pos: pos}, nil
 
 	case p.atKeyword("like"):
 		p.advance()
@@ -483,7 +496,7 @@ func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return LikeExpr{L: left, Pattern: pat}, nil
+		return LikeExpr{L: left, Pattern: pat, Pos: pos}, nil
 
 	case p.atKeyword("not") && (p.peekKeywordIs("like") || p.peekKeywordIs("in")):
 		p.advance()
@@ -493,14 +506,14 @@ func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return LikeExpr{L: left, Pattern: pat, Negated: true}, nil
+			return LikeExpr{L: left, Pattern: pat, Negated: true, Pos: pos}, nil
 		}
 		p.advance() // IN
-		return p.parseInRest(left, true)
+		return p.parseInRest(left, true, pos)
 
 	case p.atKeyword("in"):
 		p.advance()
-		return p.parseInRest(left, false)
+		return p.parseInRest(left, false, pos)
 
 	case p.atSymbol("=") || p.atSymbol("<>") || p.atSymbol("!=") ||
 		p.atSymbol("<") || p.atSymbol("<=") || p.atSymbol(">") || p.atSymbol(">="):
@@ -512,7 +525,7 @@ func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return CmpExpr{Op: op, L: left, R: right}, nil
+		return CmpExpr{Op: op, L: left, R: right, Pos: pos}, nil
 
 	default:
 		return nil, errorf(p.cur().Pos, "expected predicate, found %s", p.cur())
@@ -521,8 +534,9 @@ func (p *parser) parsePredicateRest(left Expr) (Expr, error) {
 
 // parseBetweenRest parses `lo AND hi` after [NOT] BETWEEN and desugars
 // it into the conjunction left >= lo AND left <= hi (negated: left < lo
-// OR left > hi), matching SQL's definition.
-func (p *parser) parseBetweenRest(left Expr, negated bool) (Expr, error) {
+// OR left > hi), matching SQL's definition. The desugared comparisons
+// all carry the BETWEEN keyword's position.
+func (p *parser) parseBetweenRest(left Expr, negated bool, pos int) (Expr, error) {
 	lo, err := p.parseOperand()
 	if err != nil {
 		return nil, err
@@ -536,13 +550,13 @@ func (p *parser) parseBetweenRest(left Expr, negated bool) (Expr, error) {
 	}
 	if negated {
 		return OrExpr{
-			L: CmpExpr{Op: "<", L: left, R: lo},
-			R: CmpExpr{Op: ">", L: left, R: hi},
+			L: CmpExpr{Op: "<", L: left, R: lo, Pos: pos},
+			R: CmpExpr{Op: ">", L: left, R: hi, Pos: pos},
 		}, nil
 	}
 	return AndExpr{
-		L: CmpExpr{Op: ">=", L: left, R: lo},
-		R: CmpExpr{Op: "<=", L: left, R: hi},
+		L: CmpExpr{Op: ">=", L: left, R: lo, Pos: pos},
+		R: CmpExpr{Op: "<=", L: left, R: hi, Pos: pos},
 	}, nil
 }
 
@@ -551,7 +565,7 @@ func (p *parser) peekKeywordIs(kw string) bool {
 	return n.Kind == TokIdent && strings.EqualFold(n.Text, kw)
 }
 
-func (p *parser) parseInRest(left Expr, negated bool) (Expr, error) {
+func (p *parser) parseInRest(left Expr, negated bool, pos int) (Expr, error) {
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
 	}
@@ -563,7 +577,7 @@ func (p *parser) parseInRest(left Expr, negated bool) (Expr, error) {
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		return InExpr{E: left, Sub: sub, Negated: negated}, nil
+		return InExpr{E: left, Sub: sub, Negated: negated, Pos: pos}, nil
 	}
 	var list []Expr
 	for {
@@ -581,7 +595,7 @@ func (p *parser) parseInRest(left Expr, negated bool) (Expr, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
-	return InExpr{E: left, List: list, Negated: negated}, nil
+	return InExpr{E: left, List: list, Negated: negated, Pos: pos}, nil
 }
 
 // parseOperand parses a scalar operand, including `||` concatenations.

@@ -1,0 +1,164 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// findCond walks the WHERE clause of the lead select and returns the
+// first node matching pred in a pre-order traversal.
+func findCond(t *testing.T, src string, pred func(Expr) bool) Expr {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	var body QueryExpr = q.Body
+	for {
+		if s, ok := body.(SetOp); ok {
+			body = s.L
+			continue
+		}
+		break
+	}
+	sel := body.(*SelectStmt)
+	var found Expr
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if e == nil || found != nil {
+			return
+		}
+		if pred(e) {
+			found = e
+			return
+		}
+		switch n := e.(type) {
+		case AndExpr:
+			walk(n.L)
+			walk(n.R)
+		case OrExpr:
+			walk(n.L)
+			walk(n.R)
+		case NotExpr:
+			walk(n.E)
+		}
+	}
+	walk(sel.Where)
+	if found == nil {
+		t.Fatalf("no matching node in %q", src)
+	}
+	return found
+}
+
+// TestPositionsPointAtOperator checks that the byte offsets the parser
+// records on predicate nodes point exactly at the offending operator
+// token in the source text — this is what certlint diagnostics rely on.
+func TestPositionsPointAtOperator(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // the operator text expected at the recorded offset
+		pick func(Expr) (int, bool)
+	}{
+		{
+			src:  "SELECT a FROM r WHERE a = 1",
+			want: "=",
+			pick: func(e Expr) (int, bool) { n, ok := e.(CmpExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE a <> b",
+			want: "<>",
+			pick: func(e Expr) (int, bool) { n, ok := e.(CmpExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE b IS NOT NULL",
+			want: "IS NOT NULL",
+			pick: func(e Expr) (int, bool) { n, ok := e.(IsNullExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE a LIKE 'x%'",
+			want: "LIKE",
+			pick: func(e Expr) (int, bool) { n, ok := e.(LikeExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE a NOT LIKE 'x%'",
+			want: "NOT LIKE",
+			pick: func(e Expr) (int, bool) { n, ok := e.(LikeExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE a NOT IN (1, 2)",
+			want: "NOT IN",
+			pick: func(e Expr) (int, bool) { n, ok := e.(InExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE a IN (SELECT b FROM s)",
+			want: "IN",
+			pick: func(e Expr) (int, bool) { n, ok := e.(InExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE NOT EXISTS (SELECT b FROM s)",
+			want: "NOT EXISTS",
+			pick: func(e Expr) (int, bool) { n, ok := e.(ExistsExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE EXISTS (SELECT b FROM s)",
+			want: "EXISTS",
+			pick: func(e Expr) (int, bool) { n, ok := e.(ExistsExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE NOT (a = 1)",
+			want: "NOT",
+			pick: func(e Expr) (int, bool) { n, ok := e.(NotExpr); return n.Pos, ok },
+		},
+		{
+			src:  "SELECT a FROM r WHERE a BETWEEN 1 AND 3",
+			want: "BETWEEN",
+			pick: func(e Expr) (int, bool) { n, ok := e.(CmpExpr); return n.Pos, ok },
+		},
+	}
+	for _, tc := range cases {
+		var pos int
+		findCond(t, tc.src, func(e Expr) bool {
+			p, ok := tc.pick(e)
+			if ok {
+				pos = p
+			}
+			return ok
+		})
+		if pos <= 0 || pos >= len(tc.src) {
+			t.Errorf("%q: recorded offset %d out of range", tc.src, pos)
+			continue
+		}
+		if !strings.HasPrefix(tc.src[pos:], tc.want) {
+			t.Errorf("%q: offset %d points at %q, want %q", tc.src, pos, tc.src[pos:], tc.want)
+		}
+	}
+}
+
+// TestSetOpPosition checks set-operation keywords get offsets too.
+func TestSetOpPosition(t *testing.T) {
+	src := "SELECT a FROM r EXCEPT SELECT b FROM s"
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, ok := q.Body.(SetOp)
+	if !ok {
+		t.Fatalf("got %T, want SetOp", q.Body)
+	}
+	if !strings.HasPrefix(src[op.Pos:], "EXCEPT") {
+		t.Errorf("offset %d points at %q, want EXCEPT", op.Pos, src[op.Pos:])
+	}
+}
+
+// TestLineCol exercises the offset-to-line:col conversion.
+func TestLineCol(t *testing.T) {
+	src := "SELECT a\nFROM r\nWHERE a = 1"
+	pos := strings.Index(src, "=")
+	line, col := LineCol(src, pos)
+	if line != 3 || col != 9 {
+		t.Errorf("LineCol = %d:%d, want 3:9", line, col)
+	}
+	if l, c := LineCol(src, -5); l != 1 || c != 1 {
+		t.Errorf("clamped LineCol = %d:%d, want 1:1", l, c)
+	}
+}

@@ -32,10 +32,18 @@ func TestLexBasics(t *testing.T) {
 }
 
 func TestLexErrors(t *testing.T) {
-	for _, src := range []string{"'unterminated", "$", "a ; b", "#"} {
+	for _, src := range []string{"'unterminated", "$", "#"} {
 		if _, err := Lex(src); err == nil {
 			t.Errorf("Lex(%q) succeeded, want error", src)
 		}
+	}
+	// ';' lexes (it is the DDL statement terminator) but cannot appear
+	// mid-query.
+	if _, err := Parse("SELECT a FROM r WHERE a ; = 1"); err == nil {
+		t.Error("Parse with interior ';' succeeded, want error")
+	}
+	if _, err := Parse("SELECT a FROM r;"); err != nil {
+		t.Errorf("Parse with trailing ';' failed: %v", err)
 	}
 }
 

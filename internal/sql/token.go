@@ -56,3 +56,24 @@ func (e *Error) Error() string {
 func errorf(pos int, format string, args ...any) error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
+
+// LineCol converts a byte offset in src into 1-based line and column
+// numbers for diagnostics. Offsets outside src are clamped.
+func LineCol(src string, pos int) (line, col int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(src) {
+		pos = len(src)
+	}
+	line, col = 1, 1
+	for _, b := range []byte(src[:pos]) {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

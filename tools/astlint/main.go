@@ -1,0 +1,388 @@
+// Command astlint is a repo-local linter for type-switch exhaustiveness
+// over the closed node families of the SQL AST (internal/sql: QueryExpr,
+// Expr) and the algebra (internal/algebra: Expr, Cond, Operand). Those
+// families grow — PRs add operators and expression forms — and a type
+// switch that silently ignores a new node is exactly how a certainty
+// bug slips past the compiler: Go has no sealed sums, so nothing else
+// enforces that compile, rewrite and analyze handle every node.
+//
+// The rules:
+//
+//   - a type switch whose cases name members of one family must either
+//     cover the whole family or carry a default clause;
+//   - that default must be loud: an empty default swallows unknown
+//     nodes silently and is reported.
+//
+// Families are discovered from the source of the defining packages: an
+// interface with an is<Name>() marker method collects every type
+// declaring that marker; an interface without one (algebra.Expr)
+// collects every type declaring its first regular method (Arity).
+//
+// Usage:
+//
+//	astlint [-v] [dir ...]
+//
+// With no arguments it lints the packages that traverse the trees:
+// internal/compile, internal/rewrite, internal/analyze, internal/eval,
+// internal/certain. Exit status 1 when any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+var familyDirs = []string{"internal/sql", "internal/algebra"}
+
+var defaultTargets = []string{
+	"internal/compile",
+	"internal/rewrite",
+	"internal/analyze",
+	"internal/eval",
+	"internal/certain",
+}
+
+// family is one closed sum type: the interface name and its members.
+type family struct {
+	pkg     string          // defining package name ("sql", "algebra")
+	name    string          // interface name ("Expr", "Cond", …)
+	members map[string]bool // member type base names
+}
+
+func (f *family) String() string { return f.pkg + "." + f.name }
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("astlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		verbose = fs.Bool("v", false, "report every matched switch, not just findings")
+		root    = fs.String("root", ".", "repository root (family packages are resolved against it)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = make([]string, len(defaultTargets))
+		for i, t := range defaultTargets {
+			targets[i] = filepath.Join(*root, t)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var families []*family
+	for _, dir := range familyDirs {
+		fams, err := discoverFamilies(fset, filepath.Join(*root, dir))
+		if err != nil {
+			fmt.Fprintf(errOut, "astlint: %v\n", err)
+			return 2
+		}
+		families = append(families, fams...)
+	}
+	if *verbose {
+		for _, f := range families {
+			members := make([]string, 0, len(f.members))
+			for m := range f.members {
+				members = append(members, m)
+			}
+			sort.Strings(members)
+			fmt.Fprintf(out, "family %s: %s\n", f, strings.Join(members, " "))
+		}
+	}
+
+	findings, checked := 0, 0
+	for _, dir := range targets {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			fmt.Fprintf(errOut, "astlint: %v\n", err)
+			return 2
+		}
+		for _, file := range files {
+			pkgName := file.Name.Name
+			partial := partialLines(fset, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				cases, def := switchCases(sw)
+				fam := matchFamily(families, pkgName, cases)
+				if fam == nil {
+					return true
+				}
+				if line := fset.Position(sw.Pos()).Line; partial[line] || partial[line-1] {
+					// Annotated `// astlint:partial` — the switch picks
+					// out a few interesting nodes on purpose.
+					return true
+				}
+				checked++
+				pos := fset.Position(sw.Pos())
+				covered := map[string]bool{}
+				for name := range cases {
+					covered[strings.TrimPrefix(name, fam.pkg+".")] = true
+				}
+				var missing []string
+				for m := range fam.members {
+					if !covered[m] {
+						missing = append(missing, m)
+					}
+				}
+				sort.Strings(missing)
+				switch {
+				case def == nil && len(missing) > 0:
+					findings++
+					fmt.Fprintf(out, "%s: type switch over %s has no default and misses: %s\n",
+						pos, fam, strings.Join(missing, ", "))
+				case def != nil && len(def.Body) == 0:
+					findings++
+					fmt.Fprintf(out, "%s: type switch over %s has a silent (empty) default — handle or reject unknown nodes\n",
+						pos, fam)
+				case *verbose:
+					fmt.Fprintf(out, "%s: ok — switch over %s (%d/%d cases%s)\n",
+						pos, fam, len(fam.members)-len(missing), len(fam.members), defaultNote(def))
+				}
+				return true
+			})
+		}
+	}
+	if *verbose || findings > 0 {
+		fmt.Fprintf(out, "astlint: %d switch(es) checked, %d finding(s)\n", checked, findings)
+	}
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+func defaultNote(def *ast.CaseClause) string {
+	if def == nil {
+		return ""
+	}
+	return ", with default"
+}
+
+// parseDir parses every non-test .go file in dir.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	return files, nil
+}
+
+// discoverFamilies finds the closed sums declared in one package.
+func discoverFamilies(fset *token.FileSet, dir string) ([]*family, error) {
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgName := files[0].Name.Name
+
+	// Interface declarations → the marker method that identifies
+	// membership: is<Name>() when present, otherwise the interface's
+	// first declared method (the structural case, e.g. algebra.Expr's
+	// Arity).
+	markers := map[string]*family{} // marker method name → family
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok || it.Methods == nil || len(it.Methods.List) == 0 {
+					continue
+				}
+				marker := ""
+				for _, m := range it.Methods.List {
+					if len(m.Names) == 1 && strings.HasPrefix(m.Names[0].Name, "is") {
+						marker = m.Names[0].Name
+						break
+					}
+				}
+				if marker == "" {
+					for _, m := range it.Methods.List {
+						if len(m.Names) == 1 {
+							marker = m.Names[0].Name
+							break
+						}
+					}
+				}
+				if marker == "" {
+					continue
+				}
+				markers[marker] = &family{pkg: pkgName, name: ts.Name.Name, members: map[string]bool{}}
+			}
+		}
+	}
+
+	// Method declarations → membership.
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			fam, ok := markers[fd.Name.Name]
+			if !ok {
+				continue
+			}
+			if recv := baseTypeName(fd.Recv.List[0].Type); recv != "" {
+				fam.members[recv] = true
+			}
+		}
+	}
+
+	var out []*family
+	for _, fam := range markers {
+		if len(fam.members) > 0 {
+			out = append(out, fam)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// partialLines returns the line numbers carrying an `astlint:partial`
+// annotation; a type switch on that line or the next is exempt from the
+// exhaustiveness rule (it deliberately handles a subset of a family).
+func partialLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "astlint:partial") {
+				// Mark the whole group, so the annotation may sit on any
+				// line of the comment block above the switch.
+				for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line; l++ {
+					lines[l] = true
+				}
+				break
+			}
+		}
+	}
+	return lines
+}
+
+// switchCases collects the base type names of every case clause and the
+// default clause, if any.
+func switchCases(sw *ast.TypeSwitchStmt) (map[string]bool, *ast.CaseClause) {
+	cases := map[string]bool{}
+	var def *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			def = cc
+			continue
+		}
+		for _, te := range cc.List {
+			if name := caseTypeName(te); name != "" {
+				cases[name] = true
+			}
+		}
+	}
+	return cases, def
+}
+
+// matchFamily finds the single family every named case belongs to. A
+// switch mixing families, or naming types outside all families (e.g. a
+// switch over error kinds or plain any), matches nothing and is left
+// alone.
+func matchFamily(families []*family, pkgName string, cases map[string]bool) *family {
+	if len(cases) == 0 {
+		return nil
+	}
+	var match *family
+	for _, fam := range families {
+		all := true
+		for name := range cases {
+			base := name
+			if i := strings.IndexByte(name, '.'); i >= 0 {
+				if name[:i] != fam.pkg {
+					all = false
+					break
+				}
+				base = name[i+1:]
+			} else if pkgName != fam.pkg {
+				// Unqualified case type in a foreign package cannot be
+				// a member of this family.
+				all = false
+				break
+			}
+			if !fam.members[base] {
+				all = false
+				break
+			}
+		}
+		if all {
+			if match != nil {
+				return nil // ambiguous — refuse to guess
+			}
+			match = fam
+		}
+	}
+	return match
+}
+
+// caseTypeName renders a case's type expression as "Name" or
+// "pkg.Name", stripping pointers and parens; "" for nil cases and
+// non-name types (builtins, slices, funcs, …).
+func caseTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return caseTypeName(e.X)
+	case *ast.StarExpr:
+		return caseTypeName(e.X)
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return ""
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// baseTypeName extracts the receiver's type name.
+func baseTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return baseTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return baseTypeName(e.X)
+	}
+	return ""
+}

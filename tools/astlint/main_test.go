@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	if errOut.Len() > 0 {
+		t.Logf("stderr: %s", errOut.String())
+	}
+	return code, out.String()
+}
+
+// TestRepoIsClean is the actual lint gate: the repository's own tree
+// walkers must all pass.
+func TestRepoIsClean(t *testing.T) {
+	code, out := runTool(t, "-root", "../..")
+	if code != 0 {
+		t.Errorf("astlint reports findings on the repo:\n%s", out)
+	}
+}
+
+func writeTarget(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := "package target\n\nimport \"certsql/internal/algebra\"\n\n" + body
+	if err := os.WriteFile(filepath.Join(dir, "target.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestMissingCasesNoDefault(t *testing.T) {
+	dir := writeTarget(t, `
+func f(c algebra.Cond) {
+	switch c.(type) {
+	case algebra.Cmp:
+	case algebra.Like:
+	}
+}
+`)
+	code, out := runTool(t, "-root", "../..", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "algebra.Cond") || !strings.Contains(out, "NullTest") {
+		t.Errorf("finding should name the family and missing members:\n%s", out)
+	}
+}
+
+func TestSilentDefault(t *testing.T) {
+	dir := writeTarget(t, `
+func f(c algebra.Cond) {
+	switch c.(type) {
+	case algebra.Cmp:
+	default:
+	}
+}
+`)
+	code, out := runTool(t, "-root", "../..", dir)
+	if code != 1 || !strings.Contains(out, "silent") {
+		t.Errorf("exit = %d, want 1 with a silent-default finding:\n%s", code, out)
+	}
+}
+
+func TestLoudDefaultAccepted(t *testing.T) {
+	dir := writeTarget(t, `
+func f(c algebra.Cond) {
+	switch c.(type) {
+	case algebra.Cmp:
+	default:
+		panic("unknown cond")
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0:\n%s", code, out)
+	}
+}
+
+func TestPartialAnnotation(t *testing.T) {
+	dir := writeTarget(t, `
+func f(c algebra.Cond) {
+	// astlint:partial — only comparisons matter here.
+	switch c.(type) {
+	case algebra.Cmp:
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (annotated partial):\n%s", code, out)
+	}
+}
+
+func TestUnrelatedSwitchIgnored(t *testing.T) {
+	dir := writeTarget(t, `
+func f(x any) int {
+	switch x.(type) {
+	case int:
+		return 1
+	case string:
+		return 2
+	}
+	return 0
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (switch over builtins):\n%s", code, out)
+	}
+}
+
+func TestExhaustiveNoDefaultAccepted(t *testing.T) {
+	dir := writeTarget(t, `
+func f(o algebra.Operand) {
+	switch o.(type) {
+	case algebra.Col:
+	case algebra.Lit:
+	case algebra.Scalar:
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (fully covered):\n%s", code, out)
+	}
+}
