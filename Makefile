@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test race bench fuzz fuzzcert
+.PHONY: check build vet lint test race bench fuzz fuzzcert chaos
 
 # check is what CI runs: build, vet, lint, and the full test suite under
 # the race detector (the parallel executor must stay race-clean).
@@ -54,3 +54,12 @@ fuzz:
 # failure prints its seed and a shrunken Go repro).
 fuzzcert:
 	$(GO) run ./cmd/fuzzcert -cases 2000 -seed 1
+
+# chaos sweeps the fault-injection / cancellation / degradation
+# invariants (DESIGN.md §10) over 500 seeded cases under the race
+# detector: every injected fault must surface as a typed error (never a
+# panic, never a wrong answer), a random-point cancellation must land
+# as guard.ErrCanceled in every ablation, degraded results must equal
+# the certain answers exactly, and no goroutine may leak.
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaosSweep$$' ./internal/difftest

@@ -15,6 +15,7 @@
 package certsql_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -253,7 +254,7 @@ func BenchmarkTable1Scaling(b *testing.B) {
 func BenchmarkRecall(b *testing.B) {
 	var recall float64
 	for i := 0; i < b.N; i++ {
-		results, err := experiment.Recall(experiment.RecallConfig{
+		results, err := experiment.Recall(context.Background(), experiment.RecallConfig{
 			Instances: 1, ParamDraws: 2, NullRate: 0.04, Seed: int64(i + 1),
 		})
 		if err != nil {

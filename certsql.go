@@ -19,6 +19,8 @@
 package certsql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"certsql/internal/algebra"
@@ -26,6 +28,7 @@ import (
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
+	"certsql/internal/guard"
 	"certsql/internal/rewrite"
 	"certsql/internal/sql"
 	"certsql/internal/table"
@@ -94,8 +97,36 @@ type Options struct {
 	// differential tests that compare both routes.
 	NoAnalyzerFastPath bool
 
-	// MaxRows bounds intermediate results (0 = default 4M rows).
+	// MaxRows bounds intermediate results, in rows (0 = default 4M,
+	// negative = unlimited).
 	MaxRows int
+
+	// MaxCostUnits bounds cumulative elementary row operations, so
+	// quadratic corners degrade with an error instead of hanging
+	// (0 = default 2³⁰, negative = unlimited).
+	MaxCostUnits int64
+
+	// MaxMemBytes bounds the cumulative estimated bytes of materialized
+	// intermediate results. Estimation is coarse, so the memory budget
+	// is opt-in: zero or negative means unlimited.
+	MaxMemBytes int64
+
+	// Degrade opts into the degradation ladder for potential-answer
+	// queries: when the Q⋆ translation exceeds a resource budget, the
+	// query is re-evaluated on the certain-answer route under a fresh
+	// budget and the result carries Degraded plus a machine-readable
+	// Warning. Certain answers under-approximate where potential
+	// answers over-approximate, so the degraded result is still sound —
+	// every returned row is a guaranteed answer. Cancellation and
+	// deadline expiry never degrade.
+	Degrade bool
+
+	// Guard, when non-nil, supplies the Governor directly — overriding
+	// the budget fields above and any context passed to the *Context
+	// entry points. A Governor's budgets are cumulative, so sharing one
+	// across queries shares the budgets (the experiment runners do this
+	// deliberately).
+	Guard *guard.Governor
 
 	// Parallelism sets the number of workers the executor fans the
 	// probe side of joins, semijoins and filters out over: 0 uses
@@ -115,10 +146,23 @@ func (o Options) semantics() value.Semantics {
 	return value.SQL3VL
 }
 
-func (o Options) evalOptions() eval.Options {
+func (o Options) limits() guard.Limits {
+	return guard.Limits{MaxRows: o.MaxRows, MaxCostUnits: o.MaxCostUnits, MaxMemBytes: o.MaxMemBytes}
+}
+
+// governor resolves the Governor for one query: an explicit Guard wins,
+// otherwise a fresh one is built from the context and budget fields.
+func (o Options) governor(ctx context.Context) *guard.Governor {
+	if o.Guard != nil {
+		return o.Guard
+	}
+	return guard.New(ctx, o.limits())
+}
+
+func (o Options) evalOptions(gov *guard.Governor) eval.Options {
 	return eval.Options{
 		Semantics:      o.semantics(),
-		MaxRows:        o.MaxRows,
+		Governor:       gov,
 		Parallelism:    o.Parallelism,
 		NoHashJoin:     o.NoHashJoin,
 		NoSubplanCache: o.NoViewCache,
@@ -185,6 +229,24 @@ func (db *DB) Insert(tableName string, vals ...any) error {
 // value (a marked, non-Codd null).
 func (db *DB) FreshNull() Value { return db.d.FreshNull() }
 
+// EnforceNonNull toggles enforcement of the schema's NOT NULL
+// declarations at insertion time. While enabled, Insert (and therefore
+// LoadCSV) rejects rows that put a null in a non-nullable column with
+// an error unwrapping to *NotNullViolation. Enforcement is opt-in
+// because the paper's setup treats nullability as a generator-side
+// concern; without it, violations are only counted, and the analyzer
+// fast path consults that count.
+func (db *DB) EnforceNonNull(on bool) { db.d.EnforceNonNull(on) }
+
+// ConformsNonNull reports whether the stored data currently honours
+// every NOT NULL declaration. It is O(1): the database maintains the
+// violation count incrementally.
+func (db *DB) ConformsNonNull() bool { return db.d.ConformsNonNull() }
+
+// NotNullViolation is the typed error for a rejected NOT NULL
+// violation; retrieve with errors.As.
+type NotNullViolation = table.NotNullViolation
+
 // TableLen returns the number of rows in a table.
 func (db *DB) TableLen(tableName string) (int, error) {
 	t, err := db.d.Table(tableName)
@@ -208,30 +270,94 @@ func (db *DB) Query(text string, params Params) (*Result, error) {
 	return db.QueryWithOptions(text, params, Options{})
 }
 
+// QueryContext is Query bounded by ctx: cancellation or deadline
+// expiry aborts the evaluation with an error matching ErrCanceled or
+// ErrDeadline. An already-canceled context is detected in O(1), before
+// the query is even parsed.
+func (db *DB) QueryContext(ctx context.Context, text string, params Params) (*Result, error) {
+	return db.QueryWithOptionsContext(ctx, text, params, Options{})
+}
+
+// QueryWithOptions is Query with explicit evaluation options.
+func (db *DB) QueryWithOptions(text string, params Params, opts Options) (*Result, error) {
+	return db.QueryWithOptionsContext(context.Background(), text, params, opts)
+}
+
+// QueryWithOptionsContext is the fully general query entry point:
+// explicit options, bounded by ctx.
+func (db *DB) QueryWithOptionsContext(ctx context.Context, text string, params Params, opts Options) (*Result, error) {
+	gov := opts.governor(ctx)
+	if err := gov.Poll("query"); err != nil {
+		return nil, err
+	}
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return db.runParsed(gov, q, params, opts)
+}
+
 // QueryCertain evaluates the query's certain-answer translation Q⁺
 // regardless of whether CERTAIN was written in the query text.
 func (db *DB) QueryCertain(text string, params Params) (*Result, error) {
+	return db.QueryCertainWithOptionsContext(context.Background(), text, params, Options{})
+}
+
+// QueryCertainContext is QueryCertain bounded by ctx.
+func (db *DB) QueryCertainContext(ctx context.Context, text string, params Params) (*Result, error) {
+	return db.QueryCertainWithOptionsContext(ctx, text, params, Options{})
+}
+
+// QueryCertainWithOptions is QueryCertain with explicit options.
+func (db *DB) QueryCertainWithOptions(text string, params Params, opts Options) (*Result, error) {
+	return db.QueryCertainWithOptionsContext(context.Background(), text, params, opts)
+}
+
+// QueryCertainWithOptionsContext is QueryCertain with explicit options,
+// bounded by ctx.
+func (db *DB) QueryCertainWithOptionsContext(ctx context.Context, text string, params Params, opts Options) (*Result, error) {
+	gov := opts.governor(ctx)
+	if err := gov.Poll("query"); err != nil {
+		return nil, err
+	}
 	q, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
 	forceCertain(q)
-	return db.runParsed(q, params, Options{})
+	return db.runParsed(gov, q, params, opts)
 }
 
-// QueryWithOptions is Query with explicit evaluation options.
-func (db *DB) QueryWithOptions(text string, params Params, opts Options) (*Result, error) {
-	q, err := sql.Parse(text)
-	if err != nil {
-		return nil, err
-	}
-	return db.runParsed(q, params, opts)
-}
-
-// ErrTooLarge reports that evaluation exceeded the row budget (the
+// ErrTooLarge reports that evaluation exceeded a resource budget (the
 // analogue of running out of memory; the legacy Figure-2 translation
-// reliably triggers it).
+// reliably triggers it). It is the same sentinel as ErrBudget.
 var ErrTooLarge = eval.ErrTooLarge
+
+// Typed failure sentinels, re-exported from internal/guard for
+// errors.Is dispatch at call sites:
+//
+//	ErrBudget matches every resource-budget trip (rows, memory, cost);
+//	ErrRowBudget, ErrCostBudget and ErrMemBudget narrow it to the
+//	specific budget; ErrCanceled and ErrDeadline report context
+//	cancellation and deadline expiry and never match ErrBudget.
+var (
+	ErrBudget     = guard.ErrBudget
+	ErrRowBudget  = guard.ErrRowBudget
+	ErrCostBudget = guard.ErrCostBudget
+	ErrMemBudget  = guard.ErrMemBudget
+	ErrCanceled   = guard.ErrCanceled
+	ErrDeadline   = guard.ErrDeadline
+)
+
+// ErrUntranslatable reports that a query admits no certain-answer
+// translation (aggregation, ORDER BY, LIMIT, or a non-relation divisor
+// — see the paper's §8); standard evaluation still works on it.
+var ErrUntranslatable = certain.ErrUntranslatable
+
+// InternalError is a recovered engine panic: the public API reports
+// bugs as errors carrying the operator path and stack instead of
+// crashing the caller. Retrieve with errors.As.
+type InternalError = guard.InternalError
 
 // evalMode is how a parsed query should be evaluated.
 type evalMode uint8
@@ -292,94 +418,103 @@ func takeMode(q *sql.Query) evalMode {
 	}
 }
 
-func (db *DB) runParsed(q *sql.Query, params Params, opts Options) (*Result, error) {
+func (db *DB) runParsed(gov *guard.Governor, q *sql.Query, params Params, opts Options) (res *Result, err error) {
+	// The public API never panics: an engine bug that escapes the
+	// executor's own containment surfaces as a *guard.InternalError
+	// carrying the recovery point and stack.
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, guard.NewInternalError("certsql/query", v)
+		}
+	}()
 	mode := takeMode(q)
 	compiled, err := compile.Compile(q, db.d.Schema, params)
 	if err != nil {
 		return nil, err
 	}
-	expr := compiled.Expr
+	orig := compiled.Expr
 	if mode != modeStandard {
-		if err := certain.CheckTranslatable(expr); err != nil {
+		if err := certain.CheckTranslatable(orig); err != nil {
 			return nil, err
 		}
 	}
-	fastPath := false
 	switch mode {
 	case modeCertain:
-		// Fast path: when the static analyzer proves the query safe —
-		// plain evaluation returns exactly the certain answers on every
-		// database conforming to the schema — skip the Q⁺ translation
-		// and run the query as-is. The verdict leans on the schema's
-		// NOT NULL declarations, which Insert does not enforce, so the
-		// data is checked for conformance first (one scan of the base
-		// relations; the certain answers of a non-conforming database
-		// are still correct via the translation route).
-		//
-		// Identity is NOT a valid potential-answer translation Q⋆ (it
-		// under-approximates), so modePossible never takes this path.
-		if !opts.NoAnalyzerFastPath && analyze.Plan(expr, db.d.Schema).Safe && db.conformsNonNull(expr) {
-			fastPath = true
-		} else {
-			expr = opts.translator(db).Plus(expr)
-		}
+		return db.evalCertain(gov, orig, compiled.Columns, opts)
 	case modePossible:
-		expr = opts.translator(db).Star(expr)
+		star := opts.translator(db).Star(orig)
+		res, err := db.evalExpr(gov, star, compiled.Columns, opts)
+		if err == nil {
+			res.Possible = true
+			return res, nil
+		}
+		// Degradation ladder (opt-in): when Q⋆ trips a resource budget
+		// — never on cancellation or deadline expiry, which don't match
+		// ErrBudget — fall back to the certain route under a fresh
+		// governor with the same limits and context. Certain answers
+		// under-approximate where potential answers over-approximate,
+		// so every returned row is still a guaranteed answer.
+		if !opts.Degrade || !errors.Is(err, guard.ErrBudget) {
+			return nil, err
+		}
+		res, derr := db.evalCertain(gov.Fresh(), orig, compiled.Columns, opts)
+		if derr != nil {
+			return nil, derr
+		}
+		res.Degraded = true
+		res.Warnings = append(res.Warnings, Warning{
+			Code: WarnDegradedToCertain,
+			Message: fmt.Sprintf("potential-answer translation exceeded its resource budget (%v); "+
+				"returning certain answers instead — a sound under-approximation", err),
+		})
+		return res, nil
+	default:
+		return db.evalExpr(gov, orig, compiled.Columns, opts)
 	}
-	ev := eval.New(db.d, opts.evalOptions())
+}
+
+// evalCertain runs the certain-answer route for an already-compiled
+// query: the analyzer fast path when it applies, the Q⁺ translation
+// otherwise.
+func (db *DB) evalCertain(gov *guard.Governor, orig algebra.Expr, cols []string, opts Options) (*Result, error) {
+	expr := orig
+	fastPath := false
+	// Fast path: when the static analyzer proves the query safe —
+	// plain evaluation returns exactly the certain answers on every
+	// database conforming to the schema — skip the Q⁺ translation and
+	// run the query as-is. The verdict leans on the schema's NOT NULL
+	// declarations, which Insert enforces only on request, so the
+	// database's O(1) conformance counter (maintained incrementally by
+	// Insert and ReplaceRow) gates the verdict; a non-conforming
+	// database still gets correct certain answers via the translation
+	// route.
+	//
+	// Identity is NOT a valid potential-answer translation Q⋆ (it
+	// under-approximates), so the possible route never comes here.
+	if !opts.NoAnalyzerFastPath && analyze.Plan(orig, db.d.Schema).Safe && db.d.ConformsNonNull() {
+		fastPath = true
+	} else {
+		expr = opts.translator(db).Plus(orig)
+	}
+	res, err := db.evalExpr(gov, expr, cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Certain = true
+	if fastPath {
+		res.Stats.FastPathHits = 1
+	}
+	return res, nil
+}
+
+// evalExpr evaluates one algebra expression under the governor.
+func (db *DB) evalExpr(gov *guard.Governor, expr algebra.Expr, cols []string, opts Options) (*Result, error) {
+	ev := eval.New(db.d, opts.evalOptions(gov))
 	t, err := ev.Eval(expr)
 	if err != nil {
 		return nil, err
 	}
-	stats := ev.Stats()
-	if fastPath {
-		stats.FastPathHits = 1
-	}
-	return &Result{
-		Columns:  compiled.Columns,
-		rows:     t,
-		Certain:  mode == modeCertain,
-		Possible: mode == modePossible,
-		Stats:    stats,
-		trace:    ev.Trace(),
-	}, nil
-}
-
-// conformsNonNull reports whether every base relation reachable from e
-// honours its schema NOT NULL declarations in the actual stored data.
-// The analyzer's safe verdict is a proof over conforming databases
-// only, and Insert deliberately does not enforce nullability (it is a
-// generator-side concern in the paper's setup), so the fast path
-// re-checks before trusting the verdict.
-func (db *DB) conformsNonNull(e algebra.Expr) bool {
-	ok := true
-	seen := map[string]bool{}
-	algebra.Walk(e, func(sub algebra.Expr) {
-		b, isBase := sub.(algebra.Base)
-		if !isBase || !ok || seen[b.Name] {
-			return
-		}
-		seen[b.Name] = true
-		rel, found := db.d.Schema.Relation(b.Name)
-		if !found {
-			ok = false
-			return
-		}
-		t, err := db.d.Table(b.Name)
-		if err != nil {
-			ok = false
-			return
-		}
-		for _, row := range t.Rows() {
-			for i, attr := range rel.Attrs {
-				if !attr.Nullable && row[i].IsNull() {
-					ok = false
-					return
-				}
-			}
-		}
-	})
-	return ok
+	return &Result{Columns: cols, rows: t, Stats: ev.Stats(), trace: ev.Trace()}, nil
 }
 
 // QueryPossible evaluates the query's potential-answer translation Q⋆:
@@ -390,12 +525,32 @@ func (db *DB) conformsNonNull(e algebra.Expr) bool {
 //
 //	certain answers ⊆ answers under any interpretation ⊆ v(possible)
 func (db *DB) QueryPossible(text string, params Params) (*Result, error) {
+	return db.QueryPossibleWithOptionsContext(context.Background(), text, params, Options{})
+}
+
+// QueryPossibleContext is QueryPossible bounded by ctx.
+func (db *DB) QueryPossibleContext(ctx context.Context, text string, params Params) (*Result, error) {
+	return db.QueryPossibleWithOptionsContext(ctx, text, params, Options{})
+}
+
+// QueryPossibleWithOptions is QueryPossible with explicit options.
+func (db *DB) QueryPossibleWithOptions(text string, params Params, opts Options) (*Result, error) {
+	return db.QueryPossibleWithOptionsContext(context.Background(), text, params, opts)
+}
+
+// QueryPossibleWithOptionsContext is QueryPossible with explicit
+// options, bounded by ctx.
+func (db *DB) QueryPossibleWithOptionsContext(ctx context.Context, text string, params Params, opts Options) (*Result, error) {
+	gov := opts.governor(ctx)
+	if err := gov.Poll("query"); err != nil {
+		return nil, err
+	}
 	q, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
 	forcePossible(q)
-	return db.runParsed(q, params, Options{})
+	return db.runParsed(gov, q, params, opts)
 }
 
 // Rewrite returns the SQL text of the certain-answer translation Q⁺ of
@@ -403,6 +558,16 @@ func (db *DB) QueryPossible(text string, params Params) (*Result, error) {
 // run on a conventional DBMS to obtain certain answers (the paper's
 // appendix queries Q⁺1–Q⁺4 are reproduced this way).
 func (db *DB) Rewrite(text string, params Params) (string, error) {
+	return db.RewriteWithOptions(text, params, Options{})
+}
+
+// RewriteContext is Rewrite bounded by ctx. Translation is pure CPU
+// work with no data-dependent loops, so the context is honored with an
+// O(1) pre-check rather than interior polling.
+func (db *DB) RewriteContext(ctx context.Context, text string, params Params) (string, error) {
+	if err := guard.New(ctx, guard.Limits{}).Poll("rewrite"); err != nil {
+		return "", err
+	}
 	return db.RewriteWithOptions(text, params, Options{})
 }
 
@@ -457,6 +622,17 @@ func (db *DB) RewritePossible(text string, params Params) (string, error) {
 // coNP-hard, so this is only feasible on small instances; it returns an
 // error wrapping certain.ErrBruteForceTooLarge beyond its budget.
 func (db *DB) CertainGroundTruth(text string, params Params) (*Result, error) {
+	return db.CertainGroundTruthContext(context.Background(), text, params)
+}
+
+// CertainGroundTruthContext is CertainGroundTruth bounded by ctx: the
+// valuation enumeration polls once per valuation, so cancellation and
+// deadlines interrupt even coNP-hard instances promptly.
+func (db *DB) CertainGroundTruthContext(ctx context.Context, text string, params Params) (*Result, error) {
+	gov := guard.New(ctx, guard.Limits{})
+	if err := gov.Poll("brute-force"); err != nil {
+		return nil, err
+	}
 	q, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -466,7 +642,7 @@ func (db *DB) CertainGroundTruth(text string, params Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := certain.CertainAnswers(compiled.Expr, db.d, certain.BruteForceOptions{})
+	t, err := certain.CertainAnswers(compiled.Expr, db.d, certain.BruteForceOptions{Governor: gov})
 	if err != nil {
 		return nil, err
 	}
@@ -486,6 +662,19 @@ func (db *DB) Explain(text string, params Params, opts Options) (string, error) 
 // Stats summarizes one execution.
 type Stats = eval.Stats
 
+// Warning is a machine-readable advisory attached to a Result.
+type Warning struct {
+	// Code identifies the advisory kind; dispatch on it, not Message.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+}
+
+// WarnDegradedToCertain is the Warning.Code attached when a
+// potential-answer query exceeded its resource budget and degraded to
+// the certain-answer route (see Options.Degrade).
+const WarnDegradedToCertain = "degraded-to-certain"
+
 // Result is a query result.
 type Result struct {
 	// Columns names the output columns.
@@ -496,6 +685,12 @@ type Result struct {
 	// Possible reports whether the result came from potential-answer
 	// evaluation (an over-approximation; see QueryPossible).
 	Possible bool
+	// Degraded reports that the requested evaluation exceeded its
+	// resource budget and the result came from the degradation ladder
+	// instead (see Options.Degrade); Warnings carries the details.
+	Degraded bool
+	// Warnings holds machine-readable advisories about this result.
+	Warnings []Warning
 	// Stats holds execution counters.
 	Stats Stats
 

@@ -17,16 +17,34 @@
 //	\queries;         print the paper's Q1–Q4
 //	\full;            print their aggregate-bearing full forms
 //	\q                quit
+//
+// Resource governance: -timeout bounds each query's evaluation,
+// -max-rows and -max-mem bound its intermediate results, and -degrade
+// lets over-budget potential-answer queries fall back to their certain
+// answers (flagged in the output) instead of failing.
+//
+// Exit codes (for -query mode):
+//
+//	0  success
+//	1  operational error
+//	2  bad flags or usage
+//	3  a resource budget was exceeded (raise -max-rows / -max-mem, or
+//	   pass -degrade to accept certain answers for SELECT queries)
+//	4  the -timeout deadline expired
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"certsql"
+	"certsql/internal/guard"
 	"certsql/internal/tpch"
 )
 
@@ -39,9 +57,19 @@ func main() {
 		maxRows  = flag.Int("maxrows", 50, "maximum result rows to print")
 		dataDir  = flag.String("data", "", "load the instance from a directory of CSV files (as written by tpchgen) instead of generating")
 		par      = flag.Int("parallelism", 0, "executor worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		timeout  = flag.Duration("timeout", 0, "per-query evaluation deadline (0 = none)")
+		rowBudg  = flag.Int("max-rows", 0, "row budget for intermediate results (0 = default 4M, negative = unlimited)")
+		memBudg  = flag.Int64("max-mem", 0, "estimated-bytes memory budget for intermediate results (0 = unlimited)")
+		degrade  = flag.Bool("degrade", false, "when a potential-answer query exceeds a budget, return its certain answers (flagged) instead of failing")
 	)
 	flag.Parse()
-	opts := certsql.Options{Parallelism: *par}
+	opts := certsql.Options{
+		Parallelism: *par,
+		MaxRows:     *rowBudg,
+		MaxMemBytes: *memBudg,
+		Degrade:     *degrade,
+	}
+	sh := shell{maxRows: *maxRows, opts: opts, timeout: *timeout}
 
 	var db *certsql.DB
 	if *dataDir != "" {
@@ -59,9 +87,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ready: %d nulls; type \\q to quit, SELECT CERTAIN ... for certain answers\n", db.NullCount())
 
 	if *query != "" {
-		if err := execute(db, *query, *maxRows, opts); err != nil {
+		if err := sh.execute(db, *query); err != nil {
 			fmt.Fprintln(os.Stderr, "certsql:", err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		return
 	}
@@ -84,14 +112,44 @@ func main() {
 		}
 		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
 		buf.Reset()
-		if err := execute(db, stmt, *maxRows, opts); err != nil {
+		if err := sh.execute(db, stmt); err != nil {
 			fmt.Println("error:", err)
 		}
 		fmt.Print("certsql> ")
 	}
 }
 
-func execute(db *certsql.DB, stmt string, maxRows int, opts certsql.Options) error {
+// exitCode maps the guard error taxonomy onto the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrBudget):
+		return 3
+	case errors.Is(err, guard.ErrCanceled), errors.Is(err, guard.ErrDeadline):
+		return 4
+	default:
+		return 1
+	}
+}
+
+// shell carries the per-invocation display and governance settings.
+type shell struct {
+	maxRows int
+	opts    certsql.Options
+	timeout time.Duration
+}
+
+// queryCtx derives the evaluation context for one statement: the
+// -timeout deadline applies per query, so an interactive session
+// survives an over-long statement.
+func (sh *shell) queryCtx() (context.Context, context.CancelFunc) {
+	if sh.timeout > 0 {
+		return context.WithTimeout(context.Background(), sh.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+func (sh *shell) execute(db *certsql.DB, stmt string) error {
+	maxRows, opts := sh.maxRows, sh.opts
 	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
 	switch {
 	case stmt == `\schema`:
@@ -136,7 +194,9 @@ func execute(db *certsql.DB, stmt string, maxRows int, opts certsql.Options) err
 		return nil
 	}
 
-	res, err := db.QueryWithOptions(stmt, nil, opts)
+	ctx, cancel := sh.queryCtx()
+	defer cancel()
+	res, err := db.QueryWithOptionsContext(ctx, stmt, nil, opts)
 	if err != nil {
 		return err
 	}
@@ -147,7 +207,13 @@ func execute(db *certsql.DB, stmt string, maxRows int, opts certsql.Options) err
 	case res.Possible:
 		mode = "possible"
 	}
+	if res.Degraded {
+		mode += ", DEGRADED"
+	}
 	fmt.Printf("-- %d rows (%s evaluation)\n", res.Len(), mode)
+	for _, w := range res.Warnings {
+		fmt.Printf("-- warning [%s]: %s\n", w.Code, w.Message)
+	}
 	if len(res.Columns) > 0 {
 		fmt.Println("   " + strings.Join(res.Columns, " | "))
 	}

@@ -59,19 +59,19 @@ func pipeToFile(t *testing.T, r *os.File) string {
 func TestExecuteQueryModes(t *testing.T) {
 	db := testDB()
 	out := capture(t, func() error {
-		return execute(db, `SELECT o_orderkey FROM orders WHERE o_orderkey < 3;`, 10, certsql.Options{})
+		return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `SELECT o_orderkey FROM orders WHERE o_orderkey < 3;`)
 	})
 	if !strings.Contains(out, "sql evaluation") {
 		t.Errorf("output: %s", out)
 	}
 	out2 := capture(t, func() error {
-		return execute(db, `SELECT CERTAIN o_orderkey FROM orders WHERE o_orderkey < 3`, 10, certsql.Options{})
+		return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `SELECT CERTAIN o_orderkey FROM orders WHERE o_orderkey < 3`)
 	})
 	if !strings.Contains(out2, "certain evaluation") {
 		t.Errorf("output: %s", out2)
 	}
 	out3 := capture(t, func() error {
-		return execute(db, `SELECT POSSIBLE o_orderkey FROM orders WHERE o_orderkey < 3`, 10, certsql.Options{})
+		return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `SELECT POSSIBLE o_orderkey FROM orders WHERE o_orderkey < 3`)
 	})
 	if !strings.Contains(out3, "possible evaluation") {
 		t.Errorf("output: %s", out3)
@@ -80,21 +80,21 @@ func TestExecuteQueryModes(t *testing.T) {
 
 func TestExecuteCommands(t *testing.T) {
 	db := testDB()
-	if out := capture(t, func() error { return execute(db, `\schema`, 10, certsql.Options{}) }); !strings.Contains(out, "lineitem") {
+	if out := capture(t, func() error { return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `\schema`) }); !strings.Contains(out, "lineitem") {
 		t.Errorf("\\schema output: %s", out)
 	}
-	if out := capture(t, func() error { return execute(db, `\queries`, 10, certsql.Options{}) }); !strings.Contains(out, "NOT EXISTS") {
+	if out := capture(t, func() error { return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `\queries`) }); !strings.Contains(out, "NOT EXISTS") {
 		t.Errorf("\\queries output: %s", out)
 	}
 	rewriteCmd := `\rewrite SELECT o_orderkey FROM orders WHERE NOT EXISTS (SELECT * FROM lineitem WHERE l_orderkey = o_orderkey AND l_suppkey <> 1)`
-	if out := capture(t, func() error { return execute(db, rewriteCmd, 10, certsql.Options{}) }); !strings.Contains(out, "IS NULL") {
+	if out := capture(t, func() error { return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, rewriteCmd) }); !strings.Contains(out, "IS NULL") {
 		t.Errorf("\\rewrite output: %s", out)
 	}
 	explainCmd := `\explain SELECT o_orderkey FROM orders WHERE o_orderkey = 1`
-	if out := capture(t, func() error { return execute(db, explainCmd, 10, certsql.Options{}) }); !strings.Contains(out, "cost=") {
+	if out := capture(t, func() error { return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, explainCmd) }); !strings.Contains(out, "cost=") {
 		t.Errorf("\\explain output: %s", out)
 	}
-	if out := capture(t, func() error { return execute(db, ``, 10, certsql.Options{}) }); out != "" {
+	if out := capture(t, func() error { return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, ``) }); out != "" {
 		t.Errorf("empty statement printed %q", out)
 	}
 }
@@ -102,7 +102,7 @@ func TestExecuteCommands(t *testing.T) {
 func TestExecuteTruncation(t *testing.T) {
 	db := testDB()
 	out := capture(t, func() error {
-		return execute(db, `SELECT o_orderkey FROM orders`, 3, certsql.Options{})
+		return (&shell{maxRows: 3, opts: certsql.Options{}}).execute(db, `SELECT o_orderkey FROM orders`)
 	})
 	if !strings.Contains(out, "more)") {
 		t.Errorf("no truncation marker: %s", out)
@@ -111,20 +111,20 @@ func TestExecuteTruncation(t *testing.T) {
 
 func TestExecuteError(t *testing.T) {
 	db := testDB()
-	if err := execute(db, `SELECT nope FROM orders`, 10, certsql.Options{}); err == nil {
+	if err := (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `SELECT nope FROM orders`); err == nil {
 		t.Error("bad query accepted")
 	}
 }
 
 func TestExecuteFullQueries(t *testing.T) {
 	db := testDB()
-	out := capture(t, func() error { return execute(db, `\full`, 10, certsql.Options{}) })
+	out := capture(t, func() error { return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `\full`) })
 	if !strings.Contains(out, "GROUP BY") || !strings.Contains(out, "COUNT(*)") {
 		t.Errorf("\\full output: %s", out)
 	}
 	// And a full-form query actually runs in standard mode.
 	out2 := capture(t, func() error {
-		return execute(db, `SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus ORDER BY 2 DESC`, 10, certsql.Options{})
+		return (&shell{maxRows: 10, opts: certsql.Options{}}).execute(db, `SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus ORDER BY 2 DESC`)
 	})
 	if !strings.Contains(out2, "sql evaluation") {
 		t.Errorf("aggregate query output: %s", out2)

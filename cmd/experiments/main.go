@@ -9,9 +9,26 @@
 //	experiments -run fig1 -instances 20 -draws 5
 //	experiments -run fig4 -scale 0.004
 //	experiments -run table1|recall|fig2|orsplit
+//	experiments -run all -timeout 10m -max-rows 1000000 -degrade
+//
+// Resource governance: -timeout bounds the whole invocation, -max-rows
+// and -max-mem bound every individual evaluation, and -degrade makes
+// per-query budget trips non-fatal — the sample is dropped and the trip
+// reported in the output table — instead of aborting the experiment.
+//
+// Exit codes:
+//
+//	0  success
+//	1  operational error
+//	2  bad flags or usage
+//	3  a resource budget was exceeded (run again with -degrade to
+//	   tolerate per-query trips, or raise -max-rows / -max-mem)
+//	4  the -timeout deadline expired (or the run was canceled)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +36,7 @@ import (
 	"path/filepath"
 
 	"certsql/internal/experiment"
+	"certsql/internal/guard"
 	"certsql/internal/tpch"
 )
 
@@ -32,16 +50,43 @@ func main() {
 		quick     = flag.Bool("quick", false, "use reduced settings for a fast smoke run")
 		csvDir    = flag.String("csv", "", "also write plot-ready CSV files into this directory")
 		par       = flag.Int("parallelism", 0, "executor worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		timeout   = flag.Duration("timeout", 0, "abort the whole invocation after this long (0 = no deadline)")
+		maxRows   = flag.Int("max-rows", 0, "row budget per evaluation (0 = governed default, negative = unlimited)")
+		maxMem    = flag.Int64("max-mem", 0, "estimated-bytes memory budget per evaluation (0 = unlimited)")
+		degrade   = flag.Bool("degrade", false, "tolerate per-query budget trips: drop the sample and report the trip in the output table instead of aborting")
 	)
 	flag.Parse()
 
-	if err := dispatch(*run, *scale, *instances, *draws, *seed, *quick, *csvDir, *par); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	limits := guard.Limits{MaxRows: *maxRows, MaxMemBytes: *maxMem}
+	if limits == (guard.Limits{}) {
+		limits = experiment.DefaultLimits
+	}
+
+	if err := dispatch(ctx, *run, *scale, *instances, *draws, *seed, *quick, *csvDir, *par, limits, *degrade); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func dispatch(run string, scale float64, instances, draws int, seed int64, quick bool, csvDir string, par int) error {
+// exitCode maps the guard error taxonomy onto the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrBudget):
+		return 3
+	case errors.Is(err, guard.ErrCanceled), errors.Is(err, guard.ErrDeadline):
+		return 4
+	default:
+		return 1
+	}
+}
+
+func dispatch(ctx context.Context, run string, scale float64, instances, draws int, seed int64, quick bool, csvDir string, par int, limits guard.Limits, degrade bool) error {
 	all := run == "all"
 	ran := false
 
@@ -70,7 +115,8 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "fig1" {
 		ran = true
-		cfg := experiment.Figure1Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par}
+		cfg := experiment.Figure1Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par,
+			Limits: limits, TolerateBudget: degrade}
 		if quick {
 			cfg.NullRates = []float64{0.01, 0.03, 0.05, 0.08, 0.10}
 			if cfg.Instances == 0 {
@@ -80,7 +126,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 				cfg.ParamDraws = 3
 			}
 		}
-		rows, err := experiment.Figure1(cfg)
+		rows, err := experiment.Figure1(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -92,11 +138,11 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "fig2" {
 		ran = true
-		cfg := experiment.LegacyConfig{Seed: seed}
+		cfg := experiment.LegacyConfig{Seed: seed, MaxRows: limits.MaxRows}
 		if quick {
 			cfg.Sizes = []int{8, 32, 128, 512}
 		}
-		points, err := experiment.LegacyBlowup(cfg)
+		points, err := experiment.LegacyBlowup(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -104,17 +150,18 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 		if err := writeCSV("section5_legacy.csv", func(w io.Writer) error { return experiment.WriteLegacyCSV(w, points) }); err != nil {
 			return err
 		}
-		adom, lerr := experiment.LegacyOnQ3(0.001, seed)
+		adom, lerr := experiment.LegacyOnQ3(ctx, 0.001, seed)
 		fmt.Printf("Legacy translation of the real Q3 (|adom| = %d): %v\n\n", adom, lerr)
 	}
 
 	if all || run == "fig4" {
 		ran = true
-		cfg := experiment.Figure4Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par}
+		cfg := experiment.Figure4Config{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par,
+			Limits: limits, TolerateBudget: degrade}
 		if quick {
 			cfg.Instances, cfg.ParamDraws, cfg.Repeats = 1, 2, 2
 		}
-		rows, err := experiment.Figure4(cfg)
+		rows, err := experiment.Figure4(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -126,12 +173,13 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "table1" {
 		ran = true
-		cfg := experiment.Table1Config{BaseScale: scale, Seed: seed, Parallelism: par}
+		cfg := experiment.Table1Config{BaseScale: scale, Seed: seed, Parallelism: par,
+			Limits: limits, TolerateBudget: degrade}
 		if quick {
 			cfg.ScaleMultipliers = []float64{1, 3}
 			cfg.NullRates = []float64{0.02, 0.04}
 		}
-		rows, err := experiment.Table1(cfg)
+		rows, err := experiment.Table1(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -143,8 +191,9 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "recall" {
 		ran = true
-		cfg := experiment.RecallConfig{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par}
-		results, err := experiment.Recall(cfg)
+		cfg := experiment.RecallConfig{Scale: scale, Instances: instances, ParamDraws: draws, Seed: seed, Parallelism: par,
+			Limits: limits, TolerateBudget: degrade}
+		results, err := experiment.Recall(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -156,7 +205,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 
 	if all || run == "ablation" {
 		ran = true
-		rows, err := experiment.Ablation(experiment.AblationConfig{Seed: seed, Scale: scale})
+		rows, err := experiment.Ablation(ctx, experiment.AblationConfig{Seed: seed, Scale: scale, Parallelism: par, Limits: limits})
 		if err != nil {
 			return err
 		}
@@ -169,7 +218,7 @@ func dispatch(run string, scale float64, instances, draws int, seed int64, quick
 	if all || run == "orsplit" {
 		ran = true
 		for _, qid := range []tpch.QueryID{tpch.Q2, tpch.Q4} {
-			r, err := experiment.OrSplit(qid, 0.004, 0.03, seed)
+			r, err := experiment.OrSplit(ctx, qid, 0.004, 0.03, seed)
 			if err != nil {
 				return err
 			}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
+
+	"certsql/internal/guard"
 )
 
 // capture redirects stdout while f runs.
@@ -41,13 +44,15 @@ func capture(t *testing.T, f func() error) string {
 }
 
 func TestDispatchUnknown(t *testing.T) {
-	if err := dispatch("nope", 0, 0, 0, 1, false, "", 0); err == nil {
+	if err := dispatch(context.Background(), "nope", 0, 0, 0, 1, false, "", 0, guard.Limits{}, false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestDispatchOrSplit(t *testing.T) {
-	out := capture(t, func() error { return dispatch("orsplit", 0, 0, 0, 1, true, "", 0) })
+	out := capture(t, func() error {
+		return dispatch(context.Background(), "orsplit", 0, 0, 0, 1, true, "", 0, guard.Limits{}, false)
+	})
 	if !strings.Contains(out, "OR-splitting on Q2") || !strings.Contains(out, "OR-splitting on Q4") {
 		t.Errorf("orsplit output:\n%s", out)
 	}
@@ -57,7 +62,9 @@ func TestDispatchFig1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out := capture(t, func() error { return dispatch("fig1", 0.001, 1, 2, 1, true, t.TempDir(), 0) })
+	out := capture(t, func() error {
+		return dispatch(context.Background(), "fig1", 0.001, 1, 2, 1, true, t.TempDir(), 0, guard.Limits{}, false)
+	})
 	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "Q4") {
 		t.Errorf("fig1 output:\n%s", out)
 	}
@@ -67,7 +74,9 @@ func TestDispatchFig4Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out := capture(t, func() error { return dispatch("fig4", 0.001, 1, 1, 1, true, "", 2) })
+	out := capture(t, func() error {
+		return dispatch(context.Background(), "fig4", 0.001, 1, 1, 1, true, "", 2, guard.Limits{}, false)
+	})
 	if !strings.Contains(out, "Figure 4") {
 		t.Errorf("fig4 output:\n%s", out)
 	}

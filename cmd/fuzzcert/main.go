@@ -7,10 +7,18 @@
 // Usage:
 //
 //	fuzzcert [-seed 1] [-cases 1000] [-parallelism 0] [-shrink]
+//	fuzzcert -chaos [-seed 1] [-cases 500]
 //
 // A failing case is reported with its seed (sufficient to reproduce),
 // and with -shrink it is first minimized and emitted as a ready-to-paste
 // Go regression test. The exit status is non-zero when any case fails.
+//
+// With -chaos each case is instead replayed under seeded injected
+// faults (errors and panics at engine hook points), one random-point
+// cancellation, and a budget-degradation probe, checking the pipeline's
+// failure semantics: errors — never panics — surface through the public
+// API, partial results are never passed off as complete, degraded
+// results are still sound, and the database answers correctly on retry.
 package main
 
 import (
@@ -35,8 +43,13 @@ func run(args []string, out, errOut io.Writer) int {
 		parallelism = fs.Int("parallelism", 0, "worker count (0 = GOMAXPROCS)")
 		shrink      = fs.Bool("shrink", true, "minimize failing cases and emit Go repro tests")
 		verbose     = fs.Bool("v", false, "print progress every 1000 cases")
+		chaos       = fs.Bool("chaos", false, "replay cases under injected faults and cancellation, checking failure semantics")
 	)
 	fs.Parse(args)
+
+	if *chaos {
+		return runChaos(*seed, *cases, *parallelism, out, errOut, *verbose)
+	}
 
 	start := time.Now()
 	done, failed := 0, 0
@@ -76,6 +89,33 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(out, small.Summary())
 			fmt.Fprintln(out, difftest.GoRepro(fmt.Sprintf("Seed%d", rep.Seed), db, text))
 		}
+	}
+	return 1
+}
+
+// runChaos drives difftest chaos mode: failure semantics, not answers.
+func runChaos(seed uint64, cases, parallelism int, out, errOut io.Writer, verbose bool) int {
+	start := time.Now()
+	done := 0
+	sum := difftest.ChaosRun(seed, cases, parallelism, difftest.Options{}, func(r *difftest.ChaosReport) {
+		done++
+		if verbose && done%1000 == 0 {
+			fmt.Fprintf(errOut, "... %d/%d cases\n", done, cases)
+		}
+	})
+	fmt.Fprintf(out, "fuzzcert -chaos: %d cases in %v (seeds %d..%d)\n",
+		sum.Cases, time.Since(start).Round(time.Millisecond), seed, seed+uint64(cases)-1)
+	fmt.Fprintf(out, "  skipped:       %d (baseline over budget)\n", sum.Skipped)
+	fmt.Fprintf(out, "  fault runs:    %d (%d fired)\n", sum.FaultRuns, sum.FaultsFired)
+	fmt.Fprintf(out, "  cancels fired: %d\n", sum.CancelsFired)
+	fmt.Fprintf(out, "  degraded:      %d\n", sum.Degraded)
+	if sum.Failed == 0 {
+		fmt.Fprintln(out, "  violations:    0")
+		return 0
+	}
+	fmt.Fprintf(out, "  VIOLATIONS:    %d case(s)\n\n", sum.Failed)
+	for _, rep := range sum.Failures {
+		fmt.Fprintln(out, rep.Summary())
 	}
 	return 1
 }

@@ -11,6 +11,7 @@ import (
 
 	"certsql/internal/algebra"
 	"certsql/internal/eval"
+	"certsql/internal/guard"
 	"certsql/internal/schema"
 	"certsql/internal/table"
 	"certsql/internal/value"
@@ -35,6 +36,12 @@ type BruteForceOptions struct {
 	// membership check is independent and survival is a conjunction
 	// over all valuations, so the result is identical at any setting.
 	Parallelism int
+	// Governor, when set, supplies cancellation for the enumeration:
+	// it is polled once per valuation (each valuation is a complete
+	// small-instance evaluation, so this is the natural grain), and
+	// its fault hook fires guard.SiteValuation at the same points.
+	// Nil means no cancellation.
+	Governor *guard.Governor
 }
 
 func (o BruteForceOptions) workers() int {
@@ -114,6 +121,16 @@ func CertainAnswers(e algebra.Expr, db *table.Database, opts BruteForceOptions) 
 		return valuation
 	}
 	run := func(valuation map[int64]value.Value, par int) (*table.Table, error) {
+		// One poll (and fault hit) per valuation: each valuation is a
+		// complete small-instance evaluation, so this is the natural
+		// cancellation grain. Both calls are nil-safe and
+		// concurrency-safe, so parallel workers share the governor.
+		if err := opts.Governor.Fault(guard.SiteValuation); err != nil {
+			return nil, err
+		}
+		if err := opts.Governor.Poll("brute-force/valuation"); err != nil {
+			return nil, err
+		}
 		complete := db.Apply(valuation)
 		ev := eval.New(complete, eval.Options{Semantics: value.SQL3VL, Parallelism: par})
 		return ev.Eval(e)
@@ -503,6 +520,12 @@ func RepresentsPotentialAnswers(e algebra.Expr, db *table.Database, a *table.Tab
 
 	choice := make([]int, len(nullIDs))
 	for {
+		if err := opts.Governor.Fault(guard.SiteValuation); err != nil {
+			return false, nil, nil, err
+		}
+		if err := opts.Governor.Poll("brute-force/valuation"); err != nil {
+			return false, nil, nil, err
+		}
 		valuation := make(map[int64]value.Value, len(nullIDs))
 		for i, id := range nullIDs {
 			valuation[id] = pools[i][choice[i]]

@@ -1,0 +1,123 @@
+package certain_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/guard"
+	"certsql/internal/guard/faultinject"
+	"certsql/internal/sql"
+	"certsql/internal/table"
+)
+
+// bruteCompile parses and compiles one query against db's schema.
+func bruteCompile(t *testing.T, db *table.Database, query string) *compile.Compiled {
+	t.Helper()
+	q, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := compile.Compile(q, db.Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiled
+}
+
+// TestBruteForceCancelMidEnumeration cancels the valuation enumeration
+// at seeded points and asserts the typed cancellation error surfaces,
+// the worker pool drains back to the goroutine baseline, and a clean
+// retry over the same database reproduces the full certain answers.
+func TestBruteForceCancelMidEnumeration(t *testing.T) {
+	db := bruteDB(t)
+	query := `SELECT r.a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE r.a = s.a)`
+	compiled := bruteCompile(t, db, query)
+
+	want, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	// Several seeded cancellation points: early, mid-stream, and deep
+	// into the enumeration (a full run of this query evaluates ten
+	// valuations, so all three points are reachable).
+	for _, hit := range []int{1, 4, 9} {
+		ctx, cancel := context.WithCancel(context.Background())
+		inj := faultinject.New(faultinject.Fault{Site: guard.SiteValuation, Kind: faultinject.KindCancel, HitNumber: hit})
+		inj.SetCancel(cancel)
+		gov := guard.New(ctx, guard.Limits{})
+		gov.SetFaultHook(inj)
+
+		_, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Parallelism: 4, Governor: gov})
+		cancel()
+		if !errors.Is(err, guard.ErrCanceled) {
+			t.Fatalf("hit %d: got %v, want guard.ErrCanceled", hit, err)
+		}
+		if inj.Fired() == 0 {
+			t.Fatalf("hit %d: cancel fault never fired", hit)
+		}
+		settleBruteGoroutines(t, baseGoroutines)
+
+		// The same database answers correctly on retry.
+		got, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Parallelism: 4, Governor: guard.Background(guard.Limits{})})
+		if err != nil {
+			t.Fatalf("hit %d retry: %v", hit, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("hit %d: retry after cancellation differs from reference", hit)
+		}
+	}
+}
+
+// TestBruteForcePreCanceledContext asserts an already-canceled context
+// stops the enumeration before any valuation is evaluated.
+func TestBruteForcePreCanceledContext(t *testing.T) {
+	db := bruteDB(t)
+	compiled := bruteCompile(t, db, `SELECT r.a FROM r`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Governor: guard.New(ctx, guard.Limits{})})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("got %v, want guard.ErrCanceled", err)
+	}
+}
+
+// TestBruteForceInjectedValuationError asserts an error-kind fault at
+// the valuation site aborts the enumeration with the injected sentinel
+// instead of being swallowed by a worker.
+func TestBruteForceInjectedValuationError(t *testing.T) {
+	db := bruteDB(t)
+	compiled := bruteCompile(t, db, `SELECT r.a FROM r WHERE EXISTS (SELECT * FROM s WHERE r.a = s.a)`)
+	baseGoroutines := runtime.NumGoroutine()
+
+	inj := faultinject.New(faultinject.Fault{Site: guard.SiteValuation, Kind: faultinject.KindError, HitNumber: 5})
+	gov := guard.Background(guard.Limits{})
+	gov.SetFaultHook(inj)
+	_, err := certain.CertainAnswers(compiled.Expr, db, certain.BruteForceOptions{Parallelism: 3, Governor: gov})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	settleBruteGoroutines(t, baseGoroutines)
+}
+
+// settleBruteGoroutines waits for the goroutine count to return to at
+// most base, tolerating runtime bookkeeping lag.
+func settleBruteGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,12 +1,22 @@
 package certain
 
 import (
+	"errors"
 	"fmt"
 
 	"certsql/internal/algebra"
 	"certsql/internal/analyze"
 	"certsql/internal/schema"
 )
+
+// ErrUntranslatable is the sentinel wrapped by every CheckTranslatable
+// refusal, so callers can distinguish "this query has no certain-answer
+// translation" from operational failures with errors.Is.
+var ErrUntranslatable = errors.New("certain: no certain-answer translation")
+
+func untranslatable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUntranslatable, fmt.Sprintf(format, args...))
+}
 
 // CheckTranslatable reports whether the certain-answer translation is
 // defined for the query. Grouping/aggregation, ORDER BY and LIMIT are
@@ -28,15 +38,15 @@ func CheckTranslatable(e algebra.Expr) error {
 		// is translatable.
 		switch sub.(type) {
 		case algebra.GroupBy:
-			err = fmt.Errorf("certain: aggregation has no certain-answer semantics yet (see paper §8); use standard evaluation")
+			err = untranslatable("aggregation has no certain-answer semantics yet (see paper §8); use standard evaluation")
 		case algebra.Sort:
-			err = fmt.Errorf("certain: ORDER BY is not meaningful for certain answers (they are a set); order the result client-side")
+			err = untranslatable("ORDER BY is not meaningful for certain answers (they are a set); order the result client-side")
 		case algebra.Limit:
-			err = fmt.Errorf("certain: LIMIT under certain-answer evaluation would be ambiguous; apply it client-side")
+			err = untranslatable("LIMIT under certain-answer evaluation would be ambiguous; apply it client-side")
 		case algebra.Division:
 			if d := sub.(algebra.Division); err == nil {
 				if _, ok := d.R.(algebra.Base); !ok {
-					err = fmt.Errorf("certain: division is only translatable when the divisor is a database relation (Fact 1)")
+					err = untranslatable("division is only translatable when the divisor is a database relation (Fact 1)")
 				}
 			}
 		}

@@ -450,24 +450,11 @@ func firstExtra(a, b *table.Table) (table.Row, bool) {
 }
 
 // dbConformsNonNull reports whether the data honours every NOT NULL
-// declaration in the schema (table.Insert does not enforce them — the
-// generator may smuggle nulls into attributes declared non-nullable, and
-// the analyzer's verdict is only binding on conforming databases).
+// declaration in the schema. The database maintains the violation
+// count incrementally (the analyzer's verdict is only binding on
+// conforming databases), so this is O(1) — no per-case scan.
 func dbConformsNonNull(db *table.Database) bool {
-	for _, name := range db.Schema.Names() {
-		rel, ok := db.Schema.Relation(name)
-		if !ok {
-			continue
-		}
-		for _, row := range db.MustTable(name).Rows() {
-			for i, v := range row {
-				if i < len(rel.Attrs) && !rel.Attrs[i].Nullable && v.IsNull() {
-					return false
-				}
-			}
-		}
-	}
-	return true
+	return db.ConformsNonNull()
 }
 
 // hasRepeatedMarks reports whether any null mark occurs twice in the

@@ -35,6 +35,9 @@ func (ev *Evaluator) evalGroupBy(e algebra.GroupBy) (*table.Table, error) {
 	var order []string
 	for _, row := range child.Rows() {
 		ev.stats.CostUnits++
+		if err := ev.tick("group-by"); err != nil {
+			return nil, err
+		}
 		k := value.TupleKey(row, e.Keys)
 		g, ok := groups[k]
 		if !ok {
@@ -162,7 +165,9 @@ func (ev *Evaluator) evalSort(e algebra.Sort) (*table.Table, error) {
 		}
 		return false
 	})
-	ev.stats.CostUnits += int64(len(rows))
+	if err := ev.charge("sort", int64(len(rows))); err != nil {
+		return nil, err
+	}
 	ev.note("sort %d rows", len(rows))
 	return table.FromRows(child.Arity(), rows), nil
 }

@@ -25,20 +25,31 @@ package eval
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"certsql/internal/algebra"
+	"certsql/internal/guard"
 	"certsql/internal/table"
 	"certsql/internal/value"
 )
 
-// ErrTooLarge reports that an intermediate result would exceed the
-// evaluator's row budget. The legacy translation of [Libkin, TODS 2016]
-// hits this on all but trivial instances (Section 5 of the paper: "some
-// of the queries start running out of memory already on instances with
-// fewer than 10³ tuples"); this error is our analogue of running out of
-// memory.
-var ErrTooLarge = errors.New("eval: intermediate result exceeds row budget")
+// ErrTooLarge matches any evaluation stopped by a resource budget —
+// rows, cost units, or estimated memory. The legacy translation of
+// [Libkin, TODS 2016] hits this on all but trivial instances (Section 5
+// of the paper: "some of the queries start running out of memory
+// already on instances with fewer than 10³ tuples"); this error is our
+// analogue of running out of memory.
+//
+// It is an alias for guard.ErrBudget: every budget trip is a
+// *guard.LimitError whose specific sentinel (guard.ErrRowBudget,
+// ErrCostBudget, ErrMemBudget) also matches this grouping sentinel via
+// errors.Is, so existing callers keep working unchanged.
+var ErrTooLarge = guard.ErrBudget
+
+// ErrPoisoned reports reuse of an evaluator after it recovered an
+// internal error (a panic). A panic may leave caches or counters in an
+// arbitrary state, so the evaluator refuses to run again rather than
+// silently serving corrupt state.
+var ErrPoisoned = errors.New("eval: evaluator poisoned by a previous internal error")
 
 // Options configure an evaluation.
 type Options struct {
@@ -46,15 +57,26 @@ type Options struct {
 	// value.Naive (marked-null naive evaluation).
 	Semantics value.Semantics
 
+	// Governor supplies cancellation, deadlines, row/cost/memory
+	// budgets, and (in tests) fault-injection hooks for the
+	// evaluation. When nil, New builds a background Governor from the
+	// deprecated MaxRows and MaxCostUnits fields below.
+	Governor *guard.Governor
+
 	// MaxRows bounds the size of any materialized intermediate result.
-	// Zero means the default of 4,000,000 rows.
+	// Zero means the default of guard.DefaultMaxRows.
+	//
+	// Deprecated: set guard.Limits.MaxRows on a Governor instead. The
+	// field is consulted only when Governor is nil.
 	MaxRows int
 
-	// MaxCostUnits bounds the number of elementary row operations a
-	// single unguarded nested-loop operator (unification semijoin,
-	// division) may perform, so translations that compile to quadratic
-	// loops degrade with ErrTooLarge instead of hanging. Zero means the
-	// default of 2^30 units.
+	// MaxCostUnits bounds the cumulative number of elementary row
+	// operations, so translations that compile to quadratic loops
+	// degrade with ErrTooLarge instead of hanging. Zero means the
+	// default of guard.DefaultMaxCostUnits.
+	//
+	// Deprecated: set guard.Limits.MaxCostUnits on a Governor instead.
+	// The field is consulted only when Governor is nil.
 	MaxCostUnits int64
 
 	// Parallelism is the number of worker goroutines data-parallel
@@ -77,25 +99,6 @@ type Options struct {
 
 	// Trace enables plan tracing for Explain.
 	Trace bool
-}
-
-const (
-	defaultMaxRows      = 4_000_000
-	defaultMaxCostUnits = int64(1) << 30
-)
-
-func (o Options) maxRows() int {
-	if o.MaxRows > 0 {
-		return o.MaxRows
-	}
-	return defaultMaxRows
-}
-
-func (o Options) maxCostUnits() int64 {
-	if o.MaxCostUnits > 0 {
-		return o.MaxCostUnits
-	}
-	return defaultMaxCostUnits
 }
 
 // Stats accumulates execution counters across one evaluation.
@@ -124,12 +127,21 @@ type Stats struct {
 type Evaluator struct {
 	db   *table.Database
 	opts Options
+	gov  *guard.Governor
 
 	stats  Stats
 	cache  map[string]*table.Table
 	scalar map[string]value.Value
 	trace  []traceEntry
 	depth  int
+
+	// poisoned is set when a panic was recovered out of this
+	// evaluator; see ErrPoisoned.
+	poisoned bool
+
+	// ticks counts coordinator-loop iterations for amortized
+	// cancellation polling; see tick.
+	ticks int
 
 	// aggNulls counts the evaluator-local marks minted for empty
 	// aggregate results; see freshAggNull.
@@ -152,9 +164,14 @@ func (ev *Evaluator) freshAggNull() value.Value {
 
 // New returns an evaluator over db with the given options.
 func New(db *table.Database, opts Options) *Evaluator {
+	gov := opts.Governor
+	if gov == nil {
+		gov = guard.Background(guard.Limits{MaxRows: opts.MaxRows, MaxCostUnits: opts.MaxCostUnits})
+	}
 	return &Evaluator{
 		db:     db,
 		opts:   opts,
+		gov:    gov,
 		cache:  map[string]*table.Table{},
 		scalar: map[string]value.Value{},
 	}
@@ -166,8 +183,48 @@ func (ev *Evaluator) Stats() Stats { return ev.stats }
 // ResetStats clears the counters (the caches are kept).
 func (ev *Evaluator) ResetStats() { ev.stats = Stats{}; ev.trace = nil }
 
-// Eval evaluates e and returns its result.
-func (ev *Evaluator) Eval(e algebra.Expr) (*table.Table, error) {
+// Governor returns the governor enforcing this evaluation's limits.
+func (ev *Evaluator) Governor() *guard.Governor { return ev.gov }
+
+// charge adds n elementary row operations to both the Stats counter
+// and the governor's cumulative cost budget.
+func (ev *Evaluator) charge(op string, n int64) error {
+	ev.stats.CostUnits += n
+	return ev.gov.ChargeCost(op, n)
+}
+
+// pollEvery is the amortization interval for cancellation polling in
+// hot loops: one O(1) Poll per this many iterations.
+const pollEvery = 64
+
+// tick polls for cancellation amortized over coordinator-loop
+// iterations; call it once per row in loops that may run long.
+func (ev *Evaluator) tick(op string) error {
+	ev.ticks++
+	if ev.ticks%pollEvery != 0 {
+		return nil
+	}
+	return ev.gov.Poll(op)
+}
+
+// Eval evaluates e and returns its result. Panics escaping the
+// evaluation — engine bugs, or injected faults in tests — are
+// recovered into a *guard.InternalError carrying the stack, and the
+// evaluator is poisoned: subsequent Eval calls fail with ErrPoisoned
+// instead of serving possibly corrupt cached state.
+func (ev *Evaluator) Eval(e algebra.Expr) (t *table.Table, err error) {
+	if ev.poisoned {
+		return nil, ErrPoisoned
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			t, err = nil, guard.NewInternalError("eval", v)
+		}
+		var ie *guard.InternalError
+		if errors.As(err, &ie) {
+			ev.poisoned = true
+		}
+	}()
 	return ev.eval(e)
 }
 
@@ -185,22 +242,78 @@ func (ev *Evaluator) eval(e algebra.Expr) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Memory accounting happens at operator boundaries, when a result
+	// materializes; cache hits above are free (already charged).
+	if err := ev.gov.ChargeMem(opName(e), t.EstimatedBytes()); err != nil {
+		return nil, err
+	}
 	if key != "" {
+		if err := ev.gov.Fault(guard.SiteViewMaterialize); err != nil {
+			return nil, err
+		}
 		ev.cache[key] = t
 	}
 	return t, nil
 }
 
+// opName names an algebra node for error reports and operator paths.
+func opName(e algebra.Expr) string {
+	switch e.(type) {
+	case algebra.Base:
+		return "scan"
+	case algebra.AdomPower:
+		return "adom-power"
+	case algebra.Select:
+		return "select"
+	case algebra.Project:
+		return "project"
+	case algebra.Product:
+		return "product"
+	case algebra.Union:
+		return "union"
+	case algebra.Intersect:
+		return "intersect"
+	case algebra.Diff:
+		return "diff"
+	case algebra.SemiJoin:
+		return "semijoin"
+	case algebra.UnifySemi:
+		return "unify-semijoin"
+	case algebra.Distinct:
+		return "distinct"
+	case algebra.Division:
+		return "division"
+	case algebra.GroupBy:
+		return "group-by"
+	case algebra.Sort:
+		return "sort"
+	case algebra.Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
 func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 	ev.depth++
 	defer func() { ev.depth-- }()
+	// Cancellation and deadlines are observed at every operator
+	// boundary (and, amortized, inside the hot loops below).
+	if err := ev.gov.Poll(opName(e)); err != nil {
+		return nil, err
+	}
 	switch e := e.(type) {
 	case algebra.Base:
 		t, err := ev.db.Table(e.Name)
 		if err != nil {
 			return nil, err
 		}
-		ev.stats.CostUnits += int64(t.Len())
+		if err := ev.gov.Fault(guard.SiteScan); err != nil {
+			return nil, err
+		}
+		if err := ev.charge("scan", int64(t.Len())); err != nil {
+			return nil, err
+		}
 		ev.note("scan %s -> %d rows", e.Name, t.Len())
 		return t, nil
 
@@ -224,7 +337,9 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 			}
 			out.Append(nr)
 		}
-		ev.stats.CostUnits += int64(child.Len())
+		if err := ev.charge("project", int64(child.Len())); err != nil {
+			return nil, err
+		}
 		ev.note("project -> %d rows", out.Len())
 		return out, nil
 
@@ -257,7 +372,9 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 			out.Append(row)
 		}
 		res := out.Distinct()
-		ev.stats.CostUnits += int64(l.Len() + r.Len())
+		if err := ev.charge("union", int64(l.Len()+r.Len())); err != nil {
+			return nil, err
+		}
 		ev.note("union -> %d rows", res.Len())
 		return res, nil
 
@@ -284,7 +401,9 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 			seen[k] = struct{}{}
 			out.Append(row)
 		}
-		ev.stats.CostUnits += int64(l.Len() + r.Len())
+		if err := ev.charge("intersect", int64(l.Len()+r.Len())); err != nil {
+			return nil, err
+		}
 		ev.note("intersect -> %d rows", out.Len())
 		return out, nil
 
@@ -311,7 +430,9 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 			seen[k] = struct{}{}
 			out.Append(row)
 		}
-		ev.stats.CostUnits += int64(l.Len() + r.Len())
+		if err := ev.charge("diff", int64(l.Len()+r.Len())); err != nil {
+			return nil, err
+		}
 		ev.note("diff -> %d rows", out.Len())
 		return out, nil
 
@@ -327,7 +448,9 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 			return nil, err
 		}
 		out := child.Distinct()
-		ev.stats.CostUnits += int64(child.Len())
+		if err := ev.charge("distinct", int64(child.Len())); err != nil {
+			return nil, err
+		}
 		ev.note("distinct -> %d rows", out.Len())
 		return out, nil
 
@@ -351,12 +474,19 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 // product materializes l × r, guarding the row budget.
 func (ev *Evaluator) product(l, r *table.Table) (*table.Table, error) {
 	n := l.Len() * r.Len()
-	if l.Len() != 0 && n/l.Len() != r.Len() || n > ev.opts.maxRows() {
-		return nil, fmt.Errorf("%w: product of %d × %d rows", ErrTooLarge, l.Len(), r.Len())
+	if l.Len() != 0 && n/l.Len() != r.Len() {
+		return nil, &guard.LimitError{Sentinel: guard.ErrRowBudget, Op: "product",
+			Detail: fmt.Sprintf("product of %d × %d rows overflows", l.Len(), r.Len())}
+	}
+	if err := ev.gov.CheckRows("product", n); err != nil {
+		return nil, err
 	}
 	out := table.New(l.Arity() + r.Arity())
 	out.Grow(n)
 	for _, lr := range l.Rows() {
+		if err := ev.tick("product"); err != nil {
+			return nil, err
+		}
 		for _, rr := range r.Rows() {
 			nr := make(table.Row, 0, len(lr)+len(rr))
 			nr = append(nr, lr...)
@@ -364,7 +494,9 @@ func (ev *Evaluator) product(l, r *table.Table) (*table.Table, error) {
 			out.Append(nr)
 		}
 	}
-	ev.stats.CostUnits += int64(n)
+	if err := ev.charge("product", int64(n)); err != nil {
+		return nil, err
+	}
 	ev.note("product -> %d rows", out.Len())
 	return out, nil
 }
@@ -375,17 +507,25 @@ func (ev *Evaluator) evalAdomPower(e algebra.AdomPower) (*table.Table, error) {
 	dom := ev.db.ActiveDomain()
 	size := 1
 	for i := 0; i < e.K; i++ {
-		if len(dom) != 0 && size > ev.opts.maxRows()/len(dom) {
-			return nil, fmt.Errorf("%w: adom^%d with |adom| = %d", ErrTooLarge, e.K, len(dom))
+		if len(dom) != 0 && size > ev.gov.MaxRows()/len(dom) {
+			return nil, &guard.LimitError{Sentinel: guard.ErrRowBudget, Op: "adom-power",
+				Detail: fmt.Sprintf("adom^%d with |adom| = %d over budget of %d rows", e.K, len(dom), ev.gov.MaxRows())}
 		}
 		size *= len(dom)
 	}
 	out := table.New(e.K)
 	out.Grow(size)
 	row := make(table.Row, e.K)
+	var genErr error
 	var gen func(pos int)
 	gen = func(pos int) {
+		if genErr != nil {
+			return
+		}
 		if pos == e.K {
+			if genErr = ev.tick("adom-power"); genErr != nil {
+				return
+			}
 			nr := make(table.Row, e.K)
 			copy(nr, row)
 			out.Append(nr)
@@ -397,7 +537,12 @@ func (ev *Evaluator) evalAdomPower(e algebra.AdomPower) (*table.Table, error) {
 		}
 	}
 	gen(0)
-	ev.stats.CostUnits += int64(size)
+	if genErr != nil {
+		return nil, genErr
+	}
+	if err := ev.charge("adom-power", int64(size)); err != nil {
+		return nil, err
+	}
 	ev.note("adom^%d -> %d rows", e.K, out.Len())
 	return out, nil
 }
@@ -419,8 +564,12 @@ func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
 		return nil, fmt.Errorf("eval: division of arity %d by arity %d", e.L.Arity(), e.R.Arity())
 	}
 	need := r.Distinct()
-	if cost := int64(l.Len()) + int64(l.Len())*int64(need.Len()); cost > ev.opts.maxCostUnits() {
-		return nil, fmt.Errorf("%w: division cost %d exceeds %d units", ErrTooLarge, cost, ev.opts.maxCostUnits())
+	// Charge the projected quadratic cost up front so the loop below
+	// degrades with ErrCostBudget instead of hanging; the per-row
+	// Stats increments below are reporting, not governance.
+	cost := int64(l.Len()) + int64(l.Len())*int64(need.Len())
+	if err := ev.gov.ChargeCost("division", cost); err != nil {
+		return nil, err
 	}
 	groups := map[string]map[string]struct{}{}
 	preCols := make([]int, nPre)
@@ -433,6 +582,9 @@ func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
 	}
 	for _, row := range l.Rows() {
 		ev.stats.CostUnits++
+		if err := ev.tick("division"); err != nil {
+			return nil, err
+		}
 		pk := value.TupleKey(row, preCols)
 		if _, ok := groups[pk]; !ok {
 			groups[pk] = map[string]struct{}{}
@@ -447,6 +599,9 @@ func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
 	out := table.New(nPre)
 	emitted := map[string]struct{}{}
 	for _, row := range l.Rows() { // first-seen order keeps output deterministic
+		if err := ev.tick("division"); err != nil {
+			return nil, err
+		}
 		pk := value.TupleKey(row, preCols)
 		if _, done := emitted[pk]; done {
 			continue
@@ -491,21 +646,22 @@ func (ev *Evaluator) evalUnifySemi(e algebra.UnifySemi) (*table.Table, error) {
 	if l.Arity() != r.Arity() {
 		return nil, fmt.Errorf("eval: unification semijoin of arities %d and %d", l.Arity(), r.Arity())
 	}
-	if cost := int64(l.Len()) * int64(r.Len()); cost > ev.opts.maxCostUnits() {
-		return nil, fmt.Errorf("%w: unification semijoin cost %d exceeds %d units", ErrTooLarge, cost, ev.opts.maxCostUnits())
+	// Charge the projected quadratic cost up front; see evalDivision.
+	if err := ev.gov.ChargeCost("unify-semijoin", int64(l.Len())*int64(r.Len())); err != nil {
+		return nil, err
 	}
 	lRows, rRows := l.Rows(), r.Rows()
 	chunks := make([][]table.Row, ev.opts.workers())
-	err = ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+	err = ev.runChunksPrecharged(l.Len(), "unify-semijoin", func(c *chunk) error {
 		var out []table.Row
-		for i := lo; i < hi; i++ {
-			if stop.Load() {
+		for i := c.lo; i < c.hi; i++ {
+			if c.stopped() {
 				return nil
 			}
 			lr := lRows[i]
 			match := false
 			for _, rr := range rRows {
-				st.costUnits++
+				c.st.costUnits++
 				if value.UnifyTuples(lr, rr) {
 					match = true
 					break
@@ -515,7 +671,7 @@ func (ev *Evaluator) evalUnifySemi(e algebra.UnifySemi) (*table.Table, error) {
 				out = append(out, lr)
 			}
 		}
-		chunks[part] = out
+		chunks[c.part] = out
 		return nil
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"certsql/internal/algebra"
+	"certsql/internal/guard"
 	"certsql/internal/table"
 	"certsql/internal/value"
 )
@@ -235,8 +236,8 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 			pos[offsets[next]+c] = base + c
 		}
 		joined[next] = true
-		if cur.Len() > ev.opts.maxRows() {
-			return nil, fmt.Errorf("%w: join intermediate of %d rows", ErrTooLarge, cur.Len())
+		if err := ev.gov.CheckRows("join-block", cur.Len()); err != nil {
+			return nil, err
 		}
 		if err := applyResiduals(); err != nil {
 			return nil, err
@@ -277,6 +278,9 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 // their marks, which the key encoding preserves.
 func (ev *Evaluator) hashJoin(l, r *table.Table, lCols, rCols []int) (*table.Table, error) {
 	sqlMode := ev.opts.Semantics == value.SQL3VL
+	if err := ev.gov.Fault(guard.SiteHashBuild); err != nil {
+		return nil, err
+	}
 	idx := make(map[string][]int, r.Len())
 	for i, rr := range r.Rows() {
 		if sqlMode && anyNull(rr, rCols) {
@@ -290,36 +294,40 @@ func (ev *Evaluator) hashJoin(l, r *table.Table, lCols, rCols []int) (*table.Tab
 	arity := l.Arity() + r.Arity()
 	lRows := l.Rows()
 	chunks := make([][]table.Row, ev.opts.workers())
+	maxRows := int64(ev.gov.MaxRows())
 	var outRows atomic.Int64
-	err := ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+	err := ev.runChunks(l.Len(), "hash-join", func(c *chunk) error {
 		var out []table.Row
-		for i := lo; i < hi; i++ {
-			if stop.Load() {
+		for i := c.lo; i < c.hi; i++ {
+			if c.stopped() {
 				return nil
 			}
 			lr := lRows[i]
-			st.costUnits++
+			c.st.costUnits++
 			if sqlMode && anyNull(lr, lCols) {
 				continue
 			}
 			for _, ri := range idx[value.TupleKey(lr, lCols)] {
-				st.costUnits++
+				c.st.costUnits++
 				nr := make(table.Row, 0, arity)
 				nr = append(nr, lr...)
 				nr = append(nr, r.Row(ri)...)
 				out = append(out, nr)
-				if outRows.Add(1) > int64(ev.opts.maxRows()) {
-					return fmt.Errorf("%w: hash join result exceeds %d rows", ErrTooLarge, ev.opts.maxRows())
+				if outRows.Add(1) > maxRows {
+					return &guard.LimitError{Sentinel: guard.ErrRowBudget, Op: "hash-join",
+						Detail: fmt.Sprintf("result exceeds %d rows", maxRows)}
 				}
 			}
 		}
-		chunks[part] = out
+		chunks[c.part] = out
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	ev.stats.CostUnits += int64(r.Len())
+	if err := ev.charge("hash-join", int64(r.Len())); err != nil {
+		return nil, err
+	}
 	return concatChunks(arity, chunks), nil
 }
 
@@ -359,6 +367,9 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 		row := make(table.Row, nL+r.Arity())
 		for _, rr := range r.Rows() {
 			ev.stats.CostUnits++
+			if err := ev.tick("short-circuit"); err != nil {
+				return nil, err
+			}
 			copy(row[nL:], rr)
 			v, err := ev.evalCond(cond, row)
 			if err != nil {
@@ -425,6 +436,9 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 	if len(lCols) > 0 {
 		// Hash strategy: probe buckets, verify the full condition.
 		sqlMode := ev.opts.Semantics == value.SQL3VL
+		if err := ev.gov.Fault(guard.SiteHashBuild); err != nil {
+			return nil, err
+		}
 		idx := make(map[string][]int, r.Len())
 		for i, rr := range r.Rows() {
 			if sqlMode && anyNull(rr, rCols) {
@@ -433,21 +447,26 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 			k := value.TupleKey(rr, rCols)
 			idx[k] = append(idx[k], i)
 		}
-		ev.stats.CostUnits += int64(r.Len())
-		err := ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+		if err := ev.charge("semijoin/build", int64(r.Len())); err != nil {
+			return nil, err
+		}
+		err := ev.runChunks(l.Len(), "semijoin/probe", func(c *chunk) error {
+			if err := c.fault(guard.SiteSemijoinProbe); err != nil {
+				return err
+			}
 			var out []table.Row
 			row := make(table.Row, nL+r.Arity())
-			for i := lo; i < hi; i++ {
-				if stop.Load() {
+			for i := c.lo; i < c.hi; i++ {
+				if c.stopped() {
 					return nil
 				}
 				lr := lRows[i]
-				st.costUnits++
+				c.st.costUnits++
 				match := false
 				if !(sqlMode && anyNull(lr, lCols)) {
 					copy(row, lr)
 					for _, ri := range idx[value.TupleKey(lr, lCols)] {
-						st.costUnits++
+						c.st.costUnits++
 						copy(row[nL:], r.Row(ri))
 						v, err := ev.evalCond(cond, row)
 						if err != nil {
@@ -463,7 +482,7 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 					out = append(out, lr)
 				}
 			}
-			chunks[part] = out
+			chunks[c.part] = out
 			return nil
 		})
 		if err != nil {
@@ -480,18 +499,21 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 	// probe rows are independent, so the quadratic scan partitions
 	// across workers — the single largest lever on the Figure 4 / Q⁺4
 	// cost.
-	err = ev.runChunks(l.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+	err = ev.runChunks(l.Len(), "semijoin/probe", func(c *chunk) error {
+		if err := c.fault(guard.SiteSemijoinProbe); err != nil {
+			return err
+		}
 		var out []table.Row
 		row := make(table.Row, nL+r.Arity())
-		for i := lo; i < hi; i++ {
-			if stop.Load() {
+		for i := c.lo; i < c.hi; i++ {
+			if c.stopped() {
 				return nil
 			}
 			lr := lRows[i]
 			match := false
 			copy(row, lr)
 			for _, rr := range r.Rows() {
-				st.costUnits++
+				c.st.costUnits++
 				copy(row[nL:], rr)
 				v, err := ev.evalCond(cond, row)
 				if err != nil {
@@ -506,7 +528,7 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 				out = append(out, lr)
 			}
 		}
-		chunks[part] = out
+		chunks[c.part] = out
 		return nil
 	})
 	if err != nil {

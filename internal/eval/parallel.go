@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"certsql/internal/algebra"
+	"certsql/internal/guard"
 	"certsql/internal/table"
 )
 
@@ -53,15 +55,89 @@ type chunkStats struct {
 	costUnits int64
 }
 
+// chunk is one worker's slice of a partitioned probe loop. Bodies scan
+// rows [lo, hi), accumulate counters in st, and call stopped between
+// rows so a failing partition (or a canceled context) halts in-flight
+// work promptly.
+type chunk struct {
+	part, lo, hi int
+	st           *chunkStats
+	halt         *atomic.Bool
+	gov          *guard.Governor
+	op           string
+	ticks        int
+	err          error // cancellation or budget trip observed by stopped
+	// precharged marks operators that charged their projected cost to
+	// the governor up front (unification semijoin); their per-row
+	// counters are reporting only and must not be charged again.
+	precharged bool
+	charged    int64 // st.costUnits already flushed to the governor
+}
+
+// stopped reports whether the chunk should cease: another partition
+// failed, or — polled amortized every pollEvery calls, so the check
+// stays O(1) per row — the governor's context was canceled or the
+// chunk's accumulated work tripped the cost budget. A governor trip is
+// recorded in c.err and halts the other partitions.
+func (c *chunk) stopped() bool {
+	if c.halt.Load() {
+		return true
+	}
+	c.ticks++
+	if c.ticks%pollEvery == 0 {
+		err := c.gov.Poll(c.op)
+		if err == nil {
+			err = c.flushCost()
+		}
+		if err != nil {
+			c.err = err
+			c.halt.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// flushCost charges the governor for body work accumulated since the
+// last flush, so probe loops count against the cumulative cost budget
+// as they run. Pre-charged operators skip it.
+func (c *chunk) flushCost() error {
+	if c.precharged {
+		return nil
+	}
+	if delta := c.st.costUnits - c.charged; delta > 0 {
+		c.charged = c.st.costUnits
+		return c.gov.ChargeCost(c.op, delta)
+	}
+	return nil
+}
+
+// fault invokes the governor's fault-injection hook at site; it is a
+// nil check when no hook is installed.
+func (c *chunk) fault(site guard.Site) error { return c.gov.Fault(site) }
+
 // runChunks partitions [0, n) into one contiguous range per worker and
 // runs body on every range, concurrently when more than one worker is
-// available. body(part, lo, hi, st, stop) processes rows [lo, hi),
-// accumulating counters in st; it should poll stop between rows and
-// return early when it is set (a failing partition sets it, cancelling
-// in-flight work). The error of the lowest-numbered failing partition
-// is returned, and all shards — including those of cancelled partitions
-// — are merged into ev.stats with atomic adds.
-func (ev *Evaluator) runChunks(n int, body func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error) error {
+// available. The error of the lowest-numbered failing partition is
+// returned; a partition that observed cancellation via stopped counts
+// as failing with that error. Worker panics are recovered into
+// *guard.InternalError values carrying the operator path and stack —
+// a panicking worker must never kill the process or wedge wg.Wait.
+// All shards — including those of halted partitions — are merged into
+// ev.stats with atomic adds, so counters are consistent even when the
+// operator fails mid-flight.
+func (ev *Evaluator) runChunks(n int, op string, body func(c *chunk) error) error {
+	return ev.runChunksOpt(n, op, false, body)
+}
+
+// runChunksPrecharged is runChunks for operators that already charged
+// their projected cost to the governor up front; chunk counters feed
+// Stats only.
+func (ev *Evaluator) runChunksPrecharged(n int, op string, body func(c *chunk) error) error {
+	return ev.runChunksOpt(n, op, true, body)
+}
+
+func (ev *Evaluator) runChunksOpt(n int, op string, precharged bool, body func(c *chunk) error) error {
 	workers := ev.opts.workers()
 	if max := n / minParallelRows; workers > max {
 		workers = max
@@ -69,11 +145,21 @@ func (ev *Evaluator) runChunks(n int, body func(part, lo, hi int, st *chunkStats
 	if workers < 1 {
 		workers = 1
 	}
-	var stop atomic.Bool
+	var halt atomic.Bool
 	if workers == 1 {
+		if err := ev.gov.Fault(guard.SiteWorkerSpawn); err != nil {
+			return err
+		}
 		var st chunkStats
-		err := body(0, 0, n, &st, &stop)
+		c := &chunk{part: 0, lo: 0, hi: n, st: &st, halt: &halt, gov: ev.gov, op: op, precharged: precharged}
+		err := body(c)
+		if err == nil {
+			err = c.flushCost()
+		}
 		ev.stats.CostUnits += st.costUnits
+		if err == nil {
+			err = c.err
+		}
 		return err
 	}
 
@@ -88,16 +174,34 @@ func (ev *Evaluator) runChunks(n int, body func(part, lo, hi int, st *chunkStats
 		}
 		hi := lo + size
 		wg.Add(1)
-		go func(part, lo, hi int) {
+		go func(c *chunk) {
 			defer wg.Done()
-			if err := body(part, lo, hi, &shards[part], &stop); err != nil {
-				errs[part] = err
-				stop.Store(true)
+			defer func() {
+				if v := recover(); v != nil {
+					errs[c.part] = guard.NewInternalError(fmt.Sprintf("%s/worker[%d]", op, c.part), v)
+					halt.Store(true)
+				}
+				// Atomic merge: shards may finish while others still
+				// run, and Stats must never be torn even mid-operator.
+				atomic.AddInt64(&ev.stats.CostUnits, c.st.costUnits)
+			}()
+			if err := c.fault(guard.SiteWorkerSpawn); err != nil {
+				errs[c.part] = err
+				halt.Store(true)
+				return
 			}
-			// Atomic merge: shards may finish while others still run,
-			// and Stats must never be torn even mid-operator.
-			atomic.AddInt64(&ev.stats.CostUnits, shards[part].costUnits)
-		}(part, lo, hi)
+			err := body(c)
+			if err == nil {
+				err = c.flushCost()
+			}
+			if err == nil {
+				err = c.err
+			}
+			if err != nil {
+				errs[c.part] = err
+				halt.Store(true)
+			}
+		}(&chunk{part: part, lo: lo, hi: hi, st: &shards[part], halt: &halt, gov: ev.gov, op: op, precharged: precharged})
 		lo = hi
 	}
 	wg.Wait()
@@ -181,13 +285,13 @@ func (ev *Evaluator) filterTable(t *table.Table, cond algebra.Cond) (*table.Tabl
 	}
 	rows := t.Rows()
 	chunks := make([][]table.Row, ev.opts.workers())
-	err := ev.runChunks(t.Len(), func(part, lo, hi int, st *chunkStats, stop *atomic.Bool) error {
+	err := ev.runChunks(t.Len(), "filter", func(c *chunk) error {
 		var out []table.Row
-		for i := lo; i < hi; i++ {
-			if stop.Load() {
+		for i := c.lo; i < c.hi; i++ {
+			if c.stopped() {
 				return nil
 			}
-			st.costUnits++
+			c.st.costUnits++
 			v, err := ev.evalCond(cond, rows[i])
 			if err != nil {
 				return err
@@ -196,7 +300,7 @@ func (ev *Evaluator) filterTable(t *table.Table, cond algebra.Cond) (*table.Tabl
 				out = append(out, rows[i])
 			}
 		}
-		chunks[part] = out
+		chunks[c.part] = out
 		return nil
 	})
 	if err != nil {

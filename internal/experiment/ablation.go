@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
+	"certsql/internal/guard"
 	"certsql/internal/sql"
 	"certsql/internal/tpch"
 	"certsql/internal/value"
@@ -30,6 +32,11 @@ type AblationConfig struct {
 	// Parallelism is the executor worker count used by every variant
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallelism int
+	// Limits is the per-run resource budget (zero = DefaultLimits).
+	// Variants that trip it are reported OVERBUDGET, which is the
+	// study's point for some of them, so there is no TolerateBudget
+	// knob here — only the base pipeline tripping is fatal.
+	Limits guard.Limits
 }
 
 func (c *AblationConfig) defaults() {
@@ -73,8 +80,9 @@ var ablationVariants = []struct {
 }
 
 // Ablation measures the cost of disabling each optimization on the
-// translated queries Q⁺1–Q⁺4.
-func Ablation(cfg AblationConfig) ([]AblationRow, error) {
+// translated queries Q⁺1–Q⁺4. Cancellation or deadline expiry of ctx
+// aborts with a typed error.
+func Ablation(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	cfg.defaults()
 	db := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed, NullRate: cfg.NullRate})
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -102,13 +110,13 @@ func Ablation(cfg AblationConfig) ([]AblationRow, error) {
 			opts eval.Options
 		}
 		plans := []plan{{name: "base", expr: DefaultTranslator(db).Plus(compiled.Expr),
-			opts: eval.Options{Semantics: value.SQL3VL, MaxRows: 2_000_000, Parallelism: cfg.Parallelism}}}
+			opts: eval.Options{Semantics: value.SQL3VL, Parallelism: cfg.Parallelism}}}
 		for _, v := range ablationVariants {
 			tr := DefaultTranslator(db)
 			if v.tr != nil {
 				v.tr(tr)
 			}
-			opts := eval.Options{Semantics: value.SQL3VL, MaxRows: 2_000_000, Parallelism: cfg.Parallelism}
+			opts := eval.Options{Semantics: value.SQL3VL, Parallelism: cfg.Parallelism}
 			if v.opts != nil {
 				v.opts(&opts)
 			}
@@ -123,10 +131,13 @@ func Ablation(cfg AblationConfig) ([]AblationRow, error) {
 					continue
 				}
 				runtime.GC()
+				// A fresh governor per timed run: budgets are per
+				// evaluation, and the shared ctx still cancels them all.
+				p.opts.Governor = guard.New(ctx, limitsOrDefault(cfg.Limits))
 				ev := eval.New(db, p.opts)
 				start := time.Now()
 				if _, err := ev.Eval(p.expr); err != nil {
-					if err == eval.ErrTooLarge || strings.Contains(err.Error(), "row budget") {
+					if budgetTripped(err) {
 						failed[p.name] = true
 						continue
 					}

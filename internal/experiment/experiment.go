@@ -18,6 +18,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,11 +27,33 @@ import (
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
+	"certsql/internal/guard"
 	"certsql/internal/sql"
 	"certsql/internal/table"
 	"certsql/internal/tpch"
 	"certsql/internal/value"
 )
+
+// DefaultLimits is the single governed budget every experiment runner
+// evaluates under (previously a `MaxRows: 2_000_000` literal scattered
+// across the drivers): enough headroom for every measured configuration,
+// small enough that a runaway plan degrades with a typed budget error
+// instead of exhausting memory. Callers override it per run via each
+// config's Limits field.
+var DefaultLimits = guard.Limits{MaxRows: 2_000_000}
+
+// limitsOrDefault resolves a config's Limits field: the zero value means
+// DefaultLimits.
+func limitsOrDefault(l guard.Limits) guard.Limits {
+	if l == (guard.Limits{}) {
+		return DefaultLimits
+	}
+	return l
+}
+
+// budgetTripped reports whether err is a resource-budget trip (and not,
+// e.g., cancellation, which never counts as a tolerable trip).
+func budgetTripped(err error) bool { return errors.Is(err, guard.ErrBudget) }
 
 // PaperNullRatesFig1 are the null rates of Figure 1: 0.5%–6% in steps
 // of 0.5% and 6%–10% in steps of 1%.
@@ -77,11 +101,16 @@ func DefaultTranslator(db *table.Database) *certain.Translator {
 }
 
 // runOnce evaluates an expression with a fresh evaluator (no caches
-// shared across timed runs) and returns the result and wall time.
+// shared across timed runs) under a fresh governor — one budget per
+// measured run, honoring ctx — and returns the result and wall time.
 // par is the executor worker count (0 = GOMAXPROCS, 1 = sequential);
 // results are identical at any setting.
-func runOnce(db *table.Database, c *compile.Compiled, par int) (*table.Table, time.Duration, eval.Stats, error) {
-	ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, Parallelism: par})
+func runOnce(ctx context.Context, db *table.Database, c *compile.Compiled, par int, limits guard.Limits) (*table.Table, time.Duration, eval.Stats, error) {
+	ev := eval.New(db, eval.Options{
+		Semantics:   value.SQL3VL,
+		Governor:    guard.New(ctx, limitsOrDefault(limits)),
+		Parallelism: par,
+	})
 	start := time.Now()
 	t, err := ev.Eval(c.Expr)
 	return t, time.Since(start), ev.Stats(), err
@@ -105,6 +134,13 @@ type Figure1Config struct {
 	// Parallelism is the executor worker count (0 = GOMAXPROCS,
 	// 1 = sequential); measurements are over identical results.
 	Parallelism int
+	// Limits is the per-run resource budget (zero = DefaultLimits).
+	Limits guard.Limits
+	// TolerateBudget makes per-query budget trips non-fatal: the sample
+	// is dropped, the trip is counted in the output row, and the
+	// experiment continues. Without it a trip aborts the whole run with
+	// a typed budget error. Cancellation always aborts.
+	TolerateBudget bool
 }
 
 func (c *Figure1Config) defaults() {
@@ -132,12 +168,16 @@ type Figure1Row struct {
 	FPPercent map[tpch.QueryID]float64
 	// Executions with a non-empty answer, per query (the denominator).
 	Samples map[tpch.QueryID]int
+	// BudgetTrips counts runs dropped because they exceeded the
+	// resource budget (only with Figure1Config.TolerateBudget).
+	BudgetTrips map[tpch.QueryID]int
 }
 
 // Figure1 reproduces Figure 1: SQL-evaluate Q1–Q4 on instances with
 // increasing null rates and measure, via the detection algorithms of
 // Section 4, the fraction of answers that are provably false positives.
-func Figure1(cfg Figure1Config) ([]Figure1Row, error) {
+// Cancellation or deadline expiry of ctx aborts with a typed error.
+func Figure1(ctx context.Context, cfg Figure1Config) ([]Figure1Row, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	base := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed})
@@ -146,9 +186,10 @@ func Figure1(cfg Figure1Config) ([]Figure1Row, error) {
 	var out []Figure1Row
 	for _, rate := range cfg.NullRates {
 		row := Figure1Row{
-			NullRate:  rate,
-			FPPercent: map[tpch.QueryID]float64{},
-			Samples:   map[tpch.QueryID]int{},
+			NullRate:    rate,
+			FPPercent:   map[tpch.QueryID]float64{},
+			Samples:     map[tpch.QueryID]int{},
+			BudgetTrips: map[tpch.QueryID]int{},
 		}
 		sum := map[tpch.QueryID]float64{}
 		for inst := 0; inst < cfg.Instances; inst++ {
@@ -166,8 +207,12 @@ func Figure1(cfg Figure1Config) ([]Figure1Row, error) {
 					if err != nil {
 						return nil, err
 					}
-					res, _, _, err := runOnce(db, compiled, cfg.Parallelism)
+					res, _, _, err := runOnce(ctx, db, compiled, cfg.Parallelism, cfg.Limits)
 					if err != nil {
+						if cfg.TolerateBudget && budgetTripped(err) {
+							row.BudgetTrips[qid]++
+							continue
+						}
 						return nil, fmt.Errorf("fig1 %s: %w", qid, err)
 					}
 					if res.Len() == 0 {

@@ -1,6 +1,7 @@
 package experiment_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // null rates, Q2 is close to 100%, and Q3's rate grows with the null
 // rate.
 func TestFigure1Shape(t *testing.T) {
-	rows, err := experiment.Figure1(experiment.Figure1Config{
+	rows, err := experiment.Figure1(context.Background(), experiment.Figure1Config{
 		NullRates:  []float64{0.02, 0.08},
 		Instances:  3,
 		ParamDraws: 4,
@@ -52,7 +53,7 @@ func TestFigure1Shape(t *testing.T) {
 // three behaviours: Q1/Q3 cheap, Q2 dramatically faster, Q4 slower but
 // bounded.
 func TestFigure4Shape(t *testing.T) {
-	rows, err := experiment.Figure4(experiment.Figure4Config{
+	rows, err := experiment.Figure4(context.Background(), experiment.Figure4Config{
 		NullRates:  []float64{0.02, 0.04},
 		Instances:  1,
 		ParamDraws: 2,
@@ -83,7 +84,7 @@ func TestFigure4Shape(t *testing.T) {
 // exactly the SQL answers minus the detected false positives, and never
 // leaks a detected false positive.
 func TestRecallIs100(t *testing.T) {
-	results, err := experiment.Recall(experiment.RecallConfig{
+	results, err := experiment.Recall(context.Background(), experiment.RecallConfig{
 		Instances:  3,
 		ParamDraws: 4,
 		NullRate:   0.04,
@@ -107,7 +108,7 @@ func TestRecallIs100(t *testing.T) {
 // cost grows superlinearly and exceeds the budget well before 10³ rows,
 // while Q⁺ keeps up easily.
 func TestLegacyBlowup(t *testing.T) {
-	points, err := experiment.LegacyBlowup(experiment.LegacyConfig{
+	points, err := experiment.LegacyBlowup(context.Background(), experiment.LegacyConfig{
 		Sizes:   []int{8, 32, 128, 512},
 		MaxRows: 500_000,
 		Seed:    4,
@@ -130,7 +131,7 @@ func TestLegacyBlowup(t *testing.T) {
 // TestLegacyOnQ3 checks that the legacy translation of the real Q3 is
 // infeasible outright (adom^9 for the orders relation).
 func TestLegacyOnQ3(t *testing.T) {
-	adom, err := experiment.LegacyOnQ3(0.001, 5)
+	adom, err := experiment.LegacyOnQ3(context.Background(), 0.001, 5)
 	if err == nil {
 		t.Fatal("legacy translation of Q3 unexpectedly evaluated within budget")
 	}
@@ -145,7 +146,7 @@ func TestLegacyOnQ3(t *testing.T) {
 // and forces a nested loop; with splitting, the plan short-circuits and
 // wins once the instance is non-trivial.
 func TestOrSplitQ2(t *testing.T) {
-	r, err := experiment.OrSplit(tpch.Q2, 0.005, 0.03, 6)
+	r, err := experiment.OrSplit(context.Background(), tpch.Q2, 0.005, 0.03, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestOrSplitQ2(t *testing.T) {
 // unsplit Q4+ plan has "astronomical" cost (here: it exceeds the row
 // budget via Cartesian fallbacks), while the split plan completes.
 func TestOrSplitQ4(t *testing.T) {
-	r, err := experiment.OrSplit(tpch.Q4, 0.002, 0.03, 7)
+	r, err := experiment.OrSplit(context.Background(), tpch.Q4, 0.002, 0.03, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestOrSplitQ4(t *testing.T) {
 // budget), losing the short circuit slows Q2 severely, and losing hash
 // joins makes Q3's anti-join quadratic.
 func TestAblationShape(t *testing.T) {
-	rows, err := experiment.Ablation(experiment.AblationConfig{Seed: 7, Scale: 0.002})
+	rows, err := experiment.Ablation(context.Background(), experiment.AblationConfig{Seed: 7, Scale: 0.002})
 	if err != nil {
 		t.Fatal(err)
 	}

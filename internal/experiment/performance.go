@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"certsql/internal/compile"
+	"certsql/internal/guard"
 	"certsql/internal/tpch"
 	"certsql/internal/value"
 )
@@ -30,6 +33,12 @@ type Figure4Config struct {
 	// 1 = sequential). Both t and t⁺ run at the same setting, so the
 	// reported ratios stay comparable.
 	Parallelism int
+	// Limits is the per-run resource budget (zero = DefaultLimits).
+	Limits guard.Limits
+	// TolerateBudget makes per-query budget trips non-fatal: the sample
+	// is dropped, the trip counted in the output row, and the run
+	// continues. Cancellation always aborts.
+	TolerateBudget bool
 }
 
 func (c *Figure4Config) defaults() {
@@ -59,12 +68,17 @@ func (c *Figure4Config) defaults() {
 type Figure4Row struct {
 	NullRate float64
 	RelPerf  map[tpch.QueryID]float64
+	// BudgetTrips counts samples dropped because either side of the
+	// t⁺/t pair exceeded the resource budget (only with
+	// Figure4Config.TolerateBudget).
+	BudgetTrips map[tpch.QueryID]int
 }
 
 // Figure4 reproduces Figure 4: run each query and its Q⁺ translation on
 // instances with null rates 1%–5% and report the ratio of their running
 // times, averaged over instances, parameter draws and repeats.
-func Figure4(cfg Figure4Config) ([]Figure4Row, error) {
+// Cancellation or deadline expiry of ctx aborts with a typed error.
+func Figure4(ctx context.Context, cfg Figure4Config) ([]Figure4Row, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	base := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed})
@@ -72,7 +86,7 @@ func Figure4(cfg Figure4Config) ([]Figure4Row, error) {
 
 	var out []Figure4Row
 	for _, rate := range cfg.NullRates {
-		row := Figure4Row{NullRate: rate, RelPerf: map[tpch.QueryID]float64{}}
+		row := Figure4Row{NullRate: rate, RelPerf: map[tpch.QueryID]float64{}, BudgetTrips: map[tpch.QueryID]int{}}
 		sumRatio := map[tpch.QueryID]float64{}
 		samples := map[tpch.QueryID]int{}
 		for inst := 0; inst < cfg.Instances; inst++ {
@@ -87,19 +101,26 @@ func Figure4(cfg Figure4Config) ([]Figure4Row, error) {
 						return nil, fmt.Errorf("fig4 %s: %w", qid, err)
 					}
 					var tOrig, tPlus time.Duration
-					for rep := 0; rep < cfg.Repeats; rep++ {
-						if _, dt, _, err := runOnce(db, orig, cfg.Parallelism); err != nil {
-							return nil, fmt.Errorf("fig4 %s original: %w", qid, err)
-						} else {
-							tOrig += dt
-						}
-						if _, dt, _, err := runOnce(db, plus, cfg.Parallelism); err != nil {
-							return nil, fmt.Errorf("fig4 %s translated: %w", qid, err)
-						} else {
-							tPlus += dt
+					tripped := false
+					for rep := 0; rep < cfg.Repeats && !tripped; rep++ {
+						for _, side := range []struct {
+							label string
+							c     *compile.Compiled
+							sum   *time.Duration
+						}{{"original", orig, &tOrig}, {"translated", plus, &tPlus}} {
+							_, dt, _, err := runOnce(ctx, db, side.c, cfg.Parallelism, cfg.Limits)
+							if err != nil {
+								if cfg.TolerateBudget && budgetTripped(err) {
+									row.BudgetTrips[qid]++
+									tripped = true
+									break
+								}
+								return nil, fmt.Errorf("fig4 %s %s: %w", qid, side.label, err)
+							}
+							*side.sum += dt
 						}
 					}
-					if tOrig > 0 {
+					if !tripped && tOrig > 0 {
 						sumRatio[qid] += float64(tPlus) / float64(tOrig)
 						samples[qid]++
 					}
@@ -134,6 +155,11 @@ type Table1Config struct {
 	// Parallelism is the executor worker count, forwarded to the
 	// underlying Figure 4 runs.
 	Parallelism int
+	// Limits is the per-run resource budget (zero = DefaultLimits);
+	// TolerateBudget tolerates and counts per-query budget trips. Both
+	// forward to the underlying Figure 4 runs.
+	Limits         guard.Limits
+	TolerateBudget bool
 }
 
 func (c *Table1Config) defaults() {
@@ -159,30 +185,37 @@ func (c *Table1Config) defaults() {
 type Table1Row struct {
 	Multiplier float64
 	Min, Max   map[tpch.QueryID]float64
+	// BudgetTrips aggregates the dropped samples of the underlying
+	// Figure 4 runs (only with Table1Config.TolerateBudget).
+	BudgetTrips map[tpch.QueryID]int
 }
 
 // Table1 reproduces Table 1: ranges of relative performance t⁺/t as the
-// instance grows.
-func Table1(cfg Table1Config) ([]Table1Row, error) {
+// instance grows. Cancellation or deadline expiry of ctx aborts with a
+// typed error.
+func Table1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 	cfg.defaults()
 	var out []Table1Row
 	for _, mult := range cfg.ScaleMultipliers {
-		rows, err := Figure4(Figure4Config{
-			NullRates:   cfg.NullRates,
-			Instances:   1,
-			ParamDraws:  cfg.ParamDraws,
-			Repeats:     2,
-			Scale:       cfg.BaseScale * mult,
-			Seed:        cfg.Seed + int64(mult*1000),
-			Queries:     cfg.Queries,
-			Parallelism: cfg.Parallelism,
+		rows, err := Figure4(ctx, Figure4Config{
+			NullRates:      cfg.NullRates,
+			Instances:      1,
+			ParamDraws:     cfg.ParamDraws,
+			Repeats:        2,
+			Scale:          cfg.BaseScale * mult,
+			Seed:           cfg.Seed + int64(mult*1000),
+			Queries:        cfg.Queries,
+			Parallelism:    cfg.Parallelism,
+			Limits:         cfg.Limits,
+			TolerateBudget: cfg.TolerateBudget,
 		})
 		if err != nil {
 			return nil, err
 		}
-		t1 := Table1Row{Multiplier: mult, Min: map[tpch.QueryID]float64{}, Max: map[tpch.QueryID]float64{}}
+		t1 := Table1Row{Multiplier: mult, Min: map[tpch.QueryID]float64{}, Max: map[tpch.QueryID]float64{}, BudgetTrips: map[tpch.QueryID]int{}}
 		for _, qid := range cfg.Queries {
 			for i, r := range rows {
+				t1.BudgetTrips[qid] += r.BudgetTrips[qid]
 				v, ok := r.RelPerf[qid]
 				if !ok {
 					continue
@@ -217,6 +250,9 @@ type RecallResult struct {
 	// LeakedFalsePositives counts detected false positives that Q⁺
 	// returned — must be zero.
 	LeakedFalsePositives int
+	// BudgetTrips counts samples dropped because either evaluation
+	// exceeded the resource budget (only with RecallConfig.TolerateBudget).
+	BudgetTrips int
 }
 
 // Recall returns CertainReturned == Recalled as a percentage.
@@ -238,6 +274,11 @@ type RecallConfig struct {
 	// Parallelism is the executor worker count (0 = GOMAXPROCS,
 	// 1 = sequential); results are identical at any setting.
 	Parallelism int
+	// Limits is the per-run resource budget (zero = DefaultLimits).
+	Limits guard.Limits
+	// TolerateBudget tolerates and counts per-query budget trips
+	// instead of aborting the experiment.
+	TolerateBudget bool
 }
 
 func (c *RecallConfig) defaults() {
@@ -260,8 +301,9 @@ func (c *RecallConfig) defaults() {
 
 // Recall reproduces the Section 7 recall measurement on small
 // DataFiller-style instances: Q⁺ must return precisely the SQL answers
-// minus the detected false positives.
-func Recall(cfg RecallConfig) ([]RecallResult, error) {
+// minus the detected false positives. Cancellation or deadline expiry
+// of ctx aborts with a typed error.
+func Recall(ctx context.Context, cfg RecallConfig) ([]RecallResult, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	base := tpch.Generate(tpch.Config{ScaleFactor: cfg.Scale, Seed: cfg.Seed})
@@ -283,12 +325,20 @@ func Recall(cfg RecallConfig) ([]RecallResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				sqlRes, _, _, err := runOnce(db, orig, cfg.Parallelism)
+				sqlRes, _, _, err := runOnce(ctx, db, orig, cfg.Parallelism, cfg.Limits)
 				if err != nil {
+					if cfg.TolerateBudget && budgetTripped(err) {
+						results[qid].BudgetTrips++
+						continue
+					}
 					return nil, err
 				}
-				plusRes, _, _, err := runOnce(db, plus, cfg.Parallelism)
+				plusRes, _, _, err := runOnce(ctx, db, plus, cfg.Parallelism, cfg.Limits)
 				if err != nil {
+					if cfg.TolerateBudget && budgetTripped(err) {
+						results[qid].BudgetTrips++
+						continue
+					}
 					return nil, err
 				}
 				plusKeys := plusRes.KeySet()

@@ -7,6 +7,37 @@ import (
 	"certsql/internal/tpch"
 )
 
+// renderTrips appends a budget-trip footer when any samples were
+// dropped over budget (see the TolerateBudget config knobs): governed
+// experiments degrade loudly, never silently.
+func renderTrips(b *strings.Builder, trips map[tpch.QueryID]int) {
+	total := 0
+	for _, n := range trips {
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	b.WriteString("budget trips (samples dropped over the resource budget):")
+	for _, q := range tpch.AllQueries {
+		if trips[q] > 0 {
+			fmt.Fprintf(b, " %s=%d", q, trips[q])
+		}
+	}
+	b.WriteString("\n")
+}
+
+// sumTrips merges per-row trip counts into one per-query total.
+func sumTrips(rows []map[tpch.QueryID]int) map[tpch.QueryID]int {
+	out := map[tpch.QueryID]int{}
+	for _, m := range rows {
+		for q, n := range m {
+			out[q] += n
+		}
+	}
+	return out
+}
+
 // RenderFigure1 renders the Figure 1 series as a text table comparable
 // to the paper's chart: null rate versus average % of false positives
 // per query.
@@ -29,6 +60,11 @@ func RenderFigure1(rows []Figure1Row) string {
 		}
 		b.WriteString("\n")
 	}
+	trips := make([]map[tpch.QueryID]int, 0, len(rows))
+	for _, r := range rows {
+		trips = append(trips, r.BudgetTrips)
+	}
+	renderTrips(&b, sumTrips(trips))
 	return b.String()
 }
 
@@ -54,6 +90,11 @@ func RenderFigure4(rows []Figure4Row) string {
 		}
 		b.WriteString("\n")
 	}
+	trips := make([]map[tpch.QueryID]int, 0, len(rows))
+	for _, r := range rows {
+		trips = append(trips, r.BudgetTrips)
+	}
+	renderTrips(&b, sumTrips(trips))
 	return b.String()
 }
 
@@ -74,6 +115,11 @@ func RenderTable1(rows []Table1Row) string {
 		}
 		b.WriteString("\n")
 	}
+	trips := make([]map[tpch.QueryID]int, 0, len(rows))
+	for _, r := range rows {
+		trips = append(trips, r.BudgetTrips)
+	}
+	renderTrips(&b, sumTrips(trips))
 	return b.String()
 }
 
@@ -86,6 +132,11 @@ func RenderRecall(results []RecallResult) string {
 		fmt.Fprintf(&b, "%-8s%16d %10d %9.1f %12d %18d\n",
 			r.Query, r.CertainReturned, r.Recalled, r.Recall(), r.FalsePositives, r.LeakedFalsePositives)
 	}
+	trips := map[tpch.QueryID]int{}
+	for _, r := range results {
+		trips[r.Query] = r.BudgetTrips
+	}
+	renderTrips(&b, trips)
 	return b.String()
 }
 

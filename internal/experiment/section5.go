@@ -1,7 +1,7 @@
 package experiment
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -10,6 +10,7 @@ import (
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
+	"certsql/internal/guard"
 	"certsql/internal/schema"
 	"certsql/internal/sql"
 	"certsql/internal/table"
@@ -42,7 +43,8 @@ type LegacyConfig struct {
 	Sizes []int
 	// NullRate for the synthetic instance.
 	NullRate float64
-	// MaxRows is the evaluator's row budget (the "memory" limit).
+	// MaxRows is the evaluator's row budget (the "memory" limit); zero
+	// means the governed DefaultLimits row budget.
 	MaxRows int
 	// Seed makes the experiment deterministic.
 	Seed int64
@@ -56,7 +58,7 @@ func (c *LegacyConfig) defaults() {
 		c.NullRate = 0.05
 	}
 	if c.MaxRows == 0 {
-		c.MaxRows = 2_000_000
+		c.MaxRows = DefaultLimits.MaxRows
 	}
 }
 
@@ -77,7 +79,8 @@ func syntheticSchema() *schema.Schema {
 
 // LegacyBlowup measures the legacy translation against Q⁺ on the
 // difference query R − S as the instance grows (Section 5).
-func LegacyBlowup(cfg LegacyConfig) ([]LegacyPoint, error) {
+// Cancellation or deadline expiry of ctx aborts with a typed error.
+func LegacyBlowup(ctx context.Context, cfg LegacyConfig) ([]LegacyPoint, error) {
 	cfg.defaults()
 	var out []LegacyPoint
 	for _, n := range cfg.Sizes {
@@ -106,20 +109,22 @@ func LegacyBlowup(cfg LegacyConfig) ([]LegacyPoint, error) {
 		pt := LegacyPoint{Rows: n, AdomSize: len(db.ActiveDomain())}
 
 		legacy := tr.LegacyTrue(certain.Primitive(q))
-		ev := eval.New(db, eval.Options{Semantics: value.Naive, MaxRows: cfg.MaxRows})
+		ev := eval.New(db, eval.Options{Semantics: value.Naive,
+			Governor: guard.New(ctx, guard.Limits{MaxRows: cfg.MaxRows})})
 		start := time.Now()
 		_, err := ev.Eval(legacy)
 		pt.LegacyTime = time.Since(start)
 		pt.LegacyCost = ev.Stats().CostUnits
 		if err != nil {
-			if !errors.Is(err, eval.ErrTooLarge) {
+			if !budgetTripped(err) {
 				return nil, fmt.Errorf("legacy eval: %w", err)
 			}
 			pt.LegacyFailed = true
 		}
 
 		plus := tr.Plus(q)
-		ev2 := eval.New(db, eval.Options{Semantics: value.Naive, MaxRows: cfg.MaxRows})
+		ev2 := eval.New(db, eval.Options{Semantics: value.Naive,
+			Governor: guard.New(ctx, guard.Limits{MaxRows: cfg.MaxRows})})
 		start = time.Now()
 		if _, err := ev2.Eval(plus); err != nil {
 			return nil, fmt.Errorf("plus eval: %w", err)
@@ -135,7 +140,7 @@ func LegacyBlowup(cfg LegacyConfig) ([]LegacyPoint, error) {
 // Q3 is infeasible outright: its Qf side requires adom^9 (the arity of
 // orders), which exceeds any realistic budget on even the smallest
 // instance. It returns the error the evaluator reports.
-func LegacyOnQ3(scale float64, seed int64) (adomSize int, err error) {
+func LegacyOnQ3(ctx context.Context, scale float64, seed int64) (adomSize int, err error) {
 	db := tpch.Generate(tpch.Config{ScaleFactor: scale, Seed: seed, NullRate: 0.02})
 	rng := rand.New(rand.NewSource(seed))
 	params := tpch.Q3.Params(rng, tpch.Config{ScaleFactor: scale}.Sizes())
@@ -149,7 +154,7 @@ func LegacyOnQ3(scale float64, seed int64) (adomSize int, err error) {
 	}
 	tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeNaive}
 	legacy := tr.LegacyTrue(certain.Primitive(compiled.Expr))
-	ev := eval.New(db, eval.Options{Semantics: value.Naive})
+	ev := eval.New(db, eval.Options{Semantics: value.Naive, Governor: guard.New(ctx, guard.Limits{})})
 	_, err = ev.Eval(legacy)
 	return len(db.ActiveDomain()), err
 }
@@ -172,7 +177,8 @@ type OrSplitReport struct {
 }
 
 // OrSplit runs the comparison for one query on one instance.
-func OrSplit(qid tpch.QueryID, scale, nullRate float64, seed int64) (*OrSplitReport, error) {
+// Cancellation or deadline expiry of ctx aborts with a typed error.
+func OrSplit(ctx context.Context, qid tpch.QueryID, scale, nullRate float64, seed int64) (*OrSplitReport, error) {
 	db := tpch.Generate(tpch.Config{ScaleFactor: scale, Seed: seed, NullRate: nullRate})
 	rng := rand.New(rand.NewSource(seed))
 	params := qid.Params(rng, tpch.Config{ScaleFactor: scale}.Sizes())
@@ -192,11 +198,11 @@ func OrSplit(qid tpch.QueryID, scale, nullRate float64, seed int64) (*OrSplitRep
 			SimplifyNulls: true, SplitOrs: split, KeySimplify: true,
 		}
 		plus := tr.Plus(compiled.Expr)
-		ev := eval.New(db, eval.Options{Semantics: value.SQL3VL})
+		ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, Governor: guard.New(ctx, guard.Limits{})})
 		start := time.Now()
 		res, err := ev.Eval(plus)
 		if err != nil {
-			if !split && errors.Is(err, eval.ErrTooLarge) {
+			if !split && budgetTripped(err) {
 				report.UnsplitFailed = true
 				report.UnsplitStats = ev.Stats()
 				report.UnsplitTime = time.Since(start)

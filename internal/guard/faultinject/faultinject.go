@@ -1,0 +1,178 @@
+// Package faultinject provides deterministic, seeded fault injection
+// for the certain-answer pipeline. It is test-only: production code
+// never installs a guard.FaultHook, so every hook point in the engine
+// costs a nil check and nothing more.
+//
+// An Injector is armed with a plan of faults, each naming a site (see
+// guard.Site), a kind (error, panic, or cancel), and the 1-based hit
+// number at which it fires. Replaying the same plan against the same
+// query on the same database reproduces the failure exactly, because
+// site hit order is deterministic at any Parallelism for coordinator
+// sites and the injector's own counters are mutex-serialized.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"certsql/internal/guard"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error fault.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// PanicValue is the value injected panic faults panic with, so chaos
+// assertions can distinguish injected panics from genuine engine bugs.
+type PanicValue struct {
+	Site guard.Site
+	Hit  int
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// Kind selects what a fault does when it fires.
+type Kind uint8
+
+const (
+	// KindError makes the site return an error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindPanic makes the site panic with a PanicValue, exercising the
+	// engine's panic containment.
+	KindPanic
+	// KindCancel invokes the cancel function registered with SetCancel
+	// (canceling the evaluation's context out of band) and lets the
+	// site proceed, so cancellation lands mid-flight.
+	KindCancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Fault arms one site: on the HitNumber-th hit of Site, fire Kind.
+type Fault struct {
+	Site      guard.Site
+	Kind      Kind
+	HitNumber int // 1-based hit index at which the fault fires
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%s#%d", f.Kind, f.Site, f.HitNumber)
+}
+
+// Injector implements guard.FaultHook over a plan of faults. Safe for
+// concurrent use by partition workers.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	hits   map[guard.Site]int
+	fired  int
+	cancel func()
+}
+
+// New returns an injector armed with the given faults.
+func New(faults ...Fault) *Injector {
+	return &Injector{faults: faults, hits: map[guard.Site]int{}}
+}
+
+// SetCancel registers the function KindCancel faults invoke — normally
+// the CancelFunc of the context the evaluation runs under.
+func (in *Injector) SetCancel(fn func()) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cancel = fn
+}
+
+// Fired returns how many faults have fired so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Hits returns how many times site has been hit so far.
+func (in *Injector) Hits(site guard.Site) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Hit implements guard.FaultHook: it counts the hit and fires any
+// armed fault whose (site, hit-number) matches.
+func (in *Injector) Hit(site guard.Site) error {
+	in.mu.Lock()
+	in.hits[site]++
+	n := in.hits[site]
+	var fire *Fault
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Site == site && f.HitNumber == n {
+			fire = f
+			break
+		}
+	}
+	if fire == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	in.fired++
+	cancel := in.cancel
+	in.mu.Unlock()
+
+	switch fire.Kind {
+	case KindPanic:
+		panic(PanicValue{Site: site, Hit: n})
+	case KindCancel:
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %s at %s (hit %d)", ErrInjected, fire.Kind, site, n)
+	}
+}
+
+// Plan derives a deterministic fault plan of n faults from rng: the
+// sites are distinct (cycling through guard.Sites from a random
+// offset), hit numbers are small (1..4, so faults actually land on
+// small differential-test instances), and kinds alternate between
+// error and panic. Cancel faults are planned separately — see
+// CancelPlan — because they need a context to cancel.
+func Plan(rng *rand.Rand, n int) []Fault {
+	offset := rng.Intn(len(guard.Sites))
+	out := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Site:      guard.Sites[(offset+i)%len(guard.Sites)],
+			HitNumber: 1 + rng.Intn(4),
+		}
+		if rng.Intn(2) == 0 {
+			f.Kind = KindPanic
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// CancelPlan derives one cancel fault at a random site and small hit
+// number, for random-point cancellation runs.
+func CancelPlan(rng *rand.Rand) Fault {
+	return Fault{
+		Site:      guard.Sites[rng.Intn(len(guard.Sites))],
+		Kind:      KindCancel,
+		HitNumber: 1 + rng.Intn(4),
+	}
+}

@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"certsql/internal/guard"
+)
+
+func TestErrorFaultFiresOnExactHit(t *testing.T) {
+	in := New(Fault{Site: guard.SiteScan, Kind: KindError, HitNumber: 3})
+	for i := 1; i <= 2; i++ {
+		if err := in.Hit(guard.SiteScan); err != nil {
+			t.Fatalf("hit %d should not fire: %v", i, err)
+		}
+	}
+	if err := in.Hit(guard.SiteHashBuild); err != nil {
+		t.Fatalf("other sites must not fire: %v", err)
+	}
+	err := in.Hit(guard.SiteScan)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 should inject: %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired())
+	}
+	if err := in.Hit(guard.SiteScan); err != nil {
+		t.Fatalf("hit 4 should not fire again: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(Fault{Site: guard.SiteWorkerSpawn, Kind: KindPanic, HitNumber: 1})
+	defer func() {
+		v := recover()
+		pv, ok := v.(PanicValue)
+		if !ok || pv.Site != guard.SiteWorkerSpawn {
+			t.Fatalf("expected PanicValue at worker-spawn, got %v", v)
+		}
+	}()
+	in.Hit(guard.SiteWorkerSpawn)
+	t.Fatal("panic fault did not panic")
+}
+
+func TestCancelFault(t *testing.T) {
+	in := New(Fault{Site: guard.SiteSemijoinProbe, Kind: KindCancel, HitNumber: 2})
+	canceled := false
+	in.SetCancel(func() { canceled = true })
+	if err := in.Hit(guard.SiteSemijoinProbe); err != nil || canceled {
+		t.Fatal("hit 1 should be a no-op")
+	}
+	if err := in.Hit(guard.SiteSemijoinProbe); err != nil {
+		t.Fatalf("cancel fault must not return an error: %v", err)
+	}
+	if !canceled {
+		t.Fatal("cancel function was not invoked")
+	}
+}
+
+func TestConcurrentHitsAreCounted(t *testing.T) {
+	in := New() // no faults armed; just exercise the counters under -race
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Hit(guard.SiteScan)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(guard.SiteScan); got != 800 {
+		t.Fatalf("Hits = %d, want 800", got)
+	}
+}
+
+func TestPlanDeterministicAndDistinctSites(t *testing.T) {
+	a := Plan(rand.New(rand.NewSource(7)), 3)
+	b := Plan(rand.New(rand.NewSource(7)), 3)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("plan lengths: %d, %d", len(a), len(b))
+	}
+	sites := map[guard.Site]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan not deterministic: %v vs %v", a[i], b[i])
+		}
+		if sites[a[i].Site] {
+			t.Fatalf("duplicate site in plan: %v", a)
+		}
+		sites[a[i].Site] = true
+		if a[i].HitNumber < 1 || a[i].HitNumber > 4 {
+			t.Fatalf("hit number out of range: %v", a[i])
+		}
+	}
+}

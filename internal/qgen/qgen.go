@@ -175,6 +175,10 @@ func constPool(kind value.Kind) []value.Value {
 func Database(rng *rand.Rand, sch *schema.Schema, tn Tuning) *table.Database {
 	tn = tn.withDefaults()
 	db := table.NewDatabase(sch)
+	// The generator promises nulls only in nullable attributes; strict
+	// enforcement turns any violation of that promise into a loud
+	// generator bug instead of a silently non-conforming instance.
+	db.EnforceNonNull(true)
 	nulls := 0
 	lastMark := map[value.Kind]value.Value{}
 	mkVal := func(attr schema.Attribute) value.Value {

@@ -64,6 +64,22 @@ func (t *Table) SetRow(i int, r Row) {
 	t.rows[i] = r
 }
 
+// Value and row-header sizes used by EstimatedBytes. A value.Value is
+// a 40-byte struct (kind + three payload fields); each row adds a
+// slice header. String payloads are not counted — the estimate is
+// deliberately coarse and monotone in row count and arity.
+const (
+	valueBytes     = 40
+	rowHeaderBytes = 24
+)
+
+// EstimatedBytes returns a coarse estimate of the table's in-memory
+// size, used by the resource governor for memory accounting at
+// operator boundaries.
+func (t *Table) EstimatedBytes() int64 {
+	return int64(t.Len()) * (rowHeaderBytes + valueBytes*int64(t.arity))
+}
+
 // Grow pre-allocates capacity for n additional rows.
 func (t *Table) Grow(n int) {
 	if cap(t.rows)-len(t.rows) < n {
@@ -160,13 +176,35 @@ func (idx *Index) Lookup(probe Row, probeCols []int) []int {
 	return idx.buckets[value.TupleKey(probe, probeCols)]
 }
 
+// NotNullViolation reports a null stored in (or offered to) an
+// attribute the schema declares NOT NULL.
+type NotNullViolation struct {
+	Relation  string
+	Attribute string
+	Col       int
+}
+
+func (e *NotNullViolation) Error() string {
+	return fmt.Sprintf("table: relation %q attribute %q (column %d): null in NOT NULL attribute",
+		e.Relation, e.Attribute, e.Col)
+}
+
 // Database is an incomplete database instance: a schema plus one table
 // per relation. It also tracks the next fresh null mark, so loaders and
 // generators can mint globally unique marked nulls.
+//
+// The database keeps an incremental count of NOT NULL violations —
+// nulls stored in attributes the schema declares non-nullable — so
+// ConformsNonNull is O(1). The count stays exact as long as all
+// mutations go through Insert and ReplaceRow; mutating a Table
+// obtained from the catalog directly bypasses the accounting.
 type Database struct {
 	Schema   *schema.Schema
 	tables   map[string]*Table
 	nextNull int64
+
+	enforceNonNull    bool
+	nonNullViolations int
 }
 
 // NewDatabase returns an empty database over the given schema, with an
@@ -199,9 +237,38 @@ func (db *Database) MustTable(name string) *Table {
 	return t
 }
 
+// EnforceNonNull toggles strict NOT NULL enforcement: when on,
+// Insert and ReplaceRow reject rows carrying a null in a non-nullable
+// attribute with a *NotNullViolation instead of recording the
+// violation. By default enforcement is off (nullability is a
+// generator-side concern, as in the paper's setup) and violations are
+// only counted, for ConformsNonNull.
+func (db *Database) EnforceNonNull(on bool) { db.enforceNonNull = on }
+
+// ConformsNonNull reports whether the data honours every NOT NULL
+// declaration in the schema. O(1): the violation count is maintained
+// incrementally by Insert and ReplaceRow.
+func (db *Database) ConformsNonNull() bool { return db.nonNullViolations == 0 }
+
+// nonNullCheck counts the NOT NULL violations in r (against rel), or
+// returns the first one as an error when enforcement is on.
+func (db *Database) nonNullCheck(rel *schema.Relation, r Row) (int, error) {
+	viol := 0
+	for i, v := range r {
+		if v.IsNull() && !rel.Attrs[i].Nullable {
+			if db.enforceNonNull {
+				return 0, &NotNullViolation{Relation: rel.Name, Attribute: rel.Attrs[i].Name, Col: i}
+			}
+			viol++
+		}
+	}
+	return viol, nil
+}
+
 // Insert appends a row to the named relation, validating arity and
-// column types (nulls are allowed anywhere here; nullability is a
-// generator-side concern, as in the paper's setup).
+// column types. Nulls in NOT NULL attributes are counted (for
+// ConformsNonNull) or, with EnforceNonNull(true), rejected with a
+// *NotNullViolation.
 func (db *Database) Insert(name string, r Row) error {
 	rel, ok := db.Schema.Relation(name)
 	if !ok {
@@ -220,7 +287,42 @@ func (db *Database) Insert(name string, r Row) error {
 				name, rel.Attrs[i].Name, v, v.Kind(), want)
 		}
 	}
+	viol, err := db.nonNullCheck(rel, r)
+	if err != nil {
+		return err
+	}
+	db.nonNullViolations += viol
 	db.tables[strings.ToLower(name)].Append(r)
+	return nil
+}
+
+// ReplaceRow replaces row i of the named relation, keeping the NOT
+// NULL accounting exact. Mutators (null injectors, minimizers) must
+// use this instead of Table.SetRow so ConformsNonNull stays O(1).
+func (db *Database) ReplaceRow(name string, i int, r Row) error {
+	rel, ok := db.Schema.Relation(name)
+	if !ok {
+		return fmt.Errorf("table: unknown relation %q", name)
+	}
+	if len(r) != rel.Arity() {
+		return fmt.Errorf("table: relation %q: row arity %d, want %d", name, len(r), rel.Arity())
+	}
+	t := db.tables[strings.ToLower(name)]
+	if i < 0 || i >= t.Len() {
+		return fmt.Errorf("table: relation %q: row index %d out of range [0, %d)", name, i, t.Len())
+	}
+	newViol, err := db.nonNullCheck(rel, r)
+	if err != nil {
+		return err
+	}
+	oldViol := 0
+	for c, v := range t.Row(i) {
+		if v.IsNull() && !rel.Attrs[c].Nullable {
+			oldViol++
+		}
+	}
+	db.nonNullViolations += newViol - oldViol
+	t.SetRow(i, r)
 	return nil
 }
 
@@ -306,7 +408,10 @@ func (db *Database) ActiveDomain() []value.Value {
 // Clone returns a deep-enough copy of the database: tables are copied,
 // rows are shared (rows are immutable by convention).
 func (db *Database) Clone() *Database {
-	out := &Database{Schema: db.Schema, tables: map[string]*Table{}, nextNull: db.nextNull}
+	out := &Database{
+		Schema: db.Schema, tables: map[string]*Table{}, nextNull: db.nextNull,
+		enforceNonNull: db.enforceNonNull, nonNullViolations: db.nonNullViolations,
+	}
 	for name, t := range db.tables {
 		nt := New(t.arity)
 		nt.rows = append(nt.rows, t.rows...)
@@ -319,8 +424,10 @@ func (db *Database) Clone() *Database {
 // null ⊥ᵢ with valuation[i]. Marks missing from the valuation map are
 // left untouched (callers building full valuations must cover all marks).
 func (db *Database) Apply(valuation map[int64]value.Value) *Database {
-	out := &Database{Schema: db.Schema, tables: map[string]*Table{}, nextNull: db.nextNull}
+	out := &Database{Schema: db.Schema, tables: map[string]*Table{}, nextNull: db.nextNull,
+		enforceNonNull: db.enforceNonNull}
 	for name, t := range db.tables {
+		rel, _ := db.Schema.Relation(name)
 		nt := New(t.arity)
 		nt.Grow(t.Len())
 		for _, r := range t.rows {
@@ -333,6 +440,11 @@ func (db *Database) Apply(valuation map[int64]value.Value) *Database {
 					}
 				}
 				nr[i] = v
+				// Nulls the valuation misses stay; recount them so
+				// ConformsNonNull stays exact on the applied database.
+				if v.IsNull() && rel != nil && !rel.Attrs[i].Nullable {
+					out.nonNullViolations++
+				}
 			}
 			nt.Append(nr)
 		}

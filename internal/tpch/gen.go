@@ -313,7 +313,11 @@ func InjectNulls(db *table.Database, rate float64, rng *rand.Rand) {
 				replaced[i] = db.FreshNull()
 			}
 			if replaced != nil {
-				t.SetRow(ri, replaced)
+				// Route through the database so the NOT NULL
+				// accounting behind ConformsNonNull stays exact.
+				if err := db.ReplaceRow(name, ri, replaced); err != nil {
+					panic(err) // only nullable attrs are touched
+				}
 			}
 		}
 	}
