@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test race bench fuzz fuzzcert chaos
+.PHONY: check build vet lint test race bench fuzz fuzzcert chaos serve-smoke
 
 # check is what CI runs: build, vet, lint, and the full test suite under
 # the race detector (the parallel executor must stay race-clean).
@@ -63,3 +63,11 @@ fuzzcert:
 # the certain answers exactly, and no goroutine may leak.
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaosSweep$$' ./internal/difftest
+
+# serve-smoke is the end-to-end check of the serving layer: build
+# certsqld and the shell, start the server on a random port, run the
+# paper's Q1-Q4 twice each through the remote client, assert from
+# /metrics that the plan cache served repeats and that no request ended
+# in a 5xx, then SIGTERM and require a clean drain (exit 0).
+serve-smoke:
+	GO=$(GO) ./scripts/serve_smoke.sh

@@ -29,6 +29,7 @@ import (
 	"certsql/internal/compile"
 	"certsql/internal/eval"
 	"certsql/internal/guard"
+	"certsql/internal/plancache"
 	"certsql/internal/rewrite"
 	"certsql/internal/sql"
 	"certsql/internal/table"
@@ -186,16 +187,46 @@ func (o Options) translator(db *DB) *certain.Translator {
 }
 
 // DB is an in-memory incomplete database.
+//
+// A DB also carries the state the prepared-execution path needs: a
+// plan cache (see Prepare) and the catalog version the cache keys on.
+// A standalone DB stays at version 0 for its lifetime — its schema
+// never changes, so its cached plans never go stale. The serving
+// layer instead builds a DB view per published snapshot with
+// FromSnapshot, sharing one cache across versions so a catalog swap
+// implicitly invalidates every older plan.
 type DB struct {
-	d *table.Database
+	d      *table.Database
+	catver uint64
+	plans  *plancache.Cache
 }
 
 // wrap adopts an internal database (used by the TPC-H constructors).
-func wrap(d *table.Database) *DB { return &DB{d: d} }
+func wrap(d *table.Database) *DB { return &DB{d: d, plans: plancache.New(0)} }
 
 // FromInternal adopts an internal database, for in-module drivers such
 // as the differential-testing oracle that build databases directly.
 func FromInternal(d *table.Database) *DB { return wrap(d) }
+
+// FromSnapshot adopts one published snapshot of a table.Store: a
+// read-only view of d at the given catalog version, whose prepared
+// executions key into the shared plan cache under that version. Plans
+// compiled against earlier versions miss and age out of the LRU — the
+// snapshot swap is the cache invalidation. A nil cache allocates a
+// private one (useful in tests).
+func FromSnapshot(d *table.Database, version uint64, plans *plancache.Cache) *DB {
+	if plans == nil {
+		plans = plancache.New(0)
+	}
+	return &DB{d: d, catver: version, plans: plans}
+}
+
+// CatalogVersion returns the snapshot version this DB view was built
+// from (0 for a standalone database).
+func (db *DB) CatalogVersion() uint64 { return db.catver }
+
+// PlanCache exposes the DB's plan cache, for metrics endpoints.
+func (db *DB) PlanCache() *plancache.Cache { return db.plans }
 
 // Insert appends one row to a table. Use NULL for missing values; each
 // NULL becomes a fresh marked null.

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"certsql/internal/guard"
+	"certsql/internal/server"
+	"certsql/internal/server/client"
+	"certsql/internal/tpch"
+)
+
+// TestInterruptCancelsQuery: a canceled base context (what
+// signal.NotifyContext produces on SIGINT) stops the query through the
+// evaluation context and surfaces as the documented exit code 4, not a
+// killed process.
+func TestInterruptCancelsQuery(t *testing.T) {
+	db := testDB()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "signal already arrived" case
+	sh := shell{ctx: ctx, maxRows: 10}
+	err := sh.execute(db, `SELECT s_suppkey, o_orderkey FROM supplier, orders`)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want guard.ErrCanceled, got %v", err)
+	}
+	if exitCode(err) != 4 {
+		t.Errorf("exit code: %d, want 4", exitCode(err))
+	}
+}
+
+// TestQueryTimeout: -timeout flows into per-query deadlines with exit
+// code 4.
+func TestQueryTimeout(t *testing.T) {
+	db := testDB()
+	sh := shell{ctx: context.Background(), maxRows: 10, timeout: time.Microsecond}
+	err := sh.execute(db, `SELECT s1.s_suppkey FROM supplier s1, supplier s2, orders`)
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("want guard.ErrDeadline, got %v", err)
+	}
+	if exitCode(err) != 4 {
+		t.Errorf("exit code: %d, want 4", exitCode(err))
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{guard.ErrRowBudget, 3},
+		{guard.ErrMemBudget, 3},
+		{guard.ErrBudget, 3},
+		{guard.ErrCanceled, 4},
+		{guard.ErrDeadline, 4},
+		{errors.New("anything"), 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestParamFlags(t *testing.T) {
+	p := paramFlags{}
+	for _, s := range []string{"nation=FRANCE", "k=7", "bal=1.5"} {
+		if err := p.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p["nation"] != "FRANCE" || p["k"] != int64(7) || p["bal"] != 1.5 {
+		t.Errorf("parsed: %v", p)
+	}
+	if err := p.Set("missing-equals"); err == nil {
+		t.Error("want error for missing =")
+	}
+	if err := p.Set("=v"); err == nil {
+		t.Error("want error for empty name")
+	}
+}
+
+// TestExecuteRemote drives the -remote path against an in-process
+// certsqld, checking the plan cache is visible from the shell output.
+func TestExecuteRemote(t *testing.T) {
+	seed := tpch.Generate(tpch.Config{ScaleFactor: 0.001, Seed: 1, NullRate: 0.05})
+	ts := httptest.NewServer(server.New(server.Config{Seed: seed}).Handler())
+	defer ts.Close()
+
+	sh := shell{
+		ctx:     context.Background(),
+		maxRows: 10,
+		mode:    "certain",
+		remote:  client.New(ts.URL, client.WithHTTPClient(ts.Client())),
+	}
+	run := func() string {
+		return capture(t, func() error {
+			return sh.executeRemote(`SELECT n_name FROM nation WHERE n_regionkey = $r`,
+				map[string]any{"r": int64(1)})
+		})
+	}
+	first := run()
+	if !strings.Contains(first, "certain evaluation") || !strings.Contains(first, "remote v1") {
+		t.Errorf("first remote run:\n%s", first)
+	}
+	if !strings.Contains(first, "misses=1") {
+		t.Errorf("first remote run should compile a plan:\n%s", first)
+	}
+	second := run()
+	if !strings.Contains(second, "hits=1") {
+		t.Errorf("second remote run should hit the plan cache:\n%s", second)
+	}
+}

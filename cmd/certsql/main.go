@@ -18,19 +18,29 @@
 //	\full;            print their aggregate-bearing full forms
 //	\q                quit
 //
+// One-shot mode: -query runs a single statement and exits; -tpchq N
+// runs appendix query QN with parameters drawn from -seed. With
+// -remote http://host:port the statement is sent to a running certsqld
+// instead of evaluated locally (see cmd/certsqld), exercising the
+// serving layer's plan cache; -param name=value binds $name parameters
+// (repeatable), and -mode forces certain/possible/standard evaluation.
+//
 // Resource governance: -timeout bounds each query's evaluation,
 // -max-rows and -max-mem bound its intermediate results, and -degrade
 // lets over-budget potential-answer queries fall back to their certain
-// answers (flagged in the output) instead of failing.
+// answers (flagged in the output) instead of failing. SIGINT/SIGTERM
+// cancel the running query through the same context machinery, so
+// Ctrl-C in -query mode yields the documented exit code instead of a
+// killed process.
 //
-// Exit codes (for -query mode):
+// Exit codes (for -query / -tpchq mode):
 //
 //	0  success
 //	1  operational error
 //	2  bad flags or usage
 //	3  a resource budget was exceeded (raise -max-rows / -max-mem, or
 //	   pass -degrade to accept certain answers for SELECT queries)
-//	4  the -timeout deadline expired
+//	4  the -timeout deadline expired or the query was interrupted
 package main
 
 import (
@@ -39,14 +49,39 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"certsql"
 	"certsql/internal/guard"
+	"certsql/internal/server/client"
 	"certsql/internal/tpch"
 )
+
+// params collects repeated -param name=value flags.
+type paramFlags map[string]any
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]any(p)) }
+
+func (p paramFlags) Set(s string) error {
+	name, raw, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		p[name] = i
+	} else if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		p[name] = f
+	} else {
+		p[name] = raw
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -54,6 +89,9 @@ func main() {
 		nullRate = flag.Float64("nullrate", 0.03, "null rate for nullable attributes")
 		seed     = flag.Int64("seed", 1, "random seed")
 		query    = flag.String("query", "", "run one query and exit (instead of the interactive shell)")
+		tpchq    = flag.Int("tpchq", 0, "run appendix query QN (1-4) with seeded parameters and exit")
+		mode     = flag.String("mode", "", "force evaluation mode: certain, possible, or standard")
+		remote   = flag.String("remote", "", "send queries to a running certsqld at this base URL instead of evaluating locally")
 		maxRows  = flag.Int("maxrows", 50, "maximum result rows to print")
 		dataDir  = flag.String("data", "", "load the instance from a directory of CSV files (as written by tpchgen) instead of generating")
 		par      = flag.Int("parallelism", 0, "executor worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
@@ -62,14 +100,54 @@ func main() {
 		memBudg  = flag.Int64("max-mem", 0, "estimated-bytes memory budget for intermediate results (0 = unlimited)")
 		degrade  = flag.Bool("degrade", false, "when a potential-answer query exceeds a budget, return its certain answers (flagged) instead of failing")
 	)
+	params := paramFlags{}
+	flag.Var(params, "param", "bind $name (repeatable): -param nation=FRANCE -param supp_key=7")
 	flag.Parse()
+
+	// SIGINT/SIGTERM flow into every query's evaluation context, so an
+	// interrupt surfaces as guard.ErrCanceled (exit code 4 in one-shot
+	// mode) instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	opts := certsql.Options{
 		Parallelism: *par,
 		MaxRows:     *rowBudg,
 		MaxMemBytes: *memBudg,
 		Degrade:     *degrade,
 	}
-	sh := shell{maxRows: *maxRows, opts: opts, timeout: *timeout}
+	sh := shell{ctx: ctx, maxRows: *maxRows, opts: opts, timeout: *timeout, mode: *mode}
+
+	stmt, stmtParams := *query, map[string]any(params)
+	if *tpchq != 0 {
+		if *tpchq < 1 || *tpchq > len(tpch.AllQueries) {
+			fmt.Fprintf(os.Stderr, "certsql: -tpchq wants 1..%d\n", len(tpch.AllQueries))
+			os.Exit(2)
+		}
+		if stmt != "" {
+			fmt.Fprintln(os.Stderr, "certsql: -query and -tpchq are mutually exclusive")
+			os.Exit(2)
+		}
+		q := tpch.AllQueries[*tpchq-1]
+		stmt = q.SQL()
+		if len(stmtParams) == 0 {
+			sz := tpch.Config{ScaleFactor: *sf}.Sizes()
+			stmtParams = q.Params(rand.New(rand.NewSource(*seed)), sz)
+		}
+	}
+
+	if *remote != "" {
+		if stmt == "" {
+			fmt.Fprintln(os.Stderr, "certsql: -remote needs -query or -tpchq")
+			os.Exit(2)
+		}
+		sh.remote = client.New(*remote)
+		if err := sh.executeRemote(stmt, stmtParams); err != nil {
+			fmt.Fprintln(os.Stderr, "certsql:", err)
+			os.Exit(exitCode(err))
+		}
+		return
+	}
 
 	var db *certsql.DB
 	if *dataDir != "" {
@@ -86,8 +164,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "ready: %d nulls; type \\q to quit, SELECT CERTAIN ... for certain answers\n", db.NullCount())
 
-	if *query != "" {
-		if err := sh.execute(db, *query); err != nil {
+	if stmt != "" {
+		sh.params = stmtParams
+		if err := sh.execute(db, stmt); err != nil {
 			fmt.Fprintln(os.Stderr, "certsql:", err)
 			os.Exit(exitCode(err))
 		}
@@ -116,6 +195,9 @@ func main() {
 			fmt.Println("error:", err)
 		}
 		fmt.Print("certsql> ")
+		if ctx.Err() != nil {
+			return
+		}
 	}
 }
 
@@ -133,19 +215,74 @@ func exitCode(err error) int {
 
 // shell carries the per-invocation display and governance settings.
 type shell struct {
+	ctx     context.Context
 	maxRows int
 	opts    certsql.Options
 	timeout time.Duration
+	mode    string
+	params  map[string]any
+	remote  *client.Client
 }
 
 // queryCtx derives the evaluation context for one statement: the
-// -timeout deadline applies per query, so an interactive session
-// survives an over-long statement.
+// -timeout deadline applies per query (so an interactive session
+// survives an over-long statement), layered on the signal context so
+// Ctrl-C cancels promptly.
 func (sh *shell) queryCtx() (context.Context, context.CancelFunc) {
-	if sh.timeout > 0 {
-		return context.WithTimeout(context.Background(), sh.timeout)
+	base := sh.ctx
+	if base == nil {
+		base = context.Background()
 	}
-	return context.Background(), func() {}
+	if sh.timeout > 0 {
+		return context.WithTimeout(base, sh.timeout)
+	}
+	return context.WithCancel(base)
+}
+
+// executeRemote runs one statement against a certsqld instance.
+func (sh *shell) executeRemote(stmt string, params map[string]any) error {
+	ctx, cancel := sh.queryCtx()
+	defer cancel()
+	ropts := client.QueryOptions{Degrade: sh.opts.Degrade}
+	if sh.opts.MaxRows > 0 {
+		ropts.MaxRows = sh.opts.MaxRows
+	}
+	if sh.opts.MaxMemBytes > 0 {
+		ropts.MaxMemBytes = sh.opts.MaxMemBytes
+	}
+	if sh.timeout > 0 {
+		ropts.TimeoutMillis = sh.timeout.Milliseconds()
+	}
+	res, err := sh.remote.Query(ctx, stmt, params, sh.mode, ropts)
+	if err != nil {
+		return err
+	}
+	mode := "sql"
+	switch {
+	case res.Certain:
+		mode = "certain"
+	case res.Possible:
+		mode = "possible"
+	}
+	if res.Degraded {
+		mode += ", DEGRADED"
+	}
+	fmt.Printf("-- %d rows (%s evaluation, remote v%d, cache hits=%d misses=%d)\n",
+		len(res.Rows), mode, res.Version, res.Stats.PlanCacheHits, res.Stats.PlanCacheMisses)
+	for _, w := range res.Warnings {
+		fmt.Printf("-- warning [%s]: %s\n", w.Code, w.Message)
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println("   " + strings.Join(res.Columns, " | "))
+	}
+	for i, row := range res.SortedStrings() {
+		if i >= sh.maxRows {
+			fmt.Printf("   ... (%d more)\n", len(res.Rows)-sh.maxRows)
+			break
+		}
+		fmt.Println("   " + row)
+	}
+	return nil
 }
 
 func (sh *shell) execute(db *certsql.DB, stmt string) error {
@@ -194,9 +331,16 @@ func (sh *shell) execute(db *certsql.DB, stmt string) error {
 		return nil
 	}
 
+	if sh.mode != "" {
+		var err error
+		stmt, err = certsql.WithMode(stmt, sh.mode)
+		if err != nil {
+			return err
+		}
+	}
 	ctx, cancel := sh.queryCtx()
 	defer cancel()
-	res, err := db.QueryWithOptionsContext(ctx, stmt, nil, opts)
+	res, err := db.QueryWithOptionsContext(ctx, stmt, sh.params, opts)
 	if err != nil {
 		return err
 	}

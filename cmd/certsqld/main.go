@@ -1,0 +1,145 @@
+// Command certsqld serves the certain-answer engine over HTTP: a
+// long-running process with per-session catalogs, a compiled-plan
+// cache, snapshot-consistent reads and admission control. See
+// DESIGN.md §11 for the architecture and the README for a curl
+// walkthrough.
+//
+// Usage:
+//
+//	certsqld -addr 127.0.0.1:7583 -sf 0.001 -nullrate 0.03
+//
+// The process prints one "certsqld listening on http://host:port" line
+// to stdout once the listener is up (with -addr :0 the kernel picks
+// the port, so scripts parse this line), serves until SIGINT/SIGTERM,
+// then drains in-flight queries and exits 0.
+//
+// Endpoints:
+//
+//	POST /v1/query     ad-hoc SQL (plan-cached under the hood)
+//	POST /v1/prepare   register a statement, returns a handle
+//	POST /v1/execute   run a prepared handle
+//	POST /v1/load      append rows, publishing a new snapshot version
+//	GET  /v1/catalog   schema + row counts at the current version
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      text metrics (requests, latencies, cache, queue)
+//	GET  /debug/pprof  the standard Go profiler endpoints
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"certsql"
+	"certsql/internal/guard"
+	"certsql/internal/server"
+	"certsql/internal/table"
+	"certsql/internal/tpch"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7583", "listen address (use :0 for a kernel-assigned port)")
+		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor for the seed catalog")
+		nullRate = flag.Float64("nullrate", 0.03, "null rate for nullable attributes")
+		seed     = flag.Int64("seed", 1, "random seed for the generated instance")
+		dataDir  = flag.String("data", "", "load the seed catalog from a directory of CSV files instead of generating")
+		empty    = flag.Bool("empty", false, "start with an empty TPC-H schema (load data via /v1/load)")
+
+		maxConc  = flag.Int("max-concurrent", 4, "queries evaluating at once")
+		maxQueue = flag.Int("max-queue", 0, "queries waiting for a slot before 429 (0 = 2x max-concurrent)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query evaluation deadline (0 = none)")
+		maxTime  = flag.Duration("max-timeout", 0, "ceiling on request timeout overrides (0 = uncapped)")
+		rowBudg  = flag.Int("max-rows", 0, "default row budget for intermediate results (0 = guard default 4M)")
+		costBudg = flag.Int64("max-cost", 0, "default cost budget in elementary row operations (0 = guard default)")
+		memBudg  = flag.Int64("max-mem", 256<<20, "default estimated-bytes memory budget (0 = unlimited)")
+		par      = flag.Int("parallelism", 1, "executor workers per query (0 = GOMAXPROCS); cross-query concurrency comes from -max-concurrent")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight queries")
+	)
+	flag.Parse()
+
+	seedDB, err := seedCatalog(*dataDir, *empty, *sf, *nullRate, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "certsqld:", err)
+		return 1
+	}
+
+	srv := server.New(server.Config{
+		Seed:          seedDB,
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQueue,
+		DefaultLimits: guard.Limits{
+			MaxRows:      *rowBudg,
+			MaxCostUnits: *costBudg,
+			MaxMemBytes:  *memBudg,
+		},
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		Parallelism:    *par,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "certsqld:", err)
+		return 1
+	}
+	fmt.Printf("certsqld listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "certsqld:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: fail health checks immediately so balancers
+	// stop routing, then let in-flight queries finish under the drain
+	// deadline. Queries past the deadline are cut off by their own
+	// evaluation contexts when the server process exits.
+	fmt.Fprintln(os.Stderr, "certsqld: draining...")
+	srv.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "certsqld: drain incomplete:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "certsqld: drained, bye")
+	return 0
+}
+
+// seedCatalog builds the initial database every session starts from.
+func seedCatalog(dataDir string, empty bool, sf, nullRate float64, seed int64) (*table.Database, error) {
+	switch {
+	case dataDir != "":
+		db, err := certsql.OpenTPCHDir(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		return db.Internal(), nil
+	case empty:
+		return table.NewDatabase(tpch.Schema()), nil
+	default:
+		if sf < 0 || nullRate < 0 || nullRate > 1 {
+			return nil, errors.New("bad -sf/-nullrate")
+		}
+		return tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: seed, NullRate: nullRate}), nil
+	}
+}

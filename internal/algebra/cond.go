@@ -13,6 +13,7 @@ package algebra
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -138,15 +139,18 @@ func (Col) isOperand()    {}
 func (Lit) isOperand()    {}
 func (Scalar) isOperand() {}
 
-// String renders the column as #idx.
-func (c Col) String() string { return fmt.Sprintf("#%d", c.Idx) }
+// String renders the column as #idx. These renderers back the
+// evaluator's subplan-cache keys, so they avoid fmt: keying re-renders
+// subtrees at every recursion level and the reflective path dominated
+// execution profiles.
+func (c Col) String() string { return "#" + strconv.Itoa(c.Idx) }
 
 // String renders the literal.
 func (l Lit) String() string { return l.Val.String() }
 
 // String renders the scalar subquery compactly.
 func (s Scalar) String() string {
-	return fmt.Sprintf("scalar[%s(#%d) of %s]", s.Agg, s.Col, s.Sub.Key())
+	return "scalar[" + s.Agg.String() + "(#" + strconv.Itoa(s.Col) + ") of " + s.Sub.Key() + "]"
 }
 
 // Cond is a selection condition.
@@ -206,21 +210,21 @@ func (TrueCond) String() string  { return "true" }
 func (FalseCond) String() string { return "false" }
 
 func (c Cmp) String() string {
-	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
 }
 
 func (l Like) String() string {
 	if l.Negated {
-		return fmt.Sprintf("%s NOT LIKE %s", l.Operand, l.Pattern)
+		return l.Operand.String() + " NOT LIKE " + l.Pattern.String()
 	}
-	return fmt.Sprintf("%s LIKE %s", l.Operand, l.Pattern)
+	return l.Operand.String() + " LIKE " + l.Pattern.String()
 }
 
 func (n NullTest) String() string {
 	if n.Negated {
-		return fmt.Sprintf("const(%s)", n.Operand)
+		return "const(" + n.Operand.String() + ")"
 	}
-	return fmt.Sprintf("null(%s)", n.Operand)
+	return "null(" + n.Operand.String() + ")"
 }
 
 func (a And) String() string { return joinConds(a.Conds, " AND ", "true") }
@@ -355,6 +359,89 @@ func nnf(c Cond, neg bool) Cond {
 	default:
 		panic(fmt.Sprintf("algebra: nnf: unknown condition %T", c))
 	}
+}
+
+// NNFIsIdentity reports whether NNF(c) would return c structurally
+// unchanged: no Not nodes anywhere, and every And/Or already flat
+// (two or more children, none of which is a same-kind connective or a
+// constant that NewAnd/NewOr would simplify away). Evaluation-time
+// callers use it to skip rebuilding conditions that the translation
+// pipeline already emitted in normal form — the common case — since
+// the rebuild allocates a full copy of the condition tree on every
+// execution.
+func NNFIsIdentity(c Cond) bool {
+	switch c := c.(type) {
+	case TrueCond, FalseCond, Cmp, Like, NullTest:
+		return true
+	case Not:
+		return false
+	case And:
+		if len(c.Conds) < 2 {
+			return false
+		}
+		for _, sub := range c.Conds {
+			switch sub.(type) {
+			case And, TrueCond, FalseCond:
+				return false
+			}
+			if !NNFIsIdentity(sub) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		if len(c.Conds) < 2 {
+			return false
+		}
+		for _, sub := range c.Conds {
+			switch sub.(type) {
+			case Or, TrueCond, FalseCond:
+				return false
+			}
+			if !NNFIsIdentity(sub) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// UsesColBelow reports whether c references any column with index < n.
+// Scalar subqueries are ignored: they are uncorrelated by construction.
+// This is the allocation-free form of the correlation test
+// `min(ColsUsed(c)) < n` that the semijoin executor runs per operator.
+func UsesColBelow(c Cond, n int) bool {
+	below := func(o Operand) bool {
+		col, ok := o.(Col)
+		return ok && col.Idx < n
+	}
+	switch c := c.(type) {
+	case Cmp:
+		return below(c.L) || below(c.R)
+	case Like:
+		return below(c.Operand) || below(c.Pattern)
+	case NullTest:
+		return below(c.Operand)
+	case And:
+		for _, sub := range c.Conds {
+			if UsesColBelow(sub, n) {
+				return true
+			}
+		}
+	case Or:
+		for _, sub := range c.Conds {
+			if UsesColBelow(sub, n) {
+				return true
+			}
+		}
+	case Not:
+		return UsesColBelow(c.C, n)
+	case TrueCond, FalseCond:
+		// no operands
+	}
+	return false
 }
 
 // Conjuncts returns the top-level conjuncts of c (c itself when it is

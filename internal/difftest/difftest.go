@@ -279,6 +279,14 @@ func Check(db *table.Database, text string, opts Options) *Report {
 				name, plus.SortedStrings(), name, res.SortedStrings())
 		}
 	}
+	// Prepared-statement reuse: Prepare on the certain-forced text and
+	// Execute twice — the first execution compiles exactly one plan, the
+	// second must serve it from the plan cache, and both must agree
+	// byte-for-byte with the ad-hoc Q⁺ evaluation. The serving layer
+	// leans on this invariant: every certsqld query (ad-hoc included)
+	// runs through the prepared path.
+	checkPreparedReuse(rep, fdb, text, plus)
+
 	naive, err := queryCertainWithOptions(fdb, text, certsql.Options{Naive: true})
 	if err != nil && !budgetErr(err) {
 		rep.violate("plus-eval", "naive-mode Q⁺ evaluation failed: %v", err)
@@ -375,6 +383,56 @@ func Check(db *table.Database, text string, opts Options) *Report {
 
 // queryCertainWithOptions is QueryCertain with explicit options (the
 // facade couples the two only through the query text).
+// checkPreparedReuse verifies the plan-cache contract: a prepared
+// certain-answer query compiles once, hits the cache on re-execution,
+// and the cached plan's answer is byte-identical to ad-hoc evaluation.
+func checkPreparedReuse(rep *Report, fdb *certsql.DB, text string, plus *certsql.Result) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return // the roundtrip invariant already reports parse failures
+	}
+	sel := leadSelect(q.Body)
+	if sel == nil {
+		return
+	}
+	sel.Certain = true
+	sel.Possible = false
+	prep, err := fdb.Prepare(q.SQL())
+	if err != nil {
+		rep.violate("prepared-reuse", "Prepare failed on certain-forced text: %v", err)
+		return
+	}
+	exec := func(which string) *certsql.Result {
+		res, err := prep.Execute(nil)
+		if err != nil {
+			if budgetErr(err) {
+				rep.skip("prepared-reuse: " + err.Error())
+				return nil
+			}
+			rep.violate("prepared-reuse", "%s Execute failed: %v", which, err)
+			return nil
+		}
+		return res
+	}
+	r1 := exec("first")
+	if r1 == nil {
+		return
+	}
+	r2 := exec("second")
+	if r2 == nil {
+		return
+	}
+	if r1.Stats.PlanCacheMisses != 1 || r1.Stats.PlanCacheHits != 0 {
+		rep.violate("prepared-reuse", "first execution should compile exactly one plan, stats %+v", r1.Stats)
+	}
+	if r2.Stats.PlanCacheHits != 1 || r2.Stats.PlanCacheMisses != 0 {
+		rep.violate("prepared-reuse", "second execution should reuse the cached plan, stats %+v", r2.Stats)
+	}
+	if got, want := r2.Table().String(), plus.Table().String(); got != want {
+		rep.violate("prepared-reuse", "cached-plan result differs from ad-hoc Q⁺:\nad-hoc: %s\ncached: %s", want, got)
+	}
+}
+
 func queryCertainWithOptions(fdb *certsql.DB, text string, o certsql.Options) (*certsql.Result, error) {
 	q, err := sql.Parse(text)
 	if err != nil {

@@ -121,6 +121,13 @@ type Stats struct {
 	// already returns exactly the certain answers. Set by the facade,
 	// not by the evaluator itself.
 	FastPathHits int
+	// PlanCacheHits counts prepared executions served from the plan
+	// cache (parse, compile, analyze and translate all skipped);
+	// PlanCacheMisses counts executions that compiled and cached a new
+	// plan. Set by the facade's Prepare/Execute path, not by the
+	// evaluator itself.
+	PlanCacheHits   int
+	PlanCacheMisses int
 }
 
 // Evaluator executes expressions against one database.
@@ -231,8 +238,8 @@ func (ev *Evaluator) Eval(e algebra.Expr) (t *table.Table, err error) {
 func (ev *Evaluator) eval(e algebra.Expr) (*table.Table, error) {
 	key := ""
 	if !ev.opts.NoSubplanCache {
-		key = e.Key()
-		if t, ok := ev.cache[key]; ok {
+		key = viewKey(e) // "" for subplans too large to profitably cache
+		if t, ok := ev.cache[key]; key != "" && ok {
 			ev.stats.CacheHits++
 			ev.note("cached %T -> %d rows", e, t.Len())
 			return t, nil

@@ -213,7 +213,9 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 				return nil, err
 			}
 			ev.stats.HashJoins++
-			ev.note("hash join + %s -> %d rows", leaves[next].Key(), cur.Len())
+			if ev.opts.Trace { // Key() renders the whole subtree; don't pay for it untraced
+				ev.note("hash join + %s -> %d rows", leaves[next].Key(), cur.Len())
+			}
 		} else {
 			// No connecting edge: Cartesian step with the smallest leaf.
 			next = -1
@@ -344,23 +346,23 @@ func anyNull(r table.Row, cols []int) bool {
 // described in the package comment.
 func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 	nL := e.L.Arity()
-	cond := algebra.NNF(e.Cond)
+	cond := e.Cond
+	if !algebra.NNFIsIdentity(cond) { // translations emit NNF; skip the per-execution rebuild
+		cond = algebra.NNF(cond)
+	}
 
 	// Uncorrelated subquery: the condition mentions no columns of L, so
 	// "∃s ∈ R: θ(s)" has one answer for the whole query. Evaluating R
 	// first lets an anti-join with a witness short-circuit to the empty
 	// result without ever computing L — this is precisely why the
 	// translated Q2 runs orders of magnitude faster than the original.
-	correlated := false
-	for _, col := range algebra.ColsUsed(cond) {
-		if col < nL {
-			correlated = true
-			break
-		}
-	}
+	correlated := algebra.UsesColBelow(cond, nL)
 	if !correlated && !ev.opts.NoShortCircuit {
 		r, err := ev.eval(e.R)
 		if err != nil {
+			return nil, err
+		}
+		if cond, err = ev.resolveScalars(cond); err != nil {
 			return nil, err
 		}
 		exists := false
@@ -425,9 +427,9 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 	if e.Anti {
 		name = "antijoin"
 	}
-	// Workers verify cond, so any scalar subquery it mentions must be
-	// resolved on this goroutine first.
-	if err := ev.prewarmScalars(cond); err != nil {
+	// Workers verify cond, so any scalar subquery it mentions is
+	// substituted by its value on this goroutine first.
+	if cond, err = ev.resolveScalars(cond); err != nil {
 		return nil, err
 	}
 	lRows := l.Rows()

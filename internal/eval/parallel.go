@@ -25,7 +25,7 @@ import (
 // Parallelism.
 //
 // Workers never touch the evaluator's mutable state: they may only call
-// evalCond (after prewarmScalars has resolved scalar subqueries on the
+// evalCond (after resolveScalars has substituted scalar subqueries on the
 // coordinating goroutine), accumulate counters in their chunkStats
 // shard, and append to their own output buffer. Trace notes are emitted
 // by the coordinator only.
@@ -230,49 +230,121 @@ func concatChunks(arity int, chunks [][]table.Row) *table.Table {
 	return out
 }
 
-// prewarmScalars resolves every scalar subquery operand of c on the
-// coordinating goroutine, so that worker calls to evalCond only read
-// the scalar cache. It must run before any parallel loop whose
-// condition may contain algebra.Scalar operands.
-func (ev *Evaluator) prewarmScalars(c algebra.Cond) error {
-	warm := func(o algebra.Operand) error {
-		if s, ok := o.(algebra.Scalar); ok {
-			_, err := ev.scalarValue(s)
-			return err
-		}
-		return nil
+// resolveScalars returns cond with every scalar-subquery operand
+// replaced by the literal it evaluates to, computing each subquery
+// once (cached) on the coordinating goroutine. Scalars are
+// uncorrelated, so the substitution is an identity on semantics — the
+// paper's black-box-constant treatment made syntactic. Row loops then
+// evaluate conditions without touching the scalar cache, whose lookup
+// key is a rendering of the whole subquery and used to be recomputed
+// for every row; it also keeps parallel workers off the cache map.
+// Conditions without scalars are returned unchanged.
+func (ev *Evaluator) resolveScalars(c algebra.Cond) (algebra.Cond, error) {
+	if !condHasScalar(c) {
+		return c, nil
 	}
 	switch c := c.(type) {
 	case algebra.Cmp:
-		if err := warm(c.L); err != nil {
-			return err
+		l, err := ev.resolveOperand(c.L)
+		if err != nil {
+			return nil, err
 		}
-		return warm(c.R)
+		r, err := ev.resolveOperand(c.R)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Cmp{Op: c.Op, L: l, R: r}, nil
 	case algebra.Like:
-		if err := warm(c.Operand); err != nil {
-			return err
+		o, err := ev.resolveOperand(c.Operand)
+		if err != nil {
+			return nil, err
 		}
-		return warm(c.Pattern)
+		p, err := ev.resolveOperand(c.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Like{Operand: o, Pattern: p, Negated: c.Negated}, nil
 	case algebra.NullTest:
-		return warm(c.Operand)
+		o, err := ev.resolveOperand(c.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NullTest{Operand: o, Negated: c.Negated}, nil
+	case algebra.And:
+		out := make([]algebra.Cond, len(c.Conds))
+		for i, sub := range c.Conds {
+			r, err := ev.resolveScalars(sub)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return algebra.And{Conds: out}, nil
+	case algebra.Or:
+		out := make([]algebra.Cond, len(c.Conds))
+		for i, sub := range c.Conds {
+			r, err := ev.resolveScalars(sub)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return algebra.Or{Conds: out}, nil
+	case algebra.Not:
+		sub, err := ev.resolveScalars(c.C)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not{C: sub}, nil
+	default: // TrueCond, FalseCond
+		return c, nil
+	}
+}
+
+// resolveOperand turns a scalar-subquery operand into its literal.
+func (ev *Evaluator) resolveOperand(o algebra.Operand) (algebra.Operand, error) {
+	s, ok := o.(algebra.Scalar)
+	if !ok {
+		return o, nil
+	}
+	v, err := ev.scalarValue(s)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Lit{Val: v}, nil
+}
+
+// condHasScalar reports whether any operand of c is a scalar subquery.
+func condHasScalar(c algebra.Cond) bool {
+	isScalar := func(o algebra.Operand) bool {
+		_, ok := o.(algebra.Scalar)
+		return ok
+	}
+	switch c := c.(type) {
+	case algebra.Cmp:
+		return isScalar(c.L) || isScalar(c.R)
+	case algebra.Like:
+		return isScalar(c.Operand) || isScalar(c.Pattern)
+	case algebra.NullTest:
+		return isScalar(c.Operand)
 	case algebra.And:
 		for _, sub := range c.Conds {
-			if err := ev.prewarmScalars(sub); err != nil {
-				return err
+			if condHasScalar(sub) {
+				return true
 			}
 		}
 	case algebra.Or:
 		for _, sub := range c.Conds {
-			if err := ev.prewarmScalars(sub); err != nil {
-				return err
+			if condHasScalar(sub) {
+				return true
 			}
 		}
 	case algebra.Not:
-		return ev.prewarmScalars(c.C)
+		return condHasScalar(c.C)
 	case algebra.TrueCond, algebra.FalseCond:
 		// no operands
 	}
-	return nil
+	return false
 }
 
 // filterTable returns the rows of t satisfying cond, scanning
@@ -280,12 +352,13 @@ func (ev *Evaluator) prewarmScalars(c algebra.Cond) error {
 // the σ fallback of evalSelect, the per-leaf and residual filter stages
 // of planJoinBlock all route through it.
 func (ev *Evaluator) filterTable(t *table.Table, cond algebra.Cond) (*table.Table, error) {
-	if err := ev.prewarmScalars(cond); err != nil {
+	cond, err := ev.resolveScalars(cond)
+	if err != nil {
 		return nil, err
 	}
 	rows := t.Rows()
 	chunks := make([][]table.Row, ev.opts.workers())
-	err := ev.runChunks(t.Len(), "filter", func(c *chunk) error {
+	err = ev.runChunks(t.Len(), "filter", func(c *chunk) error {
 		var out []table.Row
 		for i := c.lo; i < c.hi; i++ {
 			if c.stopped() {

@@ -1,0 +1,163 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"certsql/internal/compile"
+	"certsql/internal/value"
+)
+
+// TestValueRoundTrip pushes every value kind through encode → JSON →
+// decode and demands exact identity, including null marks and int64
+// extremes (the reason both sides decode with UseNumber).
+func TestValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Int(0),
+		value.Int(-7),
+		value.Int(1<<62 + 12345), // would lose precision through float64
+		value.Float(3.25),
+		value.Float(-0.5),
+		value.Str(""),
+		value.Str("FRANCE"),
+		value.Str("quotes \" and unicode ⊥"),
+		value.Bool(true),
+		value.Bool(false),
+		value.MustDate("1995-03-15"),
+		value.Null(1),
+		value.Null(42),
+	}
+	// Serialize through real JSON, as the wire does.
+	payload, err := json.Marshal(EncodeRow(vals))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.UseNumber()
+	var raw []any
+	if err := dec.Decode(&raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got, err := DecodeRow(raw)
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d values, want %d", len(got), len(vals))
+	}
+	for i, want := range vals {
+		if got[i].Kind() != want.Kind() || got[i].String() != want.String() {
+			t.Errorf("value %d: got %s (%v), want %s (%v)", i, got[i], got[i].Kind(), want, want.Kind())
+		}
+	}
+	// Marks must survive: same mark = same unknown.
+	if got[11].NullID() != 1 || got[12].NullID() != 42 {
+		t.Errorf("null marks did not survive: %d, %d", got[11].NullID(), got[12].NullID())
+	}
+}
+
+// TestValueRoundTripWithoutUseNumber covers callers using plain
+// json.Unmarshal, where numbers arrive as float64.
+func TestValueRoundTripWithoutUseNumber(t *testing.T) {
+	payload, err := json.Marshal(EncodeRow([]value.Value{value.Int(77), value.Float(1.5)}))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var raw []any
+	if err := json.Unmarshal(payload, &raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got, err := DecodeRow(raw)
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if got[0].Kind() != value.KindInt || got[0].AsInt() != 77 {
+		t.Errorf("int via float64: got %v %s", got[0].Kind(), got[0])
+	}
+	if got[1].Kind() != value.KindFloat || got[1].AsFloat() != 1.5 {
+		t.Errorf("float via float64: got %v %s", got[1].Kind(), got[1])
+	}
+}
+
+// TestDecodeValueRejections: bare JSON null, multi-key tags and unknown
+// tags are errors, never silently coerced.
+func TestDecodeValueRejections(t *testing.T) {
+	bad := []any{
+		nil, // bare null is not a marked null
+		map[string]any{"null": json.Number("1"), "date": "1995-01-01"},
+		map[string]any{"mystery": json.Number("1")},
+		map[string]any{"date": json.Number("3")},
+		map[string]any{"null": "not-a-number"},
+		[]byte("x"),
+	}
+	for i, raw := range bad {
+		if _, err := DecodeValue(raw); err == nil {
+			t.Errorf("case %d (%v): want error, got none", i, raw)
+		}
+	}
+}
+
+// TestParamsRoundTrip: scalar and IN-list parameters survive the wire
+// in shapes the compiler accepts.
+func TestParamsRoundTrip(t *testing.T) {
+	in := compile.Params{
+		"nation":  value.Str("FRANCE"),
+		"size":    value.Int(15),
+		"date":    value.MustDate("1994-01-01"),
+		"keys":    []value.Value{value.Int(1), value.Int(2)},
+		"plain":   "GERMANY", // raw Go scalars are accepted too
+		"n":       7,
+		"ids":     []int{3, 4},
+		"names":   []string{"a", "b"},
+		"ratio":   0.5,
+		"enabled": true,
+	}
+	wire, err := EncodeParams(in)
+	if err != nil {
+		t.Fatalf("EncodeParams: %v", err)
+	}
+	payload, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.UseNumber()
+	var raw map[string]any
+	if err := dec.Decode(&raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	out, err := DecodeParams(raw)
+	if err != nil {
+		t.Fatalf("DecodeParams: %v", err)
+	}
+	if v := out["nation"].(value.Value); v.AsString() != "FRANCE" {
+		t.Errorf("nation: %v", v)
+	}
+	if v := out["size"].(value.Value); v.AsInt() != 15 {
+		t.Errorf("size: %v", v)
+	}
+	if v := out["date"].(value.Value); v.Kind() != value.KindDate || v.String() != "1994-01-01" {
+		t.Errorf("date: %v", v)
+	}
+	if list := out["keys"].([]value.Value); len(list) != 2 || list[1].AsInt() != 2 {
+		t.Errorf("keys: %v", list)
+	}
+	if list := out["ids"].([]value.Value); len(list) != 2 || list[0].AsInt() != 3 {
+		t.Errorf("ids: %v", list)
+	}
+	if list := out["names"].([]value.Value); len(list) != 2 || list[1].AsString() != "b" {
+		t.Errorf("names: %v", list)
+	}
+	if v := out["ratio"].(value.Value); v.AsFloat() != 0.5 {
+		t.Errorf("ratio: %v", v)
+	}
+	if v := out["enabled"].(value.Value); !v.AsBool() {
+		t.Errorf("enabled: %v", v)
+	}
+
+	// Unsupported parameter types fail loudly.
+	if _, err := EncodeParams(compile.Params{"bad": struct{}{}}); err == nil {
+		t.Errorf("EncodeParams with struct{}: want error")
+	}
+}

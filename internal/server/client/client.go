@@ -1,0 +1,255 @@
+// Package client is the typed Go client of the certsqld HTTP API. It
+// speaks the wire format defined in internal/server/api and decodes
+// result rows back into engine values (marked nulls keep their marks,
+// dates round-trip through their ISO rendering). The cmd/certsql
+// -remote mode and the server's own tests are its two consumers.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"certsql/internal/compile"
+	"certsql/internal/server/api"
+	"certsql/internal/value"
+)
+
+// Client talks to one certsqld instance.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	session string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (tests inject
+// one bound to httptest servers; callers can set transport timeouts).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithSession pins every request to a named session catalog.
+func WithSession(name string) Option { return func(c *Client) { c.session = name } }
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:7583").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), httpc: &http.Client{Timeout: 5 * time.Minute}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Result is a decoded query response.
+type Result struct {
+	Columns  []string
+	Rows     [][]value.Value
+	Certain  bool
+	Possible bool
+	Degraded bool
+	Warnings []api.Warning
+	// Version is the catalog snapshot version the query ran against.
+	Version uint64
+	Stats   api.Stats
+}
+
+// SortedStrings renders rows deterministically, mirroring
+// certsql.Result for display and tests.
+func (r *Result) SortedStrings() []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		out = append(out, "("+strings.Join(parts, ", ")+")")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryOptions re-exports the per-request governance overrides.
+type QueryOptions = api.QueryOptions
+
+// Query runs one ad-hoc statement. mode may force "certain",
+// "possible" or "standard" ("" keeps the keyword in the text).
+func (c *Client) Query(ctx context.Context, sql string, params compile.Params, mode string, opts QueryOptions) (*Result, error) {
+	wire, err := api.EncodeParams(params)
+	if err != nil {
+		return nil, err
+	}
+	var resp api.QueryResponse
+	err = c.post(ctx, "/v1/query", &api.QueryRequest{
+		SQL: sql, Params: wire, Mode: mode, Session: c.session, Options: opts,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(&resp)
+}
+
+// Stmt is a server-side prepared statement handle.
+type Stmt struct {
+	c    *Client
+	ID   string
+	SQL  string
+	Mode string
+}
+
+// Prepare registers a statement on the server.
+func (c *Client) Prepare(ctx context.Context, sql, mode string) (*Stmt, error) {
+	var resp api.PrepareResponse
+	err := c.post(ctx, "/v1/prepare", &api.PrepareRequest{SQL: sql, Mode: mode, Session: c.session}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, ID: resp.ID, SQL: resp.SQL, Mode: resp.Mode}, nil
+}
+
+// Execute runs a prepared statement.
+func (s *Stmt) Execute(ctx context.Context, params compile.Params, opts QueryOptions) (*Result, error) {
+	wire, err := api.EncodeParams(params)
+	if err != nil {
+		return nil, err
+	}
+	var resp api.QueryResponse
+	err = s.c.post(ctx, "/v1/execute", &api.ExecuteRequest{
+		ID: s.ID, Params: wire, Session: s.c.session, Options: opts,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(&resp)
+}
+
+// Load appends rows to one table of the session catalog, publishing a
+// new snapshot version.
+func (c *Client) Load(ctx context.Context, tableName string, rows [][]value.Value) (uint64, error) {
+	var resp api.LoadResponse
+	err := c.post(ctx, "/v1/load", &api.LoadRequest{
+		Table: tableName, Rows: api.EncodeRows(rows), Session: c.session,
+	}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Catalog describes the session catalog at its current version.
+func (c *Client) Catalog(ctx context.Context) (*api.CatalogResponse, error) {
+	u := c.base + "/v1/catalog"
+	if c.session != "" {
+		u += "?session=" + url.QueryEscape(c.session)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp api.CatalogResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes /healthz; nil means the server is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(res.Body, 1024))
+		return fmt.Errorf("client: health %d: %s", res.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.httpc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: metrics %d", res.StatusCode)
+	}
+	return string(body), nil
+}
+
+// post sends one JSON request and decodes the response or the mapped
+// API error.
+func (c *Client) post(ctx context.Context, path string, body, dst any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, dst)
+}
+
+func (c *Client) do(req *http.Request, dst any) error {
+	res, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	dec := json.NewDecoder(res.Body)
+	dec.UseNumber()
+	if res.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if err := dec.Decode(&apiErr); err != nil || apiErr.Status == 0 {
+			return fmt.Errorf("client: http %d from %s", res.StatusCode, req.URL.Path)
+		}
+		return &apiErr
+	}
+	return dec.Decode(dst)
+}
+
+func decodeResult(resp *api.QueryResponse) (*Result, error) {
+	rows := make([][]value.Value, len(resp.Rows))
+	for i, raw := range resp.Rows {
+		row, err := api.DecodeRow(raw)
+		if err != nil {
+			return nil, fmt.Errorf("client: row %d: %w", i, err)
+		}
+		rows[i] = row
+	}
+	return &Result{
+		Columns:  resp.Columns,
+		Rows:     rows,
+		Certain:  resp.Certain,
+		Possible: resp.Possible,
+		Degraded: resp.Degraded,
+		Warnings: resp.Warnings,
+		Version:  resp.Version,
+		Stats:    resp.Stats,
+	}, nil
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"certsql"
+	"certsql/internal/plancache"
+	"certsql/internal/table"
+)
+
+// session is one named catalog: a snapshot store, the plan cache
+// shared by every snapshot version of the catalog, and the prepared
+// statements clients registered against it.
+//
+// The store gives readers lock-free consistent views: each request
+// pins the current snapshot once and evaluates entirely against it,
+// so a concurrent load republishing the catalog never tears a result.
+// The plan cache is shared across versions on purpose — plans are
+// keyed by catalog version, so a publish implicitly invalidates every
+// older plan (it misses and ages out of the LRU) with no cache sweep.
+type session struct {
+	name  string
+	store *table.Store
+	plans *plancache.Cache
+
+	mu       sync.Mutex
+	prepared map[string]*certsql.Prepared
+	nextID   int
+}
+
+// view builds the certsql facade over the current published snapshot.
+// Two requests racing a publish may get different views; each view is
+// internally consistent and immutable.
+func (s *session) view() *certsql.DB {
+	snap := s.store.Snapshot()
+	return certsql.FromSnapshot(snap.DB, snap.Version, s.plans)
+}
+
+// register stores a prepared statement and returns its handle.
+func (s *session) register(p *certsql.Prepared) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.prepared[id] = p
+	return id
+}
+
+// statement resolves a handle.
+func (s *session) statement(id string) (*certsql.Prepared, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.prepared[id]
+	return p, ok
+}
+
+// sessions is the named-catalog registry. Sessions are created on
+// first use; every new session starts from the server's seed database
+// (shared structurally — the seed is immutable, and copy-on-write
+// updates clone before mutating, so sessions never observe each
+// other's loads).
+type sessions struct {
+	seed *table.Database
+
+	mu   sync.Mutex
+	byID map[string]*session
+}
+
+func newSessions(seed *table.Database) *sessions {
+	return &sessions{seed: seed, byID: map[string]*session{}}
+}
+
+// defaultSession is the catalog used when a request names none.
+const defaultSession = "default"
+
+// get returns the named session, creating it on first use. An empty
+// name means the default session.
+func (ss *sessions) get(name string) *session {
+	if name == "" {
+		name = defaultSession
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s, ok := ss.byID[name]
+	if !ok {
+		s = &session{
+			name:     name,
+			store:    table.NewStore(ss.seed),
+			plans:    plancache.New(0),
+			prepared: map[string]*certsql.Prepared{},
+		}
+		ss.byID[name] = s
+	}
+	return s
+}
+
+// snapshotVersions reports each live session's current catalog
+// version, for /metrics.
+func (ss *sessions) snapshotVersions() map[string]uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make(map[string]uint64, len(ss.byID))
+	for name, s := range ss.byID {
+		out[name] = s.store.Version()
+	}
+	return out
+}
+
+// planEntries sums the plan-cache sizes across sessions.
+func (ss *sessions) planEntries() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	n := 0
+	for _, s := range ss.byID {
+		n += s.plans.Len()
+	}
+	return n
+}
+
+// count reports the number of live sessions.
+func (ss *sessions) count() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.byID)
+}

@@ -175,7 +175,7 @@ func MustDate(s string) Value {
 func (v Value) String() string {
 	switch v.kind {
 	case KindNull:
-		return fmt.Sprintf("⊥%d", v.i)
+		return "⊥" + strconv.FormatInt(v.i, 10)
 	case KindInt:
 		return strconv.FormatInt(v.i, 10)
 	case KindFloat:

@@ -1,0 +1,284 @@
+package certsql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"certsql/internal/analyze"
+	"certsql/internal/certain"
+	"certsql/internal/compile"
+	"certsql/internal/guard"
+	"certsql/internal/plancache"
+	"certsql/internal/sql"
+)
+
+// Prepared is a statement readied for repeated execution. Prepare
+// validates and canonicalizes the query text once; each Execute then
+// looks the full plan up in the DB's plan cache — on a hit the parse,
+// compile, static analysis and Q⁺/Q⋆ translation are all skipped and
+// evaluation starts immediately (Stats.PlanCacheHits reports which
+// route a result took). Plans are keyed by canonical text, catalog
+// version, parameter fingerprint and translation options, so reuse
+// can never change an answer: a different parameter binding or a
+// republished catalog simply compiles (and caches) a fresh plan.
+//
+// A Prepared is safe for concurrent use; it is a value object holding
+// no per-execution state.
+type Prepared struct {
+	db   *DB
+	text string // canonical rendering (parse → render fixpoint)
+	mode plancache.Mode
+}
+
+// Prepare parses and canonicalizes a query for repeated execution.
+// The evaluation mode is the one written in the text (SELECT, SELECT
+// CERTAIN, SELECT POSSIBLE), exactly as with Query.
+func (db *DB) Prepare(text string) (*Prepared, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	mode := plancache.ModeStandard
+	if sel := leadSelect(q.Body); sel != nil {
+		switch {
+		case sel.Certain:
+			mode = plancache.ModeCertain
+		case sel.Possible:
+			mode = plancache.ModePossible
+		}
+	}
+	return &Prepared{db: db, text: q.SQL(), mode: mode}, nil
+}
+
+// Text returns the canonical statement text.
+func (p *Prepared) Text() string { return p.text }
+
+// Mode reports the evaluation mode baked into the statement.
+func (p *Prepared) Mode() plancache.Mode { return p.mode }
+
+// Rebind returns the same statement bound to another DB view, without
+// re-parsing. The serving layer uses it to point session statements at
+// the newest published snapshot: the rebound statement keys into that
+// view's plan cache under its catalog version.
+func (p *Prepared) Rebind(db *DB) *Prepared {
+	return &Prepared{db: db, text: p.text, mode: p.mode}
+}
+
+// Execute runs the statement with the given parameters.
+func (p *Prepared) Execute(params Params) (*Result, error) {
+	return p.ExecuteWithOptionsContext(context.Background(), params, Options{})
+}
+
+// ExecuteContext is Execute bounded by ctx.
+func (p *Prepared) ExecuteContext(ctx context.Context, params Params) (*Result, error) {
+	return p.ExecuteWithOptionsContext(ctx, params, Options{})
+}
+
+// ExecuteWithOptions is Execute with explicit evaluation options.
+func (p *Prepared) ExecuteWithOptions(params Params, opts Options) (*Result, error) {
+	return p.ExecuteWithOptionsContext(context.Background(), params, opts)
+}
+
+// ExecuteWithOptionsContext is the fully general prepared entry point:
+// explicit options, bounded by ctx.
+func (p *Prepared) ExecuteWithOptionsContext(ctx context.Context, params Params, opts Options) (*Result, error) {
+	gov := opts.governor(ctx)
+	if err := gov.Poll("execute"); err != nil {
+		return nil, err
+	}
+	key := plancache.Key{
+		SQL:            p.text,
+		CatalogVersion: p.db.catver,
+		Params:         fingerprintParams(params),
+		Options:        fingerprintPlanOptions(opts),
+	}
+	pl, hit := p.db.plans.Get(key)
+	if !hit {
+		var err error
+		pl, err = p.db.compilePlan(p.text, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.db.plans.Put(key, pl)
+	}
+	res, err := p.db.runPlan(gov, pl, opts)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		res.Stats.PlanCacheHits = 1
+	} else {
+		res.Stats.PlanCacheMisses = 1
+	}
+	return res, nil
+}
+
+// compilePlan performs the cacheable, data-independent part of one
+// query: parse, compile, translatability check, static analysis, and
+// the Q⁺/Q⋆ translations its mode needs.
+func (db *DB) compilePlan(text string, params Params, opts Options) (pl *plancache.Plan, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pl, err = nil, guard.NewInternalError("certsql/compile-plan", v)
+		}
+	}()
+	q, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	mode := takeMode(q)
+	compiled, err := compile.Compile(q, db.d.Schema, params)
+	if err != nil {
+		return nil, err
+	}
+	pl = &plancache.Plan{Columns: compiled.Columns, Orig: compiled.Expr}
+	switch mode {
+	case modeCertain:
+		pl.Mode = plancache.ModeCertain
+	case modePossible:
+		pl.Mode = plancache.ModePossible
+	default:
+		pl.Mode = plancache.ModeStandard
+		return pl, nil
+	}
+	if err := certain.CheckTranslatable(compiled.Expr); err != nil {
+		return nil, err
+	}
+	// Both translated forms are data-independent, so the plan carries
+	// everything any future execution can need: Plus serves the certain
+	// route (and the degradation ladder of the possible route), Star
+	// the potential route. The analyzer verdict is cached too; whether
+	// the fast path actually fires is re-decided per execution against
+	// the O(1) NOT NULL conformance counter — data may change between
+	// executions of one cached plan.
+	pl.AnalyzerSafe = analyze.Plan(compiled.Expr, db.d.Schema).Safe
+	tr := opts.translator(db)
+	pl.Plus = tr.Plus(compiled.Expr)
+	if pl.Mode == plancache.ModePossible {
+		pl.Star = tr.Star(compiled.Expr)
+	}
+	return pl, nil
+}
+
+// runPlan evaluates a cached plan, mirroring runParsed's mode switch.
+func (db *DB) runPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, guard.NewInternalError("certsql/execute", v)
+		}
+	}()
+	switch pl.Mode {
+	case plancache.ModeCertain:
+		return db.evalCertainPlan(gov, pl, opts)
+	case plancache.ModePossible:
+		res, err := db.evalExpr(gov, pl.Star, pl.Columns, opts)
+		if err == nil {
+			res.Possible = true
+			return res, nil
+		}
+		// The same opt-in degradation ladder as the ad-hoc route: a
+		// budget trip (never cancellation) falls back to the certain
+		// answers under a fresh governor.
+		if !opts.Degrade || !errors.Is(err, guard.ErrBudget) {
+			return nil, err
+		}
+		res, derr := db.evalCertainPlan(gov.Fresh(), pl, opts)
+		if derr != nil {
+			return nil, derr
+		}
+		res.Degraded = true
+		res.Warnings = append(res.Warnings, Warning{
+			Code: WarnDegradedToCertain,
+			Message: fmt.Sprintf("potential-answer translation exceeded its resource budget (%v); "+
+				"returning certain answers instead — a sound under-approximation", err),
+		})
+		return res, nil
+	default:
+		return db.evalExpr(gov, pl.Orig, pl.Columns, opts)
+	}
+}
+
+// evalCertainPlan is the certain-answer route over a cached plan: the
+// analyzer fast path when the cached verdict applies to the current
+// data, the cached Q⁺ otherwise.
+func (db *DB) evalCertainPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (*Result, error) {
+	expr, fastPath := pl.Plus, false
+	if !opts.NoAnalyzerFastPath && pl.AnalyzerSafe && db.d.ConformsNonNull() {
+		expr, fastPath = pl.Orig, true
+	}
+	res, err := db.evalExpr(gov, expr, pl.Columns, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Certain = true
+	if fastPath {
+		res.Stats.FastPathHits = 1
+	}
+	return res, nil
+}
+
+// fingerprintParams renders a parameter binding deterministically.
+// Parameters are folded into the compiled algebra (IN-lists expand,
+// constants propagate), so they are part of the plan identity.
+func fingerprintParams(params Params) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		v := params[k]
+		fmt.Fprintf(&b, "%s=%T:%v;", k, v, v)
+	}
+	return b.String()
+}
+
+// fingerprintPlanOptions encodes the options that change the compiled
+// or translated plan. Executor strategy toggles, budgets, parallelism
+// and the analyzer fast path are runtime concerns and deliberately
+// excluded — varying them reuses the same cached plan.
+func fingerprintPlanOptions(o Options) string {
+	flags := [...]bool{o.Naive, o.NoOrSplit, o.NoSimplifyNulls, o.NoKeySimplify}
+	var b [len(flags)]byte
+	for i, f := range flags {
+		if f {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b[:])
+}
+
+// WithMode returns the canonical text of a query with its evaluation
+// mode forced: "certain" and "possible" rewrite the leading select's
+// keyword, "" (or "standard") strips it. The serving layer uses this
+// to implement mode overrides without a second parser.
+func WithMode(text, mode string) (string, error) {
+	q, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	sel := leadSelect(q.Body)
+	if sel == nil {
+		return "", fmt.Errorf("certsql: no select statement to set mode on")
+	}
+	switch mode {
+	case "certain":
+		sel.Certain, sel.Possible = true, false
+	case "possible":
+		sel.Certain, sel.Possible = false, true
+	case "", "standard":
+		sel.Certain, sel.Possible = false, false
+	default:
+		return "", fmt.Errorf("certsql: unknown mode %q (want certain, possible, or standard)", mode)
+	}
+	return q.SQL(), nil
+}

@@ -11,20 +11,31 @@
 //   - a type switch whose cases name members of one family must either
 //     cover the whole family or carry a default clause;
 //   - that default must be loud: an empty default swallows unknown
-//     nodes silently and is reported.
+//     nodes silently and is reported;
+//   - an expression switch whose case conditions test guard sentinels
+//     (guard.Err*) must test every sentinel the guard package exports,
+//     default clause or not — the error taxonomy is a closed sum too,
+//     and a dispatch (HTTP status mapping, exit codes) that misses a
+//     sentinel falls through to its catch-all, misclassifying a
+//     governed stop the day a new budget is added.
 //
 // Families are discovered from the source of the defining packages: an
 // interface with an is<Name>() marker method collects every type
 // declaring that marker; an interface without one (algebra.Expr)
 // collects every type declaring its first regular method (Arity).
+// Guard sentinels are the package-level Err* variables of
+// internal/guard.
 //
 // Usage:
 //
 //	astlint [-v] [dir ...]
 //
-// With no arguments it lints the packages that traverse the trees:
-// internal/compile, internal/rewrite, internal/analyze, internal/eval,
-// internal/certain. Exit status 1 when any finding is reported.
+// With no arguments it lints the packages that traverse the trees or
+// dispatch on the error taxonomy: internal/compile, internal/rewrite,
+// internal/analyze, internal/eval, internal/certain, internal/server.
+// Exit status 1 when any finding is reported. A switch annotated
+// `// astlint:partial` (on the switch line or the comment block above)
+// is exempt from both exhaustiveness rules.
 package main
 
 import (
@@ -46,12 +57,17 @@ func main() {
 
 var familyDirs = []string{"internal/sql", "internal/algebra"}
 
+// sentinelDir declares the guard error taxonomy; its exported Err*
+// variables form the closed sum the sentinel-switch rule enforces.
+const sentinelDir = "internal/guard"
+
 var defaultTargets = []string{
 	"internal/compile",
 	"internal/rewrite",
 	"internal/analyze",
 	"internal/eval",
 	"internal/certain",
+	"internal/server",
 }
 
 // family is one closed sum type: the interface name and its members.
@@ -91,6 +107,11 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		families = append(families, fams...)
 	}
+	sentinels, err := discoverSentinels(fset, filepath.Join(*root, sentinelDir))
+	if err != nil {
+		fmt.Fprintf(errOut, "astlint: %v\n", err)
+		return 2
+	}
 	if *verbose {
 		for _, f := range families {
 			members := make([]string, 0, len(f.members))
@@ -100,6 +121,7 @@ func run(args []string, out, errOut io.Writer) int {
 			sort.Strings(members)
 			fmt.Fprintf(out, "family %s: %s\n", f, strings.Join(members, " "))
 		}
+		fmt.Fprintf(out, "sentinels guard: %s\n", strings.Join(sentinels, " "))
 	}
 
 	findings, checked := 0, 0
@@ -113,6 +135,31 @@ func run(args []string, out, errOut io.Writer) int {
 			pkgName := file.Name.Name
 			partial := partialLines(fset, file)
 			ast.Inspect(file, func(n ast.Node) bool {
+				if esw, ok := n.(*ast.SwitchStmt); ok {
+					if line := fset.Position(esw.Pos()).Line; partial[line] || partial[line-1] {
+						return true
+					}
+					named := sentinelRefs(esw)
+					if len(named) == 0 {
+						return true
+					}
+					checked++
+					pos := fset.Position(esw.Pos())
+					var missing []string
+					for _, s := range sentinels {
+						if !named[s] {
+							missing = append(missing, s)
+						}
+					}
+					if len(missing) > 0 {
+						findings++
+						fmt.Fprintf(out, "%s: switch dispatches on guard sentinels but misses: guard.%s — the catch-all would misclassify them\n",
+							pos, strings.Join(missing, ", guard."))
+					} else if *verbose {
+						fmt.Fprintf(out, "%s: ok — sentinel switch names all %d guard errors\n", pos, len(sentinels))
+					}
+					return true
+				}
 				sw, ok := n.(*ast.TypeSwitchStmt)
 				if !ok {
 					return true
@@ -270,6 +317,64 @@ func discoverFamilies(fset *token.FileSet, dir string) ([]*family, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out, nil
+}
+
+// discoverSentinels collects the exported Err* package-level variables
+// of the guard package — the closed error taxonomy.
+func discoverSentinels(fset *token.FileSet, dir string) ([]string, error) {
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
+						out = append(out, name.Name)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// sentinelRefs collects the guard.Err* names referenced in the case
+// conditions of an expression switch (the errors.Is / errors.As
+// arguments). Only the conditions count — referencing a sentinel in a
+// case body is not dispatching on it.
+func sentinelRefs(sw *ast.SwitchStmt) map[string]bool {
+	named := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, cond := range cc.List {
+			ast.Inspect(cond, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == "guard" && strings.HasPrefix(sel.Sel.Name, "Err") {
+					named[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return named
 }
 
 // partialLines returns the line numbers carrying an `astlint:partial`

@@ -130,3 +130,100 @@ func f(o algebra.Operand) {
 		t.Errorf("exit = %d, want 0 (fully covered):\n%s", code, out)
 	}
 }
+
+// --- sentinel-switch rule ------------------------------------------------
+
+func writeErrTarget(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := "package target\n\nimport (\n\t\"errors\"\n\n\t\"certsql/internal/guard\"\n)\n\n" + body
+	if err := os.WriteFile(filepath.Join(dir, "target.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestSentinelSwitchMissing: dispatching on some guard sentinels but
+// not all is a finding even with a default — the catch-all would
+// misclassify the missing ones.
+func TestSentinelSwitchMissing(t *testing.T) {
+	dir := writeErrTarget(t, `
+func status(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrBudget):
+		return 507
+	case errors.Is(err, guard.ErrCanceled):
+		return 499
+	default:
+		return 400
+	}
+}
+`)
+	code, out := runTool(t, "-root", "../..", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{"guard.ErrDeadline", "guard.ErrRowBudget", "guard.ErrMemBudget", "guard.ErrCostBudget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("finding should name %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSentinelSwitchComplete(t *testing.T) {
+	dir := writeErrTarget(t, `
+func status(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrDeadline):
+		return 408
+	case errors.Is(err, guard.ErrCanceled):
+		return 499
+	case errors.Is(err, guard.ErrMemBudget),
+		errors.Is(err, guard.ErrRowBudget),
+		errors.Is(err, guard.ErrCostBudget),
+		errors.Is(err, guard.ErrBudget):
+		return 507
+	default:
+		return 400
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (all sentinels named):\n%s", code, out)
+	}
+}
+
+func TestSentinelSwitchPartialAnnotation(t *testing.T) {
+	dir := writeErrTarget(t, `
+func isBudget(err error) bool {
+	// astlint:partial — only the umbrella matters here.
+	switch {
+	case errors.Is(err, guard.ErrBudget):
+		return true
+	default:
+		return false
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (annotated partial):\n%s", code, out)
+	}
+}
+
+// TestSentinelInCaseBodyIgnored: referencing a sentinel inside a case
+// body is not dispatching on it.
+func TestSentinelInCaseBodyIgnored(t *testing.T) {
+	dir := writeErrTarget(t, `
+func f(err error, kind int) error {
+	switch kind {
+	case 1:
+		return guard.ErrBudget
+	default:
+		return errors.New("other")
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (body references only):\n%s", code, out)
+	}
+}
