@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test race bench fuzz fuzzcert chaos serve-smoke
+.PHONY: check build vet lint test race bench bench-memory fuzz fuzzcert chaos serve-smoke
 
 # check is what CI runs: build, vet, lint, and the full test suite under
 # the race detector (the parallel executor must stay race-clean).
@@ -32,6 +32,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-memory compares the streaming and materializing executors' peak
+# estimated intermediate memory (peak_bytes) on the translated Q1-Q4
+# and asserts the streaming engine's >=2x reduction on Q4.
+bench-memory:
+	$(GO) test -run '^$$' -bench BenchmarkStreamingMemory -benchtime 5x .
+
 # fuzz runs every native fuzz target for FUZZTIME each, under the race
 # detector. 30s per target is the CI smoke setting; for a nightly long
 # run use e.g.
@@ -60,7 +66,9 @@ fuzzcert:
 # detector: every injected fault must surface as a typed error (never a
 # panic, never a wrong answer), a random-point cancellation must land
 # as guard.ErrCanceled in every ablation, degraded results must equal
-# the certain answers exactly, and no goroutine may leak.
+# the certain answers exactly, the streaming and materializing engines
+# must render identical bytes on every clean case, injected panics must
+# never poison the plan or view caches, and no goroutine may leak.
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaosSweep$$' ./internal/difftest
 

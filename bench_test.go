@@ -26,6 +26,7 @@ import (
 	"certsql/internal/compile"
 	"certsql/internal/eval"
 	"certsql/internal/experiment"
+	"certsql/internal/guard"
 	"certsql/internal/schema"
 	"certsql/internal/sql"
 	"certsql/internal/table"
@@ -224,6 +225,43 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStreamingMemory compares the two executors' peak estimated
+// intermediate memory (guard.Governor.MemHighWater) on the translated
+// Q1–Q4 over the Figure 4 instance, and asserts the streaming engine's
+// headline claim: peak intermediate memory on Q4⁺ — the deepest
+// pipeline in the workload — is at least 2× below the materializing
+// engine's. Each sub-benchmark reports its peak as peak_bytes.
+func BenchmarkStreamingMemory(b *testing.B) {
+	db := instance(b, 0.002, 0.02, 202)
+	for _, qid := range tpch.AllQueries {
+		_, plus, _ := mustPrepare(b, qid, db, 11)
+		peak := map[bool]int64{}
+		for _, mat := range []bool{false, true} {
+			name := qid.String() + "/streaming"
+			if mat {
+				name = qid.String() + "/materialize"
+			}
+			b.Run(name, func(b *testing.B) {
+				var hw int64
+				for i := 0; i < b.N; i++ {
+					gov := guard.Background(guard.Limits{})
+					ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, Governor: gov, Materialize: mat})
+					if _, err := ev.Eval(plus.Expr); err != nil {
+						b.Fatal(err)
+					}
+					hw = gov.MemHighWater()
+				}
+				peak[mat] = hw
+				b.ReportMetric(float64(hw), "peak_bytes")
+			})
+		}
+		if s, m := peak[false], peak[true]; qid == tpch.Q4 && s > 0 && m > 0 && float64(m)/float64(s) < 2 {
+			b.Fatalf("Q4⁺ peak memory: streaming %d vs materializing %d — expected ≥2× reduction, got %.2f×",
+				s, m, float64(m)/float64(s))
+		}
 	}
 }
 

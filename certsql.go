@@ -90,6 +90,16 @@ type Options struct {
 	NoViewCache    bool
 	NoShortCircuit bool
 
+	// Materialize runs the legacy operator-at-a-time engine, in which
+	// every operator materializes its full output, instead of the
+	// default streaming batch-iterator executor. The engines agree
+	// byte-for-byte on every query; the differential tests use this
+	// toggle as an ablation, and it is the escape hatch should the
+	// streaming path ever misbehave. Like the other executor toggles it
+	// does not change the compiled plan, so both engines share plan
+	// cache entries.
+	Materialize bool
+
 	// NoAnalyzerFastPath disables the static-analyzer fast path for
 	// SELECT CERTAIN: queries the nullability analysis proves safe —
 	// plain evaluation already returns exactly the certain answers —
@@ -168,6 +178,7 @@ func (o Options) evalOptions(gov *guard.Governor) eval.Options {
 		NoHashJoin:     o.NoHashJoin,
 		NoSubplanCache: o.NoViewCache,
 		NoShortCircuit: o.NoShortCircuit,
+		Materialize:    o.Materialize,
 		Trace:          o.Trace,
 	}
 }
@@ -540,7 +551,17 @@ func (db *DB) evalCertain(gov *guard.Governor, orig algebra.Expr, cols []string,
 
 // evalExpr evaluates one algebra expression under the governor.
 func (db *DB) evalExpr(gov *guard.Governor, expr algebra.Expr, cols []string, opts Options) (*Result, error) {
-	ev := eval.New(db.d, opts.evalOptions(gov))
+	return db.evalExprShaped(gov, expr, nil, cols, opts)
+}
+
+// evalExprShaped is evalExpr with a plan-cached iterator-tree
+// annotation: prepared executions hand the streaming engine the shape
+// captured at compile time, ad-hoc executions pass nil and the engine
+// derives pipeline boundaries on the fly.
+func (db *DB) evalExprShaped(gov *guard.Governor, expr algebra.Expr, shape *eval.Shape, cols []string, opts Options) (*Result, error) {
+	eo := opts.evalOptions(gov)
+	eo.Shape = shape
+	ev := eval.New(db.d, eo)
 	t, err := ev.Eval(expr)
 	if err != nil {
 		return nil, err

@@ -25,7 +25,12 @@ import (
 //   - after any fault or cancellation, the same database answers
 //     correctly on a clean retry (no poisoned shared state);
 //   - the opt-in degradation ladder only ever returns sound results:
-//     a Degraded result equals the certain answers exactly.
+//     a Degraded result equals the certain answers exactly;
+//   - the streaming and materializing engines render byte-identical
+//     results on every clean chaos case;
+//   - a panic injected at the view-materialization site never poisons
+//     a cache: the next clean execution of the same prepared statement
+//     serves the cached plan and the baseline answer.
 //
 // Goroutine-baseline checks live in the chaos test, not here: the
 // per-case runs share the process, so only a suite-level settle is
@@ -100,6 +105,16 @@ func ChaosSeed(seed uint64, opts Options) *ChaosReport {
 		rep.violate("baseline", "clean run failed: %v", err)
 		return rep
 	}
+	// Engine cross-check: the chaos corpus doubles as an ablation
+	// corpus — the materializing engine must render the streaming
+	// baseline's exact bytes.
+	if resM, merr := fdb.QueryWithOptions(text, nil, certsql.Options{Parallelism: par, Materialize: true}); merr != nil {
+		if !budgetErr(merr) {
+			rep.violate("engine-ablation", "materializing clean run failed: %v", merr)
+		}
+	} else if got, want := resM.Table().String(), base.Table().String(); got != want {
+		rep.violate("engine-ablation", "streaming and materializing engines differ:\nstreaming:    %s\nmaterializing: %s", want, got)
+	}
 	plus, perr := fdb.QueryCertainWithOptions(text, nil, certsql.Options{Parallelism: par})
 	if perr != nil && !budgetErr(perr) && !errors.Is(perr, certsql.ErrUntranslatable) {
 		rep.violate("baseline", "clean Q⁺ run failed: %v", perr)
@@ -122,6 +137,8 @@ func ChaosSeed(seed uint64, opts Options) *ChaosReport {
 				})
 		}
 	}
+
+	rep.chaosCachePoison(fdb, text, par)
 
 	// Random-point cancellation: the cancel fault flips the context
 	// mid-run. Success means the cancellation landed after the last
@@ -247,6 +264,52 @@ func (rep *ChaosReport) chaosFaultRun(fdb *certsql.DB, text string, par int, f f
 	}
 	if got := fmt.Sprint(rres.SortedStrings()); got != fmt.Sprint(want) {
 		rep.violate("retry", "clean retry after %s differs from baseline:\ngot  %v\nwant %v", after, got, want)
+	}
+}
+
+// chaosCachePoison asserts the cache-poisoning invariant: a panic
+// injected at the view-materialization site during a prepared execution
+// surfaces as *guard.InternalError and leaves no partially built entry
+// behind — the next clean Execute of the same statement serves the
+// cached plan (PlanCacheHits == 1, the poisoned run compiled and
+// published a complete plan before evaluation began) and renders the
+// baseline bytes.
+func (rep *ChaosReport) chaosCachePoison(fdb *certsql.DB, text string, par int) {
+	prep, err := fdb.Prepare(text)
+	if err != nil {
+		return // parse invariants are the oracle's concern, not chaos's
+	}
+	base, err := prep.ExecuteWithOptions(nil, certsql.Options{Parallelism: par})
+	if err != nil {
+		return // budget-bound: no known-good answer to compare against
+	}
+	f := faultinject.Fault{Site: guard.SiteViewMaterialize, Kind: faultinject.KindPanic, HitNumber: 1}
+	inj := faultinject.New(f)
+	gov := guard.Background(guard.Limits{})
+	gov.SetFaultHook(inj)
+	_, perr := prep.ExecuteWithOptions(nil, certsql.Options{Parallelism: par, Guard: gov})
+	if inj.Fired() == 0 {
+		if perr != nil && !budgetErr(perr) {
+			rep.violate("cache-poison", "%v: unfired fault run failed: %v", f, perr)
+		}
+		return // the plan publishes no view; nothing to poison
+	}
+	rep.FaultRuns++
+	rep.FaultsFired++
+	var ie *guard.InternalError
+	if !errors.As(perr, &ie) {
+		rep.violate("cache-poison", "%v: injected panic surfaced as %v, want *guard.InternalError", f, perr)
+	}
+	res, rerr := prep.ExecuteWithOptions(nil, certsql.Options{Parallelism: par})
+	if rerr != nil {
+		rep.violate("cache-poison", "clean Execute after %v failed: %v", f, rerr)
+		return
+	}
+	if res.Stats.PlanCacheHits != 1 {
+		rep.violate("cache-poison", "clean Execute after %v missed the plan cache, stats %+v", f, res.Stats)
+	}
+	if got, want := res.Table().String(), base.Table().String(); got != want {
+		rep.violate("cache-poison", "clean Execute after %v differs from baseline:\ngot  %s\nwant %s", f, got, want)
 	}
 }
 

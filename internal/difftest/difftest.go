@@ -15,8 +15,10 @@
 //     running the SQL text of Q⁺ produced by rewrite.ToSQL gives the
 //     same result as evaluating the translation directly;
 //   - executor agreement: Parallelism=1 and Parallelism=N render
-//     byte-identical results, and the hash-join / subplan-cache /
-//     short-circuit ablations give the same result sets.
+//     byte-identical results, the streaming and materializing engines
+//     render byte-identical results (and agree on fast-path hits), and
+//     the hash-join / subplan-cache / short-circuit ablations give the
+//     same result sets.
 //
 // Cases come from internal/qgen and are pure functions of a seed, so a
 // failure is reproduced by its seed alone; Minimize shrinks a failing
@@ -218,6 +220,18 @@ func Check(db *table.Database, text string, opts Options) *Report {
 	} else if got, want := resN.Table().String(), base.Table().String(); got != want {
 		rep.violate("parallel-agreement", "P=1 and P=%d differ:\nP=1: %s\nP=N: %s", opts.parallelism(), want, got)
 	}
+	// Engine ablation: the materializing executor must render the exact
+	// bytes of the streaming default — not just the same set. Row order,
+	// duplicate handling and mark minting all have to agree.
+	if resM, err := fdb.QueryWithOptions(text, nil, certsql.Options{Materialize: true, Parallelism: 1}); err != nil {
+		if budgetErr(err) {
+			rep.skip("engine-ablation: " + err.Error())
+		} else {
+			rep.violate("engine-ablation", "materializing evaluation failed: %v", err)
+		}
+	} else if got, want := resM.Table().String(), base.Table().String(); got != want {
+		rep.violate("engine-ablation", "streaming and materializing engines differ:\nstreaming:    %s\nmaterializing: %s", want, got)
+	}
 	for name, o := range map[string]certsql.Options{
 		"no-hash-join":     {NoHashJoin: true, Parallelism: 1},
 		"no-view-cache":    {NoViewCache: true, Parallelism: 1},
@@ -277,6 +291,25 @@ func Check(db *table.Database, text string, opts Options) *Report {
 		if !sameSet(res.Table(), plus.Table()) {
 			rep.violate("translation-ablation", "%s changes Q⁺:\nfull: %v\n%s: %v",
 				name, plus.SortedStrings(), name, res.SortedStrings())
+		}
+	}
+	// Engine ablation on the certain route: the materializing executor
+	// must reproduce Q⁺ byte-for-byte AND take the analyzer fast path on
+	// exactly the same cases — the fast-path decision is data- and
+	// plan-dependent, never engine-dependent.
+	if resM, err := queryCertainWithOptions(fdb, text, certsql.Options{Materialize: true}); err != nil {
+		if budgetErr(err) {
+			rep.skip("engine-ablation plus: " + err.Error())
+		} else {
+			rep.violate("engine-ablation", "materializing Q⁺ evaluation failed: %v", err)
+		}
+	} else {
+		if got, want := resM.Table().String(), plus.Table().String(); got != want {
+			rep.violate("engine-ablation", "streaming and materializing engines differ on Q⁺:\nstreaming:    %s\nmaterializing: %s", want, got)
+		}
+		if resM.Stats.FastPathHits != plus.Stats.FastPathHits {
+			rep.violate("engine-ablation", "fast-path hits differ across engines: streaming=%d materializing=%d",
+				plus.Stats.FastPathHits, resM.Stats.FastPathHits)
 		}
 	}
 	// Prepared-statement reuse: Prepare on the certain-forced text and

@@ -16,7 +16,7 @@ import (
 
 // evalGroupBy executes γ_keys;aggs(child).
 func (ev *Evaluator) evalGroupBy(e algebra.GroupBy) (*table.Table, error) {
-	child, err := ev.eval(e.Child)
+	child, err := ev.evalChild(e.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +147,7 @@ func (a *aggAcc) result(fresh func() value.Value) value.Value {
 // last; descending keys reverse the whole order (nulls first), per the
 // common SQL default.
 func (ev *Evaluator) evalSort(e algebra.Sort) (*table.Table, error) {
-	child, err := ev.eval(e.Child)
+	child, err := ev.evalChild(e.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -190,12 +190,12 @@ func sortOrder(a, b value.Value) int {
 
 // evalLimit keeps the first N rows.
 func (ev *Evaluator) evalLimit(e algebra.Limit) (*table.Table, error) {
-	child, err := ev.eval(e.Child)
+	child, err := ev.evalChild(e.Child)
 	if err != nil {
 		return nil, err
 	}
 	if e.N < 0 {
-		return nil, fmt.Errorf("eval: negative LIMIT %d", e.N)
+		return nil, errNegativeLimit(e.N)
 	}
 	n := e.N
 	if n > child.Len() {
@@ -208,3 +208,6 @@ func (ev *Evaluator) evalLimit(e algebra.Limit) (*table.Table, error) {
 	ev.note("limit %d -> %d rows", e.N, out.Len())
 	return out, nil
 }
+
+// errNegativeLimit is shared by both engines' LIMIT handling.
+func errNegativeLimit(n int) error { return fmt.Errorf("eval: negative LIMIT %d", n) }

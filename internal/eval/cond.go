@@ -147,7 +147,7 @@ func (ev *Evaluator) scalarValue(s algebra.Scalar) (value.Value, error) {
 	if v, ok := ev.scalar[key]; ok {
 		return v, nil
 	}
-	t, err := ev.eval(s.Sub)
+	t, err := ev.evalChild(s.Sub)
 	if err != nil {
 		return value.Value{}, err
 	}

@@ -97,6 +97,22 @@ type Options struct {
 	// NoShortCircuit disables the uncorrelated-subquery short circuit.
 	NoShortCircuit bool
 
+	// Materialize selects the legacy operator-at-a-time engine, in
+	// which every operator materializes its full output and memory is
+	// charged per operator. The default (false) is the streaming
+	// batch-iterator engine: pipelines of scan/filter/project/limit/
+	// distinct/union/semijoin-probe operators pull ~1k-row batches with
+	// per-batch governance, and only hash builds, shared views, sorts,
+	// aggregations and adom powers buffer. The two engines agree
+	// byte-for-byte; difftest keeps them honest.
+	Materialize bool
+
+	// Shape is an optional precomputed streamability annotation for the
+	// expression passed to Eval (see ShapeOf). Plans cache it so
+	// prepared executions skip re-deriving pipeline boundaries. Nil
+	// means derive on the fly; a stale or mismatched shape is ignored.
+	Shape *Shape
+
 	// Trace enables plan tracing for Explain.
 	Trace bool
 }
@@ -128,6 +144,11 @@ type Stats struct {
 	// evaluator itself.
 	PlanCacheHits   int
 	PlanCacheMisses int
+	// MemHighWaterBytes is the governor's peak estimated intermediate
+	// memory over this evaluation (guard.Governor.MemHighWater),
+	// captured when Eval returns. With a shared governor it reports the
+	// peak across everything that governor has overseen so far.
+	MemHighWaterBytes int64
 }
 
 // Evaluator executes expressions against one database.
@@ -141,6 +162,25 @@ type Evaluator struct {
 	scalar map[string]value.Value
 	trace  []traceEntry
 	depth  int
+
+	// confErr records an Options misconfiguration detected by New
+	// (Governor combined with the deprecated MaxRows/MaxCostUnits
+	// fields); Eval reports it instead of running with limits the
+	// caller believes are in force but are not.
+	confErr error
+
+	// ledger tracks live memory charges of the streaming engine:
+	// estimated bytes charged per buffered table, released when the
+	// enclosing operator finishes. View-cached tables are pinned —
+	// removed from the ledger so their charge outlives the operator
+	// (and, with a shared governor, the query) that built them.
+	ledger map[*table.Table]int64
+	// frames stacks the tables charged inside each open buffered
+	// operator, so popFrame can drop everything a scope consumed.
+	frames [][]*table.Table
+	// shared holds view keys the plan uses more than once; buildIter
+	// buffers those through the view cache (see markShared).
+	shared map[string]bool
 
 	// poisoned is set when a panic was recovered out of this
 	// evaluator; see ErrPoisoned.
@@ -169,18 +209,32 @@ func (ev *Evaluator) freshAggNull() value.Value {
 	return value.Null(-ev.aggNulls)
 }
 
+// ErrOptionConflict reports Options that set both a Governor and the
+// deprecated MaxRows/MaxCostUnits fields. The deprecated fields are
+// consulted only when Governor is nil, so the combination used to be
+// silently ignored — the caller's limits never took effect. It is now
+// an explicit configuration error, reported by the first Eval.
+var ErrOptionConflict = errors.New(
+	"eval: Options.MaxRows/MaxCostUnits are ignored when a Governor is set; configure guard.Limits on the Governor instead")
+
 // New returns an evaluator over db with the given options.
 func New(db *table.Database, opts Options) *Evaluator {
 	gov := opts.Governor
+	var confErr error
 	if gov == nil {
 		gov = guard.Background(guard.Limits{MaxRows: opts.MaxRows, MaxCostUnits: opts.MaxCostUnits})
+	} else if opts.MaxRows != 0 || opts.MaxCostUnits != 0 {
+		confErr = ErrOptionConflict
 	}
 	return &Evaluator{
-		db:     db,
-		opts:   opts,
-		gov:    gov,
-		cache:  map[string]*table.Table{},
-		scalar: map[string]value.Value{},
+		db:      db,
+		opts:    opts,
+		gov:     gov,
+		confErr: confErr,
+		cache:   map[string]*table.Table{},
+		scalar:  map[string]value.Value{},
+		ledger:  map[*table.Table]int64{},
+		shared:  map[string]bool{},
 	}
 }
 
@@ -220,6 +274,9 @@ func (ev *Evaluator) tick(op string) error {
 // evaluator is poisoned: subsequent Eval calls fail with ErrPoisoned
 // instead of serving possibly corrupt cached state.
 func (ev *Evaluator) Eval(e algebra.Expr) (t *table.Table, err error) {
+	if ev.confErr != nil {
+		return nil, ev.confErr
+	}
 	if ev.poisoned {
 		return nil, ErrPoisoned
 	}
@@ -231,8 +288,29 @@ func (ev *Evaluator) Eval(e algebra.Expr) (t *table.Table, err error) {
 		if errors.As(err, &ie) {
 			ev.poisoned = true
 		}
+		ev.stats.MemHighWaterBytes = ev.gov.MemHighWater()
 	}()
-	return ev.eval(e)
+	if ev.opts.Materialize {
+		return ev.eval(e)
+	}
+	if !ev.opts.NoSubplanCache {
+		ev.markShared(e)
+	}
+	return ev.drainExpr(e, ev.rootShape(e), true)
+}
+
+// evalChild evaluates a child expression with the engine selected by
+// Options: the materializing engine recurses through eval, the
+// streaming engine drains a fresh iterator pipeline (buffered
+// boundary). Operator bodies shared by both engines call this, which
+// keeps their child-evaluation order — and therefore the minting order
+// of freshAggNull marks — identical, so the engines agree byte for
+// byte.
+func (ev *Evaluator) evalChild(e algebra.Expr) (*table.Table, error) {
+	if ev.opts.Materialize {
+		return ev.eval(e)
+	}
+	return ev.drainExpr(e, nil, false)
 }
 
 func (ev *Evaluator) eval(e algebra.Expr) (*table.Table, error) {
@@ -331,7 +409,7 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 		return ev.evalSelect(e)
 
 	case algebra.Project:
-		child, err := ev.eval(e.Child)
+		child, err := ev.evalChild(e.Child)
 		if err != nil {
 			return nil, err
 		}
@@ -351,22 +429,22 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 		return out, nil
 
 	case algebra.Product:
-		l, err := ev.eval(e.L)
+		l, err := ev.evalChild(e.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.eval(e.R)
+		r, err := ev.evalChild(e.R)
 		if err != nil {
 			return nil, err
 		}
 		return ev.product(l, r)
 
 	case algebra.Union:
-		l, err := ev.eval(e.L)
+		l, err := ev.evalChild(e.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.eval(e.R)
+		r, err := ev.evalChild(e.R)
 		if err != nil {
 			return nil, err
 		}
@@ -386,11 +464,11 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 		return res, nil
 
 	case algebra.Intersect:
-		l, err := ev.eval(e.L)
+		l, err := ev.evalChild(e.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.eval(e.R)
+		r, err := ev.evalChild(e.R)
 		if err != nil {
 			return nil, err
 		}
@@ -415,11 +493,11 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 		return out, nil
 
 	case algebra.Diff:
-		l, err := ev.eval(e.L)
+		l, err := ev.evalChild(e.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.eval(e.R)
+		r, err := ev.evalChild(e.R)
 		if err != nil {
 			return nil, err
 		}
@@ -450,7 +528,7 @@ func (ev *Evaluator) evalUncached(e algebra.Expr) (*table.Table, error) {
 		return ev.evalUnifySemi(e)
 
 	case algebra.Distinct:
-		child, err := ev.eval(e.Child)
+		child, err := ev.evalChild(e.Child)
 		if err != nil {
 			return nil, err
 		}
@@ -558,11 +636,11 @@ func (ev *Evaluator) evalAdomPower(e algebra.AdomPower) (*table.Table, error) {
 // checking that each group's suffixes cover all of R. Membership is by
 // exact row identity (mark-aware), matching the set-based definition.
 func (ev *Evaluator) evalDivision(e algebra.Division) (*table.Table, error) {
-	l, err := ev.eval(e.L)
+	l, err := ev.evalChild(e.L)
 	if err != nil {
 		return nil, err
 	}
-	r, err := ev.eval(e.R)
+	r, err := ev.evalChild(e.R)
 	if err != nil {
 		return nil, err
 	}
@@ -642,11 +720,11 @@ func rangeInts(n int) []int {
 // evalUnifySemi executes a unification (anti-)semijoin by nested loop
 // with early exit; tuple unification handles repeated marked nulls.
 func (ev *Evaluator) evalUnifySemi(e algebra.UnifySemi) (*table.Table, error) {
-	l, err := ev.eval(e.L)
+	l, err := ev.evalChild(e.L)
 	if err != nil {
 		return nil, err
 	}
-	r, err := ev.eval(e.R)
+	r, err := ev.evalChild(e.R)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,7 @@ func (ev *Evaluator) evalSelect(e algebra.Select) (*table.Table, error) {
 	if len(leaves) >= 2 && !ev.opts.NoHashJoin {
 		return ev.planJoinBlock(leaves, e.Cond)
 	}
-	child, err := ev.eval(e.Child)
+	child, err := ev.evalChild(e.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +114,7 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 			remap := func(col int) int { return col - offsets[i] }
 			src = algebra.Select{Child: leaf, Cond: algebra.MapCols(algebra.NewAnd(singles[i]...), remap)}
 		}
-		t, err := ev.eval(src)
+		t, err := ev.evalChild(src)
 		if err != nil {
 			return nil, err
 		}
@@ -342,61 +342,46 @@ func anyNull(r table.Row, cols []int) bool {
 	return false
 }
 
-// evalSemiJoin executes L ⋉θ R / L ▷θ R with the strategy selection
-// described in the package comment.
-func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
+// semiCond returns a semijoin's condition in NNF.
+func semiCond(e algebra.SemiJoin) algebra.Cond {
+	if algebra.NNFIsIdentity(e.Cond) { // translations emit NNF; skip the per-execution rebuild
+		return e.Cond
+	}
+	return algebra.NNF(e.Cond)
+}
+
+// semiPlan is the buffered state of a correlated (anti-)semijoin: the
+// built right side, the resolved condition, and the chosen strategy.
+// Both engines build it with prepSemi and probe it with probeSemi; the
+// materializing engine probes the whole left side at once, the
+// streaming engine one batch at a time.
+type semiPlan struct {
+	anti    bool
+	nL      int
+	name    string // "semijoin" or "antijoin"
+	cond    algebra.Cond
+	r       *table.Table
+	idx     map[string][]int // hash buckets over r; nil selects nested loop
+	lCols   []int            // probe-side key columns (hash strategy only)
+	sqlMode bool
+}
+
+// prepSemi evaluates the right side and builds the probe plan:
+// extracts pure equality conjuncts spanning both sides as hash keys,
+// resolves scalar subqueries in the condition (workers verify it, so
+// substitution must happen on this goroutine), and builds the hash
+// index when a key exists. The strategy counter is bumped here — one
+// per operator, whichever engine probes.
+func (ev *Evaluator) prepSemi(e algebra.SemiJoin, cond algebra.Cond) (*semiPlan, error) {
 	nL := e.L.Arity()
-	cond := e.Cond
-	if !algebra.NNFIsIdentity(cond) { // translations emit NNF; skip the per-execution rebuild
-		cond = algebra.NNF(cond)
-	}
-
-	// Uncorrelated subquery: the condition mentions no columns of L, so
-	// "∃s ∈ R: θ(s)" has one answer for the whole query. Evaluating R
-	// first lets an anti-join with a witness short-circuit to the empty
-	// result without ever computing L — this is precisely why the
-	// translated Q2 runs orders of magnitude faster than the original.
-	correlated := algebra.UsesColBelow(cond, nL)
-	if !correlated && !ev.opts.NoShortCircuit {
-		r, err := ev.eval(e.R)
-		if err != nil {
-			return nil, err
-		}
-		if cond, err = ev.resolveScalars(cond); err != nil {
-			return nil, err
-		}
-		exists := false
-		row := make(table.Row, nL+r.Arity())
-		for _, rr := range r.Rows() {
-			ev.stats.CostUnits++
-			if err := ev.tick("short-circuit"); err != nil {
-				return nil, err
-			}
-			copy(row[nL:], rr)
-			v, err := ev.evalCond(cond, row)
-			if err != nil {
-				return nil, err
-			}
-			if v.IsTrue() {
-				exists = true
-				break
-			}
-		}
-		ev.stats.ShortCircuits++
-		ev.note("uncorrelated subquery: exists=%v", exists)
-		if exists == e.Anti {
-			return table.New(nL), nil // empty result, L never evaluated
-		}
-		return ev.eval(e.L)
-	}
-
-	l, err := ev.eval(e.L)
+	r, err := ev.evalChild(e.R)
 	if err != nil {
 		return nil, err
 	}
-	r, err := ev.eval(e.R)
-	if err != nil {
-		return nil, err
+	p := &semiPlan{anti: e.Anti, nL: nL, name: "semijoin", r: r,
+		sqlMode: ev.opts.Semantics == value.SQL3VL}
+	if e.Anti {
+		p.name = "antijoin"
 	}
 
 	// Extract pure equality conjuncts spanning both sides as hash keys.
@@ -422,28 +407,18 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 			}
 		}
 	}
-
-	name := "semijoin"
-	if e.Anti {
-		name = "antijoin"
-	}
-	// Workers verify cond, so any scalar subquery it mentions is
-	// substituted by its value on this goroutine first.
-	if cond, err = ev.resolveScalars(cond); err != nil {
+	if p.cond, err = ev.resolveScalars(cond); err != nil {
 		return nil, err
 	}
-	lRows := l.Rows()
-	chunks := make([][]table.Row, ev.opts.workers())
 
 	if len(lCols) > 0 {
 		// Hash strategy: probe buckets, verify the full condition.
-		sqlMode := ev.opts.Semantics == value.SQL3VL
 		if err := ev.gov.Fault(guard.SiteHashBuild); err != nil {
 			return nil, err
 		}
 		idx := make(map[string][]int, r.Len())
 		for i, rr := range r.Rows() {
-			if sqlMode && anyNull(rr, rCols) {
+			if p.sqlMode && anyNull(rr, rCols) {
 				continue
 			}
 			k := value.TupleKey(rr, rCols)
@@ -452,25 +427,45 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 		if err := ev.charge("semijoin/build", int64(r.Len())); err != nil {
 			return nil, err
 		}
-		err := ev.runChunks(l.Len(), "semijoin/probe", func(c *chunk) error {
-			if err := c.fault(guard.SiteSemijoinProbe); err != nil {
-				return err
+		p.idx, p.lCols = idx, lCols
+		ev.stats.HashJoins++
+		ev.note("hash %s [%d keys] build %d rows", p.name, len(lCols), r.Len())
+		return p, nil
+	}
+	// Nested loop: the "confused optimizer" path that conditions of the
+	// form (A = B OR B IS NULL) force, per Section 7 of the paper.
+	ev.stats.NestedLoopJoins++
+	ev.note("nested-loop %s vs %d rows", p.name, r.Len())
+	return p, nil
+}
+
+// probeSemi probes lRows against the plan and returns the qualifying
+// rows in input order. The probe rows are independent, so the scan
+// partitions across workers — the single largest lever on the
+// Figure 4 / Q⁺4 cost — and partition outputs concatenate in order,
+// keeping results deterministic at any Parallelism.
+func (ev *Evaluator) probeSemi(p *semiPlan, lRows []table.Row) ([]table.Row, error) {
+	chunks := make([][]table.Row, ev.opts.workers())
+	err := ev.runChunks(len(lRows), "semijoin/probe", func(c *chunk) error {
+		if err := c.fault(guard.SiteSemijoinProbe); err != nil {
+			return err
+		}
+		var out []table.Row
+		row := make(table.Row, p.nL+p.r.Arity())
+		for i := c.lo; i < c.hi; i++ {
+			if c.stopped() {
+				return nil
 			}
-			var out []table.Row
-			row := make(table.Row, nL+r.Arity())
-			for i := c.lo; i < c.hi; i++ {
-				if c.stopped() {
-					return nil
-				}
-				lr := lRows[i]
+			lr := lRows[i]
+			match := false
+			if p.idx != nil {
 				c.st.costUnits++
-				match := false
-				if !(sqlMode && anyNull(lr, lCols)) {
+				if !(p.sqlMode && anyNull(lr, p.lCols)) {
 					copy(row, lr)
-					for _, ri := range idx[value.TupleKey(lr, lCols)] {
+					for _, ri := range p.idx[value.TupleKey(lr, p.lCols)] {
 						c.st.costUnits++
-						copy(row[nL:], r.Row(ri))
-						v, err := ev.evalCond(cond, row)
+						copy(row[p.nL:], p.r.Row(ri))
+						v, err := ev.evalCond(p.cond, row)
 						if err != nil {
 							return err
 						}
@@ -480,53 +475,22 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 						}
 					}
 				}
-				if match != e.Anti {
-					out = append(out, lr)
+			} else {
+				copy(row, lr)
+				for _, rr := range p.r.Rows() {
+					c.st.costUnits++
+					copy(row[p.nL:], rr)
+					v, err := ev.evalCond(p.cond, row)
+					if err != nil {
+						return err
+					}
+					if v.IsTrue() {
+						match = true
+						break
+					}
 				}
 			}
-			chunks[c.part] = out
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		out := concatChunks(nL, chunks)
-		ev.stats.HashJoins++
-		ev.note("hash %s [%d keys] %d vs %d -> %d rows", name, len(lCols), l.Len(), r.Len(), out.Len())
-		return out, nil
-	}
-
-	// Nested loop: the "confused optimizer" path that conditions of the
-	// form (A = B OR B IS NULL) force, per Section 7 of the paper. The
-	// probe rows are independent, so the quadratic scan partitions
-	// across workers — the single largest lever on the Figure 4 / Q⁺4
-	// cost.
-	err = ev.runChunks(l.Len(), "semijoin/probe", func(c *chunk) error {
-		if err := c.fault(guard.SiteSemijoinProbe); err != nil {
-			return err
-		}
-		var out []table.Row
-		row := make(table.Row, nL+r.Arity())
-		for i := c.lo; i < c.hi; i++ {
-			if c.stopped() {
-				return nil
-			}
-			lr := lRows[i]
-			match := false
-			copy(row, lr)
-			for _, rr := range r.Rows() {
-				c.st.costUnits++
-				copy(row[nL:], rr)
-				v, err := ev.evalCond(cond, row)
-				if err != nil {
-					return err
-				}
-				if v.IsTrue() {
-					match = true
-					break
-				}
-			}
-			if match != e.Anti {
+			if match != p.anti {
 				out = append(out, lr)
 			}
 		}
@@ -536,8 +500,84 @@ func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := concatChunks(nL, chunks)
-	ev.stats.NestedLoopJoins++
-	ev.note("nested-loop %s %d × %d -> %d rows", name, l.Len(), r.Len(), out.Len())
+	var out []table.Row
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	return out, nil
+}
+
+// semiExists answers an uncorrelated subquery once: the condition
+// mentions no columns of L, so "∃s ∈ R: θ(s)" has one answer for the
+// whole query. Evaluating R first lets an anti-join with a witness
+// short-circuit to the empty result without ever computing L — this is
+// precisely why the translated Q2 runs orders of magnitude faster than
+// the original.
+func (ev *Evaluator) semiExists(nL int, rExpr algebra.Expr, cond algebra.Cond) (bool, error) {
+	r, err := ev.evalChild(rExpr)
+	if err != nil {
+		return false, err
+	}
+	if cond, err = ev.resolveScalars(cond); err != nil {
+		return false, err
+	}
+	exists := false
+	row := make(table.Row, nL+r.Arity())
+	for _, rr := range r.Rows() {
+		ev.stats.CostUnits++
+		if err := ev.tick("short-circuit"); err != nil {
+			return false, err
+		}
+		copy(row[nL:], rr)
+		v, err := ev.evalCond(cond, row)
+		if err != nil {
+			return false, err
+		}
+		if v.IsTrue() {
+			exists = true
+			break
+		}
+	}
+	ev.stats.ShortCircuits++
+	ev.note("uncorrelated subquery: exists=%v", exists)
+	return exists, nil
+}
+
+// evalSemiJoin executes L ⋉θ R / L ▷θ R with the strategy selection
+// described in the package comment (materializing engine).
+func (ev *Evaluator) evalSemiJoin(e algebra.SemiJoin) (*table.Table, error) {
+	nL := e.L.Arity()
+	cond := semiCond(e)
+
+	correlated := algebra.UsesColBelow(cond, nL)
+	if !correlated && !ev.opts.NoShortCircuit {
+		exists, err := ev.semiExists(nL, e.R, cond)
+		if err != nil {
+			return nil, err
+		}
+		if exists == e.Anti {
+			return table.New(nL), nil // empty result, L never evaluated
+		}
+		return ev.evalChild(e.L)
+	}
+
+	l, err := ev.evalChild(e.L)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ev.prepSemi(e, cond)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ev.probeSemi(p, l.Rows())
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(nL)
+	out.Grow(len(rows))
+	for _, r := range rows {
+		out.Append(r)
+	}
+	ev.note("%s %d vs %d -> %d rows", p.name, l.Len(), p.r.Len(), out.Len())
 	return out, nil
 }

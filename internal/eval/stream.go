@@ -1,0 +1,428 @@
+package eval
+
+import (
+	"certsql/internal/algebra"
+	"certsql/internal/guard"
+	"certsql/internal/table"
+)
+
+// The streaming engine's driver. drainExpr is the streaming
+// counterpart of eval: it serves view-cache hits, runs streamable
+// subtrees as iterator pipelines via drain, and routes everything else
+// through the shared operator bodies in evalUncached behind a memory
+// frame. Both engines share those bodies (via evalChild), the semijoin
+// prep/probe helpers and the condition evaluator, which is what keeps
+// them byte-for-byte identical — including the minting order of
+// negative aggregate-null marks.
+
+// streamable reports whether e runs as an iterator pipeline. A Select
+// whose FROM clause joins two or more relations is planned as a hash
+// join block and buffers; with hash joins disabled it degenerates to
+// filter-over-product and the filter streams.
+func (ev *Evaluator) streamable(e algebra.Expr, sh *Shape) bool {
+	if sh != nil && sh.Op == opName(e) && !ev.opts.NoHashJoin {
+		return sh.Stream
+	}
+	switch e := e.(type) { // astlint:partial — everything else buffers
+	case algebra.Base, algebra.Project, algebra.Limit, algebra.Distinct,
+		algebra.Union, algebra.SemiJoin:
+		return true
+	case algebra.Select:
+		return len(flattenProduct(e.Child)) < 2 || ev.opts.NoHashJoin
+	default:
+		return false
+	}
+}
+
+// sharedView reports that e should buffer through the view cache even
+// though it could stream: either its result is already cached, or the
+// shared-subtree analysis (markShared) saw it appear more than once in
+// the plan — the WITH-view effect the paper introduces for Q⁺4, which
+// a pure pipeline would otherwise recompute per occurrence. Stored
+// relations are exempt: repeating a scan is free, materializing a copy
+// is not.
+func (ev *Evaluator) sharedView(e algebra.Expr) bool {
+	if ev.opts.NoSubplanCache {
+		return false
+	}
+	if _, ok := e.(algebra.Base); ok {
+		return false
+	}
+	key := viewKey(e)
+	if key == "" {
+		return false
+	}
+	if _, ok := ev.cache[key]; ok {
+		return true
+	}
+	return ev.shared[key]
+}
+
+// markShared counts cacheable subtrees of e (including scalar-subquery
+// bodies) and records the keys that occur at least twice; buildIter
+// materializes those through the view cache instead of streaming them.
+// It runs once per Eval root and accumulates across roots, matching
+// the cache's evaluator lifetime.
+func (ev *Evaluator) markShared(e algebra.Expr) {
+	counts := map[string]int{}
+	var walk func(e algebra.Expr)
+	var walkCond func(c algebra.Cond)
+	walkOperand := func(o algebra.Operand) {
+		if s, ok := o.(algebra.Scalar); ok {
+			walk(s.Sub)
+		}
+	}
+	walkCond = func(c algebra.Cond) {
+		switch c := c.(type) { // astlint:partial — only scalar carriers matter
+		case algebra.Cmp:
+			walkOperand(c.L)
+			walkOperand(c.R)
+		case algebra.Like:
+			walkOperand(c.Operand)
+			walkOperand(c.Pattern)
+		case algebra.NullTest:
+			walkOperand(c.Operand)
+		case algebra.And:
+			for _, sub := range c.Conds {
+				walkCond(sub)
+			}
+		case algebra.Or:
+			for _, sub := range c.Conds {
+				walkCond(sub)
+			}
+		case algebra.Not:
+			walkCond(c.C)
+		}
+	}
+	walk = func(e algebra.Expr) {
+		switch e := e.(type) { // astlint:partial — leaves have no children
+		case algebra.Base, algebra.AdomPower:
+			return // stored relations and generated powers are never shared views
+		case algebra.Select:
+			walkCond(e.Cond)
+			walk(e.Child)
+		case algebra.Project:
+			walk(e.Child)
+		case algebra.Product:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Union:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Intersect:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Diff:
+			walk(e.L)
+			walk(e.R)
+		case algebra.SemiJoin:
+			walkCond(e.Cond)
+			walk(e.L)
+			walk(e.R)
+		case algebra.UnifySemi:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Distinct:
+			walk(e.Child)
+		case algebra.Division:
+			walk(e.L)
+			walk(e.R)
+		case algebra.GroupBy:
+			walk(e.Child)
+		case algebra.Sort:
+			walk(e.Child)
+		case algebra.Limit:
+			walk(e.Child)
+		default:
+			return
+		}
+		if k := viewKey(e); k != "" {
+			counts[k]++
+		}
+	}
+	walk(e)
+	for k, n := range counts {
+		if n >= 2 {
+			ev.shared[k] = true
+		}
+	}
+}
+
+// rootShape returns the precomputed shape annotation for the root
+// expression when one was supplied and matches; a stale shape (a
+// different plan's, say) is discarded rather than trusted.
+func (ev *Evaluator) rootShape(e algebra.Expr) *Shape {
+	if sh := ev.opts.Shape; sh != nil && sh.Op == opName(e) {
+		return sh
+	}
+	return nil
+}
+
+// drainExpr evaluates e with the streaming engine and returns its
+// materialized result. top marks the root of an Eval call: a root Base
+// drains through a scan pipeline (so even a bare scan's result is
+// charged and budget-checked), while an interior Base is served as the
+// stored relation itself — storage, not executor-materialized state,
+// so it carries no memory charge.
+func (ev *Evaluator) drainExpr(e algebra.Expr, sh *Shape, top bool) (*table.Table, error) {
+	if _, ok := e.(algebra.Base); ok && !top {
+		return ev.evalUncached(e)
+	}
+	key := ""
+	if !ev.opts.NoSubplanCache {
+		key = viewKey(e) // "" for subplans too large to profitably cache
+		if t, ok := ev.cache[key]; key != "" && ok {
+			ev.stats.CacheHits++
+			ev.note("cached %T -> %d rows", e, t.Len())
+			return t, nil
+		}
+	}
+	ev.pushFrame()
+	t, err := ev.drainScope(e, sh)
+	ev.popFrame(t)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		// Publication is the last step: a fault or panic here leaves no
+		// partially built entry behind, and a drained pipeline that
+		// failed mid-batch never reaches this point.
+		if err := ev.gov.Fault(guard.SiteViewMaterialize); err != nil {
+			return nil, err
+		}
+		ev.cache[key] = t
+		ev.pin(t)
+	}
+	return t, nil
+}
+
+// drainScope produces e's table inside the frame drainExpr opened:
+// streamable subtrees drain a pipeline (memory charged per batch),
+// buffered ones run the shared operator body and charge their result
+// at the operator boundary, exactly like the materializing engine.
+func (ev *Evaluator) drainScope(e algebra.Expr, sh *Shape) (*table.Table, error) {
+	if ev.streamable(e, sh) {
+		it, err := ev.buildIterNode(e, sh)
+		if err != nil {
+			return nil, err
+		}
+		defer it.close()
+		return ev.drain(opName(e), it)
+	}
+	t, err := ev.evalUncached(e)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.gov.ChargeMem(opName(e), t.EstimatedBytes()); err != nil {
+		return nil, err
+	}
+	ev.trackMem(t, t.EstimatedBytes())
+	return t, nil
+}
+
+// buildIter compiles a child position of a pipeline: subtrees that
+// cannot stream — and streamable ones the plan shares (sharedView) —
+// are drained to a table here and enter the pipeline behind the
+// bufferedIter boundary; everything else composes as iterator nodes.
+// Construction is where all buffered work happens, so by the time the
+// first batch is pulled, the pipeline's eager inputs are complete.
+func (ev *Evaluator) buildIter(e algebra.Expr, sh *Shape) (iter, error) {
+	if !ev.streamable(e, sh) || ev.sharedView(e) {
+		t, err := ev.drainExpr(e, sh, false)
+		if err != nil {
+			return nil, err
+		}
+		return &bufferedIter{t: t}, nil
+	}
+	return ev.buildIterNode(e, sh)
+}
+
+// buildIterNode compiles one streamable operator into its iterator.
+func (ev *Evaluator) buildIterNode(e algebra.Expr, sh *Shape) (iter, error) {
+	if err := ev.gov.Poll(opName(e)); err != nil {
+		return nil, err
+	}
+	switch e := e.(type) { // astlint:partial — buffered operators take the default
+	case algebra.Base:
+		return ev.newScanIter(e)
+
+	case algebra.Select:
+		child, err := ev.buildIter(e.Child, sh.kid(0))
+		if err != nil {
+			return nil, err
+		}
+		return ev.newFilterIter(child, e.Cond)
+
+	case algebra.Project:
+		child, err := ev.buildIter(e.Child, sh.kid(0))
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{ev: ev, child: child, cols: e.Cols}, nil
+
+	case algebra.Limit:
+		if e.N < 0 {
+			return nil, errNegativeLimit(e.N)
+		}
+		child, err := ev.buildIter(e.Child, sh.kid(0))
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, left: e.N}, nil
+
+	case algebra.Distinct:
+		child, err := ev.buildIter(e.Child, sh.kid(0))
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{ev: ev, child: child, chargeOp: "distinct", seen: map[string]struct{}{}}, nil
+
+	case algebra.Union:
+		l, err := ev.buildIter(e.L, sh.kid(0))
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.buildIter(e.R, sh.kid(1))
+		if err != nil {
+			l.close()
+			return nil, err
+		}
+		u := &unionIter{ev: ev, l: l, r: r}
+		return &distinctIter{ev: ev, child: u, seen: map[string]struct{}{}}, nil
+
+	case algebra.SemiJoin:
+		return ev.buildSemiIter(e, sh)
+
+	default:
+		// Unreachable from buildIter (streamable gates the types above),
+		// kept as a buffered fallback.
+		t, err := ev.drainExpr(e, sh, false)
+		if err != nil {
+			return nil, err
+		}
+		return &bufferedIter{t: t}, nil
+	}
+}
+
+// buildSemiIter compiles an (anti-)semijoin: the uncorrelated
+// short-circuit answers the subquery once and compiles to either an
+// empty pipeline or the bare left side; the correlated form builds the
+// right side eagerly (prepSemi) and streams probe batches through it.
+// The evaluation order — left pipeline construction, then right-side
+// build — matches the materializing engine's left-then-right order.
+func (ev *Evaluator) buildSemiIter(e algebra.SemiJoin, sh *Shape) (iter, error) {
+	nL := e.L.Arity()
+	cond := semiCond(e)
+	correlated := algebra.UsesColBelow(cond, nL)
+	if !correlated && !ev.opts.NoShortCircuit {
+		exists, err := ev.semiExists(nL, e.R, cond)
+		if err != nil {
+			return nil, err
+		}
+		if exists == e.Anti {
+			return &emptyIter{ar: nL}, nil // empty result, L never evaluated
+		}
+		return ev.buildIter(e.L, sh.kid(0))
+	}
+	child, err := ev.buildIter(e.L, sh.kid(0))
+	if err != nil {
+		return nil, err
+	}
+	p, err := ev.prepSemi(e, cond)
+	if err != nil {
+		child.close()
+		return nil, err
+	}
+	return &semiProbeIter{ev: ev, p: p, child: child}, nil
+}
+
+// drain pulls a pipeline to exhaustion into a fresh table. This loop
+// is where per-operator governance became per-batch: every pull polls
+// for cancellation, fires the batch-pull fault site, checks the row
+// budget against the accumulated output, and charges the output's
+// estimated bytes incrementally (table.EstimatedBytes is linear in
+// rows, so the increments sum exactly to the full-table charge). On
+// failure the partial output's charge is returned to the governor.
+func (ev *Evaluator) drain(op string, it iter) (t *table.Table, err error) {
+	out := table.New(it.arity())
+	var charged int64
+	defer func() {
+		if err != nil {
+			ev.gov.ReleaseMem(charged)
+		}
+	}()
+	for {
+		if err := ev.gov.Poll(op); err != nil {
+			return nil, err
+		}
+		if err := ev.gov.Fault(guard.SiteBatchPull); err != nil {
+			return nil, err
+		}
+		batch, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		for _, r := range batch {
+			out.Append(r)
+		}
+		if err := ev.gov.CheckRows(op, out.Len()); err != nil {
+			return nil, err
+		}
+		delta := out.EstimatedBytes() - charged
+		charged += delta // ChargeMem adds before checking; keep release exact
+		if err := ev.gov.ChargeMem(op, delta); err != nil {
+			return nil, err
+		}
+	}
+	ev.trackMem(out, charged)
+	ev.note("%s ~> %d rows", iterName(it), out.Len())
+	return out, nil
+}
+
+// pushFrame opens a memory scope: tables charged while it is open are
+// released when the matching popFrame closes it.
+func (ev *Evaluator) pushFrame() {
+	ev.frames = append(ev.frames, nil)
+}
+
+// popFrame closes the top scope, releasing the charge of every table
+// it tracked except keep, whose charge migrates to the enclosing
+// scope (or stays for the evaluator's lifetime at the root). Pinned
+// tables — view-cache entries — have no ledger entry and are skipped.
+func (ev *Evaluator) popFrame(keep *table.Table) {
+	top := ev.frames[len(ev.frames)-1]
+	ev.frames = ev.frames[:len(ev.frames)-1]
+	for _, t := range top {
+		if t == keep {
+			if len(ev.frames) > 0 {
+				ev.frames[len(ev.frames)-1] = append(ev.frames[len(ev.frames)-1], t)
+			}
+			continue
+		}
+		if n, ok := ev.ledger[t]; ok {
+			ev.gov.ReleaseMem(n)
+			delete(ev.ledger, t)
+		}
+	}
+}
+
+// trackMem records that t carries an n-byte live charge, owned by the
+// current frame.
+func (ev *Evaluator) trackMem(t *table.Table, n int64) {
+	ev.ledger[t] += n
+	if len(ev.frames) > 0 {
+		ev.frames[len(ev.frames)-1] = append(ev.frames[len(ev.frames)-1], t)
+	}
+}
+
+// pin makes t's memory charge permanent — the view cache keeps the
+// table alive beyond the operator (and, under a shared governor, the
+// query) that built it, so its charge must not be released when the
+// building frame closes. A table is charged exactly once: hits on the
+// cached entry are free.
+func (ev *Evaluator) pin(t *table.Table) {
+	delete(ev.ledger, t)
+}

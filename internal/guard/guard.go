@@ -132,13 +132,17 @@ const (
 	// SiteViewMaterialize fires when a subplan result is stored in the
 	// shared-view cache.
 	SiteViewMaterialize Site = "view-materialize"
+	// SiteBatchPull fires once per batch pulled through the streaming
+	// executor's drain loop — the per-batch governance point of the
+	// pull-based iterator path.
+	SiteBatchPull Site = "batch-pull"
 	// SiteValuation fires once per valuation enumerated by the
 	// brute-force certain-answer oracle.
 	SiteValuation Site = "valuation"
 )
 
 // Sites lists every fault-injection site, for seeded fault plans.
-var Sites = []Site{SiteScan, SiteHashBuild, SiteSemijoinProbe, SiteWorkerSpawn, SiteViewMaterialize}
+var Sites = []Site{SiteScan, SiteHashBuild, SiteSemijoinProbe, SiteWorkerSpawn, SiteViewMaterialize, SiteBatchPull}
 
 // FaultHook receives a callback at every instrumented site. A hook
 // returns a non-nil error to inject a failure at that site; it may
@@ -201,6 +205,7 @@ type Governor struct {
 	limits Limits
 	cost   atomic.Int64
 	mem    atomic.Int64
+	memHW  atomic.Int64
 	faults FaultHook
 }
 
@@ -296,13 +301,23 @@ func (g *Governor) ChargeCost(op string, n int64) error {
 func (g *Governor) CostSpent() int64 { return g.cost.Load() }
 
 // ChargeMem adds an estimated n bytes of materialized state and trips
-// ErrMemBudget when the cumulative estimate exceeds the budget. With
-// no memory budget configured it only accumulates.
+// ErrMemBudget when the live estimate exceeds the budget. With no
+// memory budget configured it only accumulates. The charge is live, not
+// cumulative: ReleaseMem returns bytes whose backing state the executor
+// has dropped, and the all-time peak is kept in MemHighWater. The
+// materializing engine never releases, so for it charged == high-water
+// and the pre-existing cumulative semantics are unchanged.
 func (g *Governor) ChargeMem(op string, n int64) error {
 	if g == nil {
 		return nil
 	}
 	total := g.mem.Add(n)
+	for {
+		hw := g.memHW.Load()
+		if total <= hw || g.memHW.CompareAndSwap(hw, total) {
+			break
+		}
+	}
 	if max := g.limits.MaxMemBytes; max > 0 && total > max {
 		return &LimitError{Sentinel: ErrMemBudget, Op: op,
 			Detail: fmt.Sprintf("estimated %d bytes over budget of %d", total, max)}
@@ -310,8 +325,23 @@ func (g *Governor) ChargeMem(op string, n int64) error {
 	return nil
 }
 
-// MemCharged returns the cumulative estimated bytes charged so far.
+// ReleaseMem returns n estimated bytes previously charged with
+// ChargeMem, once the state they accounted for is no longer live (a
+// consumed intermediate, a closed iterator's buffer). The high-water
+// mark is unaffected.
+func (g *Governor) ReleaseMem(n int64) {
+	if g == nil || n <= 0 {
+		return
+	}
+	g.mem.Add(-n)
+}
+
+// MemCharged returns the estimated bytes currently charged (live).
 func (g *Governor) MemCharged() int64 { return g.mem.Load() }
+
+// MemHighWater returns the peak of MemCharged over the Governor's
+// lifetime — the evaluation's peak estimated intermediate memory.
+func (g *Governor) MemHighWater() int64 { return g.memHW.Load() }
 
 // Fault invokes the installed fault hook at site, returning whatever
 // the hook injects. With no hook installed (production) it is a nil

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"certsql/internal/algebra"
+	"certsql/internal/eval"
 )
 
 // DefaultSize is the entry bound used when New is given max <= 0.
@@ -92,6 +93,14 @@ type Plan struct {
 	// RewriteSQL is the SQL rendering of the executed certain
 	// translation, when one was requested ("" otherwise).
 	RewriteSQL string
+	// OrigShape, PlusShape and StarShape are the streaming executor's
+	// iterator-tree annotations for the corresponding expressions,
+	// captured at compile time so prepared executions skip re-deriving
+	// pipeline boundaries. Purely advisory: the evaluator validates
+	// them and falls back to on-the-fly derivation on any mismatch.
+	OrigShape *eval.Shape
+	PlusShape *eval.Shape
+	StarShape *eval.Shape
 }
 
 // Stats is a point-in-time snapshot of the cache counters.

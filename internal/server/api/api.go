@@ -95,6 +95,9 @@ type Stats struct {
 	FastPathHits    int   `json:"fast_path_hits,omitempty"`
 	PlanCacheHits   int   `json:"plan_cache_hits,omitempty"`
 	PlanCacheMisses int   `json:"plan_cache_misses,omitempty"`
+	// MemHighWaterBytes is the execution's peak estimated intermediate
+	// memory, as charged to the request's resource governor.
+	MemHighWaterBytes int64 `json:"mem_highwater_bytes,omitempty"`
 }
 
 // PrepareRequest is the body of POST /v1/prepare.

@@ -24,6 +24,9 @@ type metrics struct {
 	fastPathHits    int64
 	degraded        int64
 	admissionDrops  int64
+	// memHighWater is the largest per-request peak estimated
+	// intermediate memory (bytes) any query has reported.
+	memHighWater int64
 }
 
 type reqKey struct {
@@ -62,7 +65,7 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration) {
 
 // observeQuery folds one successful query result into the aggregate
 // engine counters.
-func (m *metrics) observeQuery(planHits, planMisses, fastPath int, degraded bool) {
+func (m *metrics) observeQuery(planHits, planMisses, fastPath int, degraded bool, memHW int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.planCacheHits += int64(planHits)
@@ -70,6 +73,9 @@ func (m *metrics) observeQuery(planHits, planMisses, fastPath int, degraded bool
 	m.fastPathHits += int64(fastPath)
 	if degraded {
 		m.degraded++
+	}
+	if memHW > m.memHighWater {
+		m.memHighWater = memHW
 	}
 }
 
@@ -120,6 +126,7 @@ func (m *metrics) render(g gauges) string {
 	fmt.Fprintf(&b, "certsqld_plan_cache_hit_ratio %g\n", hitRatio)
 	fmt.Fprintf(&b, "certsqld_plan_cache_hits_total %d\n", m.planCacheHits)
 	fmt.Fprintf(&b, "certsqld_plan_cache_misses_total %d\n", m.planCacheMisses)
+	fmt.Fprintf(&b, "certsqld_query_mem_highwater_bytes %d\n", m.memHighWater)
 	fmt.Fprintf(&b, "certsqld_queue_depth %d\n", g.queueDepth)
 	fmt.Fprintf(&b, "certsqld_sessions %d\n", g.sessions)
 	shutdown := 0

@@ -343,7 +343,7 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, rawParams map[s
 		writeErr(w, err)
 		return
 	}
-	s.metrics.observeQuery(res.Stats.PlanCacheHits, res.Stats.PlanCacheMisses, res.Stats.FastPathHits, res.Degraded)
+	s.metrics.observeQuery(res.Stats.PlanCacheHits, res.Stats.PlanCacheMisses, res.Stats.FastPathHits, res.Degraded, res.Stats.MemHighWaterBytes)
 	resp := &api.QueryResponse{
 		Columns:  res.Columns,
 		Rows:     api.EncodeRows(res.Rows()),
@@ -357,9 +357,10 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, rawParams map[s
 			HashJoins:       res.Stats.HashJoins,
 			ShortCircuits:   res.Stats.ShortCircuits,
 			CacheHits:       res.Stats.CacheHits,
-			FastPathHits:    res.Stats.FastPathHits,
-			PlanCacheHits:   res.Stats.PlanCacheHits,
-			PlanCacheMisses: res.Stats.PlanCacheMisses,
+			FastPathHits:      res.Stats.FastPathHits,
+			PlanCacheHits:     res.Stats.PlanCacheHits,
+			PlanCacheMisses:   res.Stats.PlanCacheMisses,
+			MemHighWaterBytes: res.Stats.MemHighWaterBytes,
 		},
 	}
 	if resp.Rows == nil {

@@ -10,6 +10,7 @@ import (
 	"certsql/internal/analyze"
 	"certsql/internal/certain"
 	"certsql/internal/compile"
+	"certsql/internal/eval"
 	"certsql/internal/guard"
 	"certsql/internal/plancache"
 	"certsql/internal/sql"
@@ -134,7 +135,8 @@ func (db *DB) compilePlan(text string, params Params, opts Options) (pl *plancac
 	if err != nil {
 		return nil, err
 	}
-	pl = &plancache.Plan{Columns: compiled.Columns, Orig: compiled.Expr}
+	pl = &plancache.Plan{Columns: compiled.Columns, Orig: compiled.Expr,
+		OrigShape: eval.ShapeOf(compiled.Expr)}
 	switch mode {
 	case modeCertain:
 		pl.Mode = plancache.ModeCertain
@@ -157,8 +159,10 @@ func (db *DB) compilePlan(text string, params Params, opts Options) (pl *plancac
 	pl.AnalyzerSafe = analyze.Plan(compiled.Expr, db.d.Schema).Safe
 	tr := opts.translator(db)
 	pl.Plus = tr.Plus(compiled.Expr)
+	pl.PlusShape = eval.ShapeOf(pl.Plus)
 	if pl.Mode == plancache.ModePossible {
 		pl.Star = tr.Star(compiled.Expr)
+		pl.StarShape = eval.ShapeOf(pl.Star)
 	}
 	return pl, nil
 }
@@ -174,7 +178,7 @@ func (db *DB) runPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (re
 	case plancache.ModeCertain:
 		return db.evalCertainPlan(gov, pl, opts)
 	case plancache.ModePossible:
-		res, err := db.evalExpr(gov, pl.Star, pl.Columns, opts)
+		res, err := db.evalExprShaped(gov, pl.Star, pl.StarShape, pl.Columns, opts)
 		if err == nil {
 			res.Possible = true
 			return res, nil
@@ -197,7 +201,7 @@ func (db *DB) runPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (re
 		})
 		return res, nil
 	default:
-		return db.evalExpr(gov, pl.Orig, pl.Columns, opts)
+		return db.evalExprShaped(gov, pl.Orig, pl.OrigShape, pl.Columns, opts)
 	}
 }
 
@@ -205,11 +209,11 @@ func (db *DB) runPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (re
 // analyzer fast path when the cached verdict applies to the current
 // data, the cached Q⁺ otherwise.
 func (db *DB) evalCertainPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (*Result, error) {
-	expr, fastPath := pl.Plus, false
+	expr, shape, fastPath := pl.Plus, pl.PlusShape, false
 	if !opts.NoAnalyzerFastPath && pl.AnalyzerSafe && db.d.ConformsNonNull() {
-		expr, fastPath = pl.Orig, true
+		expr, shape, fastPath = pl.Orig, pl.OrigShape, true
 	}
-	res, err := db.evalExpr(gov, expr, pl.Columns, opts)
+	res, err := db.evalExprShaped(gov, expr, shape, pl.Columns, opts)
 	if err != nil {
 		return nil, err
 	}

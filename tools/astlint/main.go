@@ -1,10 +1,12 @@
 // Command astlint is a repo-local linter for type-switch exhaustiveness
 // over the closed node families of the SQL AST (internal/sql: QueryExpr,
-// Expr) and the algebra (internal/algebra: Expr, Cond, Operand). Those
-// families grow — PRs add operators and expression forms — and a type
-// switch that silently ignores a new node is exactly how a certainty
-// bug slips past the compiler: Go has no sealed sums, so nothing else
-// enforces that compile, rewrite and analyze handle every node.
+// Expr), the algebra (internal/algebra: Expr, Cond, Operand), and the
+// streaming executor's iterator nodes (internal/eval: iter). Those
+// families grow — PRs add operators, expression forms and iterator
+// kinds — and a type switch that silently ignores a new node is exactly
+// how a certainty bug slips past the compiler: Go has no sealed sums,
+// so nothing else enforces that compile, rewrite and analyze handle
+// every node.
 //
 // The rules:
 //
@@ -55,7 +57,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-var familyDirs = []string{"internal/sql", "internal/algebra"}
+var familyDirs = []string{"internal/sql", "internal/algebra", "internal/eval"}
 
 // sentinelDir declares the guard error taxonomy; its exported Err*
 // variables form the closed sum the sentinel-switch rule enforces.
