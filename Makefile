@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test race bench bench-memory fuzz fuzzcert chaos serve-smoke
+.PHONY: check build vet lint test race bench bench-memory bench-plan fuzz fuzz-plan fuzzcert chaos serve-smoke
 
 # check is what CI runs: build, vet, lint, and the full test suite under
 # the race detector (the parallel executor must stay race-clean).
@@ -38,6 +38,16 @@ bench:
 bench-memory:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingMemory -benchtime 5x .
 
+# bench-plan measures the cost-based planner against the paper-faithful
+# naive plans (Options.NaivePlanner) on the translated Q1-Q4, prepared,
+# single-core, under both the default and the raw (unsplit, Section 7)
+# translations, then runs the acceptance check: >=1.5x on at least two
+# appendix queries with byte-identical results (EXPERIMENTS.md records
+# the measured table).
+bench-plan:
+	$(GO) test -run '^$$' -bench BenchmarkPlannerSpeedup -benchtime 5x .
+	$(GO) test -run '^TestPlannerSpeedup$$' -count=1 -v .
+
 # fuzz runs every native fuzz target for FUZZTIME each, under the race
 # detector. 30s per target is the CI smoke setting; for a nightly long
 # run use e.g.
@@ -54,6 +64,13 @@ fuzz:
 	$(GO) test -race -run='^$$' -fuzz=FuzzCertainPipeline -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -race -run='^$$' -fuzz=FuzzCompileEval -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -race -run='^$$' -fuzz=FuzzAnalyzerSoundness -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -race -run='^$$' -fuzz=FuzzPlannerAblation -fuzztime=$(FUZZTIME) ./internal/difftest
+
+# fuzz-plan hammers only the planner's byte-identity contract: the
+# coverage-guided planner-ablation fuzzer (optimized vs naive plans,
+# both semantics, both engines) under the race detector.
+fuzz-plan:
+	$(GO) test -race -run='^$$' -fuzz=FuzzPlannerAblation -fuzztime=$(FUZZTIME) ./internal/difftest
 
 # fuzzcert runs the seeded differential oracle over a deterministic
 # range of cases (no coverage guidance, instantly reproducible: every

@@ -29,9 +29,11 @@ import (
 	"certsql/internal/compile"
 	"certsql/internal/eval"
 	"certsql/internal/guard"
+	"certsql/internal/plan"
 	"certsql/internal/plancache"
 	"certsql/internal/rewrite"
 	"certsql/internal/sql"
+	"certsql/internal/stats"
 	"certsql/internal/table"
 	"certsql/internal/value"
 )
@@ -99,6 +101,15 @@ type Options struct {
 	// does not change the compiled plan, so both engines share plan
 	// cache entries.
 	Materialize bool
+
+	// NaivePlanner disables the cost-based planner and runs the plan
+	// exactly as translation produced it — the paper-faithful greedy
+	// configuration, kept as an ablation. The planner never changes
+	// results (its rewrites are byte-identity-preserving and difftest
+	// enforces that), so this toggle only trades plan quality; it is an
+	// executor-side concern and shares plan-cache entries with the
+	// default configuration.
+	NaivePlanner bool
 
 	// NoAnalyzerFastPath disables the static-analyzer fast path for
 	// SELECT CERTAIN: queries the nullability analysis proves safe —
@@ -210,10 +221,13 @@ type DB struct {
 	d      *table.Database
 	catver uint64
 	plans  *plancache.Cache
+	stats  *stats.Collector
 }
 
 // wrap adopts an internal database (used by the TPC-H constructors).
-func wrap(d *table.Database) *DB { return &DB{d: d, plans: plancache.New(0)} }
+func wrap(d *table.Database) *DB {
+	return &DB{d: d, plans: plancache.New(0), stats: stats.NewCollector()}
+}
 
 // FromInternal adopts an internal database, for in-module drivers such
 // as the differential-testing oracle that build databases directly.
@@ -229,7 +243,29 @@ func FromSnapshot(d *table.Database, version uint64, plans *plancache.Cache) *DB
 	if plans == nil {
 		plans = plancache.New(0)
 	}
-	return &DB{d: d, catver: version, plans: plans}
+	return &DB{d: d, catver: version, plans: plans, stats: stats.NewCollector()}
+}
+
+// WithStatsCollector rebinds the view to a shared statistics collector
+// and returns it. The serving layer passes one collector across every
+// snapshot view of a store: statistics are cached per table content
+// generation, so a republish only rescans the tables that changed.
+func (db *DB) WithStatsCollector(c *stats.Collector) *DB {
+	if c != nil {
+		db.stats = c
+	}
+	return db
+}
+
+// StatsCollector exposes the view's statistics collector, for catalog
+// and metrics endpoints.
+func (db *DB) StatsCollector() *stats.Collector { return db.stats }
+
+// collectStats returns the current statistics snapshot for planning,
+// rescanning only tables whose content generation changed. The governor
+// carries the stats-collect fault site for chaos testing.
+func (db *DB) collectStats(gov *guard.Governor) (*stats.DBStats, error) {
+	return db.stats.CollectGoverned(gov, db.d)
 }
 
 // CatalogVersion returns the snapshot version this DB view was built
@@ -558,9 +594,34 @@ func (db *DB) evalExpr(gov *guard.Governor, expr algebra.Expr, cols []string, op
 // annotation: prepared executions hand the streaming engine the shape
 // captured at compile time, ad-hoc executions pass nil and the engine
 // derives pipeline boundaries on the fly.
+//
+// Ad-hoc executions (shape == nil) run the cost-based planner here,
+// against statistics collected from the live data — every premise the
+// planner records holds by construction, so no premise re-check is
+// needed on this route. Prepared executions plan at compile time
+// instead and re-check premises in runPlan.
 func (db *DB) evalExprShaped(gov *guard.Governor, expr algebra.Expr, shape *eval.Shape, cols []string, opts Options) (*Result, error) {
+	var hints *eval.PlanHints
+	if shape == nil && !opts.NaivePlanner {
+		st, err := db.collectStats(gov)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := plan.Optimize(expr, db.d.Schema, st, gov)
+		if err != nil {
+			return nil, err
+		}
+		expr, hints = pr.Expr, pr.Hints
+	}
+	return db.evalExprPlanned(gov, expr, shape, hints, cols, opts)
+}
+
+// evalExprPlanned is the evaluation tail shared by the ad-hoc and
+// prepared routes: expression, shape annotation and planner hints are
+// all settled, only execution remains.
+func (db *DB) evalExprPlanned(gov *guard.Governor, expr algebra.Expr, shape *eval.Shape, hints *eval.PlanHints, cols []string, opts Options) (*Result, error) {
 	eo := opts.evalOptions(gov)
-	eo.Shape = shape
+	eo.Shape, eo.Hints = shape, hints
 	ev := eval.New(db.d, eo)
 	t, err := ev.Eval(expr)
 	if err != nil {
@@ -709,6 +770,54 @@ func (db *DB) Explain(text string, params Params, opts Options) (string, error) 
 		return "", err
 	}
 	return res.trace + res.Stats.Summary(), nil
+}
+
+// ExplainPlan returns the cost-based planner's EXPLAIN for the query
+// without executing it: the costed operator tree for the expression the
+// chosen mode would evaluate, the rewrite rules that fired, and the
+// statistics premises the plan relies on. With Options.NaivePlanner the
+// tree is costed but unrewritten. The output is deterministic for a
+// fixed database — the golden EXPLAIN tests pin it for the paper's
+// appendix queries.
+func (db *DB) ExplainPlan(text string, params Params, opts Options) (string, error) {
+	gov := opts.governor(context.Background())
+	q, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	mode := takeMode(q)
+	compiled, err := compile.Compile(q, db.d.Schema, params)
+	if err != nil {
+		return "", err
+	}
+	expr := compiled.Expr
+	if mode != modeStandard {
+		if err := certain.CheckTranslatable(expr); err != nil {
+			return "", err
+		}
+	}
+	switch mode {
+	case modeCertain:
+		// Mirror evalCertain's route choice so the explained plan is the
+		// one a query would actually run.
+		if opts.NoAnalyzerFastPath || !analyze.Plan(expr, db.d.Schema).Safe || !db.d.ConformsNonNull() {
+			expr = opts.translator(db).Plus(expr)
+		}
+	case modePossible:
+		expr = opts.translator(db).Star(expr)
+	}
+	st, err := db.collectStats(gov)
+	if err != nil {
+		return "", err
+	}
+	if opts.NaivePlanner {
+		return "plan (naive)\n" + plan.Describe(expr, db.d.Schema, st).Render(), nil
+	}
+	pr, err := plan.Optimize(expr, db.d.Schema, st, gov)
+	if err != nil {
+		return "", err
+	}
+	return pr.ExplainText(), nil
 }
 
 // Stats summarizes one execution.

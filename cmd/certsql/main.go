@@ -13,6 +13,8 @@
 //
 //	\rewrite <sql>;   show the SQL text of the certain translation Q+
 //	\explain <sql>;   show the executed plan with strategies and costs
+//	\plan <sql>;      show the cost-based planner's EXPLAIN (rules,
+//	                  premises, hints, cost estimates) without executing
 //	\schema;          list the tables
 //	\queries;         print the paper's Q1–Q4
 //	\full;            print their aggregate-bearing full forms
@@ -24,6 +26,10 @@
 // instead of evaluated locally (see cmd/certsqld), exercising the
 // serving layer's plan cache; -param name=value binds $name parameters
 // (repeatable), and -mode forces certain/possible/standard evaluation.
+// -explain prints the planner's EXPLAIN for the statement instead of
+// executing it (local evaluation only); -naive-planner disables the
+// cost-based planner and runs the paper-faithful naive plans, which by
+// the planner's contract return byte-identical results.
 //
 // Resource governance: -timeout bounds each query's evaluation,
 // -max-rows and -max-mem bound its intermediate results, and -degrade
@@ -99,6 +105,8 @@ func main() {
 		rowBudg  = flag.Int("max-rows", 0, "row budget for intermediate results (0 = default 4M, negative = unlimited)")
 		memBudg  = flag.Int64("max-mem", 0, "estimated-bytes memory budget for intermediate results (0 = unlimited)")
 		degrade  = flag.Bool("degrade", false, "when a potential-answer query exceeds a budget, return its certain answers (flagged) instead of failing")
+		explain  = flag.Bool("explain", false, "print the cost-based planner's EXPLAIN for -query/-tpchq instead of executing (local only)")
+		naive    = flag.Bool("naive-planner", false, "disable the cost-based planner; run the paper-faithful naive plans")
 	)
 	params := paramFlags{}
 	flag.Var(params, "param", "bind $name (repeatable): -param nation=FRANCE -param supp_key=7")
@@ -111,10 +119,11 @@ func main() {
 	defer stop()
 
 	opts := certsql.Options{
-		Parallelism: *par,
-		MaxRows:     *rowBudg,
-		MaxMemBytes: *memBudg,
-		Degrade:     *degrade,
+		Parallelism:  *par,
+		MaxRows:      *rowBudg,
+		MaxMemBytes:  *memBudg,
+		Degrade:      *degrade,
+		NaivePlanner: *naive,
 	}
 	sh := shell{ctx: ctx, maxRows: *maxRows, opts: opts, timeout: *timeout, mode: *mode}
 
@@ -139,6 +148,10 @@ func main() {
 	if *remote != "" {
 		if stmt == "" {
 			fmt.Fprintln(os.Stderr, "certsql: -remote needs -query or -tpchq")
+			os.Exit(2)
+		}
+		if *explain {
+			fmt.Fprintln(os.Stderr, "certsql: -explain plans locally and cannot be combined with -remote")
 			os.Exit(2)
 		}
 		sh.remote = client.New(*remote)
@@ -166,6 +179,9 @@ func main() {
 
 	if stmt != "" {
 		sh.params = stmtParams
+		if *explain {
+			stmt = `\plan ` + stmt
+		}
 		if err := sh.execute(db, stmt); err != nil {
 			fmt.Fprintln(os.Stderr, "certsql:", err)
 			os.Exit(exitCode(err))
@@ -309,6 +325,22 @@ func (sh *shell) execute(db *certsql.DB, stmt string) error {
 
 	case strings.HasPrefix(stmt, `\explain `):
 		out, err := db.Explain(strings.TrimPrefix(stmt, `\explain `), nil, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+
+	case strings.HasPrefix(stmt, `\plan `):
+		text := strings.TrimPrefix(stmt, `\plan `)
+		if sh.mode != "" {
+			var err error
+			text, err = certsql.WithMode(text, sh.mode)
+			if err != nil {
+				return err
+			}
+		}
+		out, err := db.ExplainPlan(text, sh.params, opts)
 		if err != nil {
 			return err
 		}

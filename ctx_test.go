@@ -146,9 +146,12 @@ func TestDegradeLadder(t *testing.T) {
 	// (~200·200 cost units); Q⁺ of the same query is a plain semijoin
 	// (~10³). The budget is sized between the two, so the Q⋆ route
 	// trips while the certain rerun — under a fresh budget of the same
-	// size — completes.
+	// size — completes. NaivePlanner keeps the quadratic shape: the
+	// cost-based planner would (correctly) notice this data is
+	// null-free and collapse Q⋆'s unifying disjunction into a cheap
+	// hash semijoin, deflating the scenario.
 	q := `SELECT id FROM emp WHERE EXISTS (SELECT * FROM badge WHERE emp_id = id)`
-	opts := certsql.Options{MaxCostUnits: 20_000}
+	opts := certsql.Options{MaxCostUnits: 20_000, NaivePlanner: true}
 
 	if _, err := db.QueryPossibleWithOptions(q, nil, opts); !errors.Is(err, certsql.ErrBudget) {
 		t.Fatalf("Q⋆ without Degrade: got %v, want ErrBudget", err)

@@ -1,0 +1,111 @@
+package certsql_test
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"certsql"
+	"certsql/internal/tpch"
+)
+
+// -update rewrites the golden EXPLAIN files from current planner
+// output:
+//
+//	go test . -run TestGoldenExplain -update
+var updateGolden = flag.Bool("update", false, "rewrite golden EXPLAIN files")
+
+// goldenDB is the fixed micro TPC-H instance the golden EXPLAIN files
+// are pinned to. Everything is deterministic: the generator is seeded,
+// parameter draws are seeded, statistics collection is deterministic
+// (the distinct sketch uses a fixed hash), and the planner is pure.
+func goldenDB() (*certsql.DB, tpch.Sizes) {
+	cfg := certsql.TPCHConfig{ScaleFactor: 0.002, Seed: 42, NullRate: 0.05}
+	return certsql.OpenTPCH(cfg), cfg.Sizes()
+}
+
+// TestGoldenExplain pins the cost-based planner's EXPLAIN output for
+// the certain-answer translations Q⁺1–Q⁺4 of the paper's appendix
+// queries. Any change to the cost model, the rewrite rules, or the
+// statistics that shifts a plan choice shows up as a readable diff
+// here — plan regressions are reviewed, not discovered.
+func TestGoldenExplain(t *testing.T) {
+	db, sizes := goldenDB()
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range tpch.AllQueries {
+		q := q
+		params := q.Params(rng, sizes)
+		t.Run(q.String(), func(t *testing.T) {
+			text, err := certsql.WithMode(q.SQL(), "certain")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.ExplainPlan(text, params, certsql.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "explain", strings.ToLower(q.String())+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test . -run TestGoldenExplain -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN drifted from %s (re-run with -update if intended):\n--- golden\n%s\n--- got\n%s",
+					path, want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenExplainMatchesExecution asserts the golden plans are not
+// fiction: for each appendix query, the certain-answer result under the
+// cost-based planner is byte-identical to the naive planner's, and the
+// EXPLAIN output is stable across repeated calls on the same data.
+func TestGoldenExplainMatchesExecution(t *testing.T) {
+	db, sizes := goldenDB()
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range tpch.AllQueries {
+		q := q
+		params := q.Params(rng, sizes)
+		t.Run(q.String(), func(t *testing.T) {
+			text, err := certsql.WithMode(q.SQL(), "certain")
+			if err != nil {
+				t.Fatal(err)
+			}
+			e1, err := db.ExplainPlan(text, params, certsql.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e2, err := db.ExplainPlan(text, params, certsql.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e1 != e2 {
+				t.Fatalf("EXPLAIN not deterministic:\nfirst:\n%s\nsecond:\n%s", e1, e2)
+			}
+			opt, err := db.QueryWithOptions(text, params, certsql.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := db.QueryWithOptions(text, params, certsql.Options{NaivePlanner: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := opt.Table().String(), naive.Table().String(); got != want {
+				t.Fatalf("planner changes %s result bytes:\ncost-based: %s\nnaive:      %s", q, got, want)
+			}
+		})
+	}
+}

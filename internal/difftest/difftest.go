@@ -18,7 +18,13 @@
 //     byte-identical results, the streaming and materializing engines
 //     render byte-identical results (and agree on fast-path hits), and
 //     the hash-join / subplan-cache / short-circuit ablations give the
-//     same result sets.
+//     same result sets;
+//   - planner ablation: the cost-based planner and the paper-faithful
+//     naive planner render byte-identical results on the standard and
+//     certain routes, agree on fast-path hits, and share plan-cache
+//     entries on the prepared path;
+//   - cost audit: the planner's estimates are internally consistent and
+//     its rewrites invent no predicate atoms.
 //
 // Cases come from internal/qgen and are pure functions of a seed, so a
 // failure is reproduced by its seed alone; Minimize shrinks a failing
@@ -32,12 +38,15 @@ import (
 	"strings"
 
 	"certsql"
+	"certsql/internal/algebra"
 	"certsql/internal/analyze"
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
+	"certsql/internal/plan"
 	"certsql/internal/qgen"
 	"certsql/internal/sql"
+	"certsql/internal/stats"
 	"certsql/internal/table"
 	"certsql/internal/value"
 )
@@ -232,6 +241,25 @@ func Check(db *table.Database, text string, opts Options) *Report {
 	} else if got, want := resM.Table().String(), base.Table().String(); got != want {
 		rep.violate("engine-ablation", "streaming and materializing engines differ:\nstreaming:    %s\nmaterializing: %s", want, got)
 	}
+	// Planner ablation: the cost-based planner must be invisible in the
+	// result bytes — same rows, same order, same duplicates, same mark
+	// minting — so the paper-faithful naive plan and the optimized plan
+	// are compared raw, not as sets. A budget trip on either side only
+	// skips (the planner legitimately changes what fits in a budget).
+	if resP, err := fdb.QueryWithOptions(text, nil, certsql.Options{NaivePlanner: true, Parallelism: 1}); err != nil {
+		if budgetErr(err) {
+			rep.skip("planner-ablation: " + err.Error())
+		} else {
+			rep.violate("planner-ablation", "naive-planner evaluation failed: %v", err)
+		}
+	} else if got, want := resP.Table().String(), base.Table().String(); got != want {
+		rep.violate("planner-ablation", "cost-based and naive planner differ:\ncost-based: %s\nnaive:      %s", want, got)
+	}
+
+	// Cost audit: the planner's estimates satisfy their internal
+	// consistency invariants and its rewrites invented no predicates.
+	checkPlanAudit(rep, db, expr)
+
 	for name, o := range map[string]certsql.Options{
 		"no-hash-join":     {NoHashJoin: true, Parallelism: 1},
 		"no-view-cache":    {NoViewCache: true, Parallelism: 1},
@@ -293,6 +321,25 @@ func Check(db *table.Database, text string, opts Options) *Report {
 				name, plus.SortedStrings(), name, res.SortedStrings())
 		}
 	}
+	// Planner ablation on the certain route: byte-identical Q⁺ bytes and
+	// the same fast-path decision (the analyzer verdict precedes the
+	// planner, so it can never depend on it).
+	if resP, err := queryCertainWithOptions(fdb, text, certsql.Options{NaivePlanner: true}); err != nil {
+		if budgetErr(err) {
+			rep.skip("planner-ablation plus: " + err.Error())
+		} else {
+			rep.violate("planner-ablation", "naive-planner Q⁺ evaluation failed: %v", err)
+		}
+	} else {
+		if got, want := resP.Table().String(), plus.Table().String(); got != want {
+			rep.violate("planner-ablation", "cost-based and naive planner differ on Q⁺:\ncost-based: %s\nnaive:      %s", want, got)
+		}
+		if resP.Stats.FastPathHits != plus.Stats.FastPathHits {
+			rep.violate("planner-ablation", "fast-path hits differ across planners: cost-based=%d naive=%d",
+				plus.Stats.FastPathHits, resP.Stats.FastPathHits)
+		}
+	}
+
 	// Engine ablation on the certain route: the materializing executor
 	// must reproduce Q⁺ byte-for-byte AND take the analyzer fast path on
 	// exactly the same cases — the fast-path decision is data- and
@@ -464,6 +511,22 @@ func checkPreparedReuse(rep *Report, fdb *certsql.DB, text string, plus *certsql
 	if got, want := r2.Table().String(), plus.Table().String(); got != want {
 		rep.violate("prepared-reuse", "cached-plan result differs from ad-hoc Q⁺:\nad-hoc: %s\ncached: %s", want, got)
 	}
+	// NaivePlanner shares the same cache entry (it is an executor-side
+	// toggle, excluded from the plan fingerprint) and must fall back to
+	// the baseline expression with byte-identical results.
+	r3, err := prep.ExecuteWithOptions(nil, certsql.Options{NaivePlanner: true})
+	if err != nil {
+		if !budgetErr(err) {
+			rep.violate("prepared-reuse", "naive-planner Execute failed: %v", err)
+		}
+		return
+	}
+	if r3.Stats.PlanCacheHits != 1 || r3.Stats.PlanCacheMisses != 0 {
+		rep.violate("prepared-reuse", "naive-planner execution should reuse the cached plan, stats %+v", r3.Stats)
+	}
+	if got, want := r3.Table().String(), plus.Table().String(); got != want {
+		rep.violate("prepared-reuse", "naive-planner cached-plan result differs:\ndefault: %s\nnaive:   %s", want, got)
+	}
 }
 
 func queryCertainWithOptions(fdb *certsql.DB, text string, o certsql.Options) (*certsql.Result, error) {
@@ -489,6 +552,35 @@ func leadSelect(body sql.QueryExpr) *sql.SelectStmt {
 			body = b.L
 		default:
 			return nil
+		}
+	}
+}
+
+// checkPlanAudit runs the cost-based planner directly over the compiled
+// expression — and, when translatable, its Q⁺ and Q⋆ translations — and
+// checks the audit invariants: cost estimates are internally consistent
+// (non-negative, finite, monotone over children, covering output
+// cardinality) and the rewritten plan's conditions contain no atom
+// absent from the input plan.
+func checkPlanAudit(rep *Report, db *table.Database, expr algebra.Expr) {
+	st := stats.NewCollector().Collect(db)
+	exprs := []algebra.Expr{expr}
+	if certain.CheckTranslatable(expr) == nil {
+		tr := &certain.Translator{Sch: db.Schema, Mode: certain.ModeSQL,
+			SimplifyNulls: true, SplitOrs: true, KeySimplify: true}
+		exprs = append(exprs, tr.Plus(expr), tr.Star(expr))
+	}
+	for _, e := range exprs {
+		pr, err := plan.Optimize(e, db.Schema, st, nil)
+		if err != nil {
+			rep.violate("cost-audit", "planner failed: %v", err)
+			continue
+		}
+		if err := plan.AuditCost(pr.Explain); err != nil {
+			rep.violate("cost-audit", "%v\nplan:\n%s", err, pr.Explain.Render())
+		}
+		if err := plan.AuditConds(e, pr.Expr); err != nil {
+			rep.violate("cost-audit", "%v", err)
 		}
 	}
 }

@@ -113,6 +113,12 @@ type Options struct {
 	// means derive on the fly; a stale or mismatched shape is ignored.
 	Shape *Shape
 
+	// Hints carries the cost-based planner's per-operator execution
+	// hints (see PlanHints). Nil — the default, and the paper-faithful
+	// naive-planner ablation — runs every operator with its unhinted
+	// strategy. Hints never change results, only how they are computed.
+	Hints *PlanHints
+
 	// Trace enables plan tracing for Explain.
 	Trace bool
 }

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"math"
+
+	"certsql/internal/value"
+)
+
+// PlanHints carry the cost-based planner's per-operator execution
+// hints into the evaluator. Hints never change results — difftest's
+// planner-ablation invariant holds the hinted and unhinted executions
+// to byte-identical outputs — they only license cheaper strategies the
+// planner has proved equivalent:
+//
+//   - SlimVerify drops the extracted hash-key equality conjuncts from
+//     a semijoin's per-candidate verify condition. Sound because
+//     candidates share a bucket exactly when their key encodings
+//     (value.AppendKey) are equal, and the planner only sets the flag
+//     on key columns where encoding equality implies the dropped
+//     equalities are true under both semantics.
+//   - NumKey replaces the string TupleKey hash index with a compact
+//     numeric key for single-column numeric joins; the key mirrors
+//     AppendKey's numeric encoding exactly, so bucketing is identical.
+//   - BuildDistinct/BuildRows pre-size the hash index from the
+//     statistics' cardinality estimates.
+//   - FuseBuild licenses filtering a select-fed build side during the
+//     hash build itself instead of materializing the filtered table
+//     first. The planner only sets it when the selection's child is a
+//     stored relation and its condition is scalar-free, so the fused
+//     pass sees exactly the rows the standalone filter would emit and
+//     nothing in the skipped subtree can mint marked nulls.
+//
+// Hints are keyed by the algebra node's canonical Key() string, so a
+// cached plan's hints survive across executions and structurally
+// identical nodes share one hint.
+type PlanHints struct {
+	// Semi maps SemiJoin node keys to their hints.
+	Semi map[string]SemiHint
+}
+
+// SemiHint is the hint for one (anti-)semijoin operator.
+type SemiHint struct {
+	// SlimVerify licenses dropping extracted equality conjuncts from
+	// the verify condition (and, when nothing remains, skipping
+	// per-candidate verification entirely: match = bucket non-empty).
+	SlimVerify bool
+	// NumKey licenses the specialized numeric hash index. Set only
+	// when the planner proved both key columns are numeric-typed base
+	// columns, so the numeric encoding is exactly AppendKey's.
+	NumKey bool
+	// BuildRows is the estimated build-side row count.
+	BuildRows int64
+	// BuildDistinct is the estimated distinct key count on the build
+	// side — the right pre-size for the hash index.
+	BuildDistinct int64
+	// FuseBuild licenses evaluating a Select build side's child
+	// directly and applying the selection condition inside the index
+	// build loop, skipping the intermediate materialization. The
+	// runtime ignores the hint when the select subtree is a shared
+	// view (its cached result must still be produced) and falls back
+	// to an eager filter when no hash keys are extracted.
+	FuseBuild bool
+}
+
+// semiHint returns the hint for a semijoin node, or the zero hint.
+// The node key is only rendered when hints are installed at all, so
+// unhinted executions pay nothing.
+func (ev *Evaluator) semiHint(key func() string) SemiHint {
+	if ev.opts.Hints == nil || ev.opts.Hints.Semi == nil {
+		return SemiHint{}
+	}
+	return ev.opts.Hints.Semi[key()]
+}
+
+// numKey is the specialized hash key for single-column numeric
+// (anti-)semijoins. It mirrors value.AppendKey exactly on the kinds a
+// numeric column can hold: numerics collapse int/float onto the
+// float64 encoding (AppendKey tag 1) and nulls key by mark (tag 0),
+// kept disjoint by the null flag.
+type numKey struct {
+	null bool
+	bits uint64
+}
+
+// numKeyOf encodes v, reporting ok=false for kinds a numeric column
+// cannot hold. A false return on the probe side is a guaranteed miss
+// (its AppendKey tag differs from every numeric build key); on the
+// build side it makes prepSemi fall back to the string index.
+func numKeyOf(v value.Value) (numKey, bool) {
+	switch v.Kind() {
+	case value.KindInt:
+		return numKey{bits: math.Float64bits(float64(v.AsInt()))}, true
+	case value.KindFloat:
+		return numKey{bits: math.Float64bits(v.AsFloat())}, true
+	case value.KindNull:
+		return numKey{null: true, bits: uint64(v.NullID())}, true
+	default:
+		return numKey{}, false
+	}
+}

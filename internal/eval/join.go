@@ -360,9 +360,17 @@ type semiPlan struct {
 	nL      int
 	name    string // "semijoin" or "antijoin"
 	cond    algebra.Cond
+	trivial bool // verify condition is constant true: key presence alone decides
 	r       *table.Table
 	idx     map[string][]int // hash buckets over r; nil selects nested loop
-	lCols   []int            // probe-side key columns (hash strategy only)
+	numIdx  map[numKey][]int // specialized numeric buckets (NumKey hint); nil = use idx
+	// Trivial-verify set indexes: when the verify condition is constant
+	// true the bucket contents are never read, so the build stores only
+	// key presence — no per-key slice appends, no row indexes.
+	numSet  map[numKey]struct{}
+	strSet  map[string]struct{}
+	lCol    int   // probe column for numIdx/numSet
+	lCols   []int // probe-side key columns (hash strategy only)
 	sqlMode bool
 }
 
@@ -372,11 +380,33 @@ type semiPlan struct {
 // substitution must happen on this goroutine), and builds the hash
 // index when a key exists. The strategy counter is bumped here — one
 // per operator, whichever engine probes.
+//
+// Under the FuseBuild hint a Select build side is not materialized:
+// its child is evaluated directly and the selection condition is
+// applied inside the build loop, so only the index ever holds the
+// filtered rows. Fusion is skipped when the select subtree is a
+// shared view — evaluating around it would lose the cache entry other
+// plan occurrences rely on.
 func (ev *Evaluator) prepSemi(e algebra.SemiJoin, cond algebra.Cond) (*semiPlan, error) {
 	nL := e.L.Arity()
-	r, err := ev.evalChild(e.R)
+	hint := ev.semiHint(e.Key)
+	rExpr := e.R
+	var fuse algebra.Cond
+	if hint.FuseBuild {
+		if sel, ok := e.R.(algebra.Select); ok && !ev.sharedView(e.R) {
+			rExpr, fuse = sel.Child, sel.Cond
+		}
+	}
+	r, err := ev.evalChild(rExpr)
 	if err != nil {
 		return nil, err
+	}
+	if fuse != nil {
+		// The planner only fuses scalar-free conditions; resolving is a
+		// cheap no-op that keeps a hand-crafted hint from crashing.
+		if fuse, err = ev.resolveScalars(fuse); err != nil {
+			return nil, err
+		}
 	}
 	p := &semiPlan{anti: e.Anti, nL: nL, name: "semijoin", r: r,
 		sqlMode: ev.opts.Semantics == value.SQL3VL}
@@ -384,52 +414,142 @@ func (ev *Evaluator) prepSemi(e algebra.SemiJoin, cond algebra.Cond) (*semiPlan,
 		p.name = "antijoin"
 	}
 
-	// Extract pure equality conjuncts spanning both sides as hash keys.
+	// Extract pure equality conjuncts spanning both sides as hash keys,
+	// keeping the conjuncts that were NOT consumed as keys: when the
+	// planner's SlimVerify hint applies, the residual alone is verified
+	// per candidate (bucket co-membership already proves the keys equal).
 	var lCols, rCols []int
+	var residual []algebra.Cond
 	if !ev.opts.NoHashJoin {
 		for _, c := range algebra.Conjuncts(cond) {
-			cmp, ok := c.(algebra.Cmp)
-			if !ok || cmp.Op != algebra.EQ {
-				continue
+			if cmp, ok := c.(algebra.Cmp); ok && cmp.Op == algebra.EQ {
+				a, aok := cmp.L.(algebra.Col)
+				b, bok := cmp.R.(algebra.Col)
+				if aok && bok {
+					switch {
+					case a.Idx < nL && b.Idx >= nL:
+						lCols = append(lCols, a.Idx)
+						rCols = append(rCols, b.Idx-nL)
+						continue
+					case b.Idx < nL && a.Idx >= nL:
+						lCols = append(lCols, b.Idx)
+						rCols = append(rCols, a.Idx-nL)
+						continue
+					}
+				}
 			}
-			a, aok := cmp.L.(algebra.Col)
-			b, bok := cmp.R.(algebra.Col)
-			if !aok || !bok {
-				continue
-			}
-			switch {
-			case a.Idx < nL && b.Idx >= nL:
-				lCols = append(lCols, a.Idx)
-				rCols = append(rCols, b.Idx-nL)
-			case b.Idx < nL && a.Idx >= nL:
-				lCols = append(lCols, b.Idx)
-				rCols = append(rCols, a.Idx-nL)
-			}
+			residual = append(residual, c)
 		}
 	}
-	if p.cond, err = ev.resolveScalars(cond); err != nil {
+	verify := cond
+	if hint.SlimVerify && len(lCols) > 0 {
+		verify = algebra.NewAnd(residual...)
+	}
+	if p.cond, err = ev.resolveScalars(verify); err != nil {
 		return nil, err
+	}
+	if _, isTrue := p.cond.(algebra.TrueCond); isTrue && hint.SlimVerify && len(lCols) > 0 {
+		p.trivial = true
+	}
+	if fuse != nil && len(lCols) == 0 {
+		// No hash keys extracted (hash joins disabled, or the condition
+		// carries none): the nested loop scans p.r directly, so the
+		// fused filter must be applied eagerly after all.
+		if r, err = ev.filterTable(r, fuse); err != nil {
+			return nil, err
+		}
+		p.r, fuse = r, nil
+	}
+	// keep applies the fused build-side filter; rows it rejects never
+	// enter an index, matching the standalone filter byte for byte.
+	keep := func(rr table.Row) (bool, error) {
+		if fuse == nil {
+			return true, nil
+		}
+		v, err := ev.evalCond(fuse, rr)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTrue(), nil
 	}
 
 	if len(lCols) > 0 {
-		// Hash strategy: probe buckets, verify the full condition.
+		// Hash strategy: probe buckets, verify the condition.
 		if err := ev.gov.Fault(guard.SiteHashBuild); err != nil {
 			return nil, err
 		}
-		idx := make(map[string][]int, r.Len())
-		for i, rr := range r.Rows() {
-			if p.sqlMode && anyNull(rr, rCols) {
-				continue
+		size := r.Len()
+		if hint.BuildDistinct > 0 && hint.BuildDistinct < int64(size) {
+			size = int(hint.BuildDistinct)
+		}
+		if hint.NumKey && len(lCols) == 1 {
+			rCol := rCols[0]
+			var numIdx map[numKey][]int
+			var numSet map[numKey]struct{}
+			if p.trivial {
+				numSet = make(map[numKey]struct{}, size)
+			} else {
+				numIdx = make(map[numKey][]int, size)
 			}
-			k := value.TupleKey(rr, rCols)
-			idx[k] = append(idx[k], i)
+			ok := true
+			for i, rr := range r.Rows() {
+				if pass, err := keep(rr); err != nil {
+					return nil, err
+				} else if !pass {
+					continue
+				}
+				if p.sqlMode && rr[rCol].IsNull() {
+					continue
+				}
+				k, kOk := numKeyOf(rr[rCol])
+				if !kOk {
+					ok = false // surprise non-numeric value: fall back
+					break
+				}
+				if p.trivial {
+					numSet[k] = struct{}{}
+				} else {
+					numIdx[k] = append(numIdx[k], i)
+				}
+			}
+			if ok {
+				p.numIdx, p.numSet, p.lCol = numIdx, numSet, lCols[0]
+			}
+		}
+		if p.numIdx == nil && p.numSet == nil {
+			var idx map[string][]int
+			var strSet map[string]struct{}
+			if p.trivial {
+				strSet = make(map[string]struct{}, size)
+			} else {
+				idx = make(map[string][]int, size)
+			}
+			for i, rr := range r.Rows() {
+				if pass, err := keep(rr); err != nil {
+					return nil, err
+				} else if !pass {
+					continue
+				}
+				if p.sqlMode && anyNull(rr, rCols) {
+					continue
+				}
+				k := value.TupleKey(rr, rCols)
+				if p.trivial {
+					strSet[k] = struct{}{}
+				} else {
+					idx[k] = append(idx[k], i)
+				}
+			}
+			p.idx, p.strSet = idx, strSet
 		}
 		if err := ev.charge("semijoin/build", int64(r.Len())); err != nil {
 			return nil, err
 		}
-		p.idx, p.lCols = idx, lCols
+		p.lCols = lCols
 		ev.stats.HashJoins++
-		ev.note("hash %s [%d keys] build %d rows", p.name, len(lCols), r.Len())
+		ev.note("hash %s [%d keys] build %d rows (slim=%v numkey=%v fused=%v)",
+			p.name, len(lCols), r.Len(), hint.SlimVerify,
+			p.numIdx != nil || p.numSet != nil, fuse != nil)
 		return p, nil
 	}
 	// Nested loop: the "confused optimizer" path that conditions of the
@@ -458,11 +578,39 @@ func (ev *Evaluator) probeSemi(p *semiPlan, lRows []table.Row) ([]table.Row, err
 			}
 			lr := lRows[i]
 			match := false
-			if p.idx != nil {
+			switch {
+			case p.numSet != nil || p.strSet != nil:
+				// Slim verify with empty residual: key presence alone
+				// decides the match.
 				c.st.costUnits++
 				if !(p.sqlMode && anyNull(lr, p.lCols)) {
+					if p.numSet != nil {
+						// A probe kind outside the numeric namespace is a
+						// guaranteed miss — its TupleKey tag could not
+						// collide with any numeric build key either.
+						if k, ok := numKeyOf(lr[p.lCol]); ok {
+							_, match = p.numSet[k]
+						}
+					} else {
+						_, match = p.strSet[value.TupleKey(lr, p.lCols)]
+					}
+				}
+			case p.idx != nil || p.numIdx != nil:
+				c.st.costUnits++
+				if !(p.sqlMode && anyNull(lr, p.lCols)) {
+					var bucket []int
+					if p.numIdx != nil {
+						// A probe kind outside the numeric namespace keeps
+						// bucket nil — its TupleKey tag could not collide
+						// with any numeric build key either.
+						if k, ok := numKeyOf(lr[p.lCol]); ok {
+							bucket = p.numIdx[k]
+						}
+					} else {
+						bucket = p.idx[value.TupleKey(lr, p.lCols)]
+					}
 					copy(row, lr)
-					for _, ri := range p.idx[value.TupleKey(lr, p.lCols)] {
+					for _, ri := range bucket {
 						c.st.costUnits++
 						copy(row[p.nL:], p.r.Row(ri))
 						v, err := ev.evalCond(p.cond, row)
@@ -475,7 +623,7 @@ func (ev *Evaluator) probeSemi(p *semiPlan, lRows []table.Row) ([]table.Row, err
 						}
 					}
 				}
-			} else {
+			default:
 				copy(row, lr)
 				for _, rr := range p.r.Rows() {
 					c.st.costUnits++

@@ -139,10 +139,16 @@ const (
 	// SiteValuation fires once per valuation enumerated by the
 	// brute-force certain-answer oracle.
 	SiteValuation Site = "valuation"
+	// SiteStatsCollect fires when the statistics collector scans a
+	// table whose generation is not in its cache.
+	SiteStatsCollect Site = "stats-collect"
+	// SitePlanRewrite fires when the cost-based planner starts
+	// optimizing a translated plan.
+	SitePlanRewrite Site = "plan-rewrite"
 )
 
 // Sites lists every fault-injection site, for seeded fault plans.
-var Sites = []Site{SiteScan, SiteHashBuild, SiteSemijoinProbe, SiteWorkerSpawn, SiteViewMaterialize, SiteBatchPull}
+var Sites = []Site{SiteScan, SiteHashBuild, SiteSemijoinProbe, SiteWorkerSpawn, SiteViewMaterialize, SiteBatchPull, SiteStatsCollect, SitePlanRewrite}
 
 // FaultHook receives a callback at every instrumented site. A hook
 // returns a non-nil error to inject a failure at that site; it may

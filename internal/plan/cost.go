@@ -1,0 +1,253 @@
+package plan
+
+import (
+	"math"
+	"strings"
+
+	"certsql/internal/algebra"
+)
+
+// defaultRows is the cardinality assumed for a relation with no
+// statistics.
+const defaultRows = 1000.0
+
+// estimate is a per-node cardinality and cumulative cost estimate.
+// Costs are in the evaluator's cost units (elementary row operations);
+// every formula adds a node's own work to the sum of its children's
+// costs, so AuditCost's monotonicity invariants hold by construction.
+type estimate struct {
+	rows, cost float64
+}
+
+// estimate costs e bottom-up from the statistics snapshot.
+func (o *optimizer) estimate(e algebra.Expr) estimate {
+	switch n := e.(type) {
+	case algebra.Base:
+		rows := defaultRows
+		if o.st != nil {
+			if ts := o.st.Table(strings.ToLower(n.Name)); ts != nil {
+				rows = float64(ts.Rows)
+			}
+		}
+		return estimate{rows: rows, cost: rows + 1}
+	case algebra.Select:
+		if isProductChain(n.Child) {
+			return o.joinBlockEstimate(n)
+		}
+		child := o.estimate(n.Child)
+		rows := child.rows * o.selectivity(n.Cond, o.colInfo(n.Child))
+		return estimate{rows: rows, cost: child.cost + child.rows + 1}
+	case algebra.Project:
+		child := o.estimate(n.Child)
+		return estimate{rows: child.rows, cost: child.cost + child.rows + 1}
+	case algebra.Product:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		rows := l.rows * r.rows
+		return estimate{rows: rows, cost: l.cost + r.cost + rows + 1}
+	case algebra.Union:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		return estimate{rows: l.rows + r.rows, cost: l.cost + r.cost + l.rows + r.rows + 1}
+	case algebra.Intersect:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		return estimate{rows: 0.5 * math.Min(l.rows, r.rows), cost: l.cost + r.cost + l.rows + r.rows + 1}
+	case algebra.Diff:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		return estimate{rows: 0.5 * l.rows, cost: l.cost + r.cost + l.rows + r.rows + 1}
+	case algebra.SemiJoin:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		rows := 0.5 * l.rows
+		var work float64
+		switch semiStrategy(n) {
+		case "short-circuit":
+			work = r.rows
+		case "nested-loop":
+			// The quadratic probe the paper's Section 7 conditions
+			// force on a confused optimizer.
+			work = l.rows * r.rows
+		default: // hash
+			work = l.rows + r.rows
+		}
+		return estimate{rows: rows, cost: l.cost + r.cost + work + 1}
+	case algebra.UnifySemi:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		return estimate{rows: 0.5 * l.rows, cost: l.cost + r.cost + l.rows*r.rows + 1}
+	case algebra.Distinct:
+		child := o.estimate(n.Child)
+		return estimate{rows: 0.9 * child.rows, cost: child.cost + child.rows + 1}
+	case algebra.Division:
+		l, r := o.estimate(n.L), o.estimate(n.R)
+		return estimate{rows: l.rows / math.Max(r.rows, 1), cost: l.cost + r.cost + l.rows*r.rows + 1}
+	case algebra.AdomPower:
+		adom := defaultRows
+		if o.st != nil {
+			total := 0.0
+			for _, ts := range o.st.Tables {
+				total += float64(ts.Rows) * float64(len(ts.Cols))
+			}
+			if total > 0 {
+				adom = total
+			}
+		}
+		rows := math.Min(math.Pow(adom, float64(n.K)), 1e18)
+		return estimate{rows: rows, cost: rows + 1}
+	case algebra.GroupBy:
+		child := o.estimate(n.Child)
+		rows := math.Max(1, 0.1*child.rows)
+		if len(n.Keys) == 0 {
+			rows = 1
+		}
+		return estimate{rows: rows, cost: child.cost + child.rows + rows + 1}
+	case algebra.Sort:
+		child := o.estimate(n.Child)
+		return estimate{rows: child.rows, cost: child.cost + child.rows*math.Log2(child.rows+2) + 1}
+	case algebra.Limit:
+		child := o.estimate(n.Child)
+		return estimate{rows: math.Min(child.rows, float64(n.N)), cost: child.cost + child.rows + 1}
+	default:
+		return estimate{rows: defaultRows, cost: defaultRows + 1}
+	}
+}
+
+// joinBlockEstimate costs σ_cond(leaf₀ × …): the runtime plans this as
+// a greedy equi-join over the condition's equality edges, so the cost
+// is linear in the leaves when an edge connects them and the output is
+// discounted by the condition's selectivity.
+func (o *optimizer) joinBlockEstimate(s algebra.Select) estimate {
+	leaves := flattenProduct(s.Child)
+	rows, cost := 1.0, 1.0
+	for _, leaf := range leaves {
+		le := o.estimate(leaf)
+		rows *= le.rows
+		cost += le.cost + le.rows
+	}
+	rows *= o.selectivity(s.Cond, o.colInfo(s.Child))
+	return estimate{rows: rows, cost: cost + rows}
+}
+
+// flattenProduct mirrors the evaluator's product-chain flattening.
+func flattenProduct(e algebra.Expr) []algebra.Expr {
+	if p, ok := e.(algebra.Product); ok {
+		return append(flattenProduct(p.L), flattenProduct(p.R)...)
+	}
+	return []algebra.Expr{e}
+}
+
+// semiStrategy names the strategy the evaluator will pick for a
+// semijoin: "short-circuit" (uncorrelated), "hash" (extractable
+// equality keys) or "nested-loop".
+func semiStrategy(sj algebra.SemiJoin) string {
+	cond := sj.Cond
+	if !algebra.NNFIsIdentity(cond) {
+		cond = algebra.NNF(cond)
+	}
+	if !algebra.UsesColBelow(cond, sj.L.Arity()) {
+		return "short-circuit"
+	}
+	if l, _ := semiKeyPairs(sj); len(l) > 0 {
+		return "hash"
+	}
+	return "nested-loop"
+}
+
+// colInfo returns the selectivity oracle for conditions over e's
+// output columns: per-column distinct counts and null rates from the
+// statistics of the base column each output column traces to.
+func (o *optimizer) colInfo(e algebra.Expr) func(col int) (distinct, nullRate float64, ok bool) {
+	return func(col int) (float64, float64, bool) {
+		ts, bcol, found := originStats(e, o.st, col)
+		if !found {
+			return 0, 0, false
+		}
+		c := ts.Cols[bcol]
+		d := float64(c.Distinct)
+		if d < 1 {
+			d = 1
+		}
+		return d, ts.NullRate(bcol), true
+	}
+}
+
+// selectivity estimates the fraction of rows a condition keeps, using
+// textbook independence assumptions refined with distinct counts and
+// null rates where the operand columns trace to statistics.
+func (o *optimizer) selectivity(c algebra.Cond, info func(int) (float64, float64, bool)) float64 {
+	s := o.rawSelectivity(c, info)
+	return math.Min(1, math.Max(0, s))
+}
+
+func (o *optimizer) rawSelectivity(c algebra.Cond, info func(int) (float64, float64, bool)) float64 {
+	switch c := c.(type) {
+	case algebra.TrueCond:
+		return 1
+	case algebra.FalseCond:
+		return 0
+	case algebra.And:
+		s := 1.0
+		for _, sub := range c.Conds {
+			s *= o.selectivity(sub, info)
+		}
+		return s
+	case algebra.Or:
+		miss := 1.0
+		for _, sub := range c.Conds {
+			miss *= 1 - o.selectivity(sub, info)
+		}
+		return 1 - miss
+	case algebra.Not:
+		return 1 - o.selectivity(c.C, info)
+	case algebra.Cmp:
+		lc, lIsCol := c.L.(algebra.Col)
+		rc, rIsCol := c.R.(algebra.Col)
+		switch c.Op {
+		case algebra.EQ:
+			switch {
+			case lIsCol && rIsCol:
+				dl, _, lok := info(lc.Idx)
+				dr, _, rok := info(rc.Idx)
+				switch {
+				case lok && rok:
+					return 1 / math.Max(dl, dr)
+				case lok:
+					return 1 / dl
+				case rok:
+					return 1 / dr
+				}
+				return 0.1
+			case lIsCol:
+				if d, _, ok := info(lc.Idx); ok {
+					return 1 / d
+				}
+				return 0.1
+			case rIsCol:
+				if d, _, ok := info(rc.Idx); ok {
+					return 1 / d
+				}
+				return 0.1
+			}
+			return 0.1
+		case algebra.NE:
+			return 0.9
+		case algebra.LT, algebra.LE, algebra.GT, algebra.GE:
+			return 1.0 / 3
+		}
+		return 0.5
+	case algebra.Like:
+		if c.Negated {
+			return 0.75
+		}
+		return 0.25
+	case algebra.NullTest:
+		rate := 0.1
+		if col, ok := c.Operand.(algebra.Col); ok {
+			if _, r, ok := info(col.Idx); ok {
+				rate = r
+			}
+		}
+		if c.Negated {
+			return 1 - rate
+		}
+		return rate
+	default:
+		return 0.5
+	}
+}

@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"strings"
+
+	"certsql/internal/algebra"
+	"certsql/internal/schema"
+	"certsql/internal/stats"
+	"certsql/internal/value"
+)
+
+// colOrigin traces output column col of e back to a base-table column
+// through operators that pass column values along unchanged: filters,
+// projections, products, the left side of (anti-)semijoins and set
+// differences, grouping keys, sorts and limits. It reports !ok for
+// columns that are computed (aggregates), merged from two inputs
+// (unions), or otherwise not attributable to a single stored column —
+// statistics-based rules simply do not fire there.
+func colOrigin(e algebra.Expr, col int) (tbl string, bcol int, ok bool) {
+	for {
+		if col < 0 || col >= e.Arity() {
+			return "", 0, false
+		}
+		switch n := e.(type) {
+		case algebra.Base:
+			return strings.ToLower(n.Name), col, true
+		case algebra.Select:
+			e = n.Child
+		case algebra.Project:
+			col = n.Cols[col]
+			e = n.Child
+		case algebra.Product:
+			if col < n.L.Arity() {
+				e = n.L
+			} else {
+				col -= n.L.Arity()
+				e = n.R
+			}
+		case algebra.SemiJoin:
+			e = n.L
+		case algebra.UnifySemi:
+			e = n.L
+		case algebra.Diff:
+			e = n.L
+		case algebra.Intersect:
+			e = n.L
+		case algebra.Distinct:
+			e = n.Child
+		case algebra.Sort:
+			e = n.Child
+		case algebra.Limit:
+			e = n.Child
+		case algebra.GroupBy:
+			if col >= len(n.Keys) {
+				return "", 0, false // aggregate output, not a stored column
+			}
+			col = n.Keys[col]
+			e = n.Child
+		default:
+			return "", 0, false
+		}
+	}
+}
+
+// originType returns the declared type of the base column that output
+// column col of e traces to.
+func originType(e algebra.Expr, sch *schema.Schema, col int) (value.Kind, bool) {
+	tbl, bcol, ok := colOrigin(e, col)
+	if !ok || sch == nil {
+		return 0, false
+	}
+	rel, ok := sch.Relation(tbl)
+	if !ok || bcol >= rel.Arity() {
+		return 0, false
+	}
+	return rel.Attrs[bcol].Type, true
+}
+
+// originStats returns the statistics of the base column that output
+// column col of e traces to.
+func originStats(e algebra.Expr, st *stats.DBStats, col int) (*stats.TableStats, int, bool) {
+	tbl, bcol, ok := colOrigin(e, col)
+	if !ok || st == nil {
+		return nil, 0, false
+	}
+	ts := st.Table(tbl)
+	if ts == nil || bcol >= len(ts.Cols) {
+		return nil, 0, false
+	}
+	return ts, bcol, true
+}
+
+// numRangeOK reports whether every value the column statistics cover
+// lies within ±2⁵³, so the float64 hash-key encoding is exact.
+func numRangeOK(c stats.ColStats) bool {
+	if !c.HasMinMax {
+		return false
+	}
+	for _, v := range []value.Value{c.Min, c.Max} {
+		switch v.Kind() {
+		case value.KindInt:
+			f := float64(v.AsInt())
+			if f < -numRangeLimit || f > numRangeLimit {
+				return false
+			}
+		case value.KindFloat:
+			f := v.AsFloat()
+			if f < -numRangeLimit || f > numRangeLimit {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,608 @@
+package plan
+
+import (
+	"certsql/internal/algebra"
+	"certsql/internal/analyze"
+	"certsql/internal/eval"
+	"certsql/internal/schema"
+	"certsql/internal/stats"
+	"certsql/internal/value"
+)
+
+// optimizer is one Optimize invocation's state: the catalog, the
+// statistics snapshot, the rules fired so far and the premises the
+// rewrites have come to rely on.
+type optimizer struct {
+	sch      *schema.Schema
+	st       *stats.DBStats
+	fired    map[RuleKind]bool
+	premises map[Premise]struct{}
+}
+
+// rewrite rebuilds e bottom-up, applying every rewrite rule whose
+// byte-identity gates hold. Scalar subqueries inside conditions are
+// left untouched.
+func (o *optimizer) rewrite(e algebra.Expr) algebra.Expr {
+	switch n := e.(type) {
+	case algebra.Base:
+		return n
+	case algebra.AdomPower:
+		return n
+	case algebra.Select:
+		return o.rewriteSelect(algebra.Select{Child: o.rewrite(n.Child), Cond: n.Cond})
+	case algebra.Project:
+		child := o.rewrite(n.Child)
+		if inner, ok := child.(algebra.Project); ok {
+			composed := make([]int, len(n.Cols))
+			for i, c := range n.Cols {
+				composed[i] = inner.Cols[c]
+			}
+			o.fired[RuleProjectCollapse] = true
+			return algebra.Project{Child: inner.Child, Cols: composed}
+		}
+		return algebra.Project{Child: child, Cols: n.Cols}
+	case algebra.Product:
+		return algebra.Product{L: o.rewrite(n.L), R: o.rewrite(n.R)}
+	case algebra.Union:
+		return algebra.Union{L: o.rewrite(n.L), R: o.rewrite(n.R)}
+	case algebra.Intersect:
+		return algebra.Intersect{L: o.rewrite(n.L), R: o.rewrite(n.R)}
+	case algebra.Diff:
+		return algebra.Diff{L: o.rewrite(n.L), R: o.rewrite(n.R)}
+	case algebra.SemiJoin:
+		return o.rewriteSemi(algebra.SemiJoin{L: o.rewrite(n.L), R: o.rewrite(n.R), Cond: n.Cond, Anti: n.Anti})
+	case algebra.UnifySemi:
+		return algebra.UnifySemi{L: o.rewrite(n.L), R: o.rewrite(n.R), Anti: n.Anti}
+	case algebra.Distinct:
+		return algebra.Distinct{Child: o.rewrite(n.Child)}
+	case algebra.Division:
+		return algebra.Division{L: o.rewrite(n.L), R: o.rewrite(n.R)}
+	case algebra.GroupBy:
+		return algebra.GroupBy{Child: o.rewrite(n.Child), Keys: n.Keys, Aggs: n.Aggs}
+	case algebra.Sort:
+		return algebra.Sort{Child: o.rewrite(n.Child), Keys: n.Keys}
+	case algebra.Limit:
+		return algebra.Limit{Child: o.rewrite(n.Child), N: n.N}
+	default:
+		return e // unknown operator: leave it alone
+	}
+}
+
+// isProductChain reports whether e is a chain of Cartesian products —
+// the SELECT-FROM-WHERE block shape the runtime's greedy equi-join
+// planner owns. The planner never alters a selection directly over a
+// product chain and never creates a new one: the greedy planner's join
+// (and hence row) order depends on the condition's conjunct structure,
+// which byte-identity does not allow us to perturb.
+func isProductChain(e algebra.Expr) bool {
+	_, ok := e.(algebra.Product)
+	return ok
+}
+
+// rewriteSelect applies merge-select, null-test elimination and
+// selection pushdown to a Select whose child is already rewritten.
+func (o *optimizer) rewriteSelect(s algebra.Select) algebra.Expr {
+	if condHasScalar(s.Cond) || isProductChain(s.Child) {
+		return s
+	}
+	// Null-test elimination against the child's provable nullability.
+	cond := s.Cond
+	if sc, changed := o.simplifyCond(cond, o.nullFreeIn(s.Child)); changed {
+		o.fired[RuleNullTestElim] = true
+		cond = sc
+	}
+	if _, ok := cond.(algebra.TrueCond); ok {
+		return s.Child // filter proved vacuous
+	}
+	// astlint:partial — only the operators a selection commutes with;
+	// anything else keeps the filter where it is.
+	switch child := s.Child.(type) {
+	case algebra.Select:
+		// merge-select: σc1(σc2(X)) → σ[c2∧c1](X).
+		if !condHasScalar(child.Cond) && !isProductChain(child.Child) {
+			o.fired[RuleMergeSelect] = true
+			return o.rewriteSelect(algebra.Select{Child: child.Child, Cond: algebra.NewAnd(child.Cond, cond)})
+		}
+	case algebra.Project:
+		// σc(π(X)) → π(σc'(X)) with c's columns remapped through π.
+		if !isProductChain(child.Child) {
+			o.fired[RulePushdownSelect] = true
+			remapped := algebra.MapCols(cond, func(i int) int { return child.Cols[i] })
+			return algebra.Project{Child: o.rewriteSelect(algebra.Select{Child: child.Child, Cond: remapped}), Cols: child.Cols}
+		}
+	case algebra.Distinct:
+		// σc(δ(X)) → δ(σc(X)): filtering commutes with first-
+		// occurrence deduplication because the predicate depends only
+		// on the row's values.
+		if !isProductChain(child.Child) {
+			o.fired[RulePushdownSelect] = true
+			return algebra.Distinct{Child: o.rewriteSelect(algebra.Select{Child: child.Child, Cond: cond})}
+		}
+	case algebra.Union:
+		if !isProductChain(child.L) && !isProductChain(child.R) {
+			o.fired[RulePushdownSelect] = true
+			return algebra.Union{
+				L: o.rewriteSelect(algebra.Select{Child: child.L, Cond: cond}),
+				R: o.rewriteSelect(algebra.Select{Child: child.R, Cond: cond}),
+			}
+		}
+	case algebra.Diff:
+		// Output rows come from L, so the filter applies to L alone.
+		if !isProductChain(child.L) {
+			o.fired[RulePushdownSelect] = true
+			return algebra.Diff{L: o.rewriteSelect(algebra.Select{Child: child.L, Cond: cond}), R: child.R}
+		}
+	case algebra.Intersect:
+		if !isProductChain(child.L) {
+			o.fired[RulePushdownSelect] = true
+			return algebra.Intersect{L: o.rewriteSelect(algebra.Select{Child: child.L, Cond: cond}), R: child.R}
+		}
+	case algebra.SemiJoin:
+		// σc(L ⋉θ R) → σc(L) ⋉θ R: the semijoin's output is a subset
+		// of L, and θ is untouched, so strategy and short-circuit
+		// behaviour are unchanged.
+		if !isProductChain(child.L) {
+			o.fired[RulePushdownSelect] = true
+			return o.rewriteSemi(algebra.SemiJoin{
+				L: o.rewriteSelect(algebra.Select{Child: child.L, Cond: cond}),
+				R: child.R, Cond: child.Cond, Anti: child.Anti,
+			})
+		}
+	case algebra.UnifySemi:
+		if !isProductChain(child.L) {
+			o.fired[RulePushdownSelect] = true
+			return algebra.UnifySemi{
+				L:    o.rewriteSelect(algebra.Select{Child: child.L, Cond: cond}),
+				R:    child.R,
+				Anti: child.Anti,
+			}
+		}
+	}
+	return algebra.Select{Child: s.Child, Cond: cond}
+}
+
+// rewriteSemi simplifies a semijoin's condition and, for antijoins,
+// splits the right side on IS NULL disjuncts. Children are already
+// rewritten.
+func (o *optimizer) rewriteSemi(n algebra.SemiJoin) algebra.Expr {
+	if condHasScalar(n.Cond) {
+		return n
+	}
+	nL := n.L.Arity()
+	cond := algebra.NNF(n.Cond)
+	free := o.nullFreeJoin(n.L, n.R)
+	if sc, changed := o.simplifyCond(cond, free); changed {
+		// Losing every left-column reference flips the operator onto
+		// the uncorrelated short-circuit path, which may skip
+		// evaluating one side entirely — illegal if a skipped subtree
+		// would have minted marked nulls that appear in the output.
+		if algebra.UsesColBelow(cond, nL) && !algebra.UsesColBelow(sc, nL) &&
+			(hasMinters(n.L) || hasMinters(n.R)) {
+			// keep the original condition
+		} else {
+			o.fired[RuleNullTestElim] = true
+			n.Cond = sc
+		}
+	}
+	var out algebra.Expr = n
+	for range [4]struct{}{} {
+		sj, ok := out.(algebra.SemiJoin)
+		if !ok {
+			break
+		}
+		split, ok := o.antiSplit(sj)
+		if !ok {
+			break
+		}
+		o.fired[RuleAntiSplit] = true
+		out = split
+	}
+	return out
+}
+
+// antiSplit rewrites L ▷[(θ∨ρ)∧rest] R, where ρ is a non-empty set of
+// IS NULL disjuncts on right-side columns, into two stacked antijoins
+// over complementary selections of R:
+//
+//	(L ▷[rest] σρ'(R)) ▷[(θ∨False)∧rest] σ¬ρ'(R)
+//
+// (or the same pair in the other order — see the minter note below).
+// ρ is two-valued on every R row under both semantics, so the two
+// selections partition R exactly; on the ρ-part the disjunction is
+// constantly true and on the ¬ρ-part it reduces to θ. A left row
+// survives the original antijoin iff it survives both split antijoins,
+// each split antijoin keeps a subset of its left input in input order,
+// and set intersection does not care which filter runs first — so
+// results are byte-identical either way. When θ is empty the θ-part is
+// vacuous and dropped; when rest is empty the ρ-part is uncorrelated
+// and short-circuits.
+//
+// The split is kept only when the cost model prices it below the
+// original antijoin. It wins when the unsplit condition is
+// hash-hostile (the `= OR IS NULL` shape the certain-answer
+// translation produces buries its equality inside the disjunction, so
+// the runtime nested-loops it) and loses when `rest` already carries
+// extractable hash keys — there the runtime hashes the unsplit
+// antijoin anyway and splitting only adds a second build pass.
+func (o *optimizer) antiSplit(sj algebra.SemiJoin) (algebra.Expr, bool) {
+	if !sj.Anti || condHasScalar(sj.Cond) {
+		return nil, false
+	}
+	nL := sj.L.Arity()
+	conjs := algebra.Conjuncts(algebra.NNF(sj.Cond))
+	for ci, c := range conjs {
+		or, ok := c.(algebra.Or)
+		if !ok {
+			continue
+		}
+		var rho, rhoNeg, theta []algebra.Cond
+		for _, d := range or.Conds {
+			if nt, ok := d.(algebra.NullTest); ok && !nt.Negated {
+				if col, ok := nt.Operand.(algebra.Col); ok && col.Idx >= nL {
+					local := algebra.Col{Idx: col.Idx - nL}
+					rho = append(rho, algebra.NullTest{Operand: local})
+					rhoNeg = append(rhoNeg, algebra.NullTest{Operand: local, Negated: true})
+					continue
+				}
+			}
+			theta = append(theta, d)
+		}
+		if len(rho) == 0 {
+			continue
+		}
+		// The split evaluates R's two parts separately, so R must not
+		// mint marked nulls: minting draws from one sequential counter
+		// and a second evaluation would shift every later identity.
+		if hasMinters(sj.R) {
+			return nil, false
+		}
+		rest := make([]algebra.Cond, 0, len(conjs)-1)
+		rest = append(rest, conjs[:ci]...)
+		rest = append(rest, conjs[ci+1:]...)
+		var thetaCond algebra.Cond
+		if len(theta) > 0 {
+			thetaCond = algebra.NewAnd(append([]algebra.Cond{algebra.NewOr(theta...)}, rest...)...)
+		}
+		// A minting L must be evaluated exactly once in both plans. With
+		// θ empty both conditions lose their left references together, so
+		// original and split short-circuit (and skip L) under the same
+		// criterion: a ρ∧rest row exists in R. With θ present we put the
+		// θ-antijoin innermost; if it is correlated it always evaluates
+		// L, like the original. An uncorrelated θ over a minting L could
+		// skip it where the original would not — refuse.
+		if hasMinters(sj.L) && thetaCond != nil && !algebra.UsesColBelow(thetaCond, nL) {
+			return nil, false
+		}
+		var split algebra.Expr
+		if thetaCond == nil {
+			split = algebra.SemiJoin{
+				L:    sj.L,
+				R:    algebra.Select{Child: sj.R, Cond: algebra.NewOr(rho...)},
+				Cond: algebra.NewAnd(rest...),
+				Anti: true,
+			}
+		} else if hasMinters(sj.L) {
+			// θ-part innermost: the correlated antijoin pins L's single
+			// evaluation; the uncorrelated ρ-part then filters its rows.
+			split = algebra.SemiJoin{
+				L: algebra.SemiJoin{
+					L:    sj.L,
+					R:    algebra.Select{Child: sj.R, Cond: algebra.NewAnd(rhoNeg...)},
+					Cond: thetaCond,
+					Anti: true,
+				},
+				R:    algebra.Select{Child: sj.R, Cond: algebra.NewOr(rho...)},
+				Cond: algebra.NewAnd(rest...),
+				Anti: true,
+			}
+		} else {
+			// ρ-part innermost: when any ρ∧rest row exists the inner
+			// antijoin can empty the pipeline before the θ-part builds.
+			split = algebra.SemiJoin{
+				L: algebra.SemiJoin{
+					L:    sj.L,
+					R:    algebra.Select{Child: sj.R, Cond: algebra.NewOr(rho...)},
+					Cond: algebra.NewAnd(rest...),
+					Anti: true,
+				},
+				R:    algebra.Select{Child: sj.R, Cond: algebra.NewAnd(rhoNeg...)},
+				Cond: thetaCond,
+				Anti: true,
+			}
+		}
+		if o.estimate(split).cost >= o.estimate(sj).cost {
+			continue // splitting this disjunction doesn't pay
+		}
+		return split, true
+	}
+	return nil, false
+}
+
+// nullFreeIn returns the null-free oracle for the output columns of e:
+// first the static tier (schema nullability propagated by
+// analyze.NonNullCols under naive strength, valid for both semantics),
+// then the data tier (a base column whose statistics show zero nulls,
+// recorded as a premise).
+func (o *optimizer) nullFreeIn(e algebra.Expr) func(int) bool {
+	static := analyze.NonNullCols(e, o.sch, analyze.StrengthNaive)
+	return func(col int) bool {
+		if col >= 0 && col < len(static) && static[col] {
+			return true
+		}
+		ts, bcol, ok := originStats(e, o.st, col)
+		if ok && ts.NullFree(bcol) {
+			o.premises[Premise{Kind: PremiseNullFree, Table: ts.Name, Col: bcol}] = struct{}{}
+			return true
+		}
+		return false
+	}
+}
+
+// nullFreeJoin is nullFreeIn for a semijoin condition, whose columns
+// 0..nL-1 refer to L and the rest to R.
+func (o *optimizer) nullFreeJoin(l, r algebra.Expr) func(int) bool {
+	nL := l.Arity()
+	lFree, rFree := o.nullFreeIn(l), o.nullFreeIn(r)
+	return func(col int) bool {
+		if col < nL {
+			return lFree(col)
+		}
+		return rFree(col - nL)
+	}
+}
+
+// simplifyCond eliminates null tests decided by the null-free oracle.
+// The truth of the condition on every actual row is unchanged (the
+// oracle's facts hold for the data under the recorded premises), so
+// filters and joins keep and drop exactly the same rows.
+func (o *optimizer) simplifyCond(c algebra.Cond, free func(int) bool) (algebra.Cond, bool) {
+	c = algebra.NNF(c)
+	var rec func(c algebra.Cond) (algebra.Cond, bool)
+	rec = func(c algebra.Cond) (algebra.Cond, bool) {
+		switch c := c.(type) {
+		case algebra.And:
+			parts := make([]algebra.Cond, len(c.Conds))
+			changed := false
+			for i, sub := range c.Conds {
+				var ch bool
+				parts[i], ch = rec(sub)
+				changed = changed || ch
+			}
+			if !changed {
+				return c, false
+			}
+			return algebra.NewAnd(parts...), true
+		case algebra.Or:
+			parts := make([]algebra.Cond, len(c.Conds))
+			changed := false
+			for i, sub := range c.Conds {
+				var ch bool
+				parts[i], ch = rec(sub)
+				changed = changed || ch
+			}
+			if !changed {
+				return c, false
+			}
+			return algebra.NewOr(parts...), true
+		case algebra.NullTest:
+			// astlint:partial — scalar operands are unreachable here
+			// (condHasScalar gates every caller) and stay untouched.
+			switch op := c.Operand.(type) {
+			case algebra.Col:
+				if free(op.Idx) {
+					if c.Negated {
+						return algebra.TrueCond{}, true
+					}
+					return algebra.FalseCond{}, true
+				}
+			case algebra.Lit:
+				if op.Val.IsNull() == !c.Negated {
+					return algebra.TrueCond{}, true
+				}
+				return algebra.FalseCond{}, true
+			}
+			return c, false
+		default:
+			return c, false
+		}
+	}
+	return rec(c)
+}
+
+// condHasScalar reports whether c contains a scalar-subquery operand
+// anywhere. No rewrite rule touches such conditions: resolving a
+// scalar evaluates its subquery and may mint marked nulls, so even
+// re-associating the condition risks observable changes.
+func condHasScalar(c algebra.Cond) bool {
+	opScalar := func(op algebra.Operand) bool {
+		_, ok := op.(algebra.Scalar)
+		return ok
+	}
+	// astlint:partial — True/False carry no operands; the fallthrough
+	// `return false` is their answer.
+	switch c := c.(type) {
+	case algebra.Cmp:
+		return opScalar(c.L) || opScalar(c.R)
+	case algebra.Like:
+		return opScalar(c.Operand) || opScalar(c.Pattern)
+	case algebra.NullTest:
+		return opScalar(c.Operand)
+	case algebra.And:
+		for _, sub := range c.Conds {
+			if condHasScalar(sub) {
+				return true
+			}
+		}
+	case algebra.Or:
+		for _, sub := range c.Conds {
+			if condHasScalar(sub) {
+				return true
+			}
+		}
+	case algebra.Not:
+		return condHasScalar(c.C)
+	}
+	return false
+}
+
+// hasMinters reports whether evaluating e can mint fresh marked nulls:
+// any GroupBy (empty-group aggregates) or any scalar subquery operand.
+// Rules that change whether or how often a subtree is evaluated must
+// not fire near minters, since mark identities appear in result bytes.
+func hasMinters(e algebra.Expr) bool {
+	mint := false
+	algebra.Walk(e, func(x algebra.Expr) {
+		// astlint:partial — only the operators that can mint marks
+		// matter; Walk already visits every node.
+		switch n := x.(type) {
+		case algebra.GroupBy:
+			mint = true
+		case algebra.Select:
+			if condHasScalar(n.Cond) {
+				mint = true
+			}
+		case algebra.SemiJoin:
+			if condHasScalar(n.Cond) {
+				mint = true
+			}
+		}
+	})
+	return mint
+}
+
+// hints walks the final expression and derives per-operator execution
+// hints: slim verification, the numeric key specialization, and hash
+// pre-sizing.
+func (o *optimizer) hints(e algebra.Expr) *eval.PlanHints {
+	semi := map[string]eval.SemiHint{}
+	algebra.Walk(e, func(x algebra.Expr) {
+		sj, ok := x.(algebra.SemiJoin)
+		if !ok {
+			return
+		}
+		if h, ok := o.semiHintFor(sj); ok {
+			semi[sj.Key()] = h
+		}
+	})
+	if len(semi) == 0 {
+		return nil
+	}
+	return &eval.PlanHints{Semi: semi}
+}
+
+// semiKeyPairs extracts the hash-key column pairs exactly as the
+// evaluator's prepSemi does: pure column-to-column equality conjuncts
+// spanning both sides, right columns in right-local positions.
+func semiKeyPairs(sj algebra.SemiJoin) (lCols, rCols []int) {
+	nL := sj.L.Arity()
+	for _, c := range algebra.Conjuncts(algebra.NNF(sj.Cond)) {
+		cmp, ok := c.(algebra.Cmp)
+		if !ok || cmp.Op != algebra.EQ {
+			continue
+		}
+		a, aok := cmp.L.(algebra.Col)
+		b, bok := cmp.R.(algebra.Col)
+		if !aok || !bok {
+			continue
+		}
+		switch {
+		case a.Idx < nL && b.Idx >= nL:
+			lCols = append(lCols, a.Idx)
+			rCols = append(rCols, b.Idx-nL)
+		case b.Idx < nL && a.Idx >= nL:
+			lCols = append(lCols, b.Idx)
+			rCols = append(rCols, a.Idx-nL)
+		}
+	}
+	return lCols, rCols
+}
+
+// semiHintFor derives the execution hint for one semijoin.
+func (o *optimizer) semiHintFor(sj algebra.SemiJoin) (eval.SemiHint, bool) {
+	lCols, rCols := semiKeyPairs(sj)
+	if len(lCols) == 0 {
+		return eval.SemiHint{}, false
+	}
+	var h eval.SemiHint
+	rEst := o.estimate(sj.R)
+	h.BuildRows = clampInt64(rEst.rows)
+	if len(rCols) == 1 {
+		if ts, bcol, ok := originStats(sj.R, o.st, rCols[0]); ok {
+			h.BuildDistinct = ts.Cols[bcol].Distinct
+			o.fired[RuleHashPresize] = true
+		}
+	}
+	// Slim verification: sound when, for every key pair, hash-bucket
+	// equality implies the dropped `=` is true. String, bool and date
+	// keys have injective encodings and exact comparisons; numeric
+	// keys need every value within ±2⁵³ (premise) so the float64
+	// encoding is exact.
+	slim := true
+	for i := range lCols {
+		if !o.slimSafeCol(sj.L, lCols[i]) || !o.slimSafeCol(sj.R, rCols[i]) {
+			slim = false
+			break
+		}
+	}
+	if slim {
+		h.SlimVerify = true
+		o.fired[RuleSlimVerify] = true
+	}
+	// Numeric-key specialization: a single key pair where both sides
+	// are numeric-typed base columns, mirroring the tuple-key encoding
+	// exactly (no premise needed — bucketing is bit-identical).
+	if len(lCols) == 1 {
+		lk, lok := originType(sj.L, o.sch, lCols[0])
+		rk, rok := originType(sj.R, o.sch, rCols[0])
+		if lok && rok && isNumericKind(lk) && isNumericKind(rk) {
+			h.NumKey = true
+			o.fired[RuleNumKey] = true
+		}
+	}
+	// Fused build: a selection directly over a stored relation can be
+	// applied inside the hash build loop, never materializing the
+	// filtered table. Restricted to scalar-free conditions over Base
+	// children, so the fused subtree cannot mint marked nulls and a
+	// lost view-cache entry costs at most a recomputation of identical
+	// bytes (the runtime additionally skips fusion on shared views).
+	if sel, ok := sj.R.(algebra.Select); ok {
+		if _, isBase := sel.Child.(algebra.Base); isBase && !condHasScalar(sel.Cond) {
+			h.FuseBuild = true
+			o.fired[RuleFuseBuild] = true
+		}
+	}
+	return h, true
+}
+
+// slimSafeCol reports whether dropping an extracted key equality on
+// this column is sound, recording the numeric-range premise when the
+// safety is data-dependent.
+func (o *optimizer) slimSafeCol(side algebra.Expr, col int) bool {
+	kind, ok := originType(side, o.sch, col)
+	if !ok {
+		return false
+	}
+	if !isNumericKind(kind) {
+		return true // injective encoding, exact comparison
+	}
+	ts, bcol, ok := originStats(side, o.st, col)
+	if !ok || !numRangeOK(ts.Cols[bcol]) {
+		return false
+	}
+	o.premises[Premise{Kind: PremiseNumRange, Table: ts.Name, Col: bcol}] = struct{}{}
+	return true
+}
+
+func isNumericKind(k value.Kind) bool {
+	return k == value.KindInt || k == value.KindFloat
+}
+
+func clampInt64(f float64) int64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1<<62 {
+		return 1 << 62
+	}
+	return int64(f)
+}

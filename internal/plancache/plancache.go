@@ -22,6 +22,7 @@ import (
 
 	"certsql/internal/algebra"
 	"certsql/internal/eval"
+	"certsql/internal/plan"
 )
 
 // DefaultSize is the entry bound used when New is given max <= 0.
@@ -101,6 +102,28 @@ type Plan struct {
 	OrigShape *eval.Shape
 	PlusShape *eval.Shape
 	StarShape *eval.Shape
+	// OrigOpt, PlusOpt and StarOpt are the cost-based planner's
+	// optimized variants of the corresponding expressions (nil when the
+	// planner produced no change worth caching). An execution uses a
+	// variant only when its premises still hold under the current
+	// statistics and Options.NaivePlanner is off; otherwise it falls
+	// back to the baseline expression above, so a cached variant can go
+	// stale but never wrong.
+	OrigOpt *Optimized
+	PlusOpt *Optimized
+	StarOpt *Optimized
+}
+
+// Optimized is one cost-based-planner output cached alongside its
+// baseline expression: the rewritten plan, its iterator shape, the
+// executor hints, the data-dependent premises the rewrites rely on,
+// and the rendered EXPLAIN for serving-layer introspection.
+type Optimized struct {
+	Expr     algebra.Expr
+	Shape    *eval.Shape
+	Hints    *eval.PlanHints
+	Premises []plan.Premise
+	Explain  string
 }
 
 // Stats is a point-in-time snapshot of the cache counters.

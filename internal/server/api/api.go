@@ -116,6 +116,12 @@ type PrepareResponse struct {
 	SQL string `json:"sql"`
 	// Mode is the evaluation mode baked into the statement.
 	Mode string `json:"mode"`
+	// Explain is the cost-based planner's EXPLAIN of the statement as
+	// prepared (no parameter binding), against the catalog snapshot
+	// current at prepare time. Empty for statements that cannot be
+	// planned without parameters; executions against later snapshots
+	// may plan differently.
+	Explain string `json:"explain,omitempty"`
 }
 
 // ExecuteRequest is the body of POST /v1/execute.
@@ -155,11 +161,20 @@ type TableInfo struct {
 	Columns []ColumnInfo `json:"columns"`
 }
 
-// ColumnInfo describes one attribute.
+// ColumnInfo describes one attribute, including the planner's current
+// statistics for it.
 type ColumnInfo struct {
 	Name     string `json:"name"`
 	Type     string `json:"type"`
 	Nullable bool   `json:"nullable"`
+	// NullRate is the fraction of rows whose value is a marked null
+	// (0 on an empty table).
+	NullRate float64 `json:"null_rate"`
+	// Distinct estimates the number of distinct non-null values;
+	// DistinctExact reports whether it is an exact count rather than a
+	// sketch estimate.
+	Distinct      int64 `json:"distinct"`
+	DistinctExact bool  `json:"distinct_exact"`
 }
 
 // Error is the body of every non-2xx response.

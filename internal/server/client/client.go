@@ -103,6 +103,9 @@ type Stmt struct {
 	ID   string
 	SQL  string
 	Mode string
+	// Explain is the planner's EXPLAIN at prepare time; empty for
+	// statements that cannot be planned without a parameter binding.
+	Explain string
 }
 
 // Prepare registers a statement on the server.
@@ -112,7 +115,7 @@ func (c *Client) Prepare(ctx context.Context, sql, mode string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{c: c, ID: resp.ID, SQL: resp.SQL, Mode: resp.Mode}, nil
+	return &Stmt{c: c, ID: resp.ID, SQL: resp.SQL, Mode: resp.Mode, Explain: resp.Explain}, nil
 }
 
 // Execute runs a prepared statement.

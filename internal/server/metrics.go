@@ -87,7 +87,15 @@ type gauges struct {
 	sessions     int
 	planEntries  int
 	catalogVers  map[string]uint64 // session name -> version
+	tableStats   []tableStatsGauge
 	shuttingDown bool
+}
+
+// tableStatsGauge is one relation's row and marked-null counts from the
+// owning session's last statistics collection.
+type tableStatsGauge struct {
+	session, table string
+	rows, nulls    int64
 }
 
 // render writes the exposition text. Lines are sorted so the output is
@@ -107,6 +115,10 @@ func (m *metrics) render(g gauges) string {
 	}
 	for session, v := range g.catalogVers {
 		lines = append(lines, fmt.Sprintf("certsqld_catalog_version{session=%q} %d", session, v))
+	}
+	for _, ts := range g.tableStats {
+		lines = append(lines, fmt.Sprintf("certsqld_stats_rows{session=%q,table=%q} %d", ts.session, ts.table, ts.rows))
+		lines = append(lines, fmt.Sprintf("certsqld_stats_nulls{session=%q,table=%q} %d", ts.session, ts.table, ts.nulls))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

@@ -293,7 +293,13 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := sess.register(stmt)
-	writeJSON(w, http.StatusOK, &api.PrepareResponse{ID: id, SQL: stmt.Text(), Mode: stmt.Mode().String()})
+	resp := &api.PrepareResponse{ID: id, SQL: stmt.Text(), Mode: stmt.Mode().String()}
+	// Best-effort EXPLAIN: parameterized statements cannot be planned
+	// until a binding arrives, so a failure just leaves the field empty.
+	if ex, err := stmt.Explain(nil, certsql.Options{}); err == nil {
+		resp.Explain = ex
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
@@ -352,11 +358,11 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, rawParams map[s
 		Degraded: res.Degraded,
 		Version:  version,
 		Stats: api.Stats{
-			CostUnits:       res.Stats.CostUnits,
-			NestedLoopJoins: res.Stats.NestedLoopJoins,
-			HashJoins:       res.Stats.HashJoins,
-			ShortCircuits:   res.Stats.ShortCircuits,
-			CacheHits:       res.Stats.CacheHits,
+			CostUnits:         res.Stats.CostUnits,
+			NestedLoopJoins:   res.Stats.NestedLoopJoins,
+			HashJoins:         res.Stats.HashJoins,
+			ShortCircuits:     res.Stats.ShortCircuits,
+			CacheHits:         res.Stats.CacheHits,
 			FastPathHits:      res.Stats.FastPathHits,
 			PlanCacheHits:     res.Stats.PlanCacheHits,
 			PlanCacheMisses:   res.Stats.PlanCacheMisses,
@@ -409,13 +415,23 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	sess := s.sessions.get(r.URL.Query().Get("session"))
 	snap := sess.store.Snapshot()
+	// One collection serves the whole response; the session collector's
+	// generation cache makes this O(1) for tables unchanged since the
+	// last query planned against them.
+	st := sess.stats.Collect(snap.DB)
 	resp := &api.CatalogResponse{Version: snap.Version}
 	for _, name := range snap.DB.Schema.Names() {
 		rel, _ := snap.DB.Schema.Relation(name)
 		info := api.TableInfo{Name: name, Rows: snap.DB.MustTable(name).Len()}
-		for _, a := range rel.Attrs {
-			info.Columns = append(info.Columns, api.ColumnInfo{
-				Name: a.Name, Type: a.Type.String(), Nullable: a.Nullable})
+		ts := st.Table(name)
+		for i, a := range rel.Attrs {
+			ci := api.ColumnInfo{Name: a.Name, Type: a.Type.String(), Nullable: a.Nullable}
+			if ts != nil && i < len(ts.Cols) {
+				ci.NullRate = ts.NullRate(i)
+				ci.Distinct = ts.Cols[i].Distinct
+				ci.DistinctExact = ts.Cols[i].DistinctExact
+			}
+			info.Columns = append(info.Columns, ci)
 		}
 		resp.Tables = append(resp.Tables, info)
 	}
@@ -438,6 +454,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sessions:     s.sessions.count(),
 		planEntries:  s.sessions.planEntries(),
 		catalogVers:  s.sessions.snapshotVersions(),
+		tableStats:   s.sessions.statsGauges(),
 		shuttingDown: s.draining.Load(),
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -85,6 +85,18 @@ func TestPrepareExecuteFlow(t *testing.T) {
 	if stmt.Mode != "certain" {
 		t.Errorf("mode: %q", stmt.Mode)
 	}
+	// A statement referencing $k cannot be planned without a binding,
+	// so its prepare-time EXPLAIN is empty.
+	if stmt.Explain != "" {
+		t.Errorf("parameterized statement should have no prepare-time EXPLAIN:\n%s", stmt.Explain)
+	}
+	free, err := c.Prepare(context.Background(), `SELECT n_name FROM nation WHERE n_regionkey = 1`, "certain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(free.Explain, "plan (") {
+		t.Errorf("parameterless statement should carry a prepare-time EXPLAIN, got %q", free.Explain)
+	}
 	r1, err := stmt.Execute(context.Background(), map[string]any{"k": 3}, client.QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -404,6 +416,10 @@ func TestMetricsExposition(t *testing.T) {
 		`certsqld_plan_cache_misses_total 1`,
 		`certsqld_sessions 1`,
 		`certsqld_catalog_version{session="default"} 1`,
+		// The queries above planned against session statistics, so the
+		// collector's snapshot backs the stats gauges.
+		`certsqld_stats_rows{session="default",table="nation"}`,
+		`certsqld_stats_nulls{session="default",table="nation"}`,
 		`certsqld_in_flight 0`,
 		`certsqld_queue_depth 0`,
 	} {
@@ -435,6 +451,21 @@ func TestCatalogEndpoint(t *testing.T) {
 	}
 	if !nation.Columns[1].Nullable {
 		t.Errorf("n_name should be nullable in the generated schema")
+	}
+	// The catalog carries per-column planner statistics: the key column
+	// is dense and null-free, and its distinct count is exact at this
+	// scale.
+	key := nation.Columns[0]
+	if key.NullRate != 0 {
+		t.Errorf("n_nationkey null rate: %g", key.NullRate)
+	}
+	if key.Distinct != int64(nation.Rows) || !key.DistinctExact {
+		t.Errorf("n_nationkey distinct: %d (exact=%v), table has %d rows", key.Distinct, key.DistinctExact, nation.Rows)
+	}
+	for _, col := range nation.Columns {
+		if col.NullRate < 0 || col.NullRate > 1 {
+			t.Errorf("%s null rate out of range: %g", col.Name, col.NullRate)
+		}
 	}
 }
 

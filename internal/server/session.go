@@ -6,6 +6,7 @@ import (
 
 	"certsql"
 	"certsql/internal/plancache"
+	"certsql/internal/stats"
 	"certsql/internal/table"
 )
 
@@ -19,10 +20,15 @@ import (
 // The plan cache is shared across versions on purpose — plans are
 // keyed by catalog version, so a publish implicitly invalidates every
 // older plan (it misses and ages out of the LRU) with no cache sweep.
+// The statistics collector is shared across snapshots the same way:
+// its per-table generation cache makes re-collection O(1) on tables a
+// publish did not touch, so every request's planner sees fresh
+// statistics at amortized zero scan cost.
 type session struct {
 	name  string
 	store *table.Store
 	plans *plancache.Cache
+	stats *stats.Collector
 
 	mu       sync.Mutex
 	prepared map[string]*certsql.Prepared
@@ -34,7 +40,7 @@ type session struct {
 // internally consistent and immutable.
 func (s *session) view() *certsql.DB {
 	snap := s.store.Snapshot()
-	return certsql.FromSnapshot(snap.DB, snap.Version, s.plans)
+	return certsql.FromSnapshot(snap.DB, snap.Version, s.plans).WithStatsCollector(s.stats)
 }
 
 // register stores a prepared statement and returns its handle.
@@ -88,6 +94,7 @@ func (ss *sessions) get(name string) *session {
 			name:     name,
 			store:    table.NewStore(ss.seed),
 			plans:    plancache.New(0),
+			stats:    stats.NewCollector(),
 			prepared: map[string]*certsql.Prepared{},
 		}
 		ss.byID[name] = s
@@ -116,6 +123,30 @@ func (ss *sessions) planEntries() int {
 		n += s.plans.Len()
 	}
 	return n
+}
+
+// statsGauges reports, per session and relation, the row and total
+// marked-null counts of the most recently collected statistics
+// snapshot, for /metrics. Sessions that never collected statistics
+// report nothing — the metrics endpoint never forces a table scan.
+func (ss *sessions) statsGauges() []tableStatsGauge {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var out []tableStatsGauge
+	for name, s := range ss.byID {
+		st := s.stats.Current()
+		if st == nil {
+			continue
+		}
+		for tbl, ts := range st.Tables {
+			var nulls int64
+			for _, c := range ts.Cols {
+				nulls += c.Nulls
+			}
+			out = append(out, tableStatsGauge{session: name, table: tbl, rows: ts.Rows, nulls: nulls})
+		}
+	}
+	return out
 }
 
 // count reports the number of live sessions.

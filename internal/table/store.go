@@ -33,8 +33,28 @@ type Snapshot struct {
 // version N's tables; it sees exactly the old or exactly the new
 // version, never a mix.
 type Store struct {
-	mu  sync.Mutex // serializes publishers
-	cur atomic.Pointer[Snapshot]
+	mu        sync.Mutex // serializes publishers
+	cur       atomic.Pointer[Snapshot]
+	onPublish []func(*Snapshot)
+}
+
+// OnPublish registers fn to run after every subsequent publish (Publish
+// or successful Update), under the publisher mutex and in registration
+// order, with the just-published snapshot. Hooks therefore observe
+// every version exactly once and in order; a slow hook delays later
+// publishers but never readers. The statistics collector uses this to
+// keep per-table statistics fresh incrementally.
+func (s *Store) OnPublish(fn func(*Snapshot)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onPublish = append(s.onPublish, fn)
+}
+
+// notify runs the publish hooks; the caller holds s.mu.
+func (s *Store) notify(snap *Snapshot) {
+	for _, fn := range s.onPublish {
+		fn(snap)
+	}
 }
 
 // NewStore returns a store whose first published snapshot is db, at
@@ -61,7 +81,9 @@ func (s *Store) Publish(db *Database) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := s.cur.Load().Version + 1
-	s.cur.Store(&Snapshot{DB: db, Version: v})
+	snap := &Snapshot{DB: db, Version: v}
+	s.cur.Store(snap)
+	s.notify(snap)
 	return v
 }
 
@@ -79,6 +101,8 @@ func (s *Store) Update(mutate func(db *Database) error) (uint64, error) {
 		return cur.Version, err
 	}
 	v := cur.Version + 1
-	s.cur.Store(&Snapshot{DB: clone, Version: v})
+	snap := &Snapshot{DB: clone, Version: v}
+	s.cur.Store(snap)
+	s.notify(snap)
 	return v, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"certsql/internal/schema"
 	"certsql/internal/value"
@@ -15,14 +16,23 @@ import (
 // Row is one tuple. Rows are never mutated after insertion.
 type Row = []value.Value
 
+// genCounter mints globally unique table generations. Every mutation of
+// any table assigns a fresh generation, so two tables with the same
+// generation are guaranteed to hold identical rows — the property the
+// statistics collector's cache keys on. Clone deliberately copies the
+// generation: a clone has the same content, so sharing cached per-table
+// statistics across copy-on-write publishes is sound.
+var genCounter atomic.Uint64
+
 // Table is a bag of rows of a fixed arity.
 type Table struct {
 	arity int
+	gen   uint64
 	rows  []Row
 }
 
 // New returns an empty table of the given arity.
-func New(arity int) *Table { return &Table{arity: arity} }
+func New(arity int) *Table { return &Table{arity: arity, gen: genCounter.Add(1)} }
 
 // FromRows builds a table from rows, all of which must share the arity.
 func FromRows(arity int, rows []Row) *Table {
@@ -42,6 +52,13 @@ func (t *Table) Len() int { return len(t.rows) }
 // Rows exposes the backing rows. Callers must not mutate them.
 func (t *Table) Rows() []Row { return t.rows }
 
+// Generation returns the table's content generation: a globally unique
+// id reassigned on every mutation. Equal generations imply identical
+// content (Clone preserves the generation; mutation always changes it),
+// so caches of content-derived artifacts — per-table statistics — can
+// key on (relation name, generation).
+func (t *Table) Generation() uint64 { return t.gen }
+
 // Row returns the i-th row.
 func (t *Table) Row(i int) Row { return t.rows[i] }
 
@@ -51,6 +68,7 @@ func (t *Table) Append(r Row) {
 		panic(fmt.Sprintf("table: appending row of arity %d to table of arity %d", len(r), t.arity))
 	}
 	t.rows = append(t.rows, r)
+	t.gen = genCounter.Add(1)
 }
 
 // SetRow replaces the i-th row. It panics on arity mismatch. Replacing
@@ -62,6 +80,7 @@ func (t *Table) SetRow(i int, r Row) {
 		panic(fmt.Sprintf("table: setting row of arity %d in table of arity %d", len(r), t.arity))
 	}
 	t.rows[i] = r
+	t.gen = genCounter.Add(1)
 }
 
 // Value and row-header sizes used by EstimatedBytes. A value.Value is
@@ -415,6 +434,7 @@ func (db *Database) Clone() *Database {
 	for name, t := range db.tables {
 		nt := New(t.arity)
 		nt.rows = append(nt.rows, t.rows...)
+		nt.gen = t.gen // same content ⇒ same generation (see genCounter)
 		out.tables[name] = nt
 	}
 	return out

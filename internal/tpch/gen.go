@@ -296,7 +296,21 @@ func (g *generator) ordersAndLineitems(orders, customers, parts, suppliers int) 
 // attributes are never nulled. Rows are replaced rather than mutated,
 // so injecting into a Clone leaves the original database intact.
 func InjectNulls(db *table.Database, rate float64, rng *rand.Rand) {
-	for _, name := range db.Schema.Names() {
+	InjectNullsInto(db, rate, rng)
+}
+
+// InjectNullsInto is InjectNulls restricted to the named tables (all
+// tables when none are named). The paper's experiments choose which
+// attributes receive nulls per scenario; restricting injection leaves
+// the remaining tables complete, so their nullable columns stay
+// null-free in the data — the case a statistics-driven planner can
+// prove and exploit.
+func InjectNullsInto(db *table.Database, rate float64, rng *rand.Rand, tables ...string) {
+	names := db.Schema.Names()
+	if len(tables) > 0 {
+		names = tables
+	}
+	for _, name := range names {
 		rel, _ := db.Schema.Relation(name)
 		t := db.MustTable(name)
 		for ri := 0; ri < t.Len(); ri++ {

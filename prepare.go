@@ -7,11 +7,13 @@ import (
 	"sort"
 	"strings"
 
+	"certsql/internal/algebra"
 	"certsql/internal/analyze"
 	"certsql/internal/certain"
 	"certsql/internal/compile"
 	"certsql/internal/eval"
 	"certsql/internal/guard"
+	"certsql/internal/plan"
 	"certsql/internal/plancache"
 	"certsql/internal/sql"
 )
@@ -68,6 +70,14 @@ func (p *Prepared) Rebind(db *DB) *Prepared {
 	return &Prepared{db: db, text: p.text, mode: p.mode}
 }
 
+// Explain renders the cost-based planner's EXPLAIN of the statement
+// under the given parameter binding. Parameters are folded into the
+// compiled algebra, so they are part of what is planned: a statement
+// that references parameters cannot be explained without a binding.
+func (p *Prepared) Explain(params Params, opts Options) (string, error) {
+	return p.db.ExplainPlan(p.text, params, opts)
+}
+
 // Execute runs the statement with the given parameters.
 func (p *Prepared) Execute(params Params) (*Result, error) {
 	return p.ExecuteWithOptionsContext(context.Background(), params, Options{})
@@ -99,7 +109,7 @@ func (p *Prepared) ExecuteWithOptionsContext(ctx context.Context, params Params,
 	pl, hit := p.db.plans.Get(key)
 	if !hit {
 		var err error
-		pl, err = p.db.compilePlan(p.text, params, opts)
+		pl, err = p.db.compilePlan(gov, p.text, params, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -117,10 +127,13 @@ func (p *Prepared) ExecuteWithOptionsContext(ctx context.Context, params Params,
 	return res, nil
 }
 
-// compilePlan performs the cacheable, data-independent part of one
-// query: parse, compile, translatability check, static analysis, and
-// the Q⁺/Q⋆ translations its mode needs.
-func (db *DB) compilePlan(text string, params Params, opts Options) (pl *plancache.Plan, err error) {
+// compilePlan performs the cacheable part of one query: parse, compile,
+// translatability check, static analysis, the Q⁺/Q⋆ translations its
+// mode needs, and the cost-based planner's optimized variant of each.
+// Everything but the optimized variants is data-independent; the
+// variants may lean on data-dependent premises, which runPlan re-checks
+// against current statistics before using one.
+func (db *DB) compilePlan(gov *guard.Governor, text string, params Params, opts Options) (pl *plancache.Plan, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			pl, err = nil, guard.NewInternalError("certsql/compile-plan", v)
@@ -137,6 +150,12 @@ func (db *DB) compilePlan(text string, params Params, opts Options) (pl *plancac
 	}
 	pl = &plancache.Plan{Columns: compiled.Columns, Orig: compiled.Expr,
 		OrigShape: eval.ShapeOf(compiled.Expr)}
+	// The original expression is executed in every mode (standard
+	// evaluation, the certain route's analyzer fast path), so its
+	// optimized variant is always worth caching.
+	if pl.OrigOpt, err = db.optimizeFor(gov, compiled.Expr); err != nil {
+		return nil, err
+	}
 	switch mode {
 	case modeCertain:
 		pl.Mode = plancache.ModeCertain
@@ -160,11 +179,55 @@ func (db *DB) compilePlan(text string, params Params, opts Options) (pl *plancac
 	tr := opts.translator(db)
 	pl.Plus = tr.Plus(compiled.Expr)
 	pl.PlusShape = eval.ShapeOf(pl.Plus)
+	if pl.PlusOpt, err = db.optimizeFor(gov, pl.Plus); err != nil {
+		return nil, err
+	}
 	if pl.Mode == plancache.ModePossible {
 		pl.Star = tr.Star(compiled.Expr)
 		pl.StarShape = eval.ShapeOf(pl.Star)
+		if pl.StarOpt, err = db.optimizeFor(gov, pl.Star); err != nil {
+			return nil, err
+		}
 	}
 	return pl, nil
+}
+
+// optimizeFor runs the cost-based planner over one cached expression
+// variant. It returns nil — cache the baseline alone — when the planner
+// neither rewrote the expression nor produced hints.
+func (db *DB) optimizeFor(gov *guard.Governor, e algebra.Expr) (*plancache.Optimized, error) {
+	st, err := db.collectStats(gov)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := plan.Optimize(e, db.d.Schema, st, gov)
+	if err != nil {
+		return nil, err
+	}
+	if !pr.Changed && pr.Hints == nil {
+		return nil, nil
+	}
+	return &plancache.Optimized{Expr: pr.Expr, Shape: eval.ShapeOf(pr.Expr),
+		Hints: pr.Hints, Premises: pr.Premises, Explain: pr.ExplainText()}, nil
+}
+
+// optApplies decides whether a cached optimized variant may serve this
+// execution: the planner must be enabled and every premise the variant
+// relies on must still hold under current statistics. With no premises
+// the check is free; otherwise statistics are re-collected, which the
+// generation cache makes O(1) on unchanged data.
+func (db *DB) optApplies(gov *guard.Governor, o *plancache.Optimized, opts Options) (bool, error) {
+	if o == nil || opts.NaivePlanner {
+		return false, nil
+	}
+	if len(o.Premises) == 0 {
+		return true, nil
+	}
+	st, err := db.collectStats(gov)
+	if err != nil {
+		return false, err
+	}
+	return plan.CheckPremises(o.Premises, st), nil
 }
 
 // runPlan evaluates a cached plan, mirroring runParsed's mode switch.
@@ -178,7 +241,11 @@ func (db *DB) runPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (re
 	case plancache.ModeCertain:
 		return db.evalCertainPlan(gov, pl, opts)
 	case plancache.ModePossible:
-		res, err := db.evalExprShaped(gov, pl.Star, pl.StarShape, pl.Columns, opts)
+		expr, shape, hints, verr := db.pickVariant(gov, pl.Star, pl.StarShape, pl.StarOpt, opts)
+		if verr != nil {
+			return nil, verr
+		}
+		res, err := db.evalExprPlanned(gov, expr, shape, hints, pl.Columns, opts)
 		if err == nil {
 			res.Possible = true
 			return res, nil
@@ -201,19 +268,41 @@ func (db *DB) runPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (re
 		})
 		return res, nil
 	default:
-		return db.evalExprShaped(gov, pl.Orig, pl.OrigShape, pl.Columns, opts)
+		expr, shape, hints, err := db.pickVariant(gov, pl.Orig, pl.OrigShape, pl.OrigOpt, opts)
+		if err != nil {
+			return nil, err
+		}
+		return db.evalExprPlanned(gov, expr, shape, hints, pl.Columns, opts)
 	}
+}
+
+// pickVariant resolves which plan an execution runs: the cached
+// optimized variant when it applies (see optApplies), the baseline
+// otherwise.
+func (db *DB) pickVariant(gov *guard.Governor, e algebra.Expr, s *eval.Shape, o *plancache.Optimized, opts Options) (algebra.Expr, *eval.Shape, *eval.PlanHints, error) {
+	ok, err := db.optApplies(gov, o, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ok {
+		return o.Expr, o.Shape, o.Hints, nil
+	}
+	return e, s, nil, nil
 }
 
 // evalCertainPlan is the certain-answer route over a cached plan: the
 // analyzer fast path when the cached verdict applies to the current
 // data, the cached Q⁺ otherwise.
 func (db *DB) evalCertainPlan(gov *guard.Governor, pl *plancache.Plan, opts Options) (*Result, error) {
-	expr, shape, fastPath := pl.Plus, pl.PlusShape, false
+	expr, shape, opt, fastPath := pl.Plus, pl.PlusShape, pl.PlusOpt, false
 	if !opts.NoAnalyzerFastPath && pl.AnalyzerSafe && db.d.ConformsNonNull() {
-		expr, shape, fastPath = pl.Orig, pl.OrigShape, true
+		expr, shape, opt, fastPath = pl.Orig, pl.OrigShape, pl.OrigOpt, true
 	}
-	res, err := db.evalExprShaped(gov, expr, shape, pl.Columns, opts)
+	expr, shape, hints, err := db.pickVariant(gov, expr, shape, opt, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.evalExprPlanned(gov, expr, shape, hints, pl.Columns, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -19,7 +19,12 @@
 //     default clause or not — the error taxonomy is a closed sum too,
 //     and a dispatch (HTTP status mapping, exit codes) that misses a
 //     sentinel falls through to its catch-all, misclassifying a
-//     governed stop the day a new budget is added.
+//     governed stop the day a new budget is added;
+//   - an expression switch whose case conditions name planner rule
+//     kinds (plan.Rule*) must name every Rule* constant internal/plan
+//     declares, default clause or not — EXPLAIN rendering and rule
+//     dispatch that miss a kind silently mislabel (or drop) the new
+//     rule the day one is added.
 //
 // Families are discovered from the source of the defining packages: an
 // interface with an is<Name>() marker method collects every type
@@ -57,11 +62,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-var familyDirs = []string{"internal/sql", "internal/algebra", "internal/eval"}
+var familyDirs = []string{"internal/sql", "internal/algebra", "internal/eval", "internal/plan"}
 
 // sentinelDir declares the guard error taxonomy; its exported Err*
 // variables form the closed sum the sentinel-switch rule enforces.
 const sentinelDir = "internal/guard"
+
+// enumDir declares the planner rule-kind enum; its Rule* constants of
+// type RuleKind form the closed sum the rule-kind-switch rule enforces.
+const enumDir = "internal/plan"
 
 var defaultTargets = []string{
 	"internal/compile",
@@ -70,6 +79,7 @@ var defaultTargets = []string{
 	"internal/eval",
 	"internal/certain",
 	"internal/server",
+	"internal/plan",
 }
 
 // family is one closed sum type: the interface name and its members.
@@ -114,6 +124,11 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "astlint: %v\n", err)
 		return 2
 	}
+	ruleKinds, err := discoverRuleKinds(fset, filepath.Join(*root, enumDir))
+	if err != nil {
+		fmt.Fprintf(errOut, "astlint: %v\n", err)
+		return 2
+	}
 	if *verbose {
 		for _, f := range families {
 			members := make([]string, 0, len(f.members))
@@ -124,6 +139,7 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintf(out, "family %s: %s\n", f, strings.Join(members, " "))
 		}
 		fmt.Fprintf(out, "sentinels guard: %s\n", strings.Join(sentinels, " "))
+		fmt.Fprintf(out, "rule kinds plan: %s\n", strings.Join(ruleKinds, " "))
 	}
 
 	findings, checked := 0, 0
@@ -141,24 +157,39 @@ func run(args []string, out, errOut io.Writer) int {
 					if line := fset.Position(esw.Pos()).Line; partial[line] || partial[line-1] {
 						return true
 					}
-					named := sentinelRefs(esw)
-					if len(named) == 0 {
+					pos := fset.Position(esw.Pos())
+					if named := sentinelRefs(esw); len(named) > 0 {
+						checked++
+						var missing []string
+						for _, s := range sentinels {
+							if !named[s] {
+								missing = append(missing, s)
+							}
+						}
+						if len(missing) > 0 {
+							findings++
+							fmt.Fprintf(out, "%s: switch dispatches on guard sentinels but misses: guard.%s — the catch-all would misclassify them\n",
+								pos, strings.Join(missing, ", guard."))
+						} else if *verbose {
+							fmt.Fprintf(out, "%s: ok — sentinel switch names all %d guard errors\n", pos, len(sentinels))
+						}
 						return true
 					}
-					checked++
-					pos := fset.Position(esw.Pos())
-					var missing []string
-					for _, s := range sentinels {
-						if !named[s] {
-							missing = append(missing, s)
+					if named := ruleKindRefs(esw, pkgName, ruleKinds); len(named) > 0 {
+						checked++
+						var missing []string
+						for _, k := range ruleKinds {
+							if !named[k] {
+								missing = append(missing, k)
+							}
 						}
-					}
-					if len(missing) > 0 {
-						findings++
-						fmt.Fprintf(out, "%s: switch dispatches on guard sentinels but misses: guard.%s — the catch-all would misclassify them\n",
-							pos, strings.Join(missing, ", guard."))
-					} else if *verbose {
-						fmt.Fprintf(out, "%s: ok — sentinel switch names all %d guard errors\n", pos, len(sentinels))
+						if len(missing) > 0 {
+							findings++
+							fmt.Fprintf(out, "%s: switch dispatches on planner rule kinds but misses: plan.%s — a new rule would be mislabeled\n",
+								pos, strings.Join(missing, ", plan."))
+						} else if *verbose {
+							fmt.Fprintf(out, "%s: ok — rule-kind switch names all %d planner rules\n", pos, len(ruleKinds))
+						}
 					}
 					return true
 				}
@@ -350,6 +381,87 @@ func discoverSentinels(fset *token.FileSet, dir string) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// discoverRuleKinds collects the Rule* constants of type RuleKind the
+// planner package declares — the closed rule-kind enum. Within one
+// const block the declared type carries over iota continuation lines.
+func discoverRuleKinds(fset *token.FileSet, dir string) ([]string, error) {
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			curType := ""
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if vs.Type != nil {
+					curType = ""
+					if id, ok := vs.Type.(*ast.Ident); ok {
+						curType = id.Name
+					}
+				} else if len(vs.Values) > 0 {
+					// An untyped re-initialization ends the iota run.
+					curType = ""
+				}
+				if curType != "RuleKind" {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Rule") && ast.IsExported(name.Name) {
+						out = append(out, name.Name)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ruleKindRefs collects the planner rule-kind constants referenced in
+// the case conditions of an expression switch: plan.Rule* selectors
+// anywhere, bare Rule* identifiers within package plan itself. Only
+// the conditions count — returning a kind from a case body is not
+// dispatching on it.
+func ruleKindRefs(sw *ast.SwitchStmt, pkgName string, kinds []string) map[string]bool {
+	known := map[string]bool{}
+	for _, k := range kinds {
+		known[k] = true
+	}
+	named := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, cond := range cc.List {
+			ast.Inspect(cond, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if x, ok := n.X.(*ast.Ident); ok && x.Name == "plan" && known[n.Sel.Name] {
+						named[n.Sel.Name] = true
+					}
+					return false // don't re-visit the Sel ident bare
+				case *ast.Ident:
+					if pkgName == "plan" && known[n.Name] {
+						named[n.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return named
 }
 
 // sentinelRefs collects the guard.Err* names referenced in the case

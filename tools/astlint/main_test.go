@@ -210,6 +210,97 @@ func isBudget(err error) bool {
 	}
 }
 
+// --- rule-kind-switch rule ------------------------------------------------
+
+func writeRuleTarget(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := "package target\n\nimport \"certsql/internal/plan\"\n\n" + body
+	if err := os.WriteFile(filepath.Join(dir, "target.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRuleKindSwitchMissing: dispatching on some planner rule kinds but
+// not all is a finding even with a default.
+func TestRuleKindSwitchMissing(t *testing.T) {
+	dir := writeRuleTarget(t, `
+func label(k plan.RuleKind) string {
+	switch k {
+	case plan.RulePushdownSelect:
+		return "pushdown"
+	case plan.RuleMergeSelect:
+		return "merge"
+	default:
+		return "other"
+	}
+}
+`)
+	code, out := runTool(t, "-root", "../..", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{"plan.RuleAntiSplit", "plan.RuleNullTestElim", "plan.RuleSlimVerify", "plan.RuleHashPresize"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("finding should name %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRuleKindSwitchComplete(t *testing.T) {
+	dir := writeRuleTarget(t, `
+func label(k plan.RuleKind) string {
+	switch k {
+	case plan.RulePushdownSelect, plan.RuleMergeSelect, plan.RuleNullTestElim,
+		plan.RuleAntiSplit, plan.RuleProjectCollapse, plan.RuleSlimVerify,
+		plan.RuleNumKey, plan.RuleHashPresize, plan.RuleFuseBuild:
+		return "known"
+	default:
+		return "other"
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (all rule kinds named):\n%s", code, out)
+	}
+}
+
+func TestRuleKindSwitchPartialAnnotation(t *testing.T) {
+	dir := writeRuleTarget(t, `
+func isPushdown(k plan.RuleKind) bool {
+	// astlint:partial — only the one kind matters here.
+	switch k {
+	case plan.RulePushdownSelect:
+		return true
+	default:
+		return false
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (annotated partial):\n%s", code, out)
+	}
+}
+
+// TestRuleKindInCaseBodyIgnored: returning a kind from a case body is
+// not dispatching on it.
+func TestRuleKindInCaseBodyIgnored(t *testing.T) {
+	dir := writeRuleTarget(t, `
+func f(kind int) plan.RuleKind {
+	switch kind {
+	case 1:
+		return plan.RuleNumKey
+	default:
+		return plan.RulePushdownSelect
+	}
+}
+`)
+	if code, out := runTool(t, "-root", "../..", dir); code != 0 {
+		t.Errorf("exit = %d, want 0 (body references only):\n%s", code, out)
+	}
+}
+
 // TestSentinelInCaseBodyIgnored: referencing a sentinel inside a case
 // body is not dispatching on it.
 func TestSentinelInCaseBodyIgnored(t *testing.T) {
