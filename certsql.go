@@ -780,7 +780,15 @@ func (db *DB) Explain(text string, params Params, opts Options) (string, error) 
 // fixed database — the golden EXPLAIN tests pin it for the paper's
 // appendix queries.
 func (db *DB) ExplainPlan(text string, params Params, opts Options) (string, error) {
-	gov := opts.governor(context.Background())
+	return db.ExplainPlanContext(context.Background(), text, params, opts)
+}
+
+// ExplainPlanContext is ExplainPlan bounded by ctx: statistics
+// collection and plan optimization are governed work (they scan tables
+// and search the rewrite space), so an EXPLAIN issued on a request path
+// must stop when its request does.
+func (db *DB) ExplainPlanContext(ctx context.Context, text string, params Params, opts Options) (string, error) {
+	gov := opts.governor(ctx)
 	q, err := sql.Parse(text)
 	if err != nil {
 		return "", err
@@ -797,6 +805,8 @@ func (db *DB) ExplainPlan(text string, params Params, opts Options) (string, err
 		}
 	}
 	switch mode {
+	case modeStandard:
+		// standard evaluation explains the compiled expression as-is
 	case modeCertain:
 		// Mirror evalCertain's route choice so the explained plan is the
 		// one a query would actually run.

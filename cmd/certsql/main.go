@@ -220,7 +220,8 @@ func main() {
 // exitCode maps the guard error taxonomy onto the documented exit codes.
 func exitCode(err error) int {
 	switch {
-	case errors.Is(err, guard.ErrBudget):
+	case errors.Is(err, guard.ErrRowBudget), errors.Is(err, guard.ErrMemBudget),
+		errors.Is(err, guard.ErrCostBudget), errors.Is(err, guard.ErrBudget):
 		return 3
 	case errors.Is(err, guard.ErrCanceled), errors.Is(err, guard.ErrDeadline):
 		return 4

@@ -280,6 +280,8 @@ func (a *planAnalyzer) cond(c algebra.Cond, nonNull []bool) {
 		case algebra.NullTest:
 			oc, msg := a.classify(atom.Operand, nonNull)
 			switch oc {
+			case classConst:
+				// rigid constant — nothing to flag
 			case classHazard:
 				a.hazard(hazardCodeFor(atom.Operand), "in %s: %s", atom, msg)
 			case classNullableCol:
@@ -304,6 +306,8 @@ func (a *planAnalyzer) rigidCond(c algebra.Cond, nonNull []bool) {
 		for _, o := range operands {
 			oc, msg := a.classify(o, nonNull)
 			switch oc {
+			case classConst:
+				// rigid constant — nothing to flag
 			case classHazard:
 				a.hazard(hazardCodeFor(o), "in %s: %s", atom, msg)
 			case classNullableCol:

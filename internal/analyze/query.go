@@ -322,6 +322,8 @@ func (a *queryAnalyzer) cond(e sql.Expr, f *frame, neg bool) {
 	case sql.IsNullExpr:
 		cl := a.classifyExpr(e.E, f)
 		switch cl.class {
+		case classConst:
+			// rigid constant — nothing to flag
 		case classHazard:
 			a.diag(e.Pos, cl.code, "%s", cl.msg)
 		case classNullableCol:
@@ -409,6 +411,8 @@ func (a *queryAnalyzer) likeAtom(e sql.LikeExpr, f *frame) {
 	lc := a.classifyExpr(e.L, f)
 	pc := a.classifyExpr(e.Pattern, f)
 	switch lc.class {
+	case classConst:
+		// rigid constant — nothing to flag
 	case classHazard:
 		a.diag(e.Pos, lc.code, "in LIKE: %s", lc.msg)
 	case classNullableCol:
@@ -416,6 +420,8 @@ func (a *queryAnalyzer) likeAtom(e sql.LikeExpr, f *frame) {
 			"LIKE over %s (every value matches '%%' under some valuation)", nullableWhat(lc))
 	}
 	switch pc.class {
+	case classConst:
+		// rigid constant — nothing to flag
 	case classHazard:
 		a.diag(e.Pos, pc.code, "in LIKE pattern: %s", pc.msg)
 	case classNullableCol:
@@ -455,6 +461,8 @@ func (a *queryAnalyzer) inAtom(e sql.InExpr, f *frame, neg bool) {
 		if effNeg {
 			for _, c := range []classification{cl, ic} {
 				switch c.class {
+				case classConst:
+					// rigid constant — nothing to flag
 				case classHazard:
 					a.diag(e.Pos, c.code, "in NOT IN list: %s", c.msg)
 				case classNullableCol:

@@ -88,7 +88,7 @@ func CertainAnswers(e algebra.Expr, db *table.Database, opts BruteForceOptions) 
 
 	// Per-null value pools.
 	nullIDs := db.Nulls()
-	pools, err := valuationPools(e, db, nullIDs)
+	pools, err := valuationPools(e, db, nullIDs, opts.Governor)
 	if err != nil {
 		return nil, err
 	}
@@ -293,8 +293,8 @@ func CertainAnswers(e algebra.Expr, db *table.Database, opts BruteForceOptions) 
 
 // valuationPools builds, for each null of db (in db.Nulls() order), the
 // finite pool of constants its valuations range over.
-func valuationPools(e algebra.Expr, db *table.Database, nullIDs []int64) ([][]value.Value, error) {
-	kinds, err := nullKinds(db)
+func valuationPools(e algebra.Expr, db *table.Database, nullIDs []int64, gov *guard.Governor) ([][]value.Value, error) {
+	kinds, err := nullKinds(db, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -341,12 +341,18 @@ func valuationPools(e algebra.Expr, db *table.Database, nullIDs []int64) ([][]va
 // nullKinds maps each null mark to the declared kind of the column it
 // occurs in. A mark occurring in columns of different kinds is an error
 // (it could not be valued consistently with both columns' types).
-func nullKinds(db *table.Database) (map[int64]value.Kind, error) {
+func nullKinds(db *table.Database, gov *guard.Governor) (map[int64]value.Kind, error) {
 	kinds := map[int64]value.Kind{}
 	for _, name := range db.Schema.Names() {
 		rel, _ := db.Schema.Relation(name)
 		t := db.MustTable(name)
 		for _, r := range t.Rows() {
+			// The scan touches every row of the instance; under a
+			// cancelled or exhausted governor it must stop like any
+			// other drain loop. Poll is nil-safe.
+			if err := gov.Poll("brute-force/null-kinds"); err != nil {
+				return nil, err
+			}
 			for i, v := range r {
 				if !v.IsNull() {
 					continue
@@ -405,6 +411,9 @@ func freshWitnesses(kind value.Kind, observed []value.Value, nFresh int, pattern
 	}
 	var out []value.Value
 	switch kind {
+	case value.KindNull:
+		// never reached: nullKinds maps marks to declared column types,
+		// and a column is never declared with the null kind
 	case value.KindInt, value.KindDate:
 		mk := value.Int
 		if kind == value.KindDate {
@@ -503,7 +512,7 @@ func dedupeValues(vals []value.Value) []value.Value {
 // general, so like CertainAnswers this is a small-instance tool.)
 func RepresentsPotentialAnswers(e algebra.Expr, db *table.Database, a *table.Table, opts BruteForceOptions) (ok bool, missing table.Row, witness map[int64]value.Value, err error) {
 	nullIDs := db.Nulls()
-	pools, err := valuationPools(e, db, nullIDs)
+	pools, err := valuationPools(e, db, nullIDs, opts.Governor)
 	if err != nil {
 		return false, nil, nil, err
 	}

@@ -1,0 +1,45 @@
+package certain
+
+// Regression test for a finding the vetcert govpoll rule surfaced: the
+// brute-force oracle's nullKinds scan walked every row of every table
+// without consulting the Governor, so a canceled run still paid for a
+// full instance scan before the first valuation poll.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"certsql/internal/guard"
+	"certsql/internal/schema"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+func TestNullKindsGoverned(t *testing.T) {
+	s := schema.New()
+	s.MustAdd(&schema.Relation{Name: "r", Attrs: []schema.Attribute{
+		{Name: "a", Type: value.KindInt, Nullable: true},
+	}})
+	db := table.NewDatabase(s)
+	for i := 0; i < 64; i++ {
+		if err := db.Insert("r", table.Row{db.FreshNull()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	kinds, err := nullKinds(db, nil) // nil Governor: polling is a no-op
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 64 {
+		t.Fatalf("mapped %d null marks, want 64", len(kinds))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gov := guard.New(ctx, guard.Limits{})
+	if _, err := nullKinds(db, gov); !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("nullKinds under a canceled governor: err = %v, want guard.ErrCanceled", err)
+	}
+}

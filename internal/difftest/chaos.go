@@ -144,6 +144,8 @@ func ChaosSeed(seed uint64, opts Options) *ChaosReport {
 	// mid-run. Success means the cancellation landed after the last
 	// poll — then the result must be the complete baseline answer.
 	cancelFault := faultinject.CancelPlan(rng)
+	// vetcert:ignore ctxflow: the chaos harness owns the run's lifecycle —
+	// this context exists to be cancelled by the injected fault.
 	ctx, cancel := context.WithCancel(context.Background())
 	inj := faultinject.New(cancelFault)
 	inj.SetCancel(cancel)
@@ -152,6 +154,9 @@ func ChaosSeed(seed uint64, opts Options) *ChaosReport {
 	res, cerr := fdb.QueryWithOptionsContext(ctx, text, nil, certsql.Options{Parallelism: par, Guard: gov})
 	cancel()
 	rep.CancelFired = inj.Fired() > 0
+	// vetcert:ignore sentinelswitch: budgetErr covers the whole budget
+	// family via the ErrBudget umbrella, and no deadline is set here —
+	// a deadline trip would be a violation, which default reports.
 	switch {
 	case cerr == nil:
 		if got, want := fmt.Sprint(res.SortedStrings()), fmt.Sprint(base.SortedStrings()); got != want {

@@ -92,6 +92,8 @@ func (a *aggAcc) add(row table.Row) {
 	}
 	a.count++
 	switch a.spec.Func {
+	case algebra.AggCount:
+		// already tallied above; COUNT keeps no running value
 	case algebra.AggSum, algebra.AggAvg:
 		a.sum += v.AsFloat()
 	case algebra.AggMin:

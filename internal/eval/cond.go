@@ -170,6 +170,8 @@ func (ev *Evaluator) scalarValue(s algebra.Scalar) (value.Value, error) {
 		}
 		count++
 		switch s.Agg {
+		case algebra.AggCount:
+			// already tallied above; COUNT keeps no running value
 		case algebra.AggAvg, algebra.AggSum:
 			sum += v.AsFloat()
 		case algebra.AggMin:

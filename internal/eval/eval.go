@@ -43,6 +43,10 @@ import (
 // *guard.LimitError whose specific sentinel (guard.ErrRowBudget,
 // ErrCostBudget, ErrMemBudget) also matches this grouping sentinel via
 // errors.Is, so existing callers keep working unchanged.
+//
+// vetcert:ignore sentinelhygiene: grandfathered pure alias — it predates
+// the guard taxonomy (PR 4) and the public API re-exports it; a pure
+// alias is errors.Is-transparent, and no new aliases may be added.
 var ErrTooLarge = guard.ErrBudget
 
 // ErrPoisoned reports reuse of an evaluator after it recovered an
@@ -768,7 +772,10 @@ func (ev *Evaluator) evalUnifySemi(e algebra.UnifySemi) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := concatChunks(l.Arity(), chunks)
+	out, err := concatChunks(ev.gov, l.Arity(), chunks)
+	if err != nil {
+		return nil, err
+	}
 	name := "unify-semijoin"
 	if e.Anti {
 		name = "unify-antijoin"

@@ -330,7 +330,7 @@ func (ev *Evaluator) hashJoin(l, r *table.Table, lCols, rCols []int) (*table.Tab
 	if err := ev.charge("hash-join", int64(r.Len())); err != nil {
 		return nil, err
 	}
-	return concatChunks(arity, chunks), nil
+	return concatChunks(ev.gov, arity, chunks)
 }
 
 func anyNull(r table.Row, cols []int) bool {

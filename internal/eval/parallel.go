@@ -214,20 +214,32 @@ func (ev *Evaluator) runChunksOpt(n int, op string, precharged bool, body func(c
 }
 
 // concatChunks assembles per-partition row buffers into one table in
-// partition order, preserving the sequential output order exactly.
-func concatChunks(arity int, chunks [][]table.Row) *table.Table {
+// partition order, preserving the sequential output order exactly. The
+// merge touches every output row after the workers have already
+// finished, so it is a drain loop in its own right: it polls the
+// governor (amortized) so a cancellation that lands between the
+// parallel phase and the merge still stops the query instead of paying
+// for the full assembly.
+func concatChunks(gov *guard.Governor, arity int, chunks [][]table.Row) (*table.Table, error) {
 	n := 0
 	for _, c := range chunks {
 		n += len(c)
 	}
 	out := table.New(arity)
 	out.Grow(n)
+	appended := 0
 	for _, c := range chunks {
 		for _, r := range c {
+			if appended&1023 == 0 {
+				if err := gov.Poll("concat-chunks"); err != nil {
+					return nil, err
+				}
+			}
 			out.Append(r)
+			appended++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // resolveScalars returns cond with every scalar-subquery operand
@@ -379,5 +391,5 @@ func (ev *Evaluator) filterTable(t *table.Table, cond algebra.Cond) (*table.Tabl
 	if err != nil {
 		return nil, err
 	}
-	return concatChunks(t.Arity(), chunks), nil
+	return concatChunks(ev.gov, t.Arity(), chunks)
 }

@@ -1,0 +1,49 @@
+package eval
+
+// Regression tests for findings the vetcert govpoll rule surfaced: the
+// parallel merge (concatChunks) drained every worker buffer without
+// ever consulting the Governor, so a cancellation landing between the
+// parallel phase and the merge paid for the full assembly.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"certsql/internal/guard"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+func TestConcatChunksCanceledGovernor(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gov := guard.New(ctx, guard.Limits{})
+	chunks := [][]table.Row{
+		{{value.Int(1)}, {value.Int(2)}},
+		{{value.Int(3)}},
+	}
+	if _, err := concatChunks(gov, 1, chunks); !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("concatChunks under a canceled governor: err = %v, want guard.ErrCanceled", err)
+	}
+}
+
+func TestConcatChunksPreservesOrder(t *testing.T) {
+	chunks := [][]table.Row{
+		{{value.Int(1)}, {value.Int(2)}},
+		nil,
+		{{value.Int(3)}},
+	}
+	out, err := concatChunks(nil, 1, chunks) // nil Governor: polling is a no-op
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("merged %d rows, want 3", out.Len())
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if got := out.Row(i)[0]; got != value.Int(want) {
+			t.Fatalf("row %d = %v, want %d (partition order must be preserved)", i, got, want)
+		}
+	}
+}

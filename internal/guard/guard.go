@@ -226,6 +226,8 @@ func New(ctx context.Context, limits Limits) *Governor {
 }
 
 // Background returns a Governor with no cancellation, only budgets.
+// vetcert:ignore ctxflow: this constructor is the documented way to ask
+// for an uncancellable governor; callers who have a context use New.
 func Background(limits Limits) *Governor { return New(context.Background(), limits) }
 
 // SetFaultHook installs a fault-injection hook. Test-only; must be

@@ -284,9 +284,16 @@ func (p Premise) Holds(st *stats.DBStats) bool {
 
 // String renders the premise for EXPLAIN output.
 func (p Premise) String() string {
-	kind := "null-free"
-	if p.Kind == PremiseNumRange {
+	var kind string
+	switch p.Kind {
+	case PremiseNullFree:
+		kind = "null-free"
+	case PremiseNumRange:
 		kind = "num-range"
+	default:
+		// An unknown kind must not masquerade as an existing one in
+		// EXPLAIN output (the golden tests diff it verbatim).
+		kind = "unknown-premise-" + strconv.Itoa(int(p.Kind))
 	}
 	return kind + "(" + p.Table + "." + strconv.Itoa(p.Col) + ")"
 }

@@ -296,7 +296,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	resp := &api.PrepareResponse{ID: id, SQL: stmt.Text(), Mode: stmt.Mode().String()}
 	// Best-effort EXPLAIN: parameterized statements cannot be planned
 	// until a binding arrives, so a failure just leaves the field empty.
-	if ex, err := stmt.Explain(nil, certsql.Options{}); err == nil {
+	if ex, err := stmt.ExplainContext(r.Context(), nil, certsql.Options{}); err == nil {
 		resp.Explain = ex
 	}
 	writeJSON(w, http.StatusOK, resp)

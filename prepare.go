@@ -78,6 +78,12 @@ func (p *Prepared) Explain(params Params, opts Options) (string, error) {
 	return p.db.ExplainPlan(p.text, params, opts)
 }
 
+// ExplainContext is Explain bounded by ctx — the form request paths
+// must use, so an abandoned request stops paying for planning.
+func (p *Prepared) ExplainContext(ctx context.Context, params Params, opts Options) (string, error) {
+	return p.db.ExplainPlanContext(ctx, p.text, params, opts)
+}
+
 // Execute runs the statement with the given parameters.
 func (p *Prepared) Execute(params Params) (*Result, error) {
 	return p.ExecuteWithOptionsContext(context.Background(), params, Options{})

@@ -1,77 +1,34 @@
-// Command astlint is a repo-local linter for type-switch exhaustiveness
-// over the closed node families of the SQL AST (internal/sql: QueryExpr,
-// Expr), the algebra (internal/algebra: Expr, Cond, Operand), and the
-// streaming executor's iterator nodes (internal/eval: iter). Those
-// families grow — PRs add operators, expression forms and iterator
-// kinds — and a type switch that silently ignores a new node is exactly
-// how a certainty bug slips past the compiler: Go has no sealed sums,
-// so nothing else enforces that compile, rewrite and analyze handle
-// every node.
+// Command astlint is a compatibility shim over the vetcert analyzer
+// framework (tools/vetcert/vet). Its original three rules — family
+// type-switch exhaustiveness, sentinel-switch coverage, and the strict
+// RuleKind dispatch check — were migrated onto go/types as the vetcert
+// rules famexhaustive, sentinelswitch, and enumswitch; this entry
+// point keeps the old CLI working (`go run ./tools/astlint [-root dir]
+// [-v] [targets...]`) by running exactly those rules. New invariants
+// land in vetcert, not here; prefer `go run ./tools/vetcert`, which
+// runs the full suite over the whole module graph.
 //
-// The rules:
-//
-//   - a type switch whose cases name members of one family must either
-//     cover the whole family or carry a default clause;
-//   - that default must be loud: an empty default swallows unknown
-//     nodes silently and is reported;
-//   - an expression switch whose case conditions test guard sentinels
-//     (guard.Err*) must test every sentinel the guard package exports,
-//     default clause or not — the error taxonomy is a closed sum too,
-//     and a dispatch (HTTP status mapping, exit codes) that misses a
-//     sentinel falls through to its catch-all, misclassifying a
-//     governed stop the day a new budget is added;
-//   - an expression switch whose case conditions name planner rule
-//     kinds (plan.Rule*) must name every Rule* constant internal/plan
-//     declares, default clause or not — EXPLAIN rendering and rule
-//     dispatch that miss a kind silently mislabel (or drop) the new
-//     rule the day one is added.
-//
-// Families are discovered from the source of the defining packages: an
-// interface with an is<Name>() marker method collects every type
-// declaring that marker; an interface without one (algebra.Expr)
-// collects every type declaring its first regular method (Arity).
-// Guard sentinels are the package-level Err* variables of
-// internal/guard.
-//
-// Usage:
-//
-//	astlint [-v] [dir ...]
-//
-// With no arguments it lints the packages that traverse the trees or
-// dispatch on the error taxonomy: internal/compile, internal/rewrite,
-// internal/analyze, internal/eval, internal/certain, internal/server.
-// Exit status 1 when any finding is reported. A switch annotated
-// `// astlint:partial` (on the switch line or the comment block above)
-// is exempt from both exhaustiveness rules.
+// Exit codes match vetcert: 0 clean, 1 findings, 2 operational error.
+// The `astlint:partial` annotation is still honored, as is the newer
+// `// vetcert:ignore <rule>[: reason]` form.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"io"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"certsql/tools/vetcert/vet"
 )
 
-func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
+// migratedRules are the three original astlint checks, by their
+// vetcert rule names.
+const migratedRules = "famexhaustive,sentinelswitch,enumswitch"
 
-var familyDirs = []string{"internal/sql", "internal/algebra", "internal/eval", "internal/plan"}
-
-// sentinelDir declares the guard error taxonomy; its exported Err*
-// variables form the closed sum the sentinel-switch rule enforces.
-const sentinelDir = "internal/guard"
-
-// enumDir declares the planner rule-kind enum; its Rule* constants of
-// type RuleKind form the closed sum the rule-kind-switch rule enforces.
-const enumDir = "internal/plan"
-
+// defaultTargets is the original astlint target list, kept for CLI
+// compatibility. (vetcert proper discovers targets from the module
+// graph instead.)
 var defaultTargets = []string{
 	"internal/compile",
 	"internal/rewrite",
@@ -82,526 +39,52 @@ var defaultTargets = []string{
 	"internal/plan",
 }
 
-// family is one closed sum type: the interface name and its members.
-type family struct {
-	pkg     string          // defining package name ("sql", "algebra")
-	name    string          // interface name ("Expr", "Cond", …)
-	members map[string]bool // member type base names
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
-
-func (f *family) String() string { return f.pkg + "." + f.name }
 
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("astlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		verbose = fs.Bool("v", false, "report every matched switch, not just findings")
+		verbose = fs.Bool("v", false, "print the checked-package summary")
 		root    = fs.String("root", ".", "repository root (family packages are resolved against it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	rules, err := vet.Select(migratedRules, "")
+	if err != nil {
+		fmt.Fprintf(errOut, "astlint: %v\n", err)
+		return 2
+	}
+	loader, err := vet.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintf(errOut, "astlint: %v\n", err)
+		return 2
+	}
 	targets := fs.Args()
 	if len(targets) == 0 {
-		targets = make([]string, len(defaultTargets))
-		for i, t := range defaultTargets {
-			targets[i] = filepath.Join(*root, t)
-		}
+		targets = defaultTargets
 	}
-
-	fset := token.NewFileSet()
-	var families []*family
-	for _, dir := range familyDirs {
-		fams, err := discoverFamilies(fset, filepath.Join(*root, dir))
-		if err != nil {
-			fmt.Fprintf(errOut, "astlint: %v\n", err)
-			return 2
-		}
-		families = append(families, fams...)
-	}
-	sentinels, err := discoverSentinels(fset, filepath.Join(*root, sentinelDir))
-	if err != nil {
-		fmt.Fprintf(errOut, "astlint: %v\n", err)
-		return 2
-	}
-	ruleKinds, err := discoverRuleKinds(fset, filepath.Join(*root, enumDir))
-	if err != nil {
-		fmt.Fprintf(errOut, "astlint: %v\n", err)
-		return 2
-	}
-	if *verbose {
-		for _, f := range families {
-			members := make([]string, 0, len(f.members))
-			for m := range f.members {
-				members = append(members, m)
-			}
-			sort.Strings(members)
-			fmt.Fprintf(out, "family %s: %s\n", f, strings.Join(members, " "))
-		}
-		fmt.Fprintf(out, "sentinels guard: %s\n", strings.Join(sentinels, " "))
-		fmt.Fprintf(out, "rule kinds plan: %s\n", strings.Join(ruleKinds, " "))
-	}
-
-	findings, checked := 0, 0
+	var pkgs []*vet.Package
 	for _, dir := range targets {
-		files, err := parseDir(fset, dir)
+		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintf(errOut, "astlint: %v\n", err)
 			return 2
 		}
-		for _, file := range files {
-			pkgName := file.Name.Name
-			partial := partialLines(fset, file)
-			ast.Inspect(file, func(n ast.Node) bool {
-				if esw, ok := n.(*ast.SwitchStmt); ok {
-					if line := fset.Position(esw.Pos()).Line; partial[line] || partial[line-1] {
-						return true
-					}
-					pos := fset.Position(esw.Pos())
-					if named := sentinelRefs(esw); len(named) > 0 {
-						checked++
-						var missing []string
-						for _, s := range sentinels {
-							if !named[s] {
-								missing = append(missing, s)
-							}
-						}
-						if len(missing) > 0 {
-							findings++
-							fmt.Fprintf(out, "%s: switch dispatches on guard sentinels but misses: guard.%s — the catch-all would misclassify them\n",
-								pos, strings.Join(missing, ", guard."))
-						} else if *verbose {
-							fmt.Fprintf(out, "%s: ok — sentinel switch names all %d guard errors\n", pos, len(sentinels))
-						}
-						return true
-					}
-					if named := ruleKindRefs(esw, pkgName, ruleKinds); len(named) > 0 {
-						checked++
-						var missing []string
-						for _, k := range ruleKinds {
-							if !named[k] {
-								missing = append(missing, k)
-							}
-						}
-						if len(missing) > 0 {
-							findings++
-							fmt.Fprintf(out, "%s: switch dispatches on planner rule kinds but misses: plan.%s — a new rule would be mislabeled\n",
-								pos, strings.Join(missing, ", plan."))
-						} else if *verbose {
-							fmt.Fprintf(out, "%s: ok — rule-kind switch names all %d planner rules\n", pos, len(ruleKinds))
-						}
-					}
-					return true
-				}
-				sw, ok := n.(*ast.TypeSwitchStmt)
-				if !ok {
-					return true
-				}
-				cases, def := switchCases(sw)
-				fam := matchFamily(families, pkgName, cases)
-				if fam == nil {
-					return true
-				}
-				if line := fset.Position(sw.Pos()).Line; partial[line] || partial[line-1] {
-					// Annotated `// astlint:partial` — the switch picks
-					// out a few interesting nodes on purpose.
-					return true
-				}
-				checked++
-				pos := fset.Position(sw.Pos())
-				covered := map[string]bool{}
-				for name := range cases {
-					covered[strings.TrimPrefix(name, fam.pkg+".")] = true
-				}
-				var missing []string
-				for m := range fam.members {
-					if !covered[m] {
-						missing = append(missing, m)
-					}
-				}
-				sort.Strings(missing)
-				switch {
-				case def == nil && len(missing) > 0:
-					findings++
-					fmt.Fprintf(out, "%s: type switch over %s has no default and misses: %s\n",
-						pos, fam, strings.Join(missing, ", "))
-				case def != nil && len(def.Body) == 0:
-					findings++
-					fmt.Fprintf(out, "%s: type switch over %s has a silent (empty) default — handle or reject unknown nodes\n",
-						pos, fam)
-				case *verbose:
-					fmt.Fprintf(out, "%s: ok — switch over %s (%d/%d cases%s)\n",
-						pos, fam, len(fam.members)-len(missing), len(fam.members), defaultNote(def))
-				}
-				return true
-			})
-		}
+		pkgs = append(pkgs, pkg)
 	}
-	if *verbose || findings > 0 {
-		fmt.Fprintf(out, "astlint: %d switch(es) checked, %d finding(s)\n", checked, findings)
+	findings := vet.Run(pkgs, loader.Fset, rules, loader.Local)
+	for _, d := range findings {
+		fmt.Fprintln(out, d)
 	}
-	if findings > 0 {
+	if *verbose || len(findings) > 0 {
+		fmt.Fprintf(errOut, "astlint (vetcert shim): %d package(s), %d finding(s)\n", len(pkgs), len(findings))
+	}
+	if len(findings) > 0 {
 		return 1
 	}
 	return 0
-}
-
-func defaultNote(def *ast.CaseClause) string {
-	if def == nil {
-		return ""
-	}
-	return ", with default"
-}
-
-// parseDir parses every non-test .go file in dir.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("%s: no Go files", dir)
-	}
-	return files, nil
-}
-
-// discoverFamilies finds the closed sums declared in one package.
-func discoverFamilies(fset *token.FileSet, dir string) ([]*family, error) {
-	files, err := parseDir(fset, dir)
-	if err != nil {
-		return nil, err
-	}
-	pkgName := files[0].Name.Name
-
-	// Interface declarations → the marker method that identifies
-	// membership: is<Name>() when present, otherwise the interface's
-	// first declared method (the structural case, e.g. algebra.Expr's
-	// Arity).
-	markers := map[string]*family{} // marker method name → family
-	for _, file := range files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts := spec.(*ast.TypeSpec)
-				it, ok := ts.Type.(*ast.InterfaceType)
-				if !ok || it.Methods == nil || len(it.Methods.List) == 0 {
-					continue
-				}
-				marker := ""
-				for _, m := range it.Methods.List {
-					if len(m.Names) == 1 && strings.HasPrefix(m.Names[0].Name, "is") {
-						marker = m.Names[0].Name
-						break
-					}
-				}
-				if marker == "" {
-					for _, m := range it.Methods.List {
-						if len(m.Names) == 1 {
-							marker = m.Names[0].Name
-							break
-						}
-					}
-				}
-				if marker == "" {
-					continue
-				}
-				markers[marker] = &family{pkg: pkgName, name: ts.Name.Name, members: map[string]bool{}}
-			}
-		}
-	}
-
-	// Method declarations → membership.
-	for _, file := range files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
-				continue
-			}
-			fam, ok := markers[fd.Name.Name]
-			if !ok {
-				continue
-			}
-			if recv := baseTypeName(fd.Recv.List[0].Type); recv != "" {
-				fam.members[recv] = true
-			}
-		}
-	}
-
-	var out []*family
-	for _, fam := range markers {
-		if len(fam.members) > 0 {
-			out = append(out, fam)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out, nil
-}
-
-// discoverSentinels collects the exported Err* package-level variables
-// of the guard package — the closed error taxonomy.
-func discoverSentinels(fset *token.FileSet, dir string) ([]string, error) {
-	files, err := parseDir(fset, dir)
-	if err != nil {
-		return nil, err
-	}
-	var out []string
-	for _, file := range files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, name := range vs.Names {
-					if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
-						out = append(out, name.Name)
-					}
-				}
-			}
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// discoverRuleKinds collects the Rule* constants of type RuleKind the
-// planner package declares — the closed rule-kind enum. Within one
-// const block the declared type carries over iota continuation lines.
-func discoverRuleKinds(fset *token.FileSet, dir string) ([]string, error) {
-	files, err := parseDir(fset, dir)
-	if err != nil {
-		return nil, err
-	}
-	var out []string
-	for _, file := range files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.CONST {
-				continue
-			}
-			curType := ""
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				if vs.Type != nil {
-					curType = ""
-					if id, ok := vs.Type.(*ast.Ident); ok {
-						curType = id.Name
-					}
-				} else if len(vs.Values) > 0 {
-					// An untyped re-initialization ends the iota run.
-					curType = ""
-				}
-				if curType != "RuleKind" {
-					continue
-				}
-				for _, name := range vs.Names {
-					if strings.HasPrefix(name.Name, "Rule") && ast.IsExported(name.Name) {
-						out = append(out, name.Name)
-					}
-				}
-			}
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// ruleKindRefs collects the planner rule-kind constants referenced in
-// the case conditions of an expression switch: plan.Rule* selectors
-// anywhere, bare Rule* identifiers within package plan itself. Only
-// the conditions count — returning a kind from a case body is not
-// dispatching on it.
-func ruleKindRefs(sw *ast.SwitchStmt, pkgName string, kinds []string) map[string]bool {
-	known := map[string]bool{}
-	for _, k := range kinds {
-		known[k] = true
-	}
-	named := map[string]bool{}
-	for _, stmt := range sw.Body.List {
-		cc, ok := stmt.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		for _, cond := range cc.List {
-			ast.Inspect(cond, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.SelectorExpr:
-					if x, ok := n.X.(*ast.Ident); ok && x.Name == "plan" && known[n.Sel.Name] {
-						named[n.Sel.Name] = true
-					}
-					return false // don't re-visit the Sel ident bare
-				case *ast.Ident:
-					if pkgName == "plan" && known[n.Name] {
-						named[n.Name] = true
-					}
-				}
-				return true
-			})
-		}
-	}
-	return named
-}
-
-// sentinelRefs collects the guard.Err* names referenced in the case
-// conditions of an expression switch (the errors.Is / errors.As
-// arguments). Only the conditions count — referencing a sentinel in a
-// case body is not dispatching on it.
-func sentinelRefs(sw *ast.SwitchStmt) map[string]bool {
-	named := map[string]bool{}
-	for _, stmt := range sw.Body.List {
-		cc, ok := stmt.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		for _, cond := range cc.List {
-			ast.Inspect(cond, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				if x, ok := sel.X.(*ast.Ident); ok && x.Name == "guard" && strings.HasPrefix(sel.Sel.Name, "Err") {
-					named[sel.Sel.Name] = true
-				}
-				return true
-			})
-		}
-	}
-	return named
-}
-
-// partialLines returns the line numbers carrying an `astlint:partial`
-// annotation; a type switch on that line or the next is exempt from the
-// exhaustiveness rule (it deliberately handles a subset of a family).
-func partialLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, "astlint:partial") {
-				// Mark the whole group, so the annotation may sit on any
-				// line of the comment block above the switch.
-				for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line; l++ {
-					lines[l] = true
-				}
-				break
-			}
-		}
-	}
-	return lines
-}
-
-// switchCases collects the base type names of every case clause and the
-// default clause, if any.
-func switchCases(sw *ast.TypeSwitchStmt) (map[string]bool, *ast.CaseClause) {
-	cases := map[string]bool{}
-	var def *ast.CaseClause
-	for _, stmt := range sw.Body.List {
-		cc := stmt.(*ast.CaseClause)
-		if cc.List == nil {
-			def = cc
-			continue
-		}
-		for _, te := range cc.List {
-			if name := caseTypeName(te); name != "" {
-				cases[name] = true
-			}
-		}
-	}
-	return cases, def
-}
-
-// matchFamily finds the single family every named case belongs to. A
-// switch mixing families, or naming types outside all families (e.g. a
-// switch over error kinds or plain any), matches nothing and is left
-// alone.
-func matchFamily(families []*family, pkgName string, cases map[string]bool) *family {
-	if len(cases) == 0 {
-		return nil
-	}
-	var match *family
-	for _, fam := range families {
-		all := true
-		for name := range cases {
-			base := name
-			if i := strings.IndexByte(name, '.'); i >= 0 {
-				if name[:i] != fam.pkg {
-					all = false
-					break
-				}
-				base = name[i+1:]
-			} else if pkgName != fam.pkg {
-				// Unqualified case type in a foreign package cannot be
-				// a member of this family.
-				all = false
-				break
-			}
-			if !fam.members[base] {
-				all = false
-				break
-			}
-		}
-		if all {
-			if match != nil {
-				return nil // ambiguous — refuse to guess
-			}
-			match = fam
-		}
-	}
-	return match
-}
-
-// caseTypeName renders a case's type expression as "Name" or
-// "pkg.Name", stripping pointers and parens; "" for nil cases and
-// non-name types (builtins, slices, funcs, …).
-func caseTypeName(e ast.Expr) string {
-	switch e := e.(type) {
-	case *ast.ParenExpr:
-		return caseTypeName(e.X)
-	case *ast.StarExpr:
-		return caseTypeName(e.X)
-	case *ast.Ident:
-		if e.Name == "nil" {
-			return ""
-		}
-		return e.Name
-	case *ast.SelectorExpr:
-		if x, ok := e.X.(*ast.Ident); ok {
-			return x.Name + "." + e.Sel.Name
-		}
-	}
-	return ""
-}
-
-// baseTypeName extracts the receiver's type name.
-func baseTypeName(e ast.Expr) string {
-	switch e := e.(type) {
-	case *ast.StarExpr:
-		return baseTypeName(e.X)
-	case *ast.Ident:
-		return e.Name
-	case *ast.IndexExpr: // generic receiver
-		return baseTypeName(e.X)
-	}
-	return ""
 }

@@ -30,7 +30,9 @@ func TestRepoIsClean(t *testing.T) {
 func writeTarget(t *testing.T, body string) string {
 	t.Helper()
 	dir := t.TempDir()
-	src := "package target\n\nimport \"certsql/internal/algebra\"\n\n" + body
+	// The anchor keeps the import used even in bodies that never touch
+	// the algebra — the type-checked backend rejects unused imports.
+	src := "package target\n\nimport \"certsql/internal/algebra\"\n\nvar _ algebra.Cond\n\n" + body
 	if err := os.WriteFile(filepath.Join(dir, "target.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,179 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The context and snapshot rules: ctxflow and snapdiscipline.
+
+func init() {
+	Register(Rule{
+		Name: "ctxflow",
+		Doc:  "context.Background()/TODO() only in main packages and non-Context shims; *Context entry points must thread their ctx",
+		Run:  runCtxFlow,
+	})
+	Register(Rule{
+		Name: "snapdiscipline",
+		Doc:  "one table.Store snapshot load per operation — a second load is a torn-read hazard",
+		Run:  runSnapDiscipline,
+	})
+}
+
+// isContextFunc reports whether fn is declared in the stdlib context
+// package with the given name.
+func isContextFunc(fn *types.Func, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// isCtxShim reports whether fd is a recognized non-Context convenience
+// wrapper: a body that is exactly one return statement delegating to a
+// *Context-suffixed function or method. Those shims are the documented
+// place where context.Background() belongs — every other occurrence
+// severs the cancellation chain PR 4 threaded through the engine.
+func isCtxShim(fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		call, ok := ast.Unparen(res).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if strings.HasSuffix(fun.Name, "Context") {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if strings.HasSuffix(fun.Sel.Name, "Context") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg.Types.Name() == "main" {
+		return // CLIs own their root context
+	}
+	info := p.Pkg.Info
+
+	// Part 1: context.Background()/TODO() outside shims. Each call
+	// starts a fresh, uncancellable context — inside a library package
+	// that means some evaluation no deadline or Ctrl-C can stop.
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			name := ""
+			switch {
+			case isContextFunc(fn, "Background"):
+				name = "context.Background()"
+			case isContextFunc(fn, "TODO"):
+				name = "context.TODO()"
+			default:
+				return true
+			}
+			fd := enclosingFuncDecl(p.Pkg.Files, call)
+			if fd != nil && isCtxShim(fd) {
+				return true
+			}
+			p.report(call.Pos(), fd, "%s in library code severs the cancellation chain: thread the caller's ctx (or make this a single-return shim over the *Context variant)", name)
+			return true
+		})
+	}
+
+	// Part 2: exported *Context entry points must use their ctx
+	// parameter. Accepting a context and dropping it is worse than not
+	// accepting one — callers believe their deadline is honored.
+	p.funcDecls(func(fd *ast.FuncDecl, fn *types.Func) {
+		if !fn.Exported() || !strings.HasSuffix(fn.Name(), "Context") || fn.Name() == "Context" {
+			return
+		}
+		for _, field := range fd.Type.Params.List {
+			tv, ok := info.Types[field.Type]
+			if !ok || !isContextType(tv.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					p.report(name.Pos(), fd, "%s discards its context.Context parameter (_): thread it into guard/eval so cancellation and deadlines reach the evaluation", fn.Name())
+					continue
+				}
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				used := false
+				for _, use := range info.Uses {
+					if use == obj {
+						used = true
+						break
+					}
+				}
+				if !used {
+					p.report(name.Pos(), fd, "%s never uses its context.Context parameter %q: thread it into guard/eval so cancellation and deadlines reach the evaluation", fn.Name(), name.Name)
+				}
+			}
+		}
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// runSnapDiscipline flags a second (*table.Store).Snapshot or .Version
+// load inside one function body. The store's whole isolation story is
+// "pin one snapshot, evaluate entirely against it": two loads in one
+// operation can straddle a concurrent publish and mix catalog
+// versions — a torn read the isolation tests only catch if a publish
+// happens to race the window.
+func runSnapDiscipline(p *Pass) {
+	if PathHasSuffix(p.Pkg.Types, tablePkg) {
+		return // the store's own publish/notify machinery loads freely
+	}
+	info := p.Pkg.Info
+	p.funcDecls(func(fd *ast.FuncDecl, fn *types.Func) {
+		// Loads are paired per receiver expression: two loads of the
+		// same store tear; loads of distinct stores (a metrics sweep
+		// over sessions, say) are independent operations.
+		first := map[string]*ast.CallExpr{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(info, call)
+			if !isMethodOn(callee, tablePkg, "Store", "Snapshot") && !isMethodOn(callee, tablePkg, "Store", "Version") {
+				return true
+			}
+			recv := ""
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				recv = types.ExprString(sel.X)
+			}
+			if prev, ok := first[recv]; ok {
+				p.report(call.Pos(), fd, "second snapshot load of %s in %s (first at line %d): two loads can straddle a publish and tear the read — pin one snapshot and pass it down", recv, fn.Name(), p.Fset.Position(prev.Pos()).Line)
+				return true
+			}
+			first[recv] = call
+			return true
+		})
+	})
+}

@@ -1,0 +1,123 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The governance rules: govpoll and membalance. Both lean on the
+// package-local call graph — the engine deliberately funnels Governor
+// traffic through small helpers (Evaluator.charge, Evaluator.tick,
+// drain), so "this function governs" must mean "directly or through a
+// same-package helper chain".
+
+func init() {
+	Register(Rule{
+		Name: "govpoll",
+		Doc:  "row/batch drain loops in the evaluation engines must reach a Governor poll or charge",
+		Run:  runGovPoll,
+	})
+	Register(Rule{
+		Name: "membalance",
+		Doc:  "every Governor.ChargeMem needs a reachable ReleaseMem or a documented pin",
+		Run:  runMemBalance,
+	})
+}
+
+// govPollPkgs are the evaluation engines: the packages whose row loops
+// are the paper's hostile corners (quadratic semijoins, adom powers,
+// valuation enumeration) and therefore must stay stoppable.
+var govPollPkgs = []string{evalPkg, "internal/certain"}
+
+// runGovPoll flags row/batch drain loops — loops that materialize rows
+// into a table.Table or range over a table's backing rows — inside
+// functions that never touch the Governor, directly or through a
+// same-package helper. Such a loop runs to completion regardless of
+// cancellation, deadlines, or budgets: exactly the class of gap the
+// chaos suite can only find by hitting it.
+func runGovPoll(p *Pass) {
+	applies := false
+	for _, suffix := range govPollPkgs {
+		if PathHasSuffix(p.Pkg.Types, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	info := p.Pkg.Info
+	governed := p.graph().reaches(info, func(call *ast.CallExpr) bool {
+		return isGovernorCall(info, call)
+	})
+	p.funcDecls(func(fd *ast.FuncDecl, fn *types.Func) {
+		if governed[fn] {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body = loop.Body
+				if call, ok := ast.Unparen(loop.X).(*ast.CallExpr); ok {
+					if isMethodOn(calleeOf(info, call), tablePkg, "Table", "Rows") {
+						p.report(loop.Pos(), fd, "row drain loop in %s never reaches the Governor: no Poll/CheckRows/ChargeCost/ChargeMem/Fault on any same-package path from this function — an unstoppable loop under cancellation and budgets", fn.Name())
+						return false
+					}
+				}
+			case *ast.ForStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			appends := false
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if ok && isMethodOn(calleeOf(info, call), tablePkg, "Table", "Append") {
+					appends = true
+					return false
+				}
+				return !appends
+			})
+			if appends {
+				p.report(n.Pos(), fd, "batch drain loop in %s materializes rows (table.Append) but never reaches the Governor on any same-package path — an unstoppable, unaccounted loop", fn.Name())
+				return false
+			}
+			return true
+		})
+	})
+}
+
+// runMemBalance flags functions that charge estimated memory without a
+// ReleaseMem reachable from the same function (directly or through a
+// same-package helper chain). PR 6 fixed exactly this seam by hand —
+// the view-cache charge lifetime — and the invariant is invisible to
+// the compiler: an unpaired charge inflates the live estimate until
+// spurious ErrMemBudget trips. Deliberate pins (a charge whose backing
+// state outlives the function by design) carry a documented
+// suppression on the charge or the function.
+func runMemBalance(p *Pass) {
+	if PathHasSuffix(p.Pkg.Types, guardPkg) {
+		return // the accountant's own ledger is not a client charge
+	}
+	info := p.Pkg.Info
+	releases := p.graph().reaches(info, func(call *ast.CallExpr) bool {
+		fn := calleeOf(info, call)
+		return isMethodOn(fn, guardPkg, "Governor", "ReleaseMem")
+	})
+	p.funcDecls(func(fd *ast.FuncDecl, fn *types.Func) {
+		if releases[fn] {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isMethodOn(calleeOf(info, call), guardPkg, "Governor", "ChargeMem") {
+				p.report(call.Pos(), fd, "ChargeMem in %s has no ReleaseMem reachable on any same-package path: the charge outlives the function on every return — balance it, hand it to a released ledger, or document the pin with // vetcert:ignore membalance: <why>", fn.Name())
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,107 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+func init() {
+	Register(Rule{
+		Name: "sentinelhygiene",
+		Doc:  "guard sentinels: compare via errors.Is, wrap only with %w, declare only in internal/guard",
+		Run:  runSentinelHygiene,
+	})
+}
+
+// runSentinelHygiene enforces the three hygiene clauses around the
+// guard error taxonomy. The sentinels are wrapped in *guard.LimitError
+// on every governed stop, and the budget family matches the umbrella
+// ErrBudget only through an Is method — so an == comparison is not
+// just style, it is wrong at runtime (it never sees through the
+// wrapping), and a %v wrap erases the errors.Is chain HTTP mapping,
+// exit codes and the degradation ladder all dispatch on.
+func runSentinelHygiene(p *Pass) {
+	if PathHasSuffix(p.Pkg.Types, guardPkg) {
+		return // the taxonomy's own Is methods compare by identity
+	}
+	info := p.Pkg.Info
+	publicAPI := !strings.Contains("/"+p.Pkg.Types.Path()+"/", "/internal/")
+	for _, file := range p.Pkg.Files {
+		// Clause 3: no package-level declaration may alias or wrap a
+		// guard sentinel. The taxonomy is closed in internal/guard; a
+		// re-export forks it, and a switch naming the fork would pass
+		// the sentinel-switch rule while meaning something else. One
+		// shape is exempt: a pure alias (`var ErrBudget = guard.ErrBudget`)
+		// in a package outside internal/ — the public facade is the only
+		// way external callers can reach the taxonomy at all, and a pure
+		// alias is errors.Is-transparent.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					if publicAPI && guardSentinelUse(info, ast.Unparen(val)) != nil {
+						continue // facade alias: the whole value IS the sentinel
+					}
+					ast.Inspect(val, func(n ast.Node) bool {
+						e, ok := n.(ast.Expr)
+						if !ok {
+							return true
+						}
+						if s := guardSentinelUse(info, e); s != nil {
+							p.report(e.Pos(), nil, "package-level declaration references guard.%s: sentinels are declared only in internal/guard — wrap at the use site with fmt.Errorf(\"...: %%w\", ...) instead of re-exporting the taxonomy", s.Name())
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				// Clause 1: == / != against a sentinel.
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range [...]ast.Expr{n.X, n.Y} {
+					if s := guardSentinelUse(info, side); s != nil {
+						p.report(n.Pos(), enclosingFuncDecl(p.Pkg.Files, n), "guard.%s compared with %s: governed stops arrive wrapped in *guard.LimitError, so identity comparison is always false — use errors.Is", s.Name(), n.Op)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				// Clause 2: fmt.Errorf over a sentinel without %w.
+				fn := calleeOf(info, n)
+				if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+					return true
+				}
+				if len(n.Args) < 2 {
+					return true
+				}
+				tv, ok := info.Types[n.Args[0]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				if strings.Contains(constant.StringVal(tv.Value), "%w") {
+					return true
+				}
+				for _, arg := range n.Args[1:] {
+					if s := guardSentinelUse(info, arg); s != nil {
+						p.report(n.Pos(), enclosingFuncDecl(p.Pkg.Files, n), "fmt.Errorf wraps guard.%s without %%w: the errors.Is chain is severed, so every sentinel dispatch downstream misclassifies this error", s.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}

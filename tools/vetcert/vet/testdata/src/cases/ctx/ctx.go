@@ -1,0 +1,52 @@
+// Package ctxcases holds the ctxflow corpus: Background/TODO in
+// library code, the sanctioned single-return shim shape, and *Context
+// entry points that drop their context.
+package ctxcases
+
+import "context"
+
+// RunContext is the well-behaved entry point: it uses its ctx.
+func RunContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Run is a recognized single-return shim over the *Context variant —
+// the one place context.Background() belongs.
+func Run() error {
+	return RunContext(context.Background())
+}
+
+// runDetached: positive — Background outside a shim severs the chain.
+func runDetached() error {
+	ctx := context.Background() // want "context.Background.. in library code severs the cancellation chain"
+	return RunContext(ctx)
+}
+
+// runTodo: positive — TODO is no better.
+func runTodo() error {
+	ctx := context.TODO() // want "context.TODO.. in library code severs the cancellation chain"
+	return RunContext(ctx)
+}
+
+// SweepContext: positive — accepts a context and never uses it.
+func SweepContext(ctx context.Context) error { // want "SweepContext never uses its context.Context parameter"
+	return nil
+}
+
+// PruneContext: positive — discards the context outright.
+func PruneContext(_ context.Context) error { // want "PruneContext discards its context.Context parameter"
+	return nil
+}
+
+// runSuppressed documents its detachment.
+func runSuppressed() error {
+	// vetcert:ignore ctxflow: corpus pin — lifecycle owned here
+	ctx := context.Background()
+	return RunContext(ctx)
+}
+
+var (
+	_ = runDetached
+	_ = runTodo
+	_ = runSuppressed
+)

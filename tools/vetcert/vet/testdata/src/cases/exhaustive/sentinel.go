@@ -1,0 +1,76 @@
+package exhaustive
+
+import (
+	"errors"
+
+	"eng/internal/guard"
+)
+
+// classify: positive — dispatches on guard sentinels but skips
+// ErrBudget, so the catch-all would misclassify a budget stop.
+func classify(err error) int {
+	switch { // want "switch dispatches on guard sentinels but misses: guard.ErrBudget"
+	case errors.Is(err, guard.ErrRowBudget):
+		return 1
+	case errors.Is(err, guard.ErrMemBudget):
+		return 2
+	case errors.Is(err, guard.ErrCostBudget):
+		return 3
+	case errors.Is(err, guard.ErrDeadline):
+		return 4
+	case errors.Is(err, guard.ErrCanceled):
+		return 5
+	default:
+		return 0
+	}
+}
+
+// classifyAll: negative — every sentinel the taxonomy exports is
+// named.
+func classifyAll(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrBudget):
+		return 6
+	case errors.Is(err, guard.ErrRowBudget):
+		return 1
+	case errors.Is(err, guard.ErrMemBudget):
+		return 2
+	case errors.Is(err, guard.ErrCostBudget):
+		return 3
+	case errors.Is(err, guard.ErrDeadline):
+		return 4
+	case errors.Is(err, guard.ErrCanceled):
+		return 5
+	default:
+		return 0
+	}
+}
+
+// returnsSentinel: negative — sentinels appearing only in case BODIES
+// are results, not dispatch conditions.
+func returnsSentinel(n int) error {
+	switch {
+	case n > 0:
+		return guard.ErrRowBudget
+	default:
+		return nil
+	}
+}
+
+// classifySuppressed documents its partial dispatch.
+func classifySuppressed(err error) int {
+	// vetcert:ignore sentinelswitch: corpus pin — only cancellation matters here
+	switch {
+	case errors.Is(err, guard.ErrCanceled):
+		return 5
+	default:
+		return 0
+	}
+}
+
+var (
+	_ = classify
+	_ = classifyAll
+	_ = returnsSentinel
+	_ = classifySuppressed
+)

@@ -1,0 +1,18 @@
+// Package facade is the corpus double of the public API surface: a
+// non-internal package, so the pure-alias exemption of sentinelhygiene
+// clause 3 applies — and only the pure-alias shape.
+package facade
+
+import (
+	"fmt"
+
+	"eng/internal/guard"
+)
+
+// ErrBudget: negative — a pure alias in a public package is the
+// sanctioned facade shape (errors.Is-transparent).
+var ErrBudget = guard.ErrBudget
+
+// ErrWrapped: positive — wrapping at package level forks the taxonomy
+// even in a public package; only the bare alias is exempt.
+var ErrWrapped = fmt.Errorf("facade: %w", guard.ErrRowBudget) // want "package-level declaration references guard.ErrRowBudget"

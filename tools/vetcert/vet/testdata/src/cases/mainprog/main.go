@@ -1,0 +1,11 @@
+// Command mainprog is the corpus case for ctxflow's main-package
+// exemption: a CLI owns its root context, so context.Background() here
+// must produce no finding.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

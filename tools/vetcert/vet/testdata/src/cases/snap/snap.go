@@ -1,0 +1,40 @@
+// Package snapcases holds the snapdiscipline corpus: one snapshot load
+// per operation, paired per store.
+package snapcases
+
+import "eng/internal/table"
+
+// tornRead: positive — two loads of the same store can straddle a
+// publish.
+func tornRead(s *table.Store) uint64 {
+	v := s.Version()
+	snap := s.Snapshot() // want "second snapshot load of s in tornRead"
+	_ = snap
+	return v
+}
+
+// pinned: negative — one load, passed down.
+func pinned(s *table.Store) *table.Snapshot {
+	return s.Snapshot()
+}
+
+// sweep: negative — loads of distinct stores are independent
+// operations.
+func sweep(a, b *table.Store) (uint64, uint64) {
+	return a.Version(), b.Version()
+}
+
+// rebuild documents its second load.
+func rebuild(s *table.Store) uint64 {
+	v := s.Version()
+	// vetcert:ignore snapdiscipline: corpus pin — version probe before reload
+	_ = s.Snapshot()
+	return v
+}
+
+var (
+	_ = tornRead
+	_ = pinned
+	_ = sweep
+	_ = rebuild
+)

@@ -1,0 +1,30 @@
+// Package algebra is the corpus double of the engine's algebra: one
+// closed condition family for the famexhaustive cases.
+package algebra
+
+type Cond interface{ isCond() }
+
+type Cmp struct{}
+
+func (Cmp) isCond() {}
+
+type And struct{ Conds []Cond }
+
+func (And) isCond() {}
+
+type Not struct{ C Cond }
+
+func (Not) isCond() {}
+
+// flatten subset-matches its own family: the defining package's
+// helpers are exempt from famexhaustive, so this must produce no
+// finding.
+func flatten(c Cond) int {
+	switch c.(type) {
+	case And:
+		return 2
+	}
+	return 1
+}
+
+var _ = flatten

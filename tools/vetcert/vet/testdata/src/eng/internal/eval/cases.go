@@ -1,0 +1,117 @@
+// Package eval is the corpus double of the evaluation engine — the
+// package whose import-path suffix puts it in govpoll's scope. It
+// holds the positive, negative, and suppressed cases for govpoll and
+// membalance.
+package eval
+
+import (
+	"eng/internal/guard"
+	"eng/internal/table"
+)
+
+// drainUngoverned: govpoll positive — a row drain loop with no
+// Governor on any same-package path.
+func drainUngoverned(t *table.Table) int {
+	n := 0
+	for range t.Rows() { // want "row drain loop in drainUngoverned never reaches the Governor"
+		n++
+	}
+	return n
+}
+
+// materializeUngoverned: govpoll positive — an Append loop that
+// materializes rows without governance.
+func materializeUngoverned(rows []table.Row) *table.Table {
+	out := table.New(1)
+	for _, r := range rows { // want "batch drain loop in materializeUngoverned materializes rows"
+		out.Append(r)
+	}
+	return out
+}
+
+// drainGoverned: negative — polls directly inside the loop.
+func drainGoverned(gov *guard.Governor, t *table.Table) int {
+	n := 0
+	for range t.Rows() {
+		if gov.Poll("drain") != nil {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// tick is the helper the engine-style funnel pattern delegates to.
+func tick(gov *guard.Governor) error { return gov.ChargeCost("tick", 1) }
+
+// drainViaHelper: negative — governance reached transitively through
+// the same-package helper chain.
+func drainViaHelper(gov *guard.Governor, t *table.Table) int {
+	n := 0
+	for range t.Rows() {
+		if tick(gov) != nil {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// drainSuppressed: suppressed — an annotated, deliberately ungoverned
+// loop.
+func drainSuppressed(t *table.Table) int {
+	n := 0
+	// vetcert:ignore govpoll: corpus pin — bounded by construction
+	for range t.Rows() {
+		n++
+	}
+	return n
+}
+
+// chargeUnbalanced: membalance positive — the charge escapes on every
+// return path.
+func chargeUnbalanced(gov *guard.Governor, n int64) error {
+	return gov.ChargeMem("corpus", n) // want "ChargeMem in chargeUnbalanced has no ReleaseMem"
+}
+
+// chargeBalanced: negative — released in the same function.
+func chargeBalanced(gov *guard.Governor, n int64) error {
+	if err := gov.ChargeMem("corpus", n); err != nil {
+		return err
+	}
+	defer gov.ReleaseMem(n)
+	return nil
+}
+
+// release is the helper form of the balance.
+func release(gov *guard.Governor, n int64) { gov.ReleaseMem(n) }
+
+// chargeViaHelper: negative — the release is reachable through a
+// same-package helper.
+func chargeViaHelper(gov *guard.Governor, n int64) error {
+	if err := gov.ChargeMem("corpus", n); err != nil {
+		return err
+	}
+	release(gov, n)
+	return nil
+}
+
+// chargePinned holds its charge past return by design — the backing
+// state outlives this call.
+// vetcert:ignore membalance: corpus pin — the charge backs a cache
+// released elsewhere
+func chargePinned(gov *guard.Governor, n int64) error {
+	return gov.ChargeMem("corpus", n)
+}
+
+var (
+	_ = drainUngoverned
+	_ = materializeUngoverned
+	_ = drainGoverned
+	_ = drainViaHelper
+	_ = drainSuppressed
+	_ = chargeUnbalanced
+	_ = chargeBalanced
+	_ = chargeViaHelper
+	_ = chargePinned
+)

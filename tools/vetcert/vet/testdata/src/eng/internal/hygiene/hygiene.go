@@ -1,0 +1,50 @@
+// Package hygiene holds the sentinelhygiene corpus for internal
+// packages: identity comparison, %v wrapping, and taxonomy forks.
+package hygiene
+
+import (
+	"errors"
+	"fmt"
+
+	"eng/internal/guard"
+)
+
+// errShadow: positive — a package-level re-export forks the taxonomy
+// (the facade exemption applies only outside internal/).
+var errShadow = guard.ErrBudget // want "package-level declaration references guard.ErrBudget"
+
+// compareEq: positive — identity comparison never sees through the
+// LimitError wrapping.
+func compareEq(err error) bool {
+	return err == guard.ErrCanceled // want "guard.ErrCanceled compared with =="
+}
+
+// compareIs: negative — errors.Is is the supported dispatch.
+func compareIs(err error) bool {
+	return errors.Is(err, guard.ErrCanceled)
+}
+
+// wrapV: positive — %v severs the errors.Is chain.
+func wrapV() error {
+	return fmt.Errorf("run failed: %v", guard.ErrDeadline) // want "wraps guard.ErrDeadline without %w"
+}
+
+// wrapW: negative — %w preserves the chain.
+func wrapW() error {
+	return fmt.Errorf("run failed: %w", guard.ErrDeadline)
+}
+
+// compareSuppressed documents its identity probe.
+func compareSuppressed(err error) bool {
+	// vetcert:ignore sentinelhygiene: corpus pin — unwrapped identity probe
+	return err == guard.ErrBudget
+}
+
+var (
+	_ = errShadow
+	_ = compareEq
+	_ = compareIs
+	_ = wrapV
+	_ = wrapW
+	_ = compareSuppressed
+)

@@ -1,0 +1,12 @@
+// Package plan is the corpus double of the engine's planner: the
+// strictly-dispatched RuleKind enum.
+package plan
+
+// RuleKind identifies one rewrite rule.
+type RuleKind uint8
+
+const (
+	RuleA RuleKind = iota
+	RuleB
+	RuleC
+)

@@ -1,0 +1,32 @@
+// Package table is the corpus double of the engine's storage layer:
+// the row/table surface govpoll binds to and the snapshot store
+// snapdiscipline binds to.
+package table
+
+type Row []int
+
+type Table struct {
+	rows []Row
+}
+
+func New(arity int) *Table { return &Table{} }
+
+func (t *Table) Rows() []Row  { return t.rows }
+func (t *Table) Append(r Row) { t.rows = append(t.rows, r) }
+func (t *Table) Len() int     { return len(t.rows) }
+
+type Snapshot struct {
+	Ver uint64
+}
+
+type Store struct {
+	snap *Snapshot
+}
+
+// Snapshot and Version are each one atomic load in the real engine.
+// The store's own package is excluded from snapdiscipline, so the
+// double-load below must produce no finding.
+func (s *Store) Snapshot() *Snapshot { return s.snap }
+func (s *Store) Version() uint64     { return s.Snapshot().Ver }
+
+func (s *Store) publishCheck() bool { return s.Version() == s.Snapshot().Ver }

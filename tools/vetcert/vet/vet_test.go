@@ -1,0 +1,230 @@
+package vet_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"certsql/tools/vetcert/vet"
+)
+
+// The corpus test: every package under testdata/src is loaded and
+// linted with every registered rule, and the findings must match the
+// `// want "regex"` comments in the corpus sources exactly — each
+// finding needs a want on its line, each want needs a finding. The
+// corpus packages double as stubs for the engine's well-known packages
+// (eng/internal/guard, eng/internal/table, …), so the same run also
+// proves the package-scope exclusions: a stub with no want comments is
+// a package where the rules must stay silent.
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// loadCorpus loads the repo module plus the self-test corpus and runs
+// all registered rules over every corpus package.
+func loadCorpus(t *testing.T) (findings []vet.Diagnostic, corpusRoot string) {
+	t.Helper()
+	corpusRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := vet.NewLoader(filepath.Join("..", "..", ".."), corpusRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := corpusPackageDirs(t, corpusRoot)
+	var pkgs []*vet.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading corpus package %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return vet.Run(pkgs, loader.Fset, vet.Rules(), loader.Local), corpusRoot
+}
+
+// corpusPackageDirs returns every directory under root that contains
+// Go files, sorted for determinism.
+func corpusPackageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no corpus packages under testdata/src")
+	}
+	return dirs
+}
+
+// wantAt is one expectation parsed from a corpus source line.
+type wantAt struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans every corpus .go file for want comments.
+func parseWants(t *testing.T, corpusRoot string) []*wantAt {
+	t.Helper()
+	var wants []*wantAt
+	err := filepath.WalkDir(corpusRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", path, line, m[1], err)
+				}
+				wants = append(wants, &wantAt{file: path, line: line, re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want comments in the corpus")
+	}
+	return wants
+}
+
+// TestCorpus checks the bidirectional match between corpus want
+// comments and rule findings: no false negatives (every want hit), no
+// false positives (every finding wanted), and suppressed cases silent.
+func TestCorpus(t *testing.T) {
+	findings, corpusRoot := loadCorpus(t)
+	wants := parseWants(t, corpusRoot)
+	for _, d := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			rel, _ := filepath.Rel(corpusRoot, w.file)
+			t.Errorf("%s:%d: want %q matched no finding", rel, w.line, w.re)
+		}
+	}
+}
+
+// TestEveryRuleHasCorpusCoverage is the meta-test: a rule registered
+// without at least one positive corpus case is a rule whose regressions
+// nothing would catch.
+func TestEveryRuleHasCorpusCoverage(t *testing.T) {
+	findings, _ := loadCorpus(t)
+	hits := map[string]int{}
+	for _, d := range findings {
+		hits[d.Rule]++
+	}
+	for _, name := range vet.RuleNames() {
+		if hits[name] == 0 {
+			t.Errorf("rule %s has no positive case in the self-test corpus", name)
+		}
+	}
+}
+
+// TestSelect exercises the -enable/-disable resolution, including the
+// unknown-name error that keeps typos from silently skipping a check.
+func TestSelect(t *testing.T) {
+	all, err := vet.Select("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(vet.RuleNames()) {
+		t.Fatalf("Select(\"\",\"\") = %d rules, want %d", len(all), len(vet.RuleNames()))
+	}
+	only, err := vet.Select("govpoll, membalance", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 2 || only[0].Name != "govpoll" || only[1].Name != "membalance" {
+		t.Fatalf("Select(enable) = %v", only)
+	}
+	without, err := vet.Select("", "ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range without {
+		if r.Name == "ctxflow" {
+			t.Fatal("disabled rule still selected")
+		}
+	}
+	if len(without) != len(all)-1 {
+		t.Fatalf("Select(disable) = %d rules, want %d", len(without), len(all)-1)
+	}
+	if _, err := vet.Select("nosuchrule", ""); err == nil {
+		t.Fatal("Select accepted an unknown rule name")
+	}
+	if _, err := vet.Select("", "nosuchrule"); err == nil {
+		t.Fatal("Select accepted an unknown rule name in -disable")
+	}
+}
+
+// TestRepoClean lints the real module with every rule — the repo's own
+// source is the largest negative corpus there is, and this is the check
+// CI runs through make lint.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-repo lint")
+	}
+	root := filepath.Join("..", "..", "..")
+	loader, err := vet.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := vet.DiscoverTargets(loader.Root(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*vet.Package
+	for _, dir := range targets {
+		pkg, err := loader.LoadDir(filepath.Join(loader.Root(), dir))
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("discovery found only %d packages — exclusions too broad?", len(pkgs))
+	}
+	for _, d := range vet.Run(pkgs, loader.Fset, vet.Rules(), loader.Local) {
+		t.Errorf("repo finding: %s", d)
+	}
+}
