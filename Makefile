@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint lint-fix test race bench bench-memory bench-plan fuzz fuzz-plan fuzzcert chaos serve-smoke
+.PHONY: check build vet lint lint-fix test race bench bench-memory bench-plan fuzz fuzz-plan fuzzcert chaos chaos-crash serve-smoke
 
 # check is what CI runs: build, vet, lint, and the full test suite under
 # the race detector (the parallel executor must stay race-clean).
@@ -112,6 +112,18 @@ fuzzcert:
 # never poison the plan or view caches, and no goroutine may leak.
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaosSweep$$' ./internal/difftest
+
+# chaos-crash is the durability counterpart (DESIGN.md §15): 200 seeded
+# kill-point runs crash the persistent store at every durability seam
+# (WAL append, fsync, segment write, manifest rename, checkpoint) under
+# the race detector, asserting recovery lands on a valid monotone
+# version with the catalog and Q1-Q4 byte-identical to an in-RAM
+# oracle and fsck clean afterwards; then the out-of-process kill -9
+# harness replays real SIGKILLs against certsqld -data-dir with the
+# fsck pass as the final gate.
+chaos-crash:
+	$(GO) test -race -count=1 -run '^TestCrashRecovery$$' ./internal/difftest
+	GO=$(GO) ./scripts/crash_smoke.sh
 
 # serve-smoke is the end-to-end check of the serving layer: build
 # certsqld and the shell, start the server on a random port, run the

@@ -13,6 +13,18 @@
 // the port, so scripts parse this line), serves until SIGINT/SIGTERM,
 // then drains in-flight queries and exits 0.
 //
+// With -data-dir the default session is backed by the crash-safe
+// persistent store (internal/persist): every /v1/load is written ahead
+// to a checksummed WAL before it is acknowledged, so acknowledged
+// loads survive kill -9. The listener comes up immediately in a
+// recovering state — /healthz answers 503 "recovering" and data
+// endpoints answer 503 {"code":"recovering"} — while the store opens
+// (replaying the WAL) in the background, then flips live. On first
+// start the directory is initialized from the usual seed flags
+// (-sf/-nullrate/-seed, or -data CSV, or -empty); on later starts
+// those flags are ignored and the recovered catalog wins. Inspect a
+// data directory offline with `certsql fsck <dir>`.
+//
 // Endpoints:
 //
 //	POST /v1/query     ad-hoc SQL (plan-cached under the hood)
@@ -34,11 +46,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"certsql"
 	"certsql/internal/guard"
+	"certsql/internal/persist"
 	"certsql/internal/server"
 	"certsql/internal/table"
 	"certsql/internal/tpch"
@@ -57,6 +71,9 @@ func run() int {
 		dataDir  = flag.String("data", "", "load the seed catalog from a directory of CSV files instead of generating")
 		empty    = flag.Bool("empty", false, "start with an empty TPC-H schema (load data via /v1/load)")
 
+		persistDir = flag.String("data-dir", "", "durable data directory: back the default session with the crash-safe persistent store (initialized from the seed flags on first start, recovered via WAL replay after)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "WAL records between checkpoints of the persistent store (0 = default 64, negative = only at open)")
+
 		maxConc  = flag.Int("max-concurrent", 4, "queries evaluating at once")
 		maxQueue = flag.Int("max-queue", 0, "queries waiting for a slot before 429 (0 = 2x max-concurrent)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query evaluation deadline (0 = none)")
@@ -69,14 +86,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	seedDB, err := seedCatalog(*dataDir, *empty, *sf, *nullRate, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "certsqld:", err)
-		return 1
-	}
-
-	srv := server.New(server.Config{
-		Seed:          seedDB,
+	cfg := server.Config{
 		MaxConcurrent: *maxConc,
 		MaxQueue:      *maxQueue,
 		DefaultLimits: guard.Limits{
@@ -87,7 +97,24 @@ func run() int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTime,
 		Parallelism:    *par,
-	})
+	}
+
+	var srv *server.Server
+	if *persistDir == "" {
+		seedDB, err := seedCatalog(*dataDir, *empty, *sf, *nullRate, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "certsqld:", err)
+			return 1
+		}
+		cfg.Seed = seedDB
+		srv = server.New(cfg)
+	} else {
+		// Durable mode: the listener comes up first in the recovering
+		// state, WAL replay runs in the background, and Activate flips
+		// the server live — so orchestrators see the port and probe
+		// /healthz from the first moment of a cold start.
+		srv = server.NewRecovering(cfg)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -100,11 +127,42 @@ func run() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	var storePtr atomic.Pointer[persist.Store]
+	recoverErr := make(chan error, 1) // receives only failures; success Activates in place
+	if *persistDir != "" {
+		fmt.Fprintf(os.Stderr, "certsqld: opening durable catalog in %s...\n", *persistDir)
+		go func() {
+			start := time.Now()
+			store, err := persist.Open(*persistDir, func() (*table.Database, error) {
+				return seedCatalog(*dataDir, *empty, *sf, *nullRate, *seed)
+			}, persist.Options{
+				CheckpointEvery: *ckptEvery,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "certsqld: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				recoverErr <- err
+				return
+			}
+			storePtr.Store(store)
+			// Named sessions start from the recovered catalog; the
+			// default session serves straight from the durable store.
+			srv.Activate(store.Snapshot().DB, store)
+			fmt.Fprintf(os.Stderr, "certsqld: catalog live at v%d after %s\n",
+				store.Version(), time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "certsqld:", err)
+		return 1
+	case err := <-recoverErr:
+		fmt.Fprintln(os.Stderr, "certsqld: recovery failed:", err)
+		fmt.Fprintln(os.Stderr, "certsqld: inspect the directory with `certsql fsck` before restarting")
 		return 1
 	case <-ctx.Done():
 	}
@@ -120,6 +178,16 @@ func run() int {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "certsqld: drain incomplete:", err)
 		return 1
+	}
+	// Close the durable store only after the drain: every acknowledged
+	// load is already on disk (WAL-ahead publish), so this just releases
+	// the file handles cleanly. A store still mid-recovery is simply
+	// abandoned — recovery never writes anything unsynced worth keeping.
+	if store := storePtr.Load(); store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "certsqld: store close:", err)
+			return 1
+		}
 	}
 	fmt.Fprintln(os.Stderr, "certsqld: drained, bye")
 	return 0

@@ -1,0 +1,420 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"certsql"
+	"certsql/internal/guard"
+	"certsql/internal/guard/faultinject"
+	"certsql/internal/persist"
+	"certsql/internal/table"
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// Crash-recovery mode kills the persistent store at seeded crash
+// points — a panic injected at one of the durability seams
+// (guard.PersistSites), treated as a process death: the store is
+// abandoned without any flush and the data directory reopened cold —
+// and asserts the recovery contract:
+//
+//   - recovery succeeds and lands on a valid version: at least the
+//     last acknowledged update, at most the last attempted one, never
+//     anything else (the on-disk state is a prefix of the published
+//     version sequence);
+//   - the recovered catalog is byte-identical to an in-RAM oracle of
+//     that version: every table, every row, every marked null, and the
+//     fresh-null counter;
+//   - TPC-H Q1–Q4 answer byte-identically on the recovered catalog and
+//     the oracle — recovery is invisible to query results;
+//   - the recovered store accepts further updates, and fsck finds a
+//     clean directory afterwards;
+//   - no panic other than the injected PanicValue ever escapes.
+//
+// Error-kind faults at the same seams additionally assert the rollback
+// path: a refused append leaves the store on its current version and
+// usable, and a contained checkpoint failure never loses an update.
+
+// CrashReport is the outcome of one crash-recovery case.
+type CrashReport struct {
+	Seed uint64
+	// Site and Kind describe the injected fault.
+	Site guard.Site
+	Kind faultinject.Kind
+	// Fired reports whether the fault actually landed.
+	Fired bool
+	// Crashed reports whether the case simulated a process death (an
+	// injected panic, as opposed to an injected error).
+	Crashed bool
+	// Acked and Attempted are the last acknowledged and last attempted
+	// versions before the crash; Recovered is the version recovery
+	// landed on.
+	Acked, Attempted, Recovered uint64
+	// Violations lists broken recovery invariants.
+	Violations []Violation
+}
+
+// Failed reports whether any invariant broke.
+func (r *CrashReport) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *CrashReport) violate(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Summary renders the report for logs and t.Fatal messages.
+func (r *CrashReport) Summary() string {
+	var b strings.Builder
+	status := "ok"
+	if r.Failed() {
+		status = fmt.Sprintf("%d invariant(s) violated", len(r.Violations))
+	}
+	fmt.Fprintf(&b, "crash-recovery: %s (seed %d, %s@%s, fired %v, crashed %v)\n",
+		status, r.Seed, r.Kind, r.Site, r.Fired, r.Crashed)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  [%s] %s\n", v.Invariant, v.Detail)
+	}
+	fmt.Fprintf(&b, "  versions: acked %d, attempted %d, recovered %d\n", r.Acked, r.Attempted, r.Recovered)
+	return b.String()
+}
+
+// crashBase is the shared base instance: tiny but with every relation
+// populated and nulls present. Cases clone it (rows are shared and
+// immutable), so generation cost is paid once per process.
+var crashBaseOnce = sync.OnceValue(func() *table.Database {
+	return tpch.Generate(tpch.Config{ScaleFactor: 0.0001, Seed: 424242, NullRate: 0.04})
+})
+
+// crashMutOp is one concrete, pre-generated catalog mutation. Ops are
+// generated as literal rows (not as random draws inside the mutation
+// closure) so the exact same bytes can be applied to the store's clone
+// and to the in-RAM oracle.
+type crashMutOp struct {
+	replace bool
+	tbl     string
+	idx     int
+	row     table.Row
+}
+
+// crashMutation is one update's worth of ops plus the fresh-null
+// counter the database must end on.
+type crashMutation struct {
+	ops      []crashMutOp
+	nextNull int64
+}
+
+func (m crashMutation) apply(db *table.Database) error {
+	for _, op := range m.ops {
+		var err error
+		if op.replace {
+			err = db.ReplaceRow(op.tbl, op.idx, op.row)
+		} else {
+			err = db.Insert(op.tbl, op.row)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	db.SetNextNullMark(m.nextNull)
+	return nil
+}
+
+// genCrashMutation draws 1–3 ops against the current state: duplicate
+// inserts, inserts carrying a fresh marked null, and in-place row
+// replacements — the full recorded-op surface the WAL must replay.
+func genCrashMutation(rng *rand.Rand, db *table.Database) crashMutation {
+	m := crashMutation{nextNull: db.NextNullMark()}
+	names := db.Schema.Names()
+	nops := 1 + rng.Intn(3)
+	for i := 0; i < nops; i++ {
+		var tbl string
+		var t *table.Table
+		for {
+			tbl = names[rng.Intn(len(names))]
+			t = db.MustTable(tbl)
+			if t.Len() > 0 {
+				break
+			}
+		}
+		rel, _ := db.Schema.Relation(tbl)
+		row := append(table.Row{}, t.Row(rng.Intn(t.Len()))...)
+		// Half the rows get a fresh null in a nullable attribute.
+		if rng.Intn(2) == 0 {
+			nullable := []int{}
+			for c, a := range rel.Attrs {
+				if a.Nullable {
+					nullable = append(nullable, c)
+				}
+			}
+			if len(nullable) > 0 {
+				row[nullable[rng.Intn(len(nullable))]] = value.Null(m.nextNull)
+				m.nextNull++
+			}
+		}
+		op := crashMutOp{tbl: tbl, row: row}
+		if rng.Intn(3) == 0 {
+			op.replace = true
+			op.idx = rng.Intn(t.Len())
+		}
+		m.ops = append(m.ops, op)
+	}
+	return m
+}
+
+// runGuarded runs fn, converting an injected PanicValue into a
+// non-nil return and reporting any other panic as a violation (also
+// returned as a crash, so the case stops instead of cascading).
+func runGuarded(rep *CrashReport, what string, fn func()) (pv *faultinject.PanicValue) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if v, ok := rec.(faultinject.PanicValue); ok {
+				pv = &v
+				return
+			}
+			rep.violate("panic-escape", "%s: non-injected panic escaped: %v", what, rec)
+			pv = &faultinject.PanicValue{}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// sameCatalogs asserts got is byte-identical to want.
+func sameCatalogs(rep *CrashReport, want, got *table.Database) bool {
+	ok := true
+	for _, name := range want.Schema.Names() {
+		w, g := want.MustTable(name), got.MustTable(name)
+		if w.Len() != g.Len() {
+			rep.violate("byte-identity", "relation %q: %d rows, want %d", name, g.Len(), w.Len())
+			ok = false
+			continue
+		}
+		for i, row := range w.Rows() {
+			if value.RowKey(row) != value.RowKey(g.Row(i)) {
+				rep.violate("byte-identity", "relation %q row %d: %v, want %v", name, i, g.Row(i), row)
+				ok = false
+				break
+			}
+		}
+	}
+	if w, g := want.NextNullMark(), got.NextNullMark(); w != g {
+		rep.violate("byte-identity", "next null mark %d, want %d", g, w)
+		ok = false
+	}
+	return ok
+}
+
+// checkQueries asserts Q1–Q4 answer byte-identically on the oracle and
+// the recovered catalog, under seeded parameters.
+func checkQueries(rep *CrashReport, seed uint64, want, got *table.Database) {
+	prng := rand.New(rand.NewSource(int64(seed) ^ 0x5deece66d))
+	sz := tpch.Config{ScaleFactor: 0.0001}.Sizes()
+	wdb, gdb := certsql.FromInternal(want), certsql.FromInternal(got)
+	for _, q := range tpch.AllQueries {
+		params := q.Params(prng, sz)
+		wres, werr := wdb.Query(q.SQL(), params)
+		gres, gerr := gdb.Query(q.SQL(), params)
+		if (werr == nil) != (gerr == nil) {
+			rep.violate("query-identity", "%s: oracle err %v, recovered err %v", q, werr, gerr)
+			continue
+		}
+		if werr != nil {
+			rep.violate("query-identity", "%s failed on the oracle: %v", q, werr)
+			continue
+		}
+		w := strings.Join(wres.Table().SortedStrings(), "\n")
+		g := strings.Join(gres.Table().SortedStrings(), "\n")
+		if w != g {
+			rep.violate("query-identity", "%s differs after recovery:\noracle:\n%s\nrecovered:\n%s", q, w, g)
+		}
+	}
+}
+
+// crashUpdates is the number of update attempts per case — enough for
+// the largest planned hit number to land at every seam, including the
+// once-per-checkpoint ones (CheckpointEvery is 2 in this suite).
+const crashUpdates = 12
+
+// CrashSeed runs one seeded crash-recovery case in dir (which must be
+// empty). The fault site cycles with the seed so a contiguous seed
+// range covers every durability seam; kind and hit number are drawn
+// from the seed's rng (two thirds simulated crashes, one third
+// injected I/O errors).
+func CrashSeed(seed uint64, dir string) *CrashReport {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	site := guard.PersistSites[int(seed)%len(guard.PersistSites)]
+	kind := faultinject.KindPanic
+	if rng.Intn(3) == 0 {
+		kind = faultinject.KindError
+	}
+	fault := faultinject.PersistPlan(rng, site, kind)
+	rep := &CrashReport{Seed: seed, Site: site, Kind: kind, Acked: 1, Attempted: 1}
+
+	base := crashBaseOnce()
+	seedFn := func() (*table.Database, error) { return base.Clone(), nil }
+	inj := faultinject.New(fault)
+
+	// One case in five arms the fault before the very first Open, so
+	// crashes land inside the initial checkpoint as well.
+	armEarly := seed%5 == 0
+	var openHook guard.FaultHook
+	if armEarly {
+		openHook = inj
+	}
+	opts := func(h guard.FaultHook) persist.Options {
+		return persist.Options{CheckpointEvery: 2, Hook: h}
+	}
+
+	var st *persist.Store
+	var openErr error
+	pv := runGuarded(rep, "open", func() { st, openErr = persist.Open(dir, seedFn, opts(openHook)) })
+	if pv != nil || openErr != nil {
+		rep.Fired = true
+		rep.Crashed = pv != nil
+		if openErr != nil && !errors.Is(openErr, faultinject.ErrInjected) {
+			rep.violate("open", "fresh open failed with a non-injected error: %v", openErr)
+			return rep
+		}
+		if st != nil {
+			st.Abandon()
+		}
+		// The manifest was never published (the fault fired before the
+		// commit point), so the reopen must seed again at version 1.
+		recoverAndCheck(rep, seed, dir, base, nil, seedFn)
+		return rep
+	}
+
+	// Main loop: seeded updates against the store and a parallel in-RAM
+	// oracle; the fault is armed after open unless it already was.
+	oracle := map[uint64]*table.Database{1: base}
+	cur := base
+	if !armEarly {
+		// Hooks are consulted under the store's writer lock; swapping
+		// the option in is not possible, so the store was opened with
+		// no hook and updates run against a re-opened handle. Cheaper:
+		// the store is opened armed but with the fault's hit counters
+		// starting only now — PersistPlan hit numbers are small, and
+		// the fresh-open checkpoint would eat them. So: reopen armed.
+		st.Close()
+		pv = runGuarded(rep, "rearm-open", func() { st, openErr = persist.Open(dir, seedFn, opts(inj)) })
+		if pv != nil || openErr != nil {
+			rep.violate("open", "re-opening with the armed hook must not fault before any update (err %v, panic %v)", openErr, pv)
+			return rep
+		}
+	}
+
+	crashed := false
+	for i := 0; i < crashUpdates && !crashed; i++ {
+		mut := genCrashMutation(rng, cur)
+		next := cur.Clone()
+		if err := mut.apply(next); err != nil {
+			rep.violate("harness", "oracle mutation failed: %v", err)
+			return rep
+		}
+		rep.Attempted = rep.Acked + 1
+		oracle[rep.Attempted] = next
+
+		var v uint64
+		var err error
+		pv = runGuarded(rep, fmt.Sprintf("update %d", i), func() { v, err = st.Update(mut.apply) })
+		switch {
+		case pv != nil:
+			rep.Fired, rep.Crashed, crashed = true, true, true
+		case err != nil:
+			if !errors.Is(err, faultinject.ErrInjected) {
+				rep.violate("update-error", "update %d failed with a non-injected error: %v", i, err)
+				return rep
+			}
+			rep.Fired = true
+			// Rolled back: the store must still be on the acked version.
+			if got := st.Version(); got != rep.Acked {
+				rep.violate("rollback", "after a refused update the store is at version %d, want %d", got, rep.Acked)
+			}
+			delete(oracle, rep.Attempted)
+			rep.Attempted = rep.Acked
+		default:
+			if v != rep.Acked+1 {
+				rep.violate("monotone", "update %d published version %d, want %d", i, v, rep.Acked+1)
+				return rep
+			}
+			if inj.Fired() > 0 {
+				// An error fault inside the checkpoint path is contained
+				// and the update still acks — that is the contract.
+				rep.Fired = true
+			}
+			rep.Acked = v
+			cur = next
+		}
+	}
+
+	if crashed {
+		st.Abandon()
+	} else if err := st.Close(); err != nil {
+		rep.violate("close", "clean close failed: %v", err)
+		return rep
+	}
+	recoverAndCheck(rep, seed, dir, cur, oracle, seedFn)
+	return rep
+}
+
+// recoverAndCheck reopens dir with no fault hook and asserts the full
+// recovery contract. oracle maps versions to expected catalogs; nil
+// means "only version 1 = base is valid" (crash before first publish).
+func recoverAndCheck(rep *CrashReport, seed uint64, dir string, base *table.Database, oracle map[uint64]*table.Database, seedFn func() (*table.Database, error)) {
+	var st *persist.Store
+	var err error
+	if pv := runGuarded(rep, "recovery", func() { st, err = persist.Open(dir, seedFn, persist.Options{CheckpointEvery: 2}) }); pv != nil {
+		rep.violate("recovery", "recovery panicked")
+		return
+	}
+	if err != nil {
+		rep.violate("recovery", "recovery failed: %v", err)
+		return
+	}
+	defer st.Abandon() // release handles; the dir is torn down by the test
+
+	rep.Recovered = st.Version()
+	if oracle == nil {
+		oracle = map[uint64]*table.Database{1: base}
+		rep.Acked, rep.Attempted = 1, 1
+	}
+	if rep.Recovered < rep.Acked || rep.Recovered > rep.Attempted {
+		rep.violate("monotone", "recovered to version %d, outside [acked %d, attempted %d]",
+			rep.Recovered, rep.Acked, rep.Attempted)
+		return
+	}
+	want := oracle[rep.Recovered]
+	if want == nil {
+		rep.violate("monotone", "recovered to version %d, which was never a candidate", rep.Recovered)
+		return
+	}
+	got := st.Snapshot().DB
+	if !sameCatalogs(rep, want, got) {
+		return
+	}
+	checkQueries(rep, seed, want, got)
+
+	// The recovered store must accept updates…
+	mut := genCrashMutation(rand.New(rand.NewSource(int64(seed)+1)), want)
+	if v, err := st.Update(mut.apply); err != nil || v != rep.Recovered+1 {
+		rep.violate("post-recovery", "update after recovery: version %d, err %v", v, err)
+		return
+	}
+	// …and leave a directory fsck calls clean.
+	report, err := persist.Fsck(dir)
+	if err != nil {
+		rep.violate("post-recovery", "fsck: %v", err)
+		return
+	}
+	if !report.Clean() {
+		details := make([]string, 0, len(report.Findings))
+		for _, f := range report.Findings {
+			details = append(details, f.String())
+		}
+		rep.violate("post-recovery", "fsck found %d problem(s) after recovery:\n%s",
+			len(report.Findings), strings.Join(details, "\n"))
+	}
+}

@@ -1,0 +1,83 @@
+package difftest
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"certsql/internal/guard"
+)
+
+// crashCases overrides the number of crash-recovery cases (0 =
+// automatic: 200 normally — the acceptance floor — or a smoke slice
+// under -short). The `make chaos-crash` target runs the full sweep
+// under the race detector.
+var crashCases = flag.Int("crash-cases", 0, "number of crash-recovery cases (0 = 200, or 40 with -short)")
+
+// TestCrashRecovery is the kill-point recovery suite: seeded runs
+// crash the persistent store at every durability seam (in-process
+// panic treated as a process death — no flush, cold reopen) and assert
+// that recovery lands on a valid monotone version whose catalog and
+// Q1–Q4 answers are byte-identical to an in-RAM oracle, that the
+// recovered store accepts updates, and that fsck finds the directory
+// clean. Error-kind faults exercise the rollback path the same way.
+func TestCrashRecovery(t *testing.T) {
+	cases := *crashCases
+	if cases == 0 {
+		cases = 200
+		if testing.Short() {
+			cases = 40
+		}
+	}
+	if cases < len(guard.PersistSites) {
+		t.Fatalf("%d cases cannot cover %d durability seams", cases, len(guard.PersistSites))
+	}
+
+	var mu sync.Mutex
+	firedBySite := map[guard.Site]int{}
+	crashes, recoveries := 0, 0
+
+	root := t.TempDir()
+	for seed := uint64(0); seed < uint64(cases); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep := CrashSeed(seed, filepath.Join(root, fmt.Sprintf("case%03d", seed)))
+			if rep.Failed() {
+				t.Error("\n" + rep.Summary())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if rep.Fired {
+				firedBySite[rep.Site]++
+			}
+			if rep.Crashed {
+				crashes++
+			}
+			if rep.Recovered > 0 {
+				recoveries++
+			}
+		})
+	}
+
+	// Coverage assertions run after all parallel subtests.
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, site := range guard.PersistSites {
+			if firedBySite[site] == 0 {
+				t.Errorf("no fault ever fired at durability seam %s — the suite is not covering it", site)
+			}
+		}
+		if crashes == 0 {
+			t.Error("no simulated crash ever landed")
+		}
+		if recoveries == 0 {
+			t.Error("no recovery was ever exercised")
+		}
+		t.Logf("crash-recovery: %d cases, %d crashes, %d recoveries, fired per site: %v",
+			cases, crashes, recoveries, firedBySite)
+	})
+}

@@ -167,6 +167,22 @@ func Plan(rng *rand.Rand, n int) []Fault {
 	return out
 }
 
+// PersistPlan derives one crash-point fault at the given durability
+// seam (see guard.PersistSites). The hit-number range is matched to
+// how often each seam fires: the WAL-append and fsync seams fire on
+// every update (and many times per checkpoint), while checkpoint and
+// manifest-rename fire once per checkpoint, so a large hit number
+// there would never land on a short run.
+func PersistPlan(rng *rand.Rand, site guard.Site, kind Kind) Fault {
+	maxHit := 10
+	if site == guard.SitePersistCheckpoint || site == guard.SitePersistManifestRename {
+		maxHit = 3
+	} else if site == guard.SitePersistSegmentWrite {
+		maxHit = 6
+	}
+	return Fault{Site: site, Kind: kind, HitNumber: 1 + rng.Intn(maxHit)}
+}
+
 // CancelPlan derives one cancel fault at a random site and small hit
 // number, for random-point cancellation runs.
 func CancelPlan(rng *rand.Rand) Fault {

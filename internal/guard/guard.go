@@ -145,10 +145,43 @@ const (
 	// SitePlanRewrite fires when the cost-based planner starts
 	// optimizing a translated plan.
 	SitePlanRewrite Site = "plan-rewrite"
+
+	// The persist-* sites instrument every durability seam of the
+	// on-disk snapshot store (internal/persist). A panic injected at
+	// one of them simulates a process crash at that exact point, which
+	// is how the crash-recovery chaos suite proves the write-ahead
+	// protocol: whatever prefix of the seam sequence completed, reopen
+	// must land on a valid published version.
+
+	// SitePersistWALAppend fires twice per WAL record: once after part
+	// of the record is written (a crash here leaves a torn tail
+	// record), and once after the full record is on the file but
+	// before it is synced.
+	SitePersistWALAppend Site = "persist-wal-append"
+	// SitePersistFsync fires immediately before each File.Sync on the
+	// WAL or a segment file.
+	SitePersistFsync Site = "persist-fsync"
+	// SitePersistSegmentWrite fires once per block written to a
+	// checkpoint segment file.
+	SitePersistSegmentWrite Site = "persist-segment-write"
+	// SitePersistManifestRename fires immediately before the atomic
+	// manifest rename — the single instant at which a checkpoint
+	// becomes the published on-disk state.
+	SitePersistManifestRename Site = "persist-manifest-rename"
+	// SitePersistCheckpoint fires when a checkpoint begins, before any
+	// segment is written.
+	SitePersistCheckpoint Site = "persist-checkpoint"
 )
 
-// Sites lists every fault-injection site, for seeded fault plans.
+// Sites lists every *engine* fault-injection site, for seeded fault
+// plans over query evaluation. The durability seams are listed
+// separately in PersistSites: they never fire during evaluation, so
+// mixing them into query chaos plans would only produce no-op faults.
 var Sites = []Site{SiteScan, SiteHashBuild, SiteSemijoinProbe, SiteWorkerSpawn, SiteViewMaterialize, SiteBatchPull, SiteStatsCollect, SitePlanRewrite}
+
+// PersistSites lists every durability-seam site of the persistent
+// snapshot store, for crash-recovery fault plans.
+var PersistSites = []Site{SitePersistWALAppend, SitePersistFsync, SitePersistSegmentWrite, SitePersistManifestRename, SitePersistCheckpoint}
 
 // FaultHook receives a callback at every instrumented site. A hook
 // returns a non-nil error to inject a failure at that site; it may

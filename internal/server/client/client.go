@@ -11,9 +11,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,10 +25,30 @@ import (
 )
 
 // Client talks to one certsqld instance.
+//
+// Idempotent requests (query, prepare, execute, catalog) are retried
+// on 429 (admission queue full) and 503 (draining, or a durable server
+// still replaying its WAL at cold start) with exponential backoff and
+// jitter, honoring the server's Retry-After hint, bounded by the
+// caller's context. /v1/load is never retried: a load that timed out
+// after the server committed it would duplicate rows on replay, and
+// the client cannot tell that apart from a load that never arrived.
 type Client struct {
 	base    string
 	httpc   *http.Client
 	session string
+	retry   retryPolicy
+}
+
+// retryPolicy shapes the backoff loop for retryable statuses.
+type retryPolicy struct {
+	attempts int           // total attempts, including the first (<=1 disables retry)
+	base     time.Duration // first backoff step
+	cap      time.Duration // ceiling on computed backoff (Retry-After may exceed it)
+}
+
+func defaultRetry() retryPolicy {
+	return retryPolicy{attempts: 4, base: 100 * time.Millisecond, cap: 2 * time.Second}
 }
 
 // Option configures a Client.
@@ -39,10 +61,18 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = 
 // WithSession pins every request to a named session catalog.
 func WithSession(name string) Option { return func(c *Client) { c.session = name } }
 
+// WithRetries sets the total attempt budget for idempotent requests
+// that hit 429/503 (default 4; n <= 1 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retry.attempts = n } }
+
 // New returns a client for the server at base (e.g.
 // "http://127.0.0.1:7583").
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), httpc: &http.Client{Timeout: 5 * time.Minute}}
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		httpc: &http.Client{Timeout: 5 * time.Minute},
+		retry: defaultRetry(),
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -135,7 +165,8 @@ func (s *Stmt) Execute(ctx context.Context, params compile.Params, opts QueryOpt
 }
 
 // Load appends rows to one table of the session catalog, publishing a
-// new snapshot version.
+// new snapshot version. Load is NOT retried on failure (see the Client
+// doc comment): callers who retry must be prepared for duplicates.
 func (c *Client) Load(ctx context.Context, tableName string, rows [][]value.Value) (uint64, error) {
 	var resp api.LoadResponse
 	err := c.post(ctx, "/v1/load", &api.LoadRequest{
@@ -153,12 +184,15 @@ func (c *Client) Catalog(ctx context.Context) (*api.CatalogResponse, error) {
 	if c.session != "" {
 		u += "?session=" + url.QueryEscape(c.session)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
 	var resp api.CatalogResponse
-	if err := c.do(req, &resp); err != nil {
+	err := c.retrying(ctx, true, func() (int, time.Duration, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c.do(req, &resp)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -204,36 +238,107 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 }
 
 // post sends one JSON request and decodes the response or the mapped
-// API error.
+// API error. Every endpoint but /v1/load is idempotent and joins the
+// retry loop.
 func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, dst)
+	return c.retrying(ctx, path != "/v1/load", func() (int, time.Duration, error) {
+		// The request is rebuilt per attempt: a body reader is consumed
+		// by the transport, so reuse would send an empty retry.
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return 0, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.do(req, dst)
+	})
 }
 
-func (c *Client) do(req *http.Request, dst any) error {
+// retrying runs attempt until it succeeds, fails non-retryably, or the
+// budget/context runs out. Only HTTP 429 and 503 are retryable — they
+// are the two statuses that mean "the server is healthy but cannot
+// take this right now" (queue full, draining, recovering). Transport
+// errors are not retried: a request that never got a response may
+// still have been executed.
+func (c *Client) retrying(ctx context.Context, idempotent bool, attempt func() (int, time.Duration, error)) error {
+	for try := 1; ; try++ {
+		status, retryAfter, err := attempt()
+		if err == nil || !idempotent || try >= c.retry.attempts {
+			return err
+		}
+		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			return err
+		}
+		delay := c.backoff(try)
+		if retryAfter > 0 {
+			// The server knows better than our schedule; honor its hint
+			// even past the backoff cap (it is still context-bounded).
+			delay = retryAfter
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("client: %w (last response: %v)", ctx.Err(), err)
+		case <-t.C:
+		}
+	}
+}
+
+// backoff computes the try-th delay: exponential from the base, capped,
+// with "equal jitter" (half fixed, half uniform) so a thundering herd
+// of clients spreads out instead of re-colliding.
+func (c *Client) backoff(try int) time.Duration {
+	d := c.retry.base << (try - 1)
+	if d > c.retry.cap || d <= 0 {
+		d = c.retry.cap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// do executes one attempt. It reports the HTTP status and any
+// Retry-After hint alongside the decoded error so the retry loop can
+// classify the failure without poking at error internals.
+func (c *Client) do(req *http.Request, dst any) (status int, retryAfter time.Duration, err error) {
 	res, err := c.httpc.Do(req)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer res.Body.Close()
 	dec := json.NewDecoder(res.Body)
 	dec.UseNumber()
 	if res.StatusCode != http.StatusOK {
+		retryAfter = parseRetryAfter(res.Header.Get("Retry-After"))
 		var apiErr api.Error
 		if err := dec.Decode(&apiErr); err != nil || apiErr.Status == 0 {
-			return fmt.Errorf("client: http %d from %s", res.StatusCode, req.URL.Path)
+			return res.StatusCode, retryAfter, fmt.Errorf("client: http %d from %s", res.StatusCode, req.URL.Path)
 		}
-		return &apiErr
+		return res.StatusCode, retryAfter, &apiErr
 	}
-	return dec.Decode(dst)
+	return res.StatusCode, 0, dec.Decode(dst)
+}
+
+// parseRetryAfter understands both Retry-After forms: delay-seconds
+// and an HTTP-date. Unparseable or past values yield 0 (no hint).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func decodeResult(resp *api.QueryResponse) (*Result, error) {

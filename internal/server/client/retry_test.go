@@ -1,0 +1,175 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"certsql/internal/server/api"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+func fastRetry(c *Client) {
+	c.retry.base = 100 * time.Microsecond
+	c.retry.cap = time.Millisecond
+}
+
+// unavailableThenOK answers 503 (with the given Retry-After header) n
+// times, then succeeds with an empty query response.
+func unavailableThenOK(n int, retryAfter string, hits *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":503,"code":"recovering","message":"not yet"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"columns":[],"rows":[]}`))
+	}
+}
+
+func TestRetrySucceedsAfter503(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(unavailableThenOK(2, "", &hits))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c)
+	if _, err := c.Query(context.Background(), "SELECT 1", nil, "", QueryOptions{}); err != nil {
+		t.Fatalf("query after retries: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(unavailableThenOK(1000, "", &hits))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c)
+	_, err := c.Query(context.Background(), "SELECT 1", nil, "", QueryOptions{})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want the final 503 api error, got %v", err)
+	}
+	if got := hits.Load(); got != int64(c.retry.attempts) {
+		t.Errorf("attempts = %d, want the full budget %d", got, c.retry.attempts)
+	}
+}
+
+func TestRetryHonorsRetryAfterSeconds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(unavailableThenOK(1, "1", &hits))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c) // backoff would be ~100µs; Retry-After: 1 must win
+	start := time.Now()
+	if _, err := c.Query(context.Background(), "SELECT 1", nil, "", QueryOptions{}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Errorf("retried after %v, want >= 1s (the server's Retry-After hint)", d)
+	}
+}
+
+func TestRetryBoundedByContext(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(unavailableThenOK(1000, "30", &hits))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Query(ctx, "SELECT 1", nil, "", QueryOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want the caller's deadline to cut the retry loop, got %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (the 30s hint outlives the 50ms context)", got)
+	}
+}
+
+func TestLoadIsNeverRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(unavailableThenOK(1000, "", &hits))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c)
+	if _, err := c.Load(context.Background(), "nation", nil); err == nil {
+		t.Fatal("load against a 503 server must fail")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("attempts = %d, want exactly 1: /v1/load is not idempotent", got)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"status":400,"code":"parse","message":"no"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c)
+	if _, err := c.Query(context.Background(), "SELEKT", nil, "", QueryOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no") {
+		t.Fatalf("want the 400 surfaced unretried, got err=%v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (400 is not retryable)", got)
+	}
+}
+
+func TestRetryRebuildsRequestBody(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req api.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL != "SELECT 1" {
+			t.Errorf("attempt %d: body did not survive the retry: sql=%q err=%v", hits.Load()+1, req.SQL, err)
+		}
+		unavailableThenOK(1, "", &hits)(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	fastRetry(c)
+	if _, err := c.Query(context.Background(), "SELECT 1", nil, "", QueryOptions{}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"-1", 0},
+		{"soon", 0},
+		{time.Now().UTC().Add(-time.Hour).Format(http.TimeFormat), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// An HTTP-date in the future yields roughly the remaining interval.
+	in := time.Now().UTC().Add(10 * time.Second).Format(http.TimeFormat)
+	if got := parseRetryAfter(in); got <= 8*time.Second || got > 10*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, want ~10s", got)
+	}
+}

@@ -89,6 +89,7 @@ type gauges struct {
 	catalogVers  map[string]uint64 // session name -> version
 	tableStats   []tableStatsGauge
 	shuttingDown bool
+	recovering   bool
 }
 
 // tableStatsGauge is one relation's row and marked-null counts from the
@@ -140,6 +141,11 @@ func (m *metrics) render(g gauges) string {
 	fmt.Fprintf(&b, "certsqld_plan_cache_misses_total %d\n", m.planCacheMisses)
 	fmt.Fprintf(&b, "certsqld_query_mem_highwater_bytes %d\n", m.memHighWater)
 	fmt.Fprintf(&b, "certsqld_queue_depth %d\n", g.queueDepth)
+	recovering := 0
+	if g.recovering {
+		recovering = 1
+	}
+	fmt.Fprintf(&b, "certsqld_recovering %d\n", recovering)
 	fmt.Fprintf(&b, "certsqld_sessions %d\n", g.sessions)
 	shutdown := 0
 	if g.shuttingDown {

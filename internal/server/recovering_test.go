@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"certsql/internal/persist"
+	"certsql/internal/server/api"
+	"certsql/internal/server/client"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// TestRecoveringLifecycle walks a server through the cold-start state
+// machine: born recovering (healthz 503, data endpoints 503
+// "recovering", metrics gauge set), then Activate flips everything
+// live atomically.
+func TestRecoveringLifecycle(t *testing.T) {
+	srv := NewRecovering(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetries(1))
+
+	if !srv.Recovering() {
+		t.Fatal("NewRecovering server must report Recovering")
+	}
+	if err := c.Health(context.Background()); err == nil || !strings.Contains(err.Error(), "recovering") {
+		t.Fatalf("healthz while recovering: want 503 recovering, got %v", err)
+	}
+	_, err := c.Query(context.Background(), "SELECT n_name FROM nation", nil, "", client.QueryOptions{})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != "recovering" {
+		t.Fatalf("query while recovering: want 503 code=recovering, got %v", err)
+	}
+	if _, err := c.Catalog(context.Background()); err == nil {
+		t.Fatal("catalog while recovering must fail")
+	}
+	if body, err := c.Metrics(context.Background()); err != nil || !strings.Contains(body, "certsqld_recovering 1") {
+		t.Fatalf("metrics while recovering: err=%v, want certsqld_recovering 1 in:\n%s", err, body)
+	}
+
+	srv.Activate(testSeed, nil)
+	if srv.Recovering() {
+		t.Fatal("server still Recovering after Activate")
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthz after Activate: %v", err)
+	}
+	if _, err := c.Query(context.Background(), "SELECT n_name FROM nation", nil, "", client.QueryOptions{}); err != nil {
+		t.Fatalf("query after Activate: %v", err)
+	}
+	if body, err := c.Metrics(context.Background()); err != nil || !strings.Contains(body, "certsqld_recovering 0") {
+		t.Fatalf("metrics after Activate: err=%v, want certsqld_recovering 0 in:\n%s", err, body)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("second Activate must panic instead of discarding live sessions")
+		}
+	}()
+	srv.Activate(testSeed, nil)
+}
+
+// TestRecoveringRetryAfterHint: the 503 carries a Retry-After header so
+// the client's retry loop (and any off-the-shelf one) paces itself.
+func TestRecoveringRetryAfterHint(t *testing.T) {
+	ts := httptest.NewServer(NewRecovering(Config{}).Handler())
+	defer ts.Close()
+	res, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"sql":"SELECT 1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("recovering 503 is missing its Retry-After hint")
+	}
+}
+
+// TestDurableDefaultSession: with Config.Durable set, loads against the
+// default session go through the persistent store and survive a full
+// close-and-reopen of the data directory, while named sessions remain
+// in-memory scratch catalogs that never touch it.
+func TestDurableDefaultSession(t *testing.T) {
+	dir := t.TempDir()
+	seed := func() (*table.Database, error) { return testSeed, nil }
+	store, err := persist.Open(dir, seed, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(Config{Seed: testSeed, Durable: store}).Handler())
+	defer ts.Close()
+	def := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	scratch := client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithSession("scratch"))
+
+	row := []value.Value{value.Int(99), value.Str("durabilia"), value.Int(1), value.Str("persisted row")}
+	v, err := def.Load(context.Background(), "nation", [][]value.Value{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Version(); got != v {
+		t.Fatalf("store version %d after default-session load, want %d: load bypassed the durable catalog", got, v)
+	}
+	if _, err := scratch.Load(context.Background(), "nation", [][]value.Value{row}); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Version(); got != v {
+		t.Fatalf("store version moved to %d after a named-session load: scratch sessions must stay in-memory", got)
+	}
+
+	ts.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := persist.Open(dir, seed, persist.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	if got := reopened.Version(); got != v {
+		t.Fatalf("recovered version %d, want %d", got, v)
+	}
+	found := false
+	for _, r := range reopened.Snapshot().DB.MustTable("nation").Rows() {
+		if len(r) > 1 && r[1].String() == "'durabilia'" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("acknowledged load did not survive close-and-reopen")
+	}
+}

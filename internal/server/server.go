@@ -32,9 +32,16 @@ import (
 
 // Config sizes one server.
 type Config struct {
-	// Seed is the initial catalog every session starts from. Required;
-	// the server takes ownership (the seed must not be mutated after).
+	// Seed is the initial catalog every session starts from. Required
+	// by New (NewRecovering defers it to Activate); the server takes
+	// ownership (the seed must not be mutated after).
 	Seed *table.Database
+
+	// Durable, when non-nil, backs the default session with a durable
+	// catalog (normally a persist.Store) instead of an in-memory store,
+	// so loads against it survive restarts. Named sessions remain
+	// in-memory scratch catalogs seeded from Seed.
+	Durable Catalog
 
 	// MaxConcurrent bounds queries evaluating at once (default 4).
 	MaxConcurrent int
@@ -78,25 +85,85 @@ func (c Config) maxQueue() int {
 // Server is the HTTP serving layer. Create with New, expose with
 // Handler, and flip Drain before http.Server.Shutdown so health checks
 // fail fast while in-flight queries finish.
+//
+// A server can also start before its catalog is ready: NewRecovering
+// returns a listener-ready server in the recovering state, where data
+// endpoints answer 503 {"code":"recovering"} and /healthz reports
+// "recovering", and Activate flips it live once the durable store has
+// replayed its log. That keeps cold-start observable — the process
+// accepts probes immediately while WAL replay runs in the background.
 type Server struct {
-	cfg      Config
-	sessions *sessions
-	adm      *admission
-	metrics  *metrics
-	mux      *http.ServeMux
-	draining atomic.Bool
+	cfg        Config
+	sess       atomic.Pointer[sessions] // nil while recovering
+	adm        *admission
+	metrics    *metrics
+	mux        *http.ServeMux
+	draining   atomic.Bool
+	recovering atomic.Bool
 }
 
-// New builds a server over cfg.Seed.
+// New builds a server over cfg.Seed, live immediately.
 func New(cfg Config) *Server {
 	if cfg.Seed == nil {
 		panic("server: Config.Seed is required")
 	}
+	s := newServer(cfg)
+	s.sess.Store(newSessions(cfg.Seed, cfg.Durable))
+	return s
+}
+
+// NewRecovering builds a server with no catalog yet: it serves
+// /healthz (503 "recovering") and /metrics immediately, answers every
+// data endpoint with 503 {"code":"recovering"}, and becomes live when
+// Activate is called. cfg.Seed and cfg.Durable are ignored here — they
+// arrive with Activate, after recovery decides what the catalog is.
+func NewRecovering(cfg Config) *Server {
+	s := newServer(cfg)
+	s.recovering.Store(true)
+	return s
+}
+
+// Activate installs the recovered catalog and flips the server live.
+// seed is the catalog named sessions start from; durable, when
+// non-nil, backs the default session. Calling Activate on an already
+// live server panics — sessions must not be silently discarded.
+func (s *Server) Activate(seed *table.Database, durable Catalog) {
+	if seed == nil {
+		panic("server: Activate requires a seed catalog")
+	}
+	if !s.sess.CompareAndSwap(nil, newSessions(seed, durable)) {
+		panic("server: Activate on a live server")
+	}
+	s.recovering.Store(false)
+}
+
+// Recovering reports whether the server is still waiting for Activate.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
+
+// sessions returns the live registry, or nil while recovering.
+func (s *Server) sessions() *sessions { return s.sess.Load() }
+
+// ready gates a data handler: while recovering it answers 503 with a
+// Retry-After hint (the same shape admission rejections use, so the
+// client's retry loop applies unchanged) and reports false.
+func (s *Server) ready(w http.ResponseWriter) bool {
+	if s.sessions() != nil {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, &api.Error{
+		Status:  http.StatusServiceUnavailable,
+		Code:    "recovering",
+		Message: "server: catalog is recovering; retry shortly",
+	})
+	return false
+}
+
+func newServer(cfg Config) *Server {
 	s := &Server{
-		cfg:      cfg,
-		sessions: newSessions(cfg.Seed),
-		adm:      newAdmission(cfg.maxConcurrent(), cfg.maxQueue()),
-		metrics:  newMetrics(),
+		cfg:     cfg,
+		adm:     newAdmission(cfg.maxConcurrent(), cfg.maxQueue()),
+		metrics: newMetrics(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.instrument("/v1/query", s.handleQuery))
@@ -240,6 +307,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	if !s.ready(w) {
+		return
+	}
 	var req api.QueryRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
@@ -254,7 +324,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess := s.sessions.get(req.Session)
+	sess := s.sessions().get(req.Session)
 	// Ad-hoc queries run through the prepared path too: Prepare is one
 	// parse + canonical render, and everything after it — compile,
 	// analysis, translation — is served from the session's plan cache
@@ -272,6 +342,9 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	if !s.ready(w) {
+		return
+	}
 	var req api.PrepareRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
@@ -286,7 +359,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess := s.sessions.get(req.Session)
+	sess := s.sessions().get(req.Session)
 	stmt, err := sess.view().Prepare(text)
 	if err != nil {
 		writeErr(w, err)
@@ -306,12 +379,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	if !s.ready(w) {
+		return
+	}
 	var req api.ExecuteRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
-	sess := s.sessions.get(req.Session)
+	sess := s.sessions().get(req.Session)
 	stmt, ok := sess.statement(req.ID)
 	if !ok {
 		writeErr(w, fmt.Errorf("server: unknown statement %q", req.ID))
@@ -382,6 +458,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	if !s.ready(w) {
+		return
+	}
 	var req api.LoadRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
@@ -396,7 +475,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 		rows[i] = row
 	}
-	sess := s.sessions.get(req.Session)
+	sess := s.sessions().get(req.Session)
 	version, err := sess.store.Update(func(db *table.Database) error {
 		for _, row := range rows {
 			if err := db.Insert(req.Table, row); err != nil {
@@ -413,7 +492,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	sess := s.sessions.get(r.URL.Query().Get("session"))
+	if !s.ready(w) {
+		return
+	}
+	sess := s.sessions().get(r.URL.Query().Get("session"))
 	snap := sess.store.Snapshot()
 	// One collection serves the whole response; the session collector's
 	// generation cache makes this O(1) for tables unchanged since the
@@ -443,6 +525,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if s.sessions() == nil {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -451,11 +537,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g := gauges{
 		queueDepth:   s.adm.queueDepth(),
 		inFlight:     s.adm.inFlight(),
-		sessions:     s.sessions.count(),
-		planEntries:  s.sessions.planEntries(),
-		catalogVers:  s.sessions.snapshotVersions(),
-		tableStats:   s.sessions.statsGauges(),
 		shuttingDown: s.draining.Load(),
+	}
+	if ss := s.sessions(); ss != nil {
+		g.sessions = ss.count()
+		g.planEntries = ss.planEntries()
+		g.catalogVers = ss.snapshotVersions()
+		g.tableStats = ss.statsGauges()
+	} else {
+		g.recovering = true
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.metrics.render(g))

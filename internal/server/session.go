@@ -10,6 +10,21 @@ import (
 	"certsql/internal/table"
 )
 
+// Catalog is the snapshot-store seam a session serves from. Both the
+// in-memory table.Store and the durable persist.Store satisfy it, so
+// the serving layer is identical whether the catalog lives in RAM or
+// behind a write-ahead log: readers pin immutable snapshots, writers
+// publish monotone versions.
+type Catalog interface {
+	// Snapshot returns the current published snapshot; never nil.
+	Snapshot() *table.Snapshot
+	// Version returns the current snapshot's version.
+	Version() uint64
+	// Update applies mutate to a private clone and publishes it as the
+	// next version (see table.Store.Update for the exact contract).
+	Update(mutate func(db *table.Database) error) (uint64, error)
+}
+
 // session is one named catalog: a snapshot store, the plan cache
 // shared by every snapshot version of the catalog, and the prepared
 // statements clients registered against it.
@@ -26,7 +41,7 @@ import (
 // statistics at amortized zero scan cost.
 type session struct {
 	name  string
-	store *table.Store
+	store Catalog
 	plans *plancache.Cache
 	stats *stats.Collector
 
@@ -68,13 +83,19 @@ func (s *session) statement(id string) (*certsql.Prepared, bool) {
 // other's loads).
 type sessions struct {
 	seed *table.Database
+	// durable, when non-nil, is the catalog backing the default
+	// session — in the durable deployment (certsqld -data-dir) that is
+	// a persist.Store, so loads against the default session survive
+	// restarts. Named sessions stay in-memory scratch catalogs: they
+	// start from the seed and die with the process by design.
+	durable Catalog
 
 	mu   sync.Mutex
 	byID map[string]*session
 }
 
-func newSessions(seed *table.Database) *sessions {
-	return &sessions{seed: seed, byID: map[string]*session{}}
+func newSessions(seed *table.Database, durable Catalog) *sessions {
+	return &sessions{seed: seed, durable: durable, byID: map[string]*session{}}
 }
 
 // defaultSession is the catalog used when a request names none.
@@ -90,9 +111,13 @@ func (ss *sessions) get(name string) *session {
 	defer ss.mu.Unlock()
 	s, ok := ss.byID[name]
 	if !ok {
+		var store Catalog = table.NewStore(ss.seed)
+		if name == defaultSession && ss.durable != nil {
+			store = ss.durable
+		}
 		s = &session{
 			name:     name,
-			store:    table.NewStore(ss.seed),
+			store:    store,
 			plans:    plancache.New(0),
 			stats:    stats.NewCollector(),
 			prepared: map[string]*certsql.Prepared{},

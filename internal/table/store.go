@@ -33,9 +33,10 @@ type Snapshot struct {
 // version N's tables; it sees exactly the old or exactly the new
 // version, never a mix.
 type Store struct {
-	mu        sync.Mutex // serializes publishers
-	cur       atomic.Pointer[Snapshot]
-	onPublish []func(*Snapshot)
+	mu         sync.Mutex // serializes publishers
+	cur        atomic.Pointer[Snapshot]
+	onPublish  []func(*Snapshot)
+	hookPanics atomic.Uint64
 }
 
 // OnPublish registers fn to run after every subsequent publish (Publish
@@ -50,19 +51,51 @@ func (s *Store) OnPublish(fn func(*Snapshot)) {
 	s.onPublish = append(s.onPublish, fn)
 }
 
-// notify runs the publish hooks; the caller holds s.mu.
+// notify runs the publish hooks; the caller holds s.mu. Each hook runs
+// under its own panic containment: a subscriber that panics (a buggy
+// statistics collector, a broken replication hook) must not kill the
+// writer whose Update triggered the publish, and must not starve the
+// hooks registered after it — the snapshot is already published at
+// this point, so aborting mid-notify would leave later subscribers
+// permanently behind the version sequence. Contained panics are
+// counted (HookPanics) so tests and operators can see them.
 func (s *Store) notify(snap *Snapshot) {
 	for _, fn := range s.onPublish {
-		fn(snap)
+		s.notifyOne(fn, snap)
 	}
 }
+
+// notifyOne runs one hook, converting a panic into a counter bump.
+func (s *Store) notifyOne(fn func(*Snapshot), snap *Snapshot) {
+	defer func() {
+		if recover() != nil {
+			s.hookPanics.Add(1)
+		}
+	}()
+	fn(snap)
+}
+
+// HookPanics reports how many OnPublish hook invocations panicked and
+// were contained since the store was created.
+func (s *Store) HookPanics() uint64 { return s.hookPanics.Load() }
 
 // NewStore returns a store whose first published snapshot is db, at
 // version 1. The caller hands over ownership: db must not be mutated
 // after this call.
-func NewStore(db *Database) *Store {
+func NewStore(db *Database) *Store { return NewStoreAt(db, 1) }
+
+// NewStoreAt returns a store whose first published snapshot is db at
+// the given version (≥ 1). The persistent store uses it after
+// recovery, so the version sequence continues where the previous
+// process stopped instead of restarting from 1 — plan caches and
+// clients key on the version, and a restart must never reissue an
+// already-published version number for different data.
+func NewStoreAt(db *Database, version uint64) *Store {
+	if version < 1 {
+		version = 1
+	}
 	s := &Store{}
-	s.cur.Store(&Snapshot{DB: db, Version: 1})
+	s.cur.Store(&Snapshot{DB: db, Version: version})
 	return s
 }
 

@@ -224,7 +224,47 @@ type Database struct {
 
 	enforceNonNull    bool
 	nonNullViolations int
+
+	// recorder, when set, observes every successful Insert and
+	// ReplaceRow — the delta capture the persistent store's write-ahead
+	// log is built on. Clone deliberately does not copy it: a recorder
+	// is attached to one private clone for the duration of one
+	// Store.Update and must never leak into published snapshots.
+	recorder func(Op)
 }
+
+// OpKind distinguishes the recorded catalog mutations.
+type OpKind uint8
+
+const (
+	// OpInsert records a row appended to a relation.
+	OpInsert OpKind = iota
+	// OpReplace records a row replaced in place.
+	OpReplace
+)
+
+// Op is one recorded catalog mutation: the exact, replayable effect of
+// a successful Insert or ReplaceRow. Replaying a sequence of Ops
+// against a clone of the pre-state database reproduces the post-state
+// byte for byte, which is the contract the write-ahead log depends on.
+type Op struct {
+	Kind  OpKind
+	Table string
+	// Index is the replaced row's position (OpReplace only).
+	Index int
+	Row   Row
+}
+
+// SetRecorder installs fn to observe every subsequent successful
+// mutation (nil uninstalls). The recorder sees each op after it has
+// been applied, in application order.
+func (db *Database) SetRecorder(fn func(Op)) { db.recorder = fn }
+
+// NextNullMark returns the mark the next FreshNull call would mint.
+// Together with the recorded ops this makes a mutation fully
+// replayable: apply the ops, then SetNextNullMark to the captured
+// post-state value.
+func (db *Database) NextNullMark() int64 { return db.nextNull }
 
 // NewDatabase returns an empty database over the given schema, with an
 // empty table pre-created for every relation.
@@ -312,6 +352,9 @@ func (db *Database) Insert(name string, r Row) error {
 	}
 	db.nonNullViolations += viol
 	db.tables[strings.ToLower(name)].Append(r)
+	if db.recorder != nil {
+		db.recorder(Op{Kind: OpInsert, Table: strings.ToLower(name), Row: r})
+	}
 	return nil
 }
 
@@ -342,6 +385,9 @@ func (db *Database) ReplaceRow(name string, i int, r Row) error {
 	}
 	db.nonNullViolations += newViol - oldViol
 	t.SetRow(i, r)
+	if db.recorder != nil {
+		db.recorder(Op{Kind: OpReplace, Table: strings.ToLower(name), Index: i, Row: r})
+	}
 	return nil
 }
 

@@ -1,0 +1,141 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The durability rule: durawrite. The persistent store's crash safety
+// hangs on a protocol the compiler cannot see — a rename only publishes
+// what an fsync made durable, and a Close/Sync error is the only moment
+// the OS reports a lost write. The chaos suite exercises the seams it
+// reaches; this rule covers every function in internal/persist,
+// including paths no seed ever crashes through.
+
+func init() {
+	Register(Rule{
+		Name: "durawrite",
+		Doc:  "internal/persist: os.Rename publishes need a preceding reachable fsync; (*os.File).Close/Sync errors must be checked",
+		Run:  runDuraWrite,
+	})
+}
+
+// persistPkg is the durability layer's import-path suffix.
+const persistPkg = "internal/persist"
+
+// isOsFileMethod reports whether fn is (*os.File).name.
+func isOsFileMethod(fn *types.Func, name string) bool {
+	return isMethodOn(fn, "os", "File", name)
+}
+
+// isOsRename reports whether fn is the package function os.Rename.
+func isOsRename(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Rename" || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return PathHasSuffix(fn.Pkg(), "os")
+}
+
+// runDuraWrite enforces the write-temp → fsync → rename publish
+// protocol and the error discipline around it, inside internal/persist
+// only (the rest of the repo does not publish durable state).
+func runDuraWrite(p *Pass) {
+	if !PathHasSuffix(p.Pkg.Types, persistPkg) {
+		return
+	}
+	info := p.Pkg.Info
+	// Functions from which an (*os.File).Sync is reachable through any
+	// same-package call chain — the "reachable fsync" a rename may rely
+	// on when the sync lives in a helper.
+	syncers := p.graph().reaches(info, func(call *ast.CallExpr) bool {
+		return isOsFileMethod(calleeOf(info, call), "Sync")
+	})
+	p.funcDecls(func(fd *ast.FuncDecl, fn *types.Func) {
+		p.checkRenamePublishes(fd, fn, syncers)
+		p.checkDiscardedFileErrors(fd, fn)
+	})
+}
+
+// checkRenamePublishes flags os.Rename calls with no fsync before them:
+// neither a direct (*os.File).Sync nor a call into a same-package
+// helper that reaches one, positioned earlier in the function. A rename
+// is the atomic publish point — renaming bytes the kernel may still be
+// buffering publishes a file that a crash can truncate or zero.
+func (p *Pass) checkRenamePublishes(fd *ast.FuncDecl, fn *types.Func, syncers map[*types.Func]bool) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rename, ok := n.(*ast.CallExpr)
+		if !ok || !isOsRename(calleeOf(info, rename)) {
+			return true
+		}
+		preceded := false
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || call.Pos() >= rename.Pos() {
+				return !preceded
+			}
+			callee := calleeOf(info, call)
+			if isOsFileMethod(callee, "Sync") {
+				preceded = true
+			} else if callee != nil && callee.Pkg() == p.Pkg.Types && syncers[callee] {
+				preceded = true
+			}
+			return !preceded
+		})
+		if !preceded {
+			p.report(rename.Pos(), fd,
+				"os.Rename in %s publishes without a reachable fsync before it: the renamed bytes may still be in the page cache, so a crash publishes garbage — Sync the file (or call a same-package helper that does) before renaming",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// checkDiscardedFileErrors flags (*os.File).Close and Sync calls whose
+// error is thrown away: a bare call statement, a defer/go, or a blank
+// assignment. Close and Sync are where the OS reports writeback
+// failure; discarding them turns a lost write into silent corruption.
+// Deliberate discards (abort paths closing crash debris, read-only
+// handles) carry a documented // vetcert:ignore durawrite: suppression.
+func (p *Pass) checkDiscardedFileErrors(fd *ast.FuncDecl, fn *types.Func) {
+	info := p.Pkg.Info
+	discarded := func(call *ast.CallExpr, how string) {
+		callee := calleeOf(info, call)
+		if !isOsFileMethod(callee, "Close") && !isOsFileMethod(callee, "Sync") {
+			return
+		}
+		p.report(call.Pos(), fd,
+			"(*os.File).%s error discarded (%s) in %s: this is where the OS reports a lost write — check it, or document the pin with // vetcert:ignore durawrite: <why>",
+			callee.Name(), how, fn.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				discarded(call, "bare call")
+			}
+		case *ast.DeferStmt:
+			discarded(st.Call, "defer")
+		case *ast.GoStmt:
+			discarded(st.Call, "go statement")
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, l := range st.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+			}
+			discarded(call, "assigned to blank")
+		}
+		return true
+	})
+}

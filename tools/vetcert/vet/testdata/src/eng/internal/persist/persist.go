@@ -1,0 +1,107 @@
+// Package persist is the durawrite corpus: the corpus double of the
+// durability layer, exercising the rename-needs-fsync protocol and the
+// Close/Sync error discipline. The package path ends in
+// internal/persist, so the rule binds here exactly as it does to the
+// real store.
+package persist
+
+import "os"
+
+// publishUnsynced: positive — the rename publishes bytes the kernel
+// may still be buffering.
+func publishUnsynced(dir string) error {
+	f, err := os.Create(dir + "/m.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("manifest")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/m.tmp", dir+"/m") // want "os.Rename in publishUnsynced publishes without a reachable fsync"
+}
+
+// publishSynced: negative — the canonical write-temp → fsync → rename.
+func publishSynced(dir string) error {
+	f, err := os.Create(dir + "/m.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("manifest")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/m.tmp", dir+"/m")
+}
+
+// flushTemp is the helper publishViaHelper delegates its fsync to.
+func flushTemp(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// publishViaHelper: negative — the fsync is reachable through a
+// same-package helper called before the rename.
+func publishViaHelper(dir string) error {
+	f, err := os.Create(dir + "/m.tmp")
+	if err != nil {
+		return err
+	}
+	if err := flushTemp(f); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/m.tmp", dir+"/m")
+}
+
+// syncAfterPublish: positive — a sync after the rename protects
+// nothing; the unsynced bytes were already published.
+func syncAfterPublish(dir string, f *os.File) error {
+	if err := os.Rename(dir+"/m.tmp", dir+"/m"); err != nil { // want "os.Rename in syncAfterPublish publishes without a reachable fsync"
+		return err
+	}
+	return f.Sync()
+}
+
+// sloppyClose: positive — all four discard shapes.
+func sloppyClose(f *os.File) {
+	f.Close()       // want "Close error discarded .bare call. in sloppyClose"
+	_ = f.Sync()    // want "Sync error discarded .assigned to blank. in sloppyClose"
+	defer f.Close() // want "Close error discarded .defer. in sloppyClose"
+	go f.Sync()     // want "Sync error discarded .go statement. in sloppyClose"
+}
+
+// carefulClose: negative — every error is looked at.
+func carefulClose(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// abortClose: negative — a documented pin on the abort path.
+func abortClose(f *os.File) {
+	// vetcert:ignore durawrite: corpus pin — abort path, the temp file is crash debris
+	f.Close()
+}
+
+// flusher is a non-os type whose methods shadow the names; the rule
+// must type-match, not string-match.
+type flusher struct{}
+
+func (flusher) Close() error { return nil }
+func (flusher) Sync() error  { return nil }
+
+// localClose: negative — Close/Sync on a non-os.File receiver.
+func localClose(fl flusher) {
+	fl.Close()
+	_ = fl.Sync()
+}
