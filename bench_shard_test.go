@@ -1,0 +1,154 @@
+package certsql_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"certsql"
+	"certsql/internal/tpch"
+)
+
+// The shard speedup matrix runs the certain-answer translations Q⁺1–Q⁺4
+// raw (Options.NoOrSplit, the paper-faithful Section 7 shape, under the
+// naive planner) at Shards 4 against the unsharded executor. Raw plans
+// are the ones whose `A = B OR B IS NULL` unification edges defeat
+// hash-key extraction, so the engine pays quadratic scans — exactly the
+// work the shard layer's keyed wild-bucket co-partition prunes ~k×.
+// That reduction is algorithmic, not concurrent: the ratios below hold
+// at Parallelism 1 on a single core, where pure data parallelism buys
+// nothing. Q⁺1 and Q⁺3 are the control group: their raw plans still
+// extract hash keys (their disjunctions ride on top of a pure equality
+// conjunct), nothing is quadratic, and sharding is honest overhead —
+// the matrix reports that too.
+type shardVariant struct {
+	query     string
+	db        *certsql.DB
+	text      string
+	param     certsql.Params
+	sharded   certsql.Options
+	unsharded certsql.Options
+}
+
+// shardStressDB is the instance Q⁺2 is measured on: scale factor 0.02
+// with 5% nulls confined to part — a relation Q⁺2 never reads. On the
+// planner-benchmark instance Q⁺2's unification antijoin collapses to a
+// constant-time short-circuit (any null o_custkey certainly-matches
+// every customer, so the first null row ends every probe), leaving
+// nothing to measure; confining the nulls keeps the antijoin the
+// quadratic orders scan the co-partition targets, at a scale where it
+// dominates the query.
+var shardStressDB = sync.OnceValues(func() (*certsql.DB, tpch.Sizes) {
+	cfg := tpch.Config{ScaleFactor: 0.02, Seed: 42}
+	inner := tpch.Generate(cfg)
+	tpch.InjectNullsInto(inner, 0.05, rand.New(rand.NewSource(42)), "part")
+	return certsql.FromInternal(inner), cfg.Sizes()
+})
+
+// shardVariants yields the raw certain-mode appendix queries with
+// seeded parameter bindings: Q⁺2 on the shard-stress instance, the
+// rest on the planner-benchmark instance (sf 0.004, 5% nulls in orders
+// and customer), whose raw Q⁺4 join block is the quadratic
+// unification product the co-partition prunes.
+func shardVariants(t testing.TB) []shardVariant {
+	planDB, planSizes := benchPlanDB()
+	stressDB, stressSizes := shardStressDB()
+	rng := rand.New(rand.NewSource(7))
+	var out []shardVariant
+	for _, q := range tpch.AllQueries {
+		db, sizes := planDB, planSizes
+		if q == tpch.Q2 {
+			db, sizes = stressDB, stressSizes
+		}
+		params := q.Params(rng, sizes)
+		text, err := certsql.WithMode(q.SQL(), "certain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, shardVariant{
+			query: q.String(), db: db, text: text, param: params,
+			sharded:   certsql.Options{Parallelism: 1, NaivePlanner: true, NoOrSplit: true, Shards: 4},
+			unsharded: certsql.Options{Parallelism: 1, NaivePlanner: true, NoOrSplit: true},
+		})
+	}
+	return out
+}
+
+// BenchmarkShardSpeedup times the raw certain-answer translations
+// Q⁺1–Q⁺4 at Shards 4 against the unsharded executor, on prepared
+// statements so the measurement is execution, not planning or
+// translation. EXPERIMENTS.md records the measured ratios. Run with:
+//
+//	make bench-shard
+func BenchmarkShardSpeedup(b *testing.B) {
+	for _, v := range shardVariants(b) {
+		for _, side := range []struct {
+			name string
+			opts certsql.Options
+		}{{"shards=4", v.sharded}, {"shards=1", v.unsharded}} {
+			b.Run(fmt.Sprintf("%s/%s", v.query, side.name), func(b *testing.B) {
+				stmt, err := v.db.Prepare(v.text)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := stmt.ExecuteWithOptions(v.param, side.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Stats.CostUnits), "cost-units")
+				}
+			})
+		}
+	}
+}
+
+// TestShardSpeedup is the acceptance check behind the benchmark: on at
+// least two of the four appendix queries, Shards 4 must run the raw
+// certain-answer translation at least 1.5× faster than the unsharded
+// executor (best-of-three wall times on prepared statements), while
+// returning byte-identical result tables everywhere — the
+// shard-ablation invariant measured rather than fuzzed.
+func TestShardSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	best := func(v shardVariant, opts certsql.Options) (time.Duration, string) {
+		stmt, err := v.db.Prepare(v.text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, result := time.Duration(0), ""
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res, err := stmt.ExecuteWithOptions(v.param, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", v.query, err)
+			}
+			if d := time.Since(start); min == 0 || d < min {
+				min = d
+			}
+			result = res.Table().String()
+		}
+		return min, result
+	}
+	fast := 0
+	for _, v := range shardVariants(t) {
+		sharded, shardedTable := best(v, v.sharded)
+		unsharded, unshardedTable := best(v, v.unsharded)
+		if shardedTable != unshardedTable {
+			t.Errorf("%s: sharding changes result bytes", v.query)
+		}
+		ratio := float64(unsharded) / float64(sharded)
+		t.Logf("%s: shards=1 %v / shards=4 %v = %.2fx", v.query, unsharded, sharded, ratio)
+		if ratio >= 1.5 {
+			fast++
+		}
+	}
+	if fast < 2 {
+		t.Errorf("sharding reached a 1.5x speedup on only %d of 4 appendix queries, want >= 2", fast)
+	}
+}

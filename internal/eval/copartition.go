@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"certsql/internal/algebra"
+	"certsql/internal/guard"
+	"certsql/internal/shard"
+	"certsql/internal/table"
+)
+
+// Keyed co-partitioning of unification edges (DESIGN.md §16). A
+// unification edge is a join conjunct of the shape
+//
+//	a = b  OR  a IS NULL  OR  b IS NULL     (any subset of the null tests)
+//
+// — the certain-answer translation's signature pattern, and per Section
+// 7 of the paper exactly the shape that forces real optimizers into
+// nested loops: the disjunction defeats hash-key extraction, so the
+// unsharded engine faithfully pays the quadratic scan. The shard
+// subsystem prunes it: the build side is co-partitioned on b into the
+// shard count's keyed wild-buckets (shard.BuildKeyed), and a probe row
+// with a non-null key verifies only its own bucket plus the wild rows.
+// The full condition is still evaluated per surviving candidate, so the
+// bucket filter is a pure superset — wrong answers are impossible, and
+// the shard-ablation difftest holds the output bytes identical to the
+// unsharded run. What Shards: k buys is algorithmic, not concurrent:
+// ~k× fewer condition evaluations, a ratio that holds on a single core.
+
+// unifyEdgeOf reports whether the NNF conjunct c is a unification edge,
+// returning the two column positions. A bare column equality also
+// qualifies (it arises in nested-loop plans when hash joins are
+// disabled); otherwise c must be a disjunction of exactly one column
+// equality and non-negated null tests on those same two columns.
+func unifyEdgeOf(c algebra.Cond) (a, b int, ok bool) {
+	colEq := func(c algebra.Cond) (int, int, bool) {
+		cmp, isCmp := c.(algebra.Cmp)
+		if !isCmp || cmp.Op != algebra.EQ {
+			return 0, 0, false
+		}
+		l, lok := cmp.L.(algebra.Col)
+		r, rok := cmp.R.(algebra.Col)
+		if !lok || !rok || l.Idx == r.Idx {
+			return 0, 0, false
+		}
+		return l.Idx, r.Idx, true
+	}
+	if a, b, ok = colEq(c); ok {
+		return a, b, true
+	}
+	or, isOr := c.(algebra.Or)
+	if !isOr {
+		return 0, 0, false
+	}
+	found := false
+	var tests []int
+	for _, d := range or.Conds {
+		if x, y, isEq := colEq(d); isEq {
+			if found {
+				return 0, 0, false // two equalities: not a single edge
+			}
+			a, b, found = x, y, true
+			continue
+		}
+		nt, isNull := d.(algebra.NullTest)
+		if !isNull || nt.Negated {
+			return 0, 0, false
+		}
+		col, isCol := nt.Operand.(algebra.Col)
+		if !isCol {
+			return 0, 0, false
+		}
+		tests = append(tests, col.Idx)
+	}
+	if !found {
+		return 0, 0, false
+	}
+	for _, idx := range tests {
+		if idx != a && idx != b {
+			return 0, 0, false
+		}
+	}
+	return a, b, true
+}
+
+// spanningUnifyEdge finds the first conjunct of cond that is a
+// unification edge spanning the probe/build split at nL, returned as
+// (probe column, build column local to the build side).
+func spanningUnifyEdge(cond algebra.Cond, nL int) (lCol, rCol int, ok bool) {
+	for _, c := range algebra.Conjuncts(cond) {
+		a, b, isEdge := unifyEdgeOf(c)
+		if !isEdge {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if a < nL && b >= nL {
+			return a, b - nL, true
+		}
+	}
+	return 0, 0, false
+}
+
+// unifyProduct joins l and r on a unification edge without
+// materializing the Cartesian product: r is co-partitioned on rCol into
+// the shard count's keyed wild-buckets and each l row is verified —
+// full cond evaluation, exactly filterTable's — only against its key's
+// bucket plus the wild rows, in ascending r order. The output rows are
+// therefore the product-then-filter rows, in the same order, with ~k×
+// fewer condition evaluations and no intermediate |L|·|R| allocation.
+// cond is the edge conjunct remapped to the concatenated row, resolved
+// by the caller. Only reached when Options.Shards > 1; the unsharded
+// engine keeps the paper-faithful product + residual filter.
+func (ev *Evaluator) unifyProduct(l, r *table.Table, lCol, rCol int, cond algebra.Cond) (*table.Table, error) {
+	k := ev.opts.shardCount()
+	b := shard.BuildKeyed(r.Rows(), rCol, k)
+	// Built once, borrowed read-only by every probe partition: charged
+	// once here, at the owner.
+	n := b.EstimatedBytes()
+	if err := ev.gov.ChargeMem("unify-product", n); err != nil {
+		return nil, err
+	}
+	defer ev.gov.ReleaseMem(n)
+
+	arity := l.Arity() + r.Arity()
+	lRows, rRows := l.Rows(), r.Rows()
+	chunks := make([][]table.Row, ev.opts.workers())
+	maxRows := int64(ev.gov.MaxRows())
+	var outRows atomic.Int64
+	err := ev.runChunks(l.Len(), "unify-product", func(c *chunk) error {
+		var out []table.Row
+		row := make(table.Row, arity)
+		for i := c.lo; i < c.hi; i++ {
+			if c.stopped() {
+				return nil
+			}
+			lr := lRows[i]
+			copy(row, lr)
+			emit := func(ri int) (bool, error) {
+				c.st.costUnits++
+				copy(row[len(lr):], rRows[ri])
+				v, err := ev.evalCond(cond, row)
+				if err != nil {
+					return false, err
+				}
+				if !v.IsTrue() {
+					return true, nil
+				}
+				nr := make(table.Row, arity)
+				copy(nr, row)
+				out = append(out, nr)
+				if outRows.Add(1) > maxRows {
+					return false, &guard.LimitError{Sentinel: guard.ErrRowBudget, Op: "unify-product",
+						Detail: fmt.Sprintf("result exceeds %d rows", maxRows)}
+				}
+				return true, nil
+			}
+			if lr[lCol].IsNull() {
+				// A null probe key can satisfy the edge against any build
+				// row: scan them all, like the unsharded filter.
+				for ri := range rRows {
+					if cont, err := emit(ri); err != nil {
+						return err
+					} else if !cont {
+						break
+					}
+				}
+				continue
+			}
+			var emitErr error
+			b.EachCandidate(lr[lCol], func(ri int) bool {
+				cont, err := emit(ri)
+				if err != nil {
+					emitErr = err
+					return false
+				}
+				return cont
+			})
+			if emitErr != nil {
+				return emitErr
+			}
+		}
+		chunks[c.part] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := concatChunks(ev.gov, arity, chunks)
+	if err != nil {
+		return nil, err
+	}
+	ev.note("unify-product %d × %d co-partitioned on #%d ≈ #%d over %d shards (%d wild rows) -> %d rows",
+		l.Len(), r.Len(), lCol, lCol+rCol, k, len(b.Wild), out.Len())
+	return out, nil
+}

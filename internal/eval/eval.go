@@ -91,6 +91,17 @@ type Options struct {
 	// table and the Stats counters are identical to a sequential run.
 	Parallelism int
 
+	// Shards is the number of in-process engine shards the probe-side
+	// hot loops scatter across: 0 or 1 runs unsharded. Probe rows are
+	// routed to shards by content hash (internal/shard) and the gather
+	// reassembles global input order, so results are byte-identical to
+	// Shards: 1 at any setting — difftest's shard-ablation invariant
+	// pins this. Each shard runs under a child governor whose charges
+	// roll up to this evaluation's governor (guard.Governor.Child).
+	// Orthogonal to Parallelism, which sizes the contiguous-chunk
+	// worker pool used when Shards is not in force.
+	Shards int
+
 	// NoHashJoin disables hash strategies everywhere, forcing nested
 	// loops. Used by ablation benchmarks.
 	NoHashJoin bool
@@ -142,6 +153,9 @@ type Stats struct {
 	ShortCircuits int
 	// CacheHits counts subplan results served from the view cache.
 	CacheHits int
+	// ShardScatters counts operators executed scatter-gather across
+	// engine shards (Options.Shards > 1).
+	ShardScatters int
 	// FastPathHits counts SELECT CERTAIN evaluations that skipped the
 	// Q⁺ translation because the static analyzer proved the plain query
 	// already returns exactly the certain answers. Set by the facade,
@@ -742,8 +756,14 @@ func (ev *Evaluator) evalUnifySemi(e algebra.UnifySemi) (*table.Table, error) {
 		return nil, fmt.Errorf("eval: unification semijoin of arities %d and %d", l.Arity(), r.Arity())
 	}
 	// Charge the projected quadratic cost up front; see evalDivision.
+	// Every mode — sequential, chunked, sharded broadcast, sharded
+	// co-partition — charges this same projection, so budget behaviour
+	// is identical even where co-partitioning saves comparisons.
 	if err := ev.gov.ChargeCost("unify-semijoin", int64(l.Len())*int64(r.Len())); err != nil {
 		return nil, err
+	}
+	if ev.opts.shardCount() > 1 {
+		return ev.scatterUnifySemi(e, l, r)
 	}
 	lRows, rRows := l.Rows(), r.Rows()
 	chunks := make([][]table.Row, ev.opts.workers())

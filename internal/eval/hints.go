@@ -36,6 +36,10 @@ import (
 type PlanHints struct {
 	// Semi maps SemiJoin node keys to their hints.
 	Semi map[string]SemiHint
+
+	// Shard maps UnifySemi node keys to their sharded-execution hints.
+	// Consulted only when Options.Shards > 1.
+	Shard map[string]ShardHint
 }
 
 // SemiHint is the hint for one (anti-)semijoin operator.
@@ -70,6 +74,29 @@ func (ev *Evaluator) semiHint(key func() string) SemiHint {
 		return SemiHint{}
 	}
 	return ev.opts.Hints.Semi[key()]
+}
+
+// ShardHint is the sharded-execution hint for one unification
+// (anti-)semijoin operator; see plan.ShardPlan for how it is derived
+// from the null-rate and distinct-count statistics.
+type ShardHint struct {
+	// CoPartition licenses wild-bucket co-partitioning of the build
+	// side (shard.BuildUnify) instead of broadcasting it to every
+	// shard. The scheme is unconditionally sound — null-containing
+	// build rows go to a bucket every shard scans — so the planner's
+	// statistics gate only whether the per-shard buckets are worth
+	// building: it sets the flag when the build relation is null-free
+	// and spreads across at least as many distinct rows as shards.
+	CoPartition bool
+}
+
+// shardHint returns the hint for a unification-semijoin node, or the
+// zero hint (broadcast).
+func (ev *Evaluator) shardHint(key func() string) ShardHint {
+	if ev.opts.Hints == nil || ev.opts.Hints.Shard == nil {
+		return ShardHint{}
+	}
+	return ev.opts.Hints.Shard[key()]
 }
 
 // numKey is the specialized hash key for single-column numeric

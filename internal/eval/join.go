@@ -7,6 +7,7 @@ import (
 
 	"certsql/internal/algebra"
 	"certsql/internal/guard"
+	"certsql/internal/shard"
 	"certsql/internal/table"
 	"certsql/internal/value"
 )
@@ -217,7 +218,16 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 				ev.note("hash join + %s -> %d rows", leaves[next].Key(), cur.Len())
 			}
 		} else {
-			// No connecting edge: Cartesian step with the smallest leaf.
+			// No connecting hash edge: Cartesian step with the smallest
+			// leaf. Under sharded execution, when a residual unification
+			// edge connects the joined set to that same leaf, the step
+			// runs co-partitioned instead (unifyProduct): the |cur|·|leaf|
+			// product the unsharded engine faithfully materializes shrinks
+			// to each probe's bucket plus the wild rows. The leaf choice
+			// deliberately stays the unsharded one — product-then-filter
+			// and unify-product agree on rows and order only step for
+			// step, so diverging on join order would break the
+			// shard-ablation byte identity.
 			next = -1
 			for i := 0; i < n; i++ {
 				if joined[i] {
@@ -227,10 +237,49 @@ func (ev *Evaluator) planJoinBlock(leaves []algebra.Expr, cond algebra.Cond) (*t
 					next = i
 				}
 			}
-			var err error
-			cur, err = ev.product(cur, filtered[next])
-			if err != nil {
-				return nil, err
+			uniRes := -1
+			var uniCur, uniLeafCol int
+			if ev.opts.shardCount() > 1 {
+				for ri, c := range residuals {
+					if appliedRes[ri] {
+						continue
+					}
+					a, b, ok := unifyEdgeOf(c)
+					if !ok {
+						continue
+					}
+					if pos[a] < 0 { // orient: a already joined, b pending
+						a, b = b, a
+					}
+					if pos[a] < 0 || pos[b] >= 0 || leafOf(b) != next {
+						continue
+					}
+					uniRes, uniCur, uniLeafCol = ri, pos[a], b-offsets[next]
+					break
+				}
+			}
+			if uniRes >= 0 {
+				appliedRes[uniRes] = true
+				curArity := cur.Arity()
+				remapped := algebra.MapCols(residuals[uniRes], func(col int) int {
+					if leafOf(col) == next {
+						return curArity + col - offsets[next]
+					}
+					return pos[col]
+				})
+				resolved, err := ev.resolveScalars(remapped)
+				if err != nil {
+					return nil, err
+				}
+				if cur, err = ev.unifyProduct(cur, filtered[next], uniCur, uniLeafCol, resolved); err != nil {
+					return nil, err
+				}
+			} else {
+				var err error
+				cur, err = ev.product(cur, filtered[next])
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		base := cur.Arity() - leaves[next].Arity()
@@ -372,6 +421,11 @@ type semiPlan struct {
 	lCol    int   // probe column for numIdx/numSet
 	lCols   []int // probe-side key columns (hash strategy only)
 	sqlMode bool
+	// uni is the keyed co-partition of the build side on a nested-loop
+	// plan's unification edge — built only under sharded execution
+	// (copartition.go); uniCol is the probe-side key column.
+	uni    *shard.KeyedBuild
+	uniCol int
 }
 
 // prepSemi evaluates the right side and builds the probe plan:
@@ -553,18 +607,129 @@ func (ev *Evaluator) prepSemi(e algebra.SemiJoin, cond algebra.Cond) (*semiPlan,
 		return p, nil
 	}
 	// Nested loop: the "confused optimizer" path that conditions of the
-	// form (A = B OR B IS NULL) force, per Section 7 of the paper.
+	// form (A = B OR B IS NULL) force, per Section 7 of the paper. Under
+	// sharded execution the very disjunct that defeated hash-key
+	// extraction is a unification edge, and the shard layer prunes the
+	// scan with a keyed wild-bucket co-partition of the build side —
+	// same verdict per probe, ~Shards× fewer comparisons.
+	if k := ev.opts.shardCount(); k > 1 {
+		if lc, rc, ok := spanningUnifyEdge(cond, nL); ok {
+			p.uni = shard.BuildKeyed(r.Rows(), rc, k)
+			p.uniCol = lc
+			ev.note("nested-loop %s co-partitioned on probe #%d ≈ build #%d over %d shards (%d wild rows)",
+				p.name, lc, nL+rc, k, len(p.uni.Wild))
+		}
+	}
 	ev.stats.NestedLoopJoins++
 	ev.note("nested-loop %s vs %d rows", p.name, r.Len())
 	return p, nil
+}
+
+// semiMatch probes one row against the plan. row is the caller-owned
+// scratch buffer for candidate verification (one per worker); c
+// supplies the partition's cost counters. Shared by the chunked probe
+// (probeSemi) and the sharded probe (scatterProbeSemi), so the
+// per-candidate cost accounting stays identical between them.
+func (ev *Evaluator) semiMatch(p *semiPlan, c *chunk, row table.Row, lr table.Row) (bool, error) {
+	match := false
+	switch {
+	case p.numSet != nil || p.strSet != nil:
+		// Slim verify with empty residual: key presence alone
+		// decides the match.
+		c.st.costUnits++
+		if !(p.sqlMode && anyNull(lr, p.lCols)) {
+			if p.numSet != nil {
+				// A probe kind outside the numeric namespace is a
+				// guaranteed miss — its TupleKey tag could not
+				// collide with any numeric build key either.
+				if k, ok := numKeyOf(lr[p.lCol]); ok {
+					_, match = p.numSet[k]
+				}
+			} else {
+				_, match = p.strSet[value.TupleKey(lr, p.lCols)]
+			}
+		}
+	case p.idx != nil || p.numIdx != nil:
+		c.st.costUnits++
+		if !(p.sqlMode && anyNull(lr, p.lCols)) {
+			var bucket []int
+			if p.numIdx != nil {
+				// A probe kind outside the numeric namespace keeps
+				// bucket nil — its TupleKey tag could not collide
+				// with any numeric build key either.
+				if k, ok := numKeyOf(lr[p.lCol]); ok {
+					bucket = p.numIdx[k]
+				}
+			} else {
+				bucket = p.idx[value.TupleKey(lr, p.lCols)]
+			}
+			copy(row, lr)
+			for _, ri := range bucket {
+				c.st.costUnits++
+				copy(row[p.nL:], p.r.Row(ri))
+				v, err := ev.evalCond(p.cond, row)
+				if err != nil {
+					return false, err
+				}
+				if v.IsTrue() {
+					match = true
+					break
+				}
+			}
+		}
+	default:
+		copy(row, lr)
+		if p.uni != nil && !lr[p.uniCol].IsNull() {
+			// Keyed co-partition (sharded execution): only the probe
+			// key's bucket plus the wild rows can satisfy the plan's
+			// unification edge, and the full condition still decides
+			// each candidate — the same verdict the full scan reaches,
+			// ~Shards× fewer evaluations. A null probe key can unify
+			// into any bucket and takes the full scan below.
+			var err error
+			p.uni.EachCandidate(lr[p.uniCol], func(ri int) bool {
+				c.st.costUnits++
+				copy(row[p.nL:], p.r.Row(ri))
+				v, e := ev.evalCond(p.cond, row)
+				if e != nil {
+					err = e
+					return false
+				}
+				if v.IsTrue() {
+					match = true
+					return false
+				}
+				return true
+			})
+			return match, err
+		}
+		for _, rr := range p.r.Rows() {
+			c.st.costUnits++
+			copy(row[p.nL:], rr)
+			v, err := ev.evalCond(p.cond, row)
+			if err != nil {
+				return false, err
+			}
+			if v.IsTrue() {
+				match = true
+				break
+			}
+		}
+	}
+	return match, nil
 }
 
 // probeSemi probes lRows against the plan and returns the qualifying
 // rows in input order. The probe rows are independent, so the scan
 // partitions across workers — the single largest lever on the
 // Figure 4 / Q⁺4 cost — and partition outputs concatenate in order,
-// keeping results deterministic at any Parallelism.
+// keeping results deterministic at any Parallelism. With Shards > 1
+// the partitioning is by content hash instead of contiguous chunks
+// (scatterProbeSemi), with the same result bytes.
 func (ev *Evaluator) probeSemi(p *semiPlan, lRows []table.Row) ([]table.Row, error) {
+	if ev.opts.shardCount() > 1 {
+		return ev.scatterProbeSemi(p, lRows)
+	}
 	chunks := make([][]table.Row, ev.opts.workers())
 	err := ev.runChunks(len(lRows), "semijoin/probe", func(c *chunk) error {
 		if err := c.fault(guard.SiteSemijoinProbe); err != nil {
@@ -577,66 +742,9 @@ func (ev *Evaluator) probeSemi(p *semiPlan, lRows []table.Row) ([]table.Row, err
 				return nil
 			}
 			lr := lRows[i]
-			match := false
-			switch {
-			case p.numSet != nil || p.strSet != nil:
-				// Slim verify with empty residual: key presence alone
-				// decides the match.
-				c.st.costUnits++
-				if !(p.sqlMode && anyNull(lr, p.lCols)) {
-					if p.numSet != nil {
-						// A probe kind outside the numeric namespace is a
-						// guaranteed miss — its TupleKey tag could not
-						// collide with any numeric build key either.
-						if k, ok := numKeyOf(lr[p.lCol]); ok {
-							_, match = p.numSet[k]
-						}
-					} else {
-						_, match = p.strSet[value.TupleKey(lr, p.lCols)]
-					}
-				}
-			case p.idx != nil || p.numIdx != nil:
-				c.st.costUnits++
-				if !(p.sqlMode && anyNull(lr, p.lCols)) {
-					var bucket []int
-					if p.numIdx != nil {
-						// A probe kind outside the numeric namespace keeps
-						// bucket nil — its TupleKey tag could not collide
-						// with any numeric build key either.
-						if k, ok := numKeyOf(lr[p.lCol]); ok {
-							bucket = p.numIdx[k]
-						}
-					} else {
-						bucket = p.idx[value.TupleKey(lr, p.lCols)]
-					}
-					copy(row, lr)
-					for _, ri := range bucket {
-						c.st.costUnits++
-						copy(row[p.nL:], p.r.Row(ri))
-						v, err := ev.evalCond(p.cond, row)
-						if err != nil {
-							return err
-						}
-						if v.IsTrue() {
-							match = true
-							break
-						}
-					}
-				}
-			default:
-				copy(row, lr)
-				for _, rr := range p.r.Rows() {
-					c.st.costUnits++
-					copy(row[p.nL:], rr)
-					v, err := ev.evalCond(p.cond, row)
-					if err != nil {
-						return err
-					}
-					if v.IsTrue() {
-						match = true
-						break
-					}
-				}
+			match, err := ev.semiMatch(p, c, row, lr)
+			if err != nil {
+				return err
 			}
 			if match != p.anti {
 				out = append(out, lr)

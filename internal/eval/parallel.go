@@ -369,6 +369,20 @@ func (ev *Evaluator) filterTable(t *table.Table, cond algebra.Cond) (*table.Tabl
 		return nil, err
 	}
 	rows := t.Rows()
+	if ev.opts.shardCount() > 1 {
+		kept, err := ev.scatterKeep("filter", rows, false, "", func(c *chunk, lr table.Row) (bool, error) {
+			c.st.costUnits++
+			v, err := ev.evalCond(cond, lr)
+			if err != nil {
+				return false, err
+			}
+			return v.IsTrue(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return concatChunks(ev.gov, t.Arity(), [][]table.Row{kept})
+	}
 	chunks := make([][]table.Row, ev.opts.workers())
 	err = ev.runChunks(t.Len(), "filter", func(c *chunk) error {
 		var out []table.Row

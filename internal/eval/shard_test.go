@@ -1,0 +1,132 @@
+package eval_test
+
+import (
+	"fmt"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/eval"
+	"certsql/internal/table"
+	"certsql/internal/tpch"
+	"certsql/internal/value"
+)
+
+// TestShardMatchesUnsharded asserts the scatter-gather determinism
+// contract: for Q1–Q4 and their Q⁺ translations, under both semantics,
+// every Shards setting renders a byte-identical result table to the
+// unsharded run — the executor-level half of difftest's shard-ablation
+// invariant.
+func TestShardMatchesUnsharded(t *testing.T) {
+	db := parallelDB(t)
+	for _, qid := range tpch.AllQueries {
+		for _, sem := range []value.Semantics{value.SQL3VL, value.Naive} {
+			orig, plus, _ := prepareQuery(t, db, qid, sem == value.Naive)
+			for name, expr := range map[string]algebra.Expr{"orig": orig, "plus": plus} {
+				t.Run(fmt.Sprintf("%s/%v/%s", qid, sem, name), func(t *testing.T) {
+					ref := eval.New(db, eval.Options{Semantics: sem, Parallelism: 1})
+					want, err := ref.Eval(expr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					scattered := false
+					for _, k := range []int{2, 3, 8} {
+						ev := eval.New(db, eval.Options{Semantics: sem, Parallelism: 1, Shards: k})
+						got, err := ev.Eval(expr)
+						if err != nil {
+							t.Fatalf("Shards=%d: %v", k, err)
+						}
+						if got.String() != want.String() {
+							t.Errorf("Shards=%d differs from unsharded:\nunsharded: %s\nsharded:   %s",
+								k, want.String(), got.String())
+						}
+						scattered = scattered || ev.Stats().ShardScatters > 0
+					}
+					if !scattered {
+						t.Error("no scatter executed on any shard count; the sharded path was not exercised")
+					}
+				})
+			}
+		}
+	}
+}
+
+// shardUnifyDB builds a database whose s relation is null-free (so a
+// co-partition hint is the decision the planner would make) and whose r
+// probe side mixes null-free and null-containing rows, exercising both
+// the bucket probe and the wild-row full scan.
+func shardUnifyDB(t *testing.T, buildRows int) *table.Database {
+	t.Helper()
+	db := newDB(t)
+	for i := 0; i < buildRows; i++ {
+		ins(t, db, "s", table.Row{value.Int(int64(i)), value.Int(int64(i % 7))})
+	}
+	for i := 0; i < 40; i++ {
+		ins(t, db, "r", table.Row{value.Int(int64(i * 2)), value.Int(int64(i % 7))})
+	}
+	for i := 0; i < 5; i++ {
+		ins(t, db, "r", table.Row{db.FreshNull(), value.Int(int64(i))})
+	}
+	return db
+}
+
+// coPartitionHints builds the PlanHints a co-partition decision on e
+// produces.
+func coPartitionHints(e algebra.UnifySemi) *eval.PlanHints {
+	return &eval.PlanHints{Shard: map[string]eval.ShardHint{e.Key(): {CoPartition: true}}}
+}
+
+// TestShardUnifySemiCoPartition asserts that the wild-bucket
+// co-partitioned unification semijoin agrees byte-for-byte with the
+// broadcast sharded run and with the unsharded run, for the semi and
+// anti variants alike.
+func TestShardUnifySemiCoPartition(t *testing.T) {
+	db := shardUnifyDB(t, 60)
+	for _, anti := range []bool{false, true} {
+		e := algebra.UnifySemi{L: baseR, R: baseS, Anti: anti}
+		want := run(t, db, e, eval.Options{Semantics: value.SQL3VL})
+		for _, k := range []int{2, 3, 8} {
+			broadcast := run(t, db, e, eval.Options{Semantics: value.SQL3VL, Shards: k})
+			if broadcast.String() != want.String() {
+				t.Errorf("anti=%v Shards=%d broadcast differs from unsharded:\nunsharded: %s\nsharded:   %s",
+					anti, k, want.String(), broadcast.String())
+			}
+			co := run(t, db, e, eval.Options{Semantics: value.SQL3VL, Shards: k, Hints: coPartitionHints(e)})
+			if co.String() != want.String() {
+				t.Errorf("anti=%v Shards=%d co-partition differs from unsharded:\nunsharded: %s\nsharded:   %s",
+					anti, k, want.String(), co.String())
+			}
+		}
+	}
+}
+
+// TestShardCoPartitionMemChargeOnce is the regression test for the
+// broadcast/co-partition build-side memory double-charge: the
+// co-partition structure is charged exactly once by the gather
+// coordinator and borrowed — never re-charged — by the shard workers,
+// so the memory high-water mark must not grow with the shard count.
+func TestShardCoPartitionMemChargeOnce(t *testing.T) {
+	db := shardUnifyDB(t, 200)
+	e := algebra.UnifySemi{L: baseR, R: baseS}
+	water := func(k int) int64 {
+		t.Helper()
+		ev := eval.New(db, eval.Options{Semantics: value.SQL3VL, Shards: k, Hints: coPartitionHints(e)})
+		if _, err := ev.Eval(e); err != nil {
+			t.Fatalf("Shards=%d: %v", k, err)
+		}
+		return ev.Stats().MemHighWaterBytes
+	}
+	w2, w8 := water(2), water(8)
+	if w2 != w8 {
+		t.Fatalf("MemHighWater grows with shard count (build side charged per shard?): Shards=2 %d bytes, Shards=8 %d bytes", w2, w8)
+	}
+	// And the charge exists at all: the sharded run must account for the
+	// co-partition structure it builds, above the unsharded high water.
+	ref := eval.New(db, eval.Options{Semantics: value.SQL3VL})
+	if _, err := ref.Eval(e); err != nil {
+		t.Fatal(err)
+	}
+	if w2 <= ref.Stats().MemHighWaterBytes {
+		t.Fatalf("co-partition build structure is not charged: sharded high water %d <= unsharded %d",
+			w2, ref.Stats().MemHighWaterBytes)
+	}
+}

@@ -1,0 +1,89 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestChildChargesRollUp pins the sub-governor contract scatter-gather
+// relies on: charges land on the child's local counters AND the root's,
+// enforcement happens once (at the root), and releases flow back up.
+func TestChildChargesRollUp(t *testing.T) {
+	root := Background(Limits{MaxCostUnits: 100, MaxMemBytes: 1000})
+	c1, c2 := root.Child(), root.Child()
+
+	if err := c1.ChargeCost("shard[0]", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.ChargeCost("shard[1]", 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.CostSpent(); got != 80 {
+		t.Fatalf("root sees %d cost units, want 80 (children roll up)", got)
+	}
+	// The next charge exceeds the shared budget even though each child
+	// is individually under it — enforcement is at the root.
+	err := c1.ChargeCost("shard[0]", 40)
+	if !errors.Is(err, ErrCostBudget) {
+		t.Fatalf("shared budget not enforced across children: %v", err)
+	}
+
+	if err := c1.ChargeMem("shard[0]", 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.ChargeMem("shard[1]", 400); err != nil {
+		t.Fatal(err)
+	}
+	if got := root.MemCharged(); got != 800 {
+		t.Fatalf("root sees %d mem bytes, want 800", got)
+	}
+	// A charge that overruns the shared budget trips at the root; like
+	// the single-governor semantics, the failed charge stays on the
+	// books until the unwinding executor releases it.
+	if err := c2.ChargeMem("shard[1]", 400); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("shared mem budget not enforced across children: %v", err)
+	}
+	c1.ReleaseMem(400)
+	c2.ReleaseMem(800)
+	if got := root.MemCharged(); got != 0 {
+		t.Fatalf("release did not roll up: root still holds %d bytes", got)
+	}
+	if hw := root.MemHighWater(); hw != 1200 {
+		t.Fatalf("high water %d, want 1200", hw)
+	}
+}
+
+// TestChildSharesCancellation pins that a child observes the root's
+// context: Poll trips and Done fires on the same cancellation.
+func TestChildSharesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	root := New(ctx, Limits{})
+	child := root.Child()
+	if err := child.Poll("shard[0]"); err != nil {
+		t.Fatalf("live child should not trip Poll: %v", err)
+	}
+	select {
+	case <-child.Done():
+		t.Fatal("Done fired before cancellation")
+	default:
+	}
+	cancel()
+	<-child.Done() // must fire, or this test hangs
+	if err := child.Poll("shard[0]"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled child Poll: got %v, want ErrCanceled", err)
+	}
+}
+
+// TestDoneNilSafe pins the uncancellable case: Background governors
+// return a nil channel from Done, which blocks forever in a select —
+// the gather loop's "no cancellation" no-op arm.
+func TestDoneNilSafe(t *testing.T) {
+	g := Background(Limits{})
+	if g.Done() != nil {
+		t.Fatal("Background governor should have a nil Done channel")
+	}
+	if g.Child().Done() != nil {
+		t.Fatal("child of an uncancellable governor should inherit the nil Done channel")
+	}
+}

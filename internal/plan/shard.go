@@ -1,0 +1,300 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"certsql/internal/algebra"
+	"certsql/internal/eval"
+	"certsql/internal/stats"
+)
+
+// Sharded-execution planning (DESIGN.md §16). ShardPlan decides, per
+// unification (anti-)semijoin, whether the build side is broadcast to
+// every engine shard or wild-bucket co-partitioned (shard.BuildUnify).
+// The decision is a pure performance choice — both modes are
+// unconditionally sound, and difftest's shard-ablation invariant holds
+// them to byte-identical results — so the planner's only job is to
+// avoid building per-shard buckets that cannot pay for themselves:
+//
+//   - a build side that is not a stored relation has no statistics to
+//     consult, and is broadcast;
+//   - a build relation with nullable content would push its rows into
+//     the wild bucket every shard scans anyway, so co-partitioning is
+//     gated on statistics proving every column null-free — recorded as
+//     PremiseNullFree premises, re-checked against fresh statistics
+//     before each prepared execution exactly like the optimizer's own
+//     premises (a load that introduces nulls flips the plan back to
+//     broadcast, never to a wrong answer);
+//   - a build relation with fewer distinct values than shards would
+//     leave most buckets empty, so co-partitioning also requires the
+//     best per-column distinct-count estimate to reach the shard count.
+
+// ShardHint is re-exported so callers configure sharding without
+// importing the executor.
+type ShardHint = eval.ShardHint
+
+// ShardDecision records one broadcast-vs-co-partition choice, for
+// EXPLAIN output.
+type ShardDecision struct {
+	// Op names the operator ("unify-semijoin" or "unify-antijoin").
+	Op string
+	// Build names the build side: the relation name, or "(subplan)".
+	Build string
+	// CoPartition reports the chosen mode.
+	CoPartition bool
+	// Reason states why, in EXPLAIN-ready prose.
+	Reason string
+}
+
+// ShardResult is the sharded-execution plan for one expression: the
+// per-operator hints, the premises the co-partition choices rely on,
+// and the decisions for EXPLAIN.
+type ShardResult struct {
+	// Hints maps UnifySemi node keys to their hints; nil when the plan
+	// contains no unification semijoins.
+	Hints map[string]ShardHint
+	// Premises are the null-free facts the co-partition hints rely on.
+	// Callers must re-check them (CheckPremises) against current
+	// statistics before reusing the hints and fall back to broadcast —
+	// dropping the hints — when any fails.
+	Premises []Premise
+	// Decisions lists every choice in plan-tree order.
+	Decisions []ShardDecision
+}
+
+// ShardPlan walks e and derives the shard-execution hints for running
+// it across the given shard count. st may be nil (no statistics), in
+// which case every build side is broadcast. shards < 2 yields nil: an
+// unsharded run has no decisions to make.
+func ShardPlan(e algebra.Expr, st *stats.DBStats, shards int) *ShardResult {
+	if shards < 2 {
+		return nil
+	}
+	r := &ShardResult{}
+	seen := map[string]bool{}
+	walkExprs(e, func(sub algebra.Expr) {
+		us, ok := sub.(algebra.UnifySemi)
+		if !ok {
+			return
+		}
+		key := us.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		d := r.decide(us, st, shards)
+		r.Decisions = append(r.Decisions, d)
+		if d.CoPartition {
+			if r.Hints == nil {
+				r.Hints = map[string]ShardHint{}
+			}
+			r.Hints[key] = ShardHint{CoPartition: true}
+		}
+	})
+	return r
+}
+
+// decide makes the broadcast-vs-co-partition call for one operator,
+// recording the premises a co-partition choice depends on. The build
+// side need not be a bare stored relation: any subplan whose output
+// nulls are bounded by its input relations' (selections, projections,
+// products, set operations — the shapes the certain translation
+// produces) co-partitions when statistics prove every contributing
+// relation null-free. A wrong guess would still be sound — surprise
+// nulls land in the wild bucket at execution — but the premises keep
+// the prediction honest: a load that introduces nulls fails the
+// re-check and drops the plan back to broadcast.
+func (r *ShardResult) decide(us algebra.UnifySemi, st *stats.DBStats, shards int) ShardDecision {
+	d := ShardDecision{Op: "unify-semijoin", Build: "(subplan)"}
+	if us.Anti {
+		d.Op = "unify-antijoin"
+	}
+	bases, opaque := buildBases(us.R)
+	if opaque != "" {
+		d.Reason = fmt.Sprintf("broadcast: build side contains %s, whose output nulls no base statistic bounds", opaque)
+		return d
+	}
+	if len(bases) == 0 {
+		d.Reason = "broadcast: build side reads no stored relation"
+		return d
+	}
+	d.Build = strings.Join(bases, "+")
+	var maxDistinct int64
+	var premises []Premise
+	for _, name := range bases {
+		ts := st.Table(name)
+		if ts == nil {
+			d.Reason = "broadcast: no statistics for " + name
+			return d
+		}
+		for col := range ts.Cols {
+			if !ts.NullFree(col) {
+				d.Reason = fmt.Sprintf("broadcast: %s.%d has nulls (rate %.2f), rows would fall in the wild bucket",
+					name, col, ts.NullRate(col))
+				return d
+			}
+			if n := ts.Cols[col].Distinct; n > maxDistinct {
+				maxDistinct = n
+			}
+			premises = append(premises, Premise{Kind: PremiseNullFree, Table: name, Col: col})
+		}
+	}
+	if maxDistinct < int64(shards) {
+		d.Reason = fmt.Sprintf("broadcast: ~%d distinct values < %d shards, buckets would sit empty",
+			maxDistinct, shards)
+		return d
+	}
+	r.Premises = append(r.Premises, premises...)
+	d.CoPartition = true
+	d.Reason = fmt.Sprintf("co-partition: null-free build side, ~%d distinct values across %d shards",
+		maxDistinct, shards)
+	return d
+}
+
+// buildBases collects the stored relations feeding a build side, in
+// first-visit order, walking only through operators whose output nulls
+// are bounded by their inputs' (a selection, projection, product, set
+// operation, semijoin, distinct, sort, limit or division can reorder,
+// drop or concatenate values but never mint a null). The first operator
+// outside that set — an aggregate, which emits NULL over an empty
+// group, or an adom power, which draws nulls from the whole database —
+// is returned as opaque, and the build is broadcast: co-partitioning
+// would still be sound, but the statistics cannot price it.
+func buildBases(e algebra.Expr) (bases []string, opaque string) {
+	seen := map[string]bool{}
+	var walk func(e algebra.Expr)
+	walk = func(e algebra.Expr) {
+		if opaque != "" {
+			return
+		}
+		switch e := e.(type) { // astlint:partial — anything unlisted is opaque by default
+		case algebra.Base:
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				bases = append(bases, e.Name)
+			}
+		case algebra.Select:
+			walk(e.Child) // the condition only filters; subquery scalars never land in the output row
+		case algebra.Project:
+			walk(e.Child)
+		case algebra.Product:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Union:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Intersect:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Diff:
+			walk(e.L)
+			walk(e.R)
+		case algebra.SemiJoin:
+			walk(e.L) // output rows are rows of L; R only filters
+		case algebra.UnifySemi:
+			walk(e.L)
+		case algebra.Distinct:
+			walk(e.Child)
+		case algebra.Sort:
+			walk(e.Child)
+		case algebra.Limit:
+			walk(e.Child)
+		case algebra.Division:
+			walk(e.L) // output tuples are prefixes of L's
+		default:
+			opaque = strings.TrimPrefix(fmt.Sprintf("%T", e), "algebra.")
+		}
+	}
+	walk(e)
+	return bases, opaque
+}
+
+// Render returns the EXPLAIN section for the sharded plan, one
+// decision per line; empty when there were no decisions.
+func (r *ShardResult) Render(shards int) string {
+	if r == nil || len(r.Decisions) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard plan (%d shards)\n", shards)
+	for _, d := range r.Decisions {
+		fmt.Fprintf(&b, "  %s build %s: %s\n", d.Op, d.Build, d.Reason)
+	}
+	return b.String()
+}
+
+// walkExprs visits every expression node of e in tree order, including
+// scalar-subquery bodies inside conditions.
+func walkExprs(e algebra.Expr, visit func(algebra.Expr)) {
+	var walk func(e algebra.Expr)
+	var walkCond func(c algebra.Cond)
+	walkOperand := func(o algebra.Operand) {
+		if s, ok := o.(algebra.Scalar); ok {
+			walk(s.Sub)
+		}
+	}
+	walkCond = func(c algebra.Cond) {
+		switch c := c.(type) { // astlint:partial — only scalar carriers matter
+		case algebra.Cmp:
+			walkOperand(c.L)
+			walkOperand(c.R)
+		case algebra.Like:
+			walkOperand(c.Operand)
+			walkOperand(c.Pattern)
+		case algebra.NullTest:
+			walkOperand(c.Operand)
+		case algebra.And:
+			for _, sub := range c.Conds {
+				walkCond(sub)
+			}
+		case algebra.Or:
+			for _, sub := range c.Conds {
+				walkCond(sub)
+			}
+		case algebra.Not:
+			walkCond(c.C)
+		}
+	}
+	walk = func(e algebra.Expr) {
+		visit(e)
+		switch e := e.(type) { // astlint:partial — leaves have no children
+		case algebra.Select:
+			walkCond(e.Cond)
+			walk(e.Child)
+		case algebra.Project:
+			walk(e.Child)
+		case algebra.Product:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Union:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Intersect:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Diff:
+			walk(e.L)
+			walk(e.R)
+		case algebra.SemiJoin:
+			walkCond(e.Cond)
+			walk(e.L)
+			walk(e.R)
+		case algebra.UnifySemi:
+			walk(e.L)
+			walk(e.R)
+		case algebra.Distinct:
+			walk(e.Child)
+		case algebra.Division:
+			walk(e.L)
+			walk(e.R)
+		case algebra.GroupBy:
+			walk(e.Child)
+		case algebra.Sort:
+			walk(e.Child)
+		case algebra.Limit:
+			walk(e.Child)
+		}
+	}
+	walk(e)
+}

@@ -1,0 +1,108 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"certsql/internal/algebra"
+	"certsql/internal/plan"
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// shardExpr is a unification semijoin whose build side is the given
+// relation, probing r.
+func shardExpr(build string, cols int) algebra.UnifySemi {
+	return algebra.UnifySemi{
+		L: algebra.Base{Name: "r", Cols: 2},
+		R: algebra.Base{Name: build, Cols: cols},
+	}
+}
+
+// TestShardPlanDecisions walks the broadcast-vs-co-partition decision
+// table: null-free build sides with enough distinct values co-partition
+// (recording null-free premises), everything else broadcasts with a
+// stated reason.
+func TestShardPlanDecisions(t *testing.T) {
+	db := planDB(t) // r: 8 rows, null-free in the data; s: holds a null
+	st := collect(db)
+
+	// r is null-free with 8 distinct values: co-partition at 2 shards.
+	sr := plan.ShardPlan(shardExpr("r", 2), st, 2)
+	if sr == nil || len(sr.Decisions) != 1 {
+		t.Fatalf("expected one decision, got %+v", sr)
+	}
+	d := sr.Decisions[0]
+	if !d.CoPartition {
+		t.Fatalf("null-free build side should co-partition: %+v", d)
+	}
+	if len(sr.Premises) == 0 {
+		t.Fatal("co-partition decision recorded no premises")
+	}
+	for _, p := range sr.Premises {
+		if p.Kind != plan.PremiseNullFree || p.Table != "r" {
+			t.Fatalf("unexpected premise %+v", p)
+		}
+	}
+	if sr.Hints[shardExpr("r", 2).Key()] != (plan.ShardHint{CoPartition: true}) {
+		t.Fatalf("hint missing for the co-partitioned operator: %+v", sr.Hints)
+	}
+
+	// s holds a null: broadcast, with the wild-bucket reason.
+	sr = plan.ShardPlan(shardExpr("s", 1), st, 2)
+	if d := sr.Decisions[0]; d.CoPartition || !strings.Contains(d.Reason, "wild bucket") {
+		t.Fatalf("nullable build side should broadcast with the wild-bucket reason: %+v", d)
+	}
+	if sr.Hints != nil {
+		t.Fatalf("broadcast decisions must produce no hints: %+v", sr.Hints)
+	}
+
+	// More shards than distinct values: broadcast.
+	sr = plan.ShardPlan(shardExpr("r", 2), st, 64)
+	if d := sr.Decisions[0]; d.CoPartition || !strings.Contains(d.Reason, "distinct") {
+		t.Fatalf("sparse build side should broadcast with the distinct-count reason: %+v", d)
+	}
+
+	// No statistics at all: broadcast.
+	sr = plan.ShardPlan(shardExpr("r", 2), nil, 2)
+	if d := sr.Decisions[0]; d.CoPartition {
+		t.Fatalf("missing statistics should broadcast: %+v", d)
+	}
+
+	// Unsharded: no plan at all.
+	if plan.ShardPlan(shardExpr("r", 2), st, 1) != nil {
+		t.Fatal("shards < 2 should yield a nil plan")
+	}
+
+	// Render surfaces every decision for EXPLAIN.
+	sr = plan.ShardPlan(shardExpr("r", 2), st, 4)
+	out := sr.Render(4)
+	if !strings.Contains(out, "shard plan (4 shards)") || !strings.Contains(out, "unify-semijoin build r") {
+		t.Fatalf("Render missing the decision line:\n%s", out)
+	}
+}
+
+// TestShardPlanPremiseFallback exercises the staleness seam: a shard
+// plan decided against old statistics must be droppable by re-checking
+// its premises against fresh statistics after a load introduced nulls —
+// the prepared path's broadcast fallback.
+func TestShardPlanPremiseFallback(t *testing.T) {
+	db := planDB(t)
+	stale := collect(db)
+	e := shardExpr("r", 2)
+	sr := plan.ShardPlan(e, stale, 2)
+	if sr == nil || sr.Hints == nil {
+		t.Fatalf("expected a co-partition plan against the stale statistics: %+v", sr)
+	}
+	if !plan.CheckPremises(sr.Premises, stale) {
+		t.Fatal("premises must hold against the statistics that produced them")
+	}
+	// A load introduces a null into r.a.
+	if err := db.Insert("r", table.Row{db.FreshNull(), value.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := collect(db)
+	if plan.CheckPremises(sr.Premises, fresh) {
+		t.Fatal("null-free premises must fail after a load introduced a null")
+	}
+}

@@ -1,0 +1,293 @@
+// Package shard partitions relations and probe streams across N
+// in-process engine shards for scatter-gather execution (DESIGN.md
+// §16). It supplies the three primitives the sharded executor and the
+// serving layer build on:
+//
+//   - HashRow / Partition: deterministic content hashing of rows and
+//     hash-partitioning of a probe stream's row indices, the routing a
+//     cross-process deployment would perform on the wire;
+//   - BuildUnify: the wild-bucket co-partitioning of a unification
+//     semijoin's build side — null-free build rows are bucketed by
+//     full-row hash, rows containing a marked null go to a "wild"
+//     bucket every shard scans, because a null unifies with anything
+//     (paper Section 7). The scheme is unconditionally sound: the
+//     planner's statistics only gate whether co-partitioning is
+//     worth it, never whether it is correct;
+//   - PartitionedStore: a snapshot-store wrapper satisfying the
+//     server.Catalog seam that reports per-shard partition row counts
+//     for /metrics, cached by table content generation.
+//
+// Determinism is the package's contract: every function here is a pure
+// function of row content and the shard count, so a sharded execution
+// can be replayed — and byte-compared against Shards: 1 — from a seed
+// alone.
+package shard
+
+import (
+	"sync"
+
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+// HashRow returns a deterministic 64-bit FNV-1a hash of a row's
+// canonical key. Values that compare equal render identical keys
+// (value.RowKey's property test pins this), so equal rows always land
+// in the same partition — the fact the wild-bucket soundness argument
+// leans on. The fold never materializes the key: the router hashes
+// every probe row of every scattered operator, and value.FoldKey's
+// property test pins the result to FNV-1a over value.RowKey's bytes.
+func HashRow(row table.Row) uint64 {
+	h := value.KeySeed
+	for _, v := range row {
+		h = value.FoldKey(h, v)
+	}
+	return h
+}
+
+// HashValue hashes a single attribute the same way HashRow hashes a
+// row: values that compare equal (including int/float numeric
+// cross-kind equality, and naive-mode nulls by mark) hash identically.
+func HashValue(v value.Value) uint64 {
+	return value.FoldKey(value.KeySeed, v)
+}
+
+// Partition splits the row indices 0..len(rows)-1 across k shards by
+// content hash. Contiguous chunking would be cheaper, but hash routing
+// is what a distributed deployment performs, and exercising it here is
+// the point: the gather side must reassemble global input order from
+// arbitrary interleavings, not from convenient contiguous ranges.
+func Partition(rows []table.Row, k int) [][]int {
+	parts := make([][]int, k)
+	if k <= 0 {
+		return parts
+	}
+	for i, r := range rows {
+		s := int(HashRow(r) % uint64(k))
+		parts[s] = append(parts[s], i)
+	}
+	return parts
+}
+
+// RowHasNull reports whether any attribute of the row is a marked
+// null. Such a row unifies with arbitrary values, so partitioning by
+// content hash cannot confine it to one shard.
+func RowHasNull(row table.Row) bool {
+	for _, v := range row {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// UnifyBuild is a unification-semijoin build side co-partitioned for k
+// shards: null-free rows bucketed by full-row hash, null-containing
+// rows in the wild bucket every probe consults.
+//
+// Soundness: value.UnifyTuples(lr, rr) with a null-free lr holds only
+// when rr either equals lr value-for-value (then HashRow(rr) ==
+// HashRow(lr), so rr is in lr's bucket) or contains a null (then rr is
+// in Wild). A probe row that itself contains a null can unify across
+// buckets and must scan the full build side — the executor keeps the
+// original slice for that.
+type UnifyBuild struct {
+	// Shards is the partition count k.
+	Shards int
+	// Buckets holds the null-free build rows, indexed by
+	// HashRow % Shards.
+	Buckets [][]table.Row
+	// Wild holds the build rows containing at least one marked null.
+	Wild []table.Row
+}
+
+// BuildUnify co-partitions a build side for k shards.
+func BuildUnify(rows []table.Row, k int) *UnifyBuild {
+	b := &UnifyBuild{Shards: k, Buckets: make([][]table.Row, k)}
+	for _, r := range rows {
+		if RowHasNull(r) {
+			b.Wild = append(b.Wild, r)
+			continue
+		}
+		s := int(HashRow(r) % uint64(k))
+		b.Buckets[s] = append(b.Buckets[s], r)
+	}
+	return b
+}
+
+// EstimatedBytes is the coarse per-row overhead estimate of the
+// co-partition structure, mirroring table.Table's accounting: the
+// structure re-slices existing rows, so only the slice headers are
+// new.
+func (b *UnifyBuild) EstimatedBytes() int64 {
+	n := int64(len(b.Wild))
+	for _, bk := range b.Buckets {
+		n += int64(len(bk))
+	}
+	return n * 24 // slice-header bytes per referenced row
+}
+
+// KeyedBuild is the keyed counterpart of UnifyBuild, co-partitioning a
+// build side on one column for a unification *edge* — a join condition
+// of the shape `a = b OR a IS NULL OR b IS NULL` (any subset of the
+// null tests), the pattern the certain-answer translation emits and
+// real optimizers refuse to hash (paper Section 7). Build rows whose
+// key column is null go to Wild: a null key can satisfy the edge
+// against any probe (the null test, or mark equality under naive
+// semantics). Null-free keys go to the bucket their hash routes to: if
+// the probe key is also non-null, every null test is false, so the edge
+// holds only under a = b — and equal-comparing values hash identically
+// (HashValue), putting any matching build row in the probe's bucket.
+//
+// Buckets and Wild hold row *indexes*, in ascending order, so consumers
+// can re-emit candidate pairs in exactly the order the unsharded
+// product-then-filter pipeline visits them — the byte-identity the
+// shard-ablation invariant demands. The pruning is a pure superset
+// filter: the full join condition is still evaluated per candidate, so
+// a wrong bucket guess is impossible, only a useless one.
+type KeyedBuild struct {
+	// Shards is the partition count k.
+	Shards int
+	// Col is the build-side key column the index is keyed on.
+	Col int
+	// Buckets holds indexes of rows with a non-null key, by
+	// HashValue % Shards, each ascending.
+	Buckets [][]int
+	// Wild holds indexes of rows whose key is null, ascending.
+	Wild []int
+}
+
+// BuildKeyed co-partitions a build side on column col for k shards.
+func BuildKeyed(rows []table.Row, col, k int) *KeyedBuild {
+	b := &KeyedBuild{Shards: k, Col: col, Buckets: make([][]int, k)}
+	for i, r := range rows {
+		if r[col].IsNull() {
+			b.Wild = append(b.Wild, i)
+			continue
+		}
+		s := int(HashValue(r[col]) % uint64(k))
+		b.Buckets[s] = append(b.Buckets[s], i)
+	}
+	return b
+}
+
+// EstimatedBytes is the coarse memory estimate of the index: one int
+// per referenced row.
+func (b *KeyedBuild) EstimatedBytes() int64 {
+	n := int64(len(b.Wild))
+	for _, bk := range b.Buckets {
+		n += int64(len(bk))
+	}
+	return n * 8
+}
+
+// EachCandidate visits, in ascending row order, every build row index
+// that could satisfy a unification edge against the non-null probe key
+// v: the rows of v's hash bucket merged with the wild rows. visit
+// returning false stops the scan (the semijoin short-circuit). Callers
+// must scan the full build side themselves when the probe key is null —
+// such a probe can satisfy the edge against any build row.
+func (b *KeyedBuild) EachCandidate(v value.Value, visit func(i int) bool) {
+	bucket := b.Buckets[int(HashValue(v)%uint64(b.Shards))]
+	wild := b.Wild
+	for len(bucket) > 0 && len(wild) > 0 {
+		if bucket[0] < wild[0] {
+			if !visit(bucket[0]) {
+				return
+			}
+			bucket = bucket[1:]
+		} else {
+			if !visit(wild[0]) {
+				return
+			}
+			wild = wild[1:]
+		}
+	}
+	for _, i := range bucket {
+		if !visit(i) {
+			return
+		}
+	}
+	for _, i := range wild {
+		if !visit(i) {
+			return
+		}
+	}
+}
+
+// Catalog is the snapshot-store seam PartitionedStore wraps: the same
+// method set as server.Catalog, redeclared here so the dependency
+// points store-ward (the server imports shard, not the reverse). Both
+// table.Store and persist.Store satisfy it.
+type Catalog interface {
+	Snapshot() *table.Snapshot
+	Version() uint64
+	Update(mutate func(db *table.Database) error) (uint64, error)
+}
+
+// PartitionedStore wraps a snapshot store with shard-partition
+// bookkeeping: reads and updates delegate to the inner store (the
+// partitioning is virtual — rows are routed at execution time, never
+// physically moved), while PartitionCounts exposes how each relation's
+// rows spread across the shards, cached by table content generation so
+// republished snapshots only pay for the tables that changed.
+type PartitionedStore struct {
+	inner  Catalog
+	shards int
+
+	mu    sync.Mutex
+	cache map[string]partEntry
+}
+
+type partEntry struct {
+	gen    uint64
+	counts []int64
+}
+
+// NewPartitionedStore wraps inner for k shards (k < 1 is pinned to 1).
+func NewPartitionedStore(inner Catalog, k int) *PartitionedStore {
+	if k < 1 {
+		k = 1
+	}
+	return &PartitionedStore{inner: inner, shards: k, cache: map[string]partEntry{}}
+}
+
+// Shards returns the configured shard count.
+func (p *PartitionedStore) Shards() int { return p.shards }
+
+// Snapshot returns the inner store's current snapshot.
+func (p *PartitionedStore) Snapshot() *table.Snapshot { return p.inner.Snapshot() }
+
+// Version returns the inner store's current version.
+func (p *PartitionedStore) Version() uint64 { return p.inner.Version() }
+
+// Update delegates to the inner store; the partition cache needs no
+// invalidation because entries are keyed by content generation.
+func (p *PartitionedStore) Update(mutate func(db *table.Database) error) (uint64, error) {
+	return p.inner.Update(mutate)
+}
+
+// PartitionCounts returns, for each relation of the current snapshot,
+// the number of rows each shard owns under hash partitioning. The
+// result is freshly allocated per call at the map level; the count
+// slices are cached and must not be mutated.
+func (p *PartitionedStore) PartitionCounts() map[string][]int64 {
+	snap := p.inner.Snapshot()
+	out := make(map[string][]int64)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, name := range snap.DB.Schema.Names() {
+		t := snap.DB.MustTable(name)
+		if e, ok := p.cache[name]; ok && e.gen == t.Generation() {
+			out[name] = e.counts
+			continue
+		}
+		counts := make([]int64, p.shards)
+		for _, r := range t.Rows() {
+			counts[int(HashRow(r)%uint64(p.shards))]++
+		}
+		p.cache[name] = partEntry{gen: t.Generation(), counts: counts}
+		out[name] = counts
+	}
+	return out
+}

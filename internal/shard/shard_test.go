@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"certsql/internal/table"
+	"certsql/internal/value"
+)
+
+func randomRow(rng *rand.Rand) table.Row {
+	row := make(table.Row, 1+rng.Intn(5))
+	for i := range row {
+		switch rng.Intn(5) {
+		case 0:
+			row[i] = value.Int(rng.Int63n(50))
+		case 1:
+			row[i] = value.Float(float64(rng.Int63n(50)))
+		case 2:
+			row[i] = value.Str(string(rune('a' + rng.Intn(26))))
+		case 3:
+			row[i] = value.Null(rng.Int63n(10))
+		default:
+			row[i] = value.Bool(rng.Intn(2) == 0)
+		}
+	}
+	return row
+}
+
+// TestHashRowIsFNVOverRowKey pins the allocation-free fold to the
+// reference definition: 64-bit FNV-1a over value.RowKey's canonical
+// bytes. Partition placement everywhere (scatter routing, the
+// partitioned store's /metrics counts) derives from this hash.
+func TestHashRowIsFNVOverRowKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		row := randomRow(rng)
+		h := fnv.New64a()
+		h.Write([]byte(value.RowKey(row)))
+		if got, want := HashRow(row), h.Sum64(); got != want {
+			t.Fatalf("HashRow(%v) = %#x, want FNV-1a over RowKey %#x", row, got, want)
+		}
+	}
+}
+
+// TestPartitionCoversEveryRow checks the routing is a partition in the
+// mathematical sense: every row index appears in exactly one shard.
+func TestPartitionCoversEveryRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([]table.Row, 200)
+	for i := range rows {
+		rows[i] = randomRow(rng)
+	}
+	for _, k := range []int{1, 2, 3, 8} {
+		seen := make([]bool, len(rows))
+		for _, part := range Partition(rows, k) {
+			for _, i := range part {
+				if seen[i] {
+					t.Fatalf("k=%d: row %d routed twice", k, i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("k=%d: row %d routed nowhere", k, i)
+			}
+		}
+	}
+}
+
+// TestKeyedBuildCandidates property-checks the keyed co-partition: for
+// any probe key, EachCandidate visits an ascending sequence that
+// includes every build row the unification edge could accept — every
+// row whose key is null, and every row whose key compares equal to the
+// probe's (including int/float cross-kind equality).
+func TestKeyedBuildCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		rows := make([]table.Row, rng.Intn(60))
+		for i := range rows {
+			rows[i] = table.Row{value.Int(rng.Int63n(8)), randomRow(rng)[0]}
+		}
+		col := rng.Intn(2)
+		k := 2 + rng.Intn(7)
+		b := BuildKeyed(rows, col, k)
+		if n := b.EstimatedBytes(); n != int64(8*len(rows)) {
+			t.Fatalf("EstimatedBytes = %d for %d rows", n, len(rows))
+		}
+		probe := randomRow(rng)[0]
+		if probe.IsNull() {
+			continue // null probes scan the full build side by contract
+		}
+		got := map[int]bool{}
+		last := -1
+		b.EachCandidate(probe, func(i int) bool {
+			if i <= last {
+				t.Fatalf("candidates out of order: %d after %d", i, last)
+			}
+			last = i
+			got[i] = true
+			return true
+		})
+		for i, r := range rows {
+			mustSee := r[col].IsNull() || value.ConstEqual(r[col], probe)
+			if mustSee && !got[i] {
+				t.Fatalf("row %d (%v) can satisfy the edge against %v but was not visited", i, r[col], probe)
+			}
+		}
+	}
+}
+
+// TestKeyedBuildShortCircuit checks a false-returning visit stops the
+// scan — the semijoin probe relies on it.
+func TestKeyedBuildShortCircuit(t *testing.T) {
+	rows := []table.Row{{value.Int(1)}, {value.Null(1)}, {value.Int(1)}}
+	b := BuildKeyed(rows, 0, 2)
+	visits := 0
+	b.EachCandidate(value.Int(1), func(i int) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("visit returning false did not stop the scan: %d visits", visits)
+	}
+}

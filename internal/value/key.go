@@ -53,3 +53,59 @@ func RowKey(row []Value) string {
 	}
 	return string(b)
 }
+
+// KeySeed is the 64-bit FNV-1a offset basis, the initial state for
+// FoldKey chains.
+const KeySeed uint64 = 14695981039346656037
+
+const keyPrime uint64 = 1099511628211
+
+// FoldKey folds v's canonical encoding into the running FNV-1a state h,
+// byte for byte, without materializing the encoding: folding a row's
+// values in order yields exactly FNV-1a over AppendKey's concatenated
+// bytes (a property test pins this). The shard router hashes every
+// probe row of every scattered operator, so the per-row allocation
+// RowKey pays is the difference between routing being noise and routing
+// dominating the profile.
+func FoldKey(h uint64, v Value) uint64 {
+	switch v.kind {
+	case KindNull:
+		h = (h ^ 0) * keyPrime
+		h = fold64(h, uint64(v.i))
+	case KindInt:
+		h = (h ^ 1) * keyPrime
+		h = fold64(h, math.Float64bits(float64(v.i)))
+	case KindFloat:
+		h = (h ^ 1) * keyPrime // same tag as int: numeric values hash across kinds
+		h = fold64(h, math.Float64bits(v.f))
+	case KindString:
+		h = (h ^ 2) * keyPrime
+		h = fold32(h, uint32(len(v.s)))
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * keyPrime
+		}
+	case KindDate:
+		h = (h ^ 3) * keyPrime
+		h = fold64(h, uint64(v.i))
+	case KindBool:
+		h = (h ^ 4) * keyPrime
+		h = (h ^ uint64(byte(v.i))) * keyPrime
+	}
+	return h
+}
+
+// fold64 folds x's big-endian bytes into the FNV-1a state h.
+func fold64(h, x uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (x >> uint(shift) & 0xff)) * keyPrime
+	}
+	return h
+}
+
+// fold32 folds x's big-endian bytes into the FNV-1a state h.
+func fold32(h uint64, x uint32) uint64 {
+	for shift := 24; shift >= 0; shift -= 8 {
+		h = (h ^ uint64(x>>uint(shift)&0xff)) * keyPrime
+	}
+	return h
+}

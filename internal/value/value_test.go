@@ -346,6 +346,32 @@ func TestKeyAgreesWithConstEqual(t *testing.T) {
 	}
 }
 
+// TestFoldKeyMatchesAppendKey property-checks that folding a row's
+// values through FoldKey equals FNV-1a over the concatenated AppendKey
+// encodings — the allocation-free fold must hash exactly the canonical
+// bytes, or shard routing would disagree with key equality.
+func TestFoldKeyMatchesAppendKey(t *testing.T) {
+	const prime = 1099511628211
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		row := make([]Value, rng.Intn(6))
+		for i := range row {
+			row[i] = randomValue(rng)
+		}
+		h := KeySeed
+		for _, v := range row {
+			h = FoldKey(h, v)
+		}
+		want := KeySeed
+		for _, b := range []byte(RowKey(row)) {
+			want = (want ^ uint64(b)) * prime
+		}
+		if h != want {
+			t.Fatalf("FoldKey state %#x != FNV over AppendKey %#x for %v", h, want, row)
+		}
+	}
+}
+
 func TestStrings(t *testing.T) {
 	cases := map[string]Value{
 		"⊥7":   Null(7),

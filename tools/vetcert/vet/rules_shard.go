@@ -1,0 +1,250 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The scatter-gather rule: shardmerge.
+//
+// The sharded executor's failure contract (DESIGN.md §16) has two halves
+// that the compiler cannot see. First, the gather loop must stay
+// stoppable: every shard worker sends exactly one completion message, so
+// a coordinator that does a blocking receive outside a cancellation
+// select wedges on a slow shard for as long as the shard runs —
+// cancellation reaches the workers but never the gather. Second, the
+// gather is all-or-nothing: an early return (error, injected fault,
+// cancellation) must still consume the pending send of every remaining
+// shard, or a worker is abandoned mid-send the next time its buffered
+// channel is already full. Both are exactly the class of invariant the
+// chaos suite only proves at the sites it happens to hit; this rule
+// checks every gather in the scoped packages.
+
+func init() {
+	Register(Rule{
+		Name: "shardmerge",
+		Doc:  "shard gather loops must select on cancellation and drain remaining completion channels before an early return",
+		Run:  runShardMerge,
+	})
+}
+
+// shardMergePkgs are the packages that gather shard completions: the
+// evaluation engine (the coordinator) and the partitioning layer.
+var shardMergePkgs = []string{evalPkg, shardPkg}
+
+// isCompletionChan reports whether t is a receivable channel whose
+// element is a named struct carrying an error field — the shape of the
+// one-shot completion message a shard worker sends (eval.shardMsg and
+// its kin). Matching on shape rather than one concrete name keeps the
+// rule binding to future gather seams without a registry.
+func isCompletionChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	named := namedOf(ch.Elem())
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < st.NumFields(); i++ {
+		if types.Identical(st.Field(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func runShardMerge(p *Pass) {
+	applies := false
+	for _, suffix := range shardMergePkgs {
+		if PathHasSuffix(p.Pkg.Types, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	info := p.Pkg.Info
+
+	// recvOf resolves e to a completion-channel receive expression.
+	recvOf := func(e ast.Expr) *ast.UnaryExpr {
+		u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return nil
+		}
+		if tv, ok := info.Types[u.X]; ok && isCompletionChan(tv.Type) {
+			return u
+		}
+		return nil
+	}
+	// isDoneRecv recognizes the cancellation arm: a receive from any
+	// Done() call — the Governor's or a context's.
+	isDoneRecv := func(e ast.Expr) bool {
+		u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return false
+		}
+		call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeOf(info, call)
+		return fn != nil && fn.Name() == "Done"
+	}
+	// commExpr extracts the communication expression of a select case.
+	commExpr := func(c *ast.CommClause) ast.Expr {
+		switch s := c.Comm.(type) {
+		case *ast.ExprStmt:
+			return s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				return s.Rhs[0]
+			}
+		}
+		return nil
+	}
+
+	// drainers holds the functions that contain a drain loop — a
+	// for/range whose body does a bare statement receive, consuming a
+	// completion without binding it.
+	drainers := map[*types.Func]bool{}
+	type gatherSel struct {
+		fd  *ast.FuncDecl
+		fn  *types.Func
+		pos token.Pos
+	}
+	var gathers []gatherSel
+
+	p.funcDecls(func(fd *ast.FuncDecl, fn *types.Func) {
+		// sanctioned receives live in a select that also has a Done arm;
+		// drains are bare statement receives (the drain-loop body).
+		sanctioned := map[*ast.UnaryExpr]bool{}
+		drains := map[*ast.UnaryExpr]bool{}
+		var loops []ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+			case *ast.ExprStmt:
+				if u := recvOf(s.X); u != nil {
+					drains[u] = true
+				}
+			case *ast.SelectStmt:
+				hasDone := false
+				var comps []*ast.UnaryExpr
+				for _, cl := range s.Body.List {
+					cc, ok := cl.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					e := commExpr(cc)
+					if e == nil {
+						continue
+					}
+					if isDoneRecv(e) {
+						hasDone = true
+					}
+					if u := recvOf(e); u != nil {
+						comps = append(comps, u)
+					}
+				}
+				if hasDone {
+					for _, u := range comps {
+						sanctioned[u] = true
+					}
+					if len(comps) > 0 {
+						gathers = append(gathers, gatherSel{fd, fn, s.Pos()})
+					}
+				}
+			}
+			return true
+		})
+
+		for _, l := range loops {
+			var body *ast.BlockStmt
+			switch s := l.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			}
+			found := false
+			ast.Inspect(body, func(m ast.Node) bool {
+				if es, ok := m.(*ast.ExprStmt); ok && recvOf(es.X) != nil {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				drainers[fn] = true
+			}
+		}
+
+		inLoop := func(pos token.Pos) bool {
+			for _, l := range loops {
+				if l.Pos() <= pos && pos < l.End() {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				if tv, ok := info.Types[rs.X]; ok && isCompletionChan(tv.Type) {
+					p.report(rs.Pos(), fd, "shard gather loop in %s ranges over a completion channel: a range receive can never select on cancellation — loop over the channels and select on the Governor's Done arm alongside each receive", fn.Name())
+				}
+				return true
+			}
+			u, ok := n.(*ast.UnaryExpr)
+			if !ok || recvOf(u) == nil {
+				return true
+			}
+			if sanctioned[u] || drains[u] || !inLoop(u.Pos()) {
+				return true
+			}
+			p.report(u.Pos(), fd, "shard gather loop in %s receives a completion outside a cancellation select: a canceled query wedges on a slow shard — select on the Governor's Done channel alongside the receive", fn.Name())
+			return true
+		})
+	})
+
+	// A gather select must be able to drain the shards it abandons on an
+	// early return: a drain loop must be reachable from the gathering
+	// function, directly or through a same-package helper chain.
+	g := p.graph()
+	reach := map[*types.Func]bool{}
+	for fn := range drainers {
+		reach[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.decls {
+			if reach[fn] {
+				continue
+			}
+			for _, callee := range g.calls[fn] {
+				if reach[callee] {
+					reach[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, gs := range gathers {
+		if reach[gs.fn] {
+			continue
+		}
+		p.report(gs.pos, gs.fd, "gather select in %s has no completion-channel drain reachable on any same-package path: an early return abandons in-flight shard sends — drain the remaining channels before returning", gs.fn.Name())
+	}
+}

@@ -1,0 +1,102 @@
+// Package shard is the corpus double of the scatter-gather layer: it
+// declares the completion-message channel shape the shardmerge rule
+// binds to and holds the positive, negative, and suppressed gather
+// shapes.
+package shard
+
+import "eng/internal/guard"
+
+// shardMsg mirrors the engine's completion message: a named struct with
+// an error field is what makes a channel a completion channel to the
+// rule.
+type shardMsg struct {
+	part int
+	err  error
+}
+
+// gatherNoSelect: positive — a binding receive in the gather loop with
+// no cancellation select; a canceled query wedges on a slow shard.
+func gatherNoSelect(chans []chan shardMsg) error {
+	for _, ch := range chans {
+		m := <-ch // want "shard gather loop in gatherNoSelect receives a completion outside a cancellation select"
+		if m.err != nil {
+			return m.err
+		}
+	}
+	return nil
+}
+
+// gatherRange: positive — ranging over a completion channel can never
+// observe cancellation between messages.
+func gatherRange(ch chan shardMsg) error {
+	for m := range ch { // want "shard gather loop in gatherRange ranges over a completion channel"
+		if m.err != nil {
+			return m.err
+		}
+	}
+	return nil
+}
+
+// gatherNoDrain: positive — the select observes cancellation, but the
+// error path returns without consuming the remaining shards' sends.
+func gatherNoDrain(gov *guard.Governor, chans []chan shardMsg) error {
+	for _, ch := range chans {
+		select { // want "gather select in gatherNoDrain has no completion-channel drain reachable"
+		case <-gov.Done():
+			return guard.ErrCanceled
+		case m := <-ch:
+			if m.err != nil {
+				return m.err
+			}
+		}
+	}
+	return nil
+}
+
+// gather: negative — the canonical shape: every arm that returns early
+// drains the remaining channels, and the receive sits beside a Done arm.
+func gather(gov *guard.Governor, chans []chan shardMsg) error {
+	for i, ch := range chans {
+		select {
+		case <-gov.Done():
+			drainChans(chans[i:])
+			return guard.ErrCanceled
+		case m := <-ch:
+			if m.err != nil {
+				drainChans(chans[i+1:])
+				return m.err
+			}
+		}
+	}
+	return nil
+}
+
+// drainChans: negative — the drain loop itself: bare receives consume
+// pending sends without binding them, and never need a select.
+func drainChans(chans []chan shardMsg) {
+	for _, ch := range chans {
+		<-ch
+	}
+}
+
+// gatherEager holds no select by design: every worker has already sent
+// before the gather starts, so no receive can block.
+// vetcert:ignore shardmerge: corpus pin — all sends completed before
+// the gather begins
+func gatherEager(chans []chan shardMsg) error {
+	for _, ch := range chans {
+		m := <-ch
+		if m.err != nil {
+			return m.err
+		}
+	}
+	return nil
+}
+
+var (
+	_ = gatherNoSelect
+	_ = gatherRange
+	_ = gatherNoDrain
+	_ = gather
+	_ = gatherEager
+)
